@@ -1,0 +1,152 @@
+//! One Criterion bench per paper artifact: each target regenerates the
+//! corresponding table or figure end-to-end (simulation + post-processing).
+//!
+//! Benches run at a compressed time scale so a Criterion sample stays
+//! tractable; the `experiments` binary regenerates the artifacts at the
+//! reporting scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use softwatt::experiments::ExperimentSuite;
+use softwatt::SystemConfig;
+
+/// A suite at a bench-friendly (heavily compressed) time scale. Each bench
+/// builds a fresh suite so memoization never hides the work being timed.
+fn fresh_suite() -> ExperimentSuite {
+    ExperimentSuite::new(SystemConfig {
+        time_scale: 40_000.0,
+        ..SystemConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_validation(c: &mut Criterion) {
+    c.bench_function("v1_validation_max_power", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.validation().modeled_w())
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_disk_modes", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.disk_modes().len())
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_jess_memory_profile", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            let profiles = suite.fig3_jess_memory();
+            std::hint::black_box(profiles.mipsy.avg_memory_w())
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_jess_processor_profile", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig4_jess_processor().avg_processor_w())
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_budget_conventional", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig5_budget_conventional().disk_pct())
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_mode_power", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig6_mode_power().total_w(softwatt::Mode::User))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_budget_lowpower", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig7_budget_lowpower().disk_pct())
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_service_power", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig8_service_power().len())
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_disk_study", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.fig9_disk_study().len())
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_mode_breakdown", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.table2_mode_breakdown().len())
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_cache_refs", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.table3_cache_refs().len())
+        })
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4_kernel_services", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.table4_kernel_services().len())
+        })
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5_service_variation", |b| {
+        b.iter(|| {
+            let suite = fresh_suite();
+            std::hint::black_box(suite.table5_service_variation().len())
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = paper_experiments;
+    config = configured();
+    targets = bench_validation, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+        bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_table2,
+        bench_table3, bench_table4, bench_table5
+}
+criterion_main!(paper_experiments);

@@ -1,0 +1,210 @@
+//! Command-line front end for the simulator — the paper's Figure 1
+//! pipeline as a tool: run a workload, write the simulation log file,
+//! post-process a log into power numbers.
+//!
+//! ```text
+//! simulate run <benchmark> [--cpu mxs|mxs1|mipsy] [--disk conv|idle|standby2|standby4|sleep]
+//!               [--scale N] [--seed N] [--log FILE] [--record FILE] [--replay FILE]
+//! simulate post <logfile>
+//! ```
+//!
+//! `--record` captures the user instruction stream as a binary trace;
+//! `--replay` substitutes a previously recorded trace for the generator
+//! (the benchmark name still supplies the OS-side configuration), enabling
+//! trace-driven machine comparisons.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use softwatt::budget::system_budget;
+use softwatt::{
+    Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, SimLog, Simulator,
+    SystemConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("post") => cmd_post(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  simulate run <benchmark> [--cpu mxs|mxs1|mipsy] [--disk conv|idle|standby2|standby4|sleep]
+                [--scale N] [--seed N] [--log FILE] [--record FILE] [--replay FILE]
+  simulate post <logfile>
+
+benchmarks: compress jess db javac mtrt jack";
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let benchmark = args
+        .first()
+        .and_then(|s| Benchmark::from_name(s))
+        .ok_or_else(|| format!("unknown or missing benchmark\n{USAGE}"))?;
+
+    let mut config = SystemConfig {
+        time_scale: 4000.0,
+        ..SystemConfig::default()
+    };
+    let mut log_path: Option<String> = None;
+    let mut record_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--cpu" => {
+                config.cpu = match value()?.as_str() {
+                    "mxs" => CpuModel::Mxs,
+                    "mxs1" => CpuModel::MxsSingleIssue,
+                    "mipsy" => CpuModel::Mipsy,
+                    other => return Err(format!("unknown cpu model {other}\n{USAGE}")),
+                }
+            }
+            "--disk" => {
+                config.disk = DiskConfig {
+                    policy: match value()?.as_str() {
+                        "conv" => DiskPolicy::Conventional,
+                        "idle" => DiskPolicy::IdleWhenNotBusy,
+                        "standby2" => DiskPolicy::Standby { threshold_s: 2.0 },
+                        "standby4" => DiskPolicy::Standby { threshold_s: 4.0 },
+                        "sleep" => DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 5.0 },
+                        other => return Err(format!("unknown disk policy {other}\n{USAGE}")),
+                    },
+                    ..config.disk
+                }
+            }
+            "--scale" => {
+                config.time_scale = value()?
+                    .parse()
+                    .map_err(|_| "--scale needs a number".to_string())?
+            }
+            "--seed" => {
+                config.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--log" => log_path = Some(value()?),
+            "--record" => record_path = Some(value()?),
+            "--replay" => replay_path = Some(value()?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    let sim = Simulator::new(config.clone())?;
+    eprintln!(
+        "running {benchmark} on {} (disk {}, scale {}x, seed {:#x})...",
+        config.cpu.label(),
+        config.disk.policy.label(),
+        config.time_scale,
+        config.seed
+    );
+    // Workload-side OS parameters (file warming, page premap, cacheflush
+    // rate) come from the benchmark regardless of trace mode.
+    let reference = benchmark.workload(config.clocking(), config.seed);
+    let warm = reference.warm_files();
+    let premap = reference.premap_regions();
+    let os_config = softwatt_os::OsConfig {
+        cacheflush_per_kinstr: reference.spec().cacheflush_per_kinstr,
+        seed: config.seed ^ 0x5EED,
+        ..config.os
+    };
+    let run = match (&record_path, &replay_path) {
+        (Some(_), Some(_)) => return Err("--record and --replay are exclusive".into()),
+        (Some(path), None) => {
+            let out = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let recording =
+                softwatt_isa::Recording::new(reference, BufWriter::new(out))
+                    .map_err(|e| format!("cannot start trace {path}: {e}"))?;
+            let run = sim.run_source(Box::new(recording), &warm, &premap, os_config);
+            eprintln!("recorded user trace to {path}");
+            run
+        }
+        (None, Some(path)) => {
+            let input = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let reader = softwatt_isa::TraceReader::new(BufReader::new(input))
+                .map_err(|e| format!("cannot read trace {path}: {e}"))?;
+            eprintln!("replaying user trace from {path}");
+            sim.run_source(Box::new(reader), &warm, &premap, os_config)
+        }
+        (None, None) => sim.run_benchmark(benchmark),
+    };
+
+    println!(
+        "{benchmark}: {} cycles, {:.2} paper-seconds, IPC {:.2}",
+        run.cycles, run.duration_s,
+        run.ipc()
+    );
+    for mode in Mode::ALL {
+        println!(
+            "  {:<8} {:>6.2}%",
+            mode.label(),
+            100.0 * run.mode_cycles(mode) as f64 / run.cycles.max(1) as f64
+        );
+    }
+    let model = PowerModel::new(&config.power_params());
+    println!("{}", system_budget(&model, &run));
+    println!(
+        "disk: {} requests, {} spin-ups, {} spin-downs, {:.2} J",
+        run.disk.requests, run.disk.spinups, run.disk.spindowns, run.disk.energy_j
+    );
+
+    if let Some(path) = log_path {
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        run.log
+            .to_csv(BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote simulation log to {path} ({} samples)", run.log.samples().len());
+    }
+    Ok(())
+}
+
+fn cmd_post(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(|| USAGE.to_string())?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let log = SimLog::from_csv(BufReader::new(file))
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+
+    // Post-processing needs only the structural power model; the machine
+    // that produced the log used Table 1 defaults unless stated otherwise.
+    let model = PowerModel::new(&SystemConfig::default().power_params());
+    let table = model.mode_table(&log);
+    println!(
+        "{path}: {} samples, {} cycles ({:.2} paper-seconds)",
+        log.samples().len(),
+        log.total_cycles(),
+        log.clocking().cycles_to_paper_secs(log.total_cycles())
+    );
+    println!("\nper-mode breakdown:");
+    for mode in Mode::ALL {
+        println!(
+            "  {:<8} cycles {:>6.2}%  energy {:>6.2}%  avg {:>6.2} W",
+            mode.label(),
+            100.0 * table.cycle_fraction(mode),
+            100.0 * table.energy_fraction(mode),
+            table.average_power_w(mode).total()
+        );
+    }
+    println!("\nprocessor/memory average power:");
+    println!("{}", table.overall_average_power_w());
+    let profile = model.profile(&log);
+    if let Some((peak_w, at_s)) = profile.peak_power_w() {
+        println!("peak window power: {peak_w:.2} W at {at_s:.2} s");
+    }
+    println!("energy-delay product: {:.3e} J.s", table.energy_delay_product());
+    Ok(())
+}

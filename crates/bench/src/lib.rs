@@ -1,0 +1,14 @@
+//! Benchmark harness for the SoftWatt reproduction.
+//!
+//! This crate carries no library code of its own; it hosts
+//!
+//! - the `experiments` binary, which regenerates every table and figure of
+//!   the paper and prints paper-vs-measured comparisons (the source of
+//!   `EXPERIMENTS.md`), and
+//! - the Criterion benches: `paper_experiments` (one bench per paper
+//!   artifact), `simulator_throughput` (cycles/second of the machine
+//!   models), and `ablations` (the design-choice studies listed in
+//!   `DESIGN.md` §7).
+//!
+//! Run `cargo run --release -p softwatt-bench --bin experiments` for the
+//! full paper regeneration, or `cargo bench` for the timed harness.

@@ -1,0 +1,141 @@
+//! Paper reference values and small formatting helpers.
+//!
+//! The benchmark harness prints every regenerated table/figure next to the
+//! numbers the paper reports; those paper-side numbers live here so
+//! `EXPERIMENTS.md` and the harness stay consistent.
+
+/// Values transcribed from the paper.
+pub mod paper {
+    /// §2: SoftWatt's modeled maximum CPU power for the Table 1 R10000
+    /// configuration.
+    pub const MAX_POWER_W: f64 = 25.3;
+    /// §2: the R10000 data sheet's maximum power dissipation.
+    pub const DATASHEET_MAX_POWER_W: f64 = 30.0;
+
+    /// Figure 5: the conventional disk's share of system average power.
+    pub const FIG5_DISK_PCT: f64 = 34.0;
+    /// Figure 5 shares: (Datapath, L1D, L1I, Clock) percent.
+    pub const FIG5_SHARES_PCT: [(&str, f64); 4] = [
+        ("Datapath", 15.0),
+        ("L1 D-Cache", 6.0),
+        ("L1 I-Cache", 22.0),
+        ("Clock", 22.0),
+    ];
+    /// Figure 7: the IDLE-capable disk's share.
+    pub const FIG7_DISK_PCT: f64 = 23.0;
+    /// Figure 7 shares: (Datapath, L1D, L1I, Clock) percent.
+    pub const FIG7_SHARES_PCT: [(&str, f64); 4] = [
+        ("Datapath", 17.0),
+        ("L1 D-Cache", 8.0),
+        ("L1 I-Cache", 26.0),
+        ("Clock", 26.0),
+    ];
+
+    /// Table 2: (benchmark, % cycles per mode, % energy per mode) with
+    /// modes ordered user / kernel / sync / idle.
+    pub const TABLE2: [(&str, [f64; 4], [f64; 4]); 6] = [
+        ("compress", [88.24, 7.95, 0.20, 3.61], [93.74, 4.18, 0.14, 1.94]),
+        ("jess", [63.69, 24.57, 0.86, 10.88], [77.15, 15.12, 0.68, 7.05]),
+        ("db", [66.10, 24.28, 0.75, 8.87], [81.19, 13.22, 0.54, 5.05]),
+        ("javac", [64.20, 27.54, 0.55, 7.71], [78.47, 15.98, 0.44, 5.11]),
+        ("mtrt", [80.62, 14.80, 0.26, 4.32], [90.07, 7.44, 0.17, 2.32]),
+        ("jack", [69.02, 27.91, 0.63, 2.44], [81.36, 16.43, 0.51, 1.70]),
+    ];
+
+    /// Table 3: (benchmark, iL1 refs/cycle per mode, dL1 refs/cycle per
+    /// mode), modes ordered user / kernel / sync / idle.
+    pub const TABLE3: [(&str, [f64; 4], [f64; 4]); 6] = [
+        ("compress", [2.0088, 1.1203, 1.5560, 0.7612], [0.6833, 0.2080, 0.1745, 0.3546]),
+        ("jess", [1.9861, 1.1143, 1.5956, 0.8267], [0.6217, 0.2164, 0.1775, 0.3851]),
+        ("db", [2.0911, 1.0602, 1.5240, 0.7244], [0.6699, 0.1892, 0.1832, 0.3375]),
+        ("javac", [1.9685, 1.0346, 1.5355, 0.8110], [0.5604, 0.1835, 0.1720, 0.3778]),
+        ("mtrt", [2.1105, 1.0850, 1.5177, 0.7524], [0.6473, 0.1908, 0.1697, 0.3505]),
+        ("jack", [1.8465, 1.0410, 1.5585, 0.8718], [0.5869, 0.1931, 0.1708, 0.4061]),
+    ];
+
+    /// §3.2: ALU uses per cycle per mode (user/kernel/sync/idle).
+    pub const ALU_PER_CYCLE: [f64; 4] = [0.76, 0.42, 0.59, 0.26];
+
+    /// Table 4: utlb's share of kernel cycles / kernel energy per
+    /// benchmark (the dominant row of each benchmark's table).
+    pub const TABLE4_UTLB: [(&str, f64, f64); 6] = [
+        ("compress", 76.29, 64.30),
+        ("jess", 64.82, 53.71),
+        ("db", 75.66, 66.64),
+        ("javac", 78.78, 71.67),
+        ("mtrt", 81.31, 72.20),
+        ("jack", 71.01, 64.05),
+    ];
+
+    /// Table 5: (service, mean energy per invocation J, coefficient of
+    /// deviation %).
+    pub const TABLE5: [(&str, f64, f64); 6] = [
+        ("utlb", 2.1276e-7, 0.13971),
+        ("demand_zero", 5.408e-5, 1.4927),
+        ("cacheflush", 2.1606e-5, 2.4698),
+        ("read", 4.8894e-5, 6.615),
+        ("write", 2.5351e-4, 10.6632),
+        ("open", 1.5586e-4, 10.0714),
+    ];
+
+    /// §5: kernel instructions + sync account for up to ~17% of
+    /// processor/memory energy (jack), ~15% on average.
+    pub const KERNEL_ENERGY_SHARE_MAX_PCT: f64 = 17.0;
+    /// §5: over 5% of system energy goes to the idle process.
+    pub const IDLE_ENERGY_SHARE_PCT: f64 = 5.0;
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Formats Watts with three decimals.
+pub fn watts(x: f64) -> String {
+    format!("{x:7.3} W")
+}
+
+/// Formats Joules with engineering-style scaling.
+pub fn joules(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:8.2} J")
+    } else if x >= 1.0e-3 {
+        format!("{:8.2} mJ", x * 1.0e3)
+    } else if x >= 1.0e-6 {
+        format!("{:8.2} uJ", x * 1.0e6)
+    } else {
+        format!("{:8.2} nJ", x * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_rows_sum_to_one_hundred() {
+        for (name, cycles, energy) in paper::TABLE2 {
+            let c: f64 = cycles.iter().sum();
+            let e: f64 = energy.iter().sum();
+            assert!((c - 100.0).abs() < 0.5, "{name} cycles sum {c}");
+            assert!((e - 100.0).abs() < 0.5, "{name} energy sum {e}");
+        }
+    }
+
+    #[test]
+    fn paper_user_energy_share_exceeds_cycle_share() {
+        // The paper's observation that user mode is the power-hungriest.
+        for (name, cycles, energy) in paper::TABLE2 {
+            assert!(energy[0] > cycles[0], "{name}");
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.256), " 25.6%");
+        assert!(joules(2.0).contains('J'));
+        assert!(joules(5.0e-5).contains("uJ"));
+        assert!(joules(2.0e-7).contains("nJ"));
+        assert!(watts(1.5).contains('W'));
+    }
+}

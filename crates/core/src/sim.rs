@@ -1,0 +1,329 @@
+//! The full-system simulator driver.
+
+use softwatt_cpu::{Cpu, MipsyCpu, MxsConfig, MxsCpu};
+use softwatt_disk::{Disk, DiskReport};
+use softwatt_isa::InstrSource;
+use softwatt_mem::MemHierarchy;
+use softwatt_os::{DeferredOp, IdleLoop, OsConfig, SystemOs};
+use softwatt_power::PowerModel;
+use softwatt_stats::{Mode, ServiceProfiler, SimLog, StatsCollector, UnitEvent};
+use softwatt_workloads::Benchmark;
+
+use crate::config::{CpuModel, SystemConfig};
+
+/// Everything a run produces: the sampled log (for power post-processing),
+/// the kernel-service profile, the disk's online energy report, and
+/// headline counters.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Benchmark that was run, if a named one.
+    pub benchmark: Option<Benchmark>,
+    /// CPU model used.
+    pub cpu: CpuModel,
+    /// The sampled simulation log.
+    pub log: SimLog,
+    /// Kernel-service attribution profile.
+    pub services: ServiceProfiler,
+    /// Disk activity and energy report.
+    pub disk: DiskReport,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// User instructions delivered by the workload.
+    pub user_instrs: u64,
+    /// Run duration in paper-time seconds.
+    pub duration_s: f64,
+}
+
+impl RunResult {
+    /// Commit IPC over the run.
+    pub fn ipc(&self) -> f64 {
+        self.committed as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Cycles attributed to `mode`.
+    pub fn mode_cycles(&self, mode: Mode) -> u64 {
+        self.log.mode_cycles(mode)
+    }
+}
+
+/// Per-cycle event rates of the idle loop, measured once and reused for
+/// fast-forwarding (the paper found idle behavior workload-independent and
+/// predictable — §3.3).
+#[derive(Debug, Clone)]
+struct IdleRates {
+    per_cycle: Vec<(UnitEvent, f64)>,
+}
+
+/// The simulator: assembles CPU, memory, OS, disk, and stats, and drives
+/// the cycle loop. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SystemConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem found.
+    pub fn new(config: SystemConfig) -> Result<Simulator, String> {
+        config.validate()?;
+        Ok(Simulator { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn make_cpu(&self) -> Box<dyn Cpu> {
+        match self.config.cpu {
+            CpuModel::Mipsy => Box::new(MipsyCpu::new(self.config.mipsy)),
+            CpuModel::Mxs => Box::new(MxsCpu::new(self.config.mxs)),
+            CpuModel::MxsSingleIssue => Box::new(MxsCpu::new(MxsConfig {
+                bht_entries: self.config.mxs.bht_entries,
+                btb_entries: self.config.mxs.btb_entries,
+                ras_entries: self.config.mxs.ras_entries,
+                window_size: self.config.mxs.window_size,
+                lsq_size: self.config.mxs.lsq_size,
+                ..MxsConfig::single_issue()
+            })),
+        }
+    }
+
+    /// Runs one of the named benchmarks.
+    pub fn run_benchmark(&self, benchmark: Benchmark) -> RunResult {
+        let clocking = self.config.clocking();
+        let workload = benchmark.workload(clocking, self.config.seed);
+        let warm = workload.warm_files();
+        let premap = workload.premap_regions();
+        let cacheflush_rate = workload.spec().cacheflush_per_kinstr;
+        let mut result = self.run_source(
+            Box::new(workload),
+            &warm,
+            &premap,
+            OsConfig {
+                cacheflush_per_kinstr: cacheflush_rate,
+                seed: self.config.seed ^ 0x5EED,
+                ..self.config.os
+            },
+        );
+        result.benchmark = Some(benchmark);
+        result
+    }
+
+    /// Runs an arbitrary instruction source under the OS model.
+    pub fn run_source(
+        &self,
+        user: Box<dyn InstrSource>,
+        warm_files: &[(softwatt_isa::FileRef, u64)],
+        premap: &[(u64, u64)],
+        os_config: OsConfig,
+    ) -> RunResult {
+        let clocking = self.config.clocking();
+        let model = PowerModel::new(&self.config.power_params());
+        let mut stats = StatsCollector::with_weights(
+            clocking,
+            self.config.sample_interval_cycles,
+            model.energy_weights(),
+        );
+        let disk = Disk::new(self.config.disk, clocking);
+        let mut os = SystemOs::new(os_config, clocking, disk, user);
+        for &(file, bytes) in warm_files {
+            os.warm_file(file, bytes);
+        }
+        for &(base, bytes) in premap {
+            os.premap_region(base, bytes);
+        }
+        let mut mem = MemHierarchy::new(self.config.mem);
+        let mut cpu = self.make_cpu();
+
+        let idle_rates = self
+            .config
+            .fast_forward_idle
+            .then(|| self.measure_idle_rates());
+
+        // Safety net: a run that exceeds this is a livelock, not a workload.
+        let cycle_cap = 400_000_000u64;
+        loop {
+            let out = cpu.cycle(&mut *os_as_source(&mut os), &mut mem, &mut stats);
+            if let Some(event) = out.event {
+                os.handle_event(event, &mut stats);
+            }
+            for d in os.take_deferred() {
+                match d {
+                    DeferredOp::TlbFill(vaddr) => mem.tlb_insert(vaddr, &mut stats),
+                    DeferredOp::FlushL1 => {
+                        mem.flush_l1();
+                    }
+                }
+            }
+            stats.tick();
+            if out.program_exited && os.finished() {
+                break;
+            }
+            // Optional §3.3 acceleration: skip deep disk-blocked stretches.
+            if let (Some(rates), Some(until)) = (&idle_rates, os.blocked_until()) {
+                let now = stats.cycle();
+                if until > now + 5_000 {
+                    let gap = until - now - 500;
+                    let prev_mode = stats.mode();
+                    stats.set_mode(Mode::Idle);
+                    for &(ev, rate) in &rates.per_cycle {
+                        stats.record_n(ev, (rate * gap as f64) as u64);
+                    }
+                    stats.tick_n(gap);
+                    stats.set_mode(prev_mode);
+                }
+            }
+            assert!(stats.cycle() < cycle_cap, "runaway simulation");
+        }
+
+        let cycles = stats.cycle();
+        let committed = cpu.committed_instructions();
+        let user_instrs = os.user_instructions();
+        let (log, services) = stats.finish_with_services();
+        let disk_report = os.into_disk().report(cycles);
+        RunResult {
+            benchmark: None,
+            cpu: self.config.cpu,
+            log,
+            services,
+            disk: disk_report,
+            cycles,
+            committed,
+            user_instrs,
+            duration_s: clocking.cycles_to_paper_secs(cycles),
+        }
+    }
+
+    /// Measures the idle loop's per-cycle event rates with a short
+    /// standalone simulation (warm caches, steady state).
+    fn measure_idle_rates(&self) -> IdleRates {
+        let mut cpu = self.make_cpu();
+        let mut mem = MemHierarchy::new(self.config.mem);
+        let mut stats = StatsCollector::new(self.config.clocking(), 1_000_000);
+        let mut idle = IdleSource(IdleLoop::new());
+        // Warm up, then measure.
+        for _ in 0..2_000 {
+            cpu.cycle(&mut idle, &mut mem, &mut stats);
+            stats.tick();
+        }
+        let warm_snapshot = stats.totals().combined();
+        let warm_cycle = stats.cycle();
+        for _ in 0..4_000 {
+            cpu.cycle(&mut idle, &mut mem, &mut stats);
+            stats.tick();
+        }
+        let delta = stats.totals().combined().delta_since(&warm_snapshot);
+        let cycles = (stats.cycle() - warm_cycle) as f64;
+        IdleRates {
+            per_cycle: delta
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(ev, n)| (ev, n as f64 / cycles))
+                .collect(),
+        }
+    }
+}
+
+/// Adapter: `SystemOs` already implements `InstrSource`; this keeps the
+/// call site readable under the borrow checker.
+fn os_as_source(os: &mut SystemOs) -> &mut SystemOs {
+    os
+}
+
+struct IdleSource(IdleLoop);
+
+impl InstrSource for IdleSource {
+    fn next_instr(&mut self, _stats: &mut StatsCollector) -> Option<softwatt_isa::Instr> {
+        Some(self.0.next_instr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SystemConfig {
+        SystemConfig {
+            time_scale: 40_000.0,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn jess_runs_to_completion_on_mxs() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let run = sim.run_benchmark(Benchmark::Jess);
+        assert!(run.cycles > 5_000);
+        assert_eq!(run.benchmark, Some(Benchmark::Jess));
+        assert!(run.ipc() > 0.3 && run.ipc() < 4.0, "IPC {:.2}", run.ipc());
+        assert!(run.mode_cycles(Mode::User) > 0);
+        assert!(run.mode_cycles(Mode::KernelInstr) > 0);
+        assert!(run.mode_cycles(Mode::Idle) > 0, "class loading must idle");
+        assert!(run.disk.requests > 0);
+    }
+
+    #[test]
+    fn mipsy_model_also_completes() {
+        let mut config = quick_config();
+        config.cpu = CpuModel::Mipsy;
+        let sim = Simulator::new(config).unwrap();
+        let run = sim.run_benchmark(Benchmark::Db);
+        assert!(run.ipc() <= 1.0, "Mipsy cannot exceed one IPC, got {:.2}", run.ipc());
+        assert!(run.cycles > 5_000);
+    }
+
+    #[test]
+    fn single_issue_is_slower_than_wide() {
+        let wide = Simulator::new(quick_config()).unwrap().run_benchmark(Benchmark::Db);
+        let mut narrow_cfg = quick_config();
+        narrow_cfg.cpu = CpuModel::MxsSingleIssue;
+        let narrow = Simulator::new(narrow_cfg).unwrap().run_benchmark(Benchmark::Db);
+        assert!(
+            narrow.cycles > wide.cycles,
+            "narrow {} vs wide {}",
+            narrow.cycles,
+            wide.cycles
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let a = sim.run_benchmark(Benchmark::Jess);
+        let b = sim.run_benchmark(Benchmark::Jess);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.log.total_events(), b.log.total_events());
+        assert!((a.disk.energy_j - b.disk.energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_forward_preserves_results_approximately() {
+        let slow = Simulator::new(quick_config()).unwrap().run_benchmark(Benchmark::Jess);
+        let mut ff_cfg = quick_config();
+        ff_cfg.fast_forward_idle = true;
+        let fast = Simulator::new(ff_cfg).unwrap().run_benchmark(Benchmark::Jess);
+        // Same idle cycle total (time still passes), similar event totals.
+        let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / (a.max(1) as f64);
+        assert!(
+            rel(slow.mode_cycles(Mode::Idle), fast.mode_cycles(Mode::Idle)) < 0.2,
+            "idle cycles: {} vs {}",
+            slow.mode_cycles(Mode::Idle),
+            fast.mode_cycles(Mode::Idle)
+        );
+        assert!(rel(slow.cycles, fast.cycles) < 0.2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = quick_config();
+        config.sample_interval_cycles = 0;
+        assert!(Simulator::new(config).is_err());
+    }
+}

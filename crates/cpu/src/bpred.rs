@@ -1,0 +1,224 @@
+//! Branch prediction structures: BHT (2-bit counters), BTB, and RAS.
+
+/// A table of 2-bit saturating counters indexed by PC (the paper's
+/// 1024-entry branch history table).
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_cpu::bpred::BranchHistoryTable;
+///
+/// let mut bht = BranchHistoryTable::new(16);
+/// // Counters start weakly-not-taken; training flips the prediction.
+/// assert!(!bht.predict(0x40));
+/// bht.update(0x40, true);
+/// bht.update(0x40, true);
+/// assert!(bht.predict(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchHistoryTable {
+    counters: Vec<u8>,
+}
+
+impl BranchHistoryTable {
+    /// Creates a table of `entries` counters initialized weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a positive power of two.
+    pub fn new(entries: usize) -> BranchHistoryTable {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BHT entries must be a positive power of two"
+        );
+        BranchHistoryTable {
+            counters: vec![1; entries],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.slot(pc)] >= 2
+    }
+
+    /// Trains the counter with the actual outcome.
+    #[inline]
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let slot = self.slot(pc);
+        let c = &mut self.counters[slot];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// A direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+pub struct BranchTargetBuffer {
+    entries: Vec<Option<(u64, u64)>>, // (pc, target)
+}
+
+impl BranchTargetBuffer {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a positive power of two.
+    pub fn new(entries: usize) -> BranchTargetBuffer {
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "BTB entries must be a positive power of two"
+        );
+        BranchTargetBuffer {
+            entries: vec![None; entries],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target for the branch at `pc`, if cached.
+    #[inline]
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.slot(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records the actual target for `pc`.
+    #[inline]
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let slot = self.slot(pc);
+        self.entries[slot] = Some((pc, target));
+    }
+}
+
+/// A return-address stack (circular, overwrite-on-overflow, as in real
+/// hardware).
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> ReturnAddressStack {
+        assert!(entries > 0, "RAS must have at least one entry");
+        ReturnAddressStack {
+            entries: vec![0; entries],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address (a call retired).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address, or `None` if empty/overflowed
+    /// away.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bht_learns_biased_branch() {
+        let mut bht = BranchHistoryTable::new(64);
+        for _ in 0..4 {
+            bht.update(0x100, true);
+        }
+        assert!(bht.predict(0x100));
+        // One not-taken does not flip a saturated counter.
+        bht.update(0x100, false);
+        assert!(bht.predict(0x100));
+        bht.update(0x100, false);
+        bht.update(0x100, false);
+        assert!(!bht.predict(0x100));
+    }
+
+    #[test]
+    fn bht_aliasing_maps_to_same_slot() {
+        let mut bht = BranchHistoryTable::new(4);
+        // pcs 0x0 and 0x40 alias in a 4-entry table ((pc>>2) & 3).
+        for _ in 0..3 {
+            bht.update(0x0, true);
+        }
+        assert!(bht.predict(0x40));
+    }
+
+    #[test]
+    fn btb_hit_requires_exact_pc() {
+        let mut btb = BranchTargetBuffer::new(16);
+        btb.update(0x80, 0x2000);
+        assert_eq!(btb.lookup(0x80), Some(0x2000));
+        // Aliasing pc misses on the tag.
+        assert_eq!(btb.lookup(0x80 + 16 * 4), None);
+    }
+
+    #[test]
+    fn btb_replacement_overwrites() {
+        let mut btb = BranchTargetBuffer::new(4);
+        btb.update(0x10, 0x100);
+        btb.update(0x10 + 16, 0x200); // same slot
+        assert_eq!(btb.lookup(0x10), None);
+        assert_eq!(btb.lookup(0x10 + 16), Some(0x200));
+    }
+
+    #[test]
+    fn ras_is_lifo() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bht_rejects_non_power_of_two() {
+        let _ = BranchHistoryTable::new(3);
+    }
+}

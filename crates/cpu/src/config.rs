@@ -1,0 +1,161 @@
+//! CPU model configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the out-of-order MXS model. Defaults are the paper's
+/// Table 1 values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MxsConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed/dispatched per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Instruction window (reorder buffer) entries.
+    pub window_size: usize,
+    /// Load/store queue entries.
+    pub lsq_size: usize,
+    /// Integer functional units.
+    pub int_units: u32,
+    /// Floating-point functional units.
+    pub fp_units: u32,
+    /// Cache ports for loads/stores per cycle.
+    pub mem_ports: u32,
+    /// Branch history table entries (2-bit counters).
+    pub bht_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// Return address stack entries.
+    pub ras_entries: usize,
+    /// Front-end refill bubble after a mispredicted branch resolves.
+    pub mispredict_penalty: u32,
+    /// Fetch-buffer capacity in instructions (decoupling queue).
+    pub fetch_buffer: usize,
+}
+
+impl Default for MxsConfig {
+    fn default() -> Self {
+        MxsConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            window_size: 64,
+            lsq_size: 32,
+            int_units: 2,
+            fp_units: 2,
+            mem_ports: 1,
+            bht_entries: 1024,
+            btb_entries: 1024,
+            ras_entries: 32,
+            mispredict_penalty: 4,
+            fetch_buffer: 8,
+        }
+    }
+}
+
+impl MxsConfig {
+    /// The single-issue configuration the paper uses in Figure 3: all
+    /// pipeline widths reduced to one, other resources unchanged.
+    pub fn single_issue() -> MxsConfig {
+        MxsConfig {
+            fetch_width: 1,
+            decode_width: 1,
+            issue_width: 1,
+            commit_width: 1,
+            fetch_buffer: 2,
+            ..MxsConfig::default()
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first nonsensical parameter (zero
+    /// widths or empty structures).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.fetch_width == 0
+            || self.decode_width == 0
+            || self.issue_width == 0
+            || self.commit_width == 0
+        {
+            return Err("pipeline widths must be positive");
+        }
+        if self.window_size == 0 || self.lsq_size == 0 || self.fetch_buffer == 0 {
+            return Err("window, LSQ, and fetch buffer must be non-empty");
+        }
+        if self.int_units == 0 || self.mem_ports == 0 {
+            return Err("need at least one integer unit and one memory port");
+        }
+        if self.bht_entries == 0 || self.btb_entries == 0 || self.ras_entries == 0 {
+            return Err("predictor structures must be non-empty");
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the in-order Mipsy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MipsyConfig {
+    /// Extra bubble cycles on taken control transfers (static prediction,
+    /// delay-slot-less approximation of an R4000 front end).
+    pub taken_branch_penalty: u32,
+}
+
+impl Default for MipsyConfig {
+    fn default() -> Self {
+        MipsyConfig {
+            taken_branch_penalty: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = MxsConfig::default();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.window_size, 64);
+        assert_eq!(c.lsq_size, 32);
+        assert_eq!(c.int_units, 2);
+        assert_eq!(c.fp_units, 2);
+        assert_eq!(c.bht_entries, 1024);
+        assert_eq!(c.btb_entries, 1024);
+        assert_eq!(c.ras_entries, 32);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn single_issue_narrows_widths_only() {
+        let c = MxsConfig::single_issue();
+        assert_eq!(c.fetch_width, 1);
+        assert_eq!(c.issue_width, 1);
+        assert_eq!(c.window_size, MxsConfig::default().window_size);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_width() {
+        let c = MxsConfig {
+            issue_width: 0,
+            ..MxsConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_window() {
+        let c = MxsConfig {
+            window_size: 0,
+            ..MxsConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

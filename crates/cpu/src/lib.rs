@@ -1,0 +1,69 @@
+//! CPU timing models for the SoftWatt full-system simulator.
+//!
+//! SimOS offered three CPU models; the paper used two of them and so do we:
+//!
+//! - [`MipsyCpu`]: a MIPS R4000-like single-issue in-order pipeline with
+//!   blocking caches. The paper uses Mipsy for memory-system profiles
+//!   (Figure 3) because MXS does not report detailed memory statistics.
+//! - [`MxsCpu`]: a MIPS R10000-like out-of-order superscalar with the
+//!   paper's Table 1 resources — 4-wide fetch/decode/issue/commit, a
+//!   64-entry instruction window, a 32-entry load/store queue, a 1024-entry
+//!   branch history table, a 1024-entry BTB, a 32-entry return-address
+//!   stack, and 2 integer + 2 floating-point units. A single-issue
+//!   configuration ([`MxsConfig::single_issue`]) reproduces the paper's
+//!   third Figure 3 panel.
+//!
+//! Both models pull instructions from an [`softwatt_isa::InstrSource`]
+//! (implemented by the OS model), drive the [`softwatt_mem::MemHierarchy`],
+//! record [`softwatt_stats::UnitEvent`]s for the power post-processor, and
+//! raise [`softwatt_isa::CpuEvent`]s (system calls, TLB misses) that the OS
+//! handles by switching instruction streams.
+//!
+//! # Timing-model fidelity
+//!
+//! The MXS model is a *window-based* out-of-order approximation: it tracks
+//! true data dependences through architectural registers (renaming is
+//! modeled for energy, not for timing — there are no false-dependence
+//! stalls, as in an ideally-renamed machine), true structural hazards
+//! (window/LSQ/FU/port occupancy), branch misprediction bubbles with
+//! predictor state machines, and non-blocking cache misses that overlap
+//! under the window. Wrong-path work is charged as energy
+//! ([`softwatt_stats::UnitEvent::WrongPathFetch`]) without simulating bogus
+//! instructions. This reproduces the IPC/power *differences* between user,
+//! kernel, sync and idle code that the paper's analyses rest on.
+//!
+//! # Examples
+//!
+//! ```
+//! use softwatt_cpu::{Cpu, MxsConfig, MxsCpu};
+//! use softwatt_isa::{Instr, Reg, VecSource};
+//! use softwatt_mem::{MemConfig, MemHierarchy};
+//! use softwatt_stats::{Clocking, StatsCollector};
+//!
+//! let mut cpu = MxsCpu::new(MxsConfig::default());
+//! let mut mem = MemHierarchy::new(MemConfig::default());
+//! let mut stats = StatsCollector::new(Clocking::default(), 10_000);
+//! let mut src = VecSource::new(vec![Instr::alu(0, Reg::int(1), None, None); 8]);
+//!
+//! let mut committed = 0;
+//! while committed < 8 {
+//!     let out = cpu.cycle(&mut src, &mut mem, &mut stats);
+//!     committed += out.committed as u64;
+//!     stats.tick();
+//! }
+//! ```
+
+pub mod bpred;
+pub mod config;
+pub mod mipsy;
+pub mod mxs;
+
+mod common;
+
+pub use common::{Cpu, CycleOutcome};
+pub use config::{MipsyConfig, MxsConfig};
+pub use mipsy::MipsyCpu;
+pub use mxs::MxsCpu;
+
+// Re-exported for doc examples and downstream convenience.
+pub use softwatt_isa::stream::VecSource;

@@ -1,0 +1,245 @@
+//! The Mipsy model: a MIPS R4000-like single-issue in-order pipeline with
+//! blocking caches.
+//!
+//! The paper runs every benchmark on Mipsy first (to warm file caches, take
+//! checkpoints, and collect memory-system statistics) because MXS does not
+//! report detailed memory behavior. Mipsy has no branch predictor; taken
+//! control transfers cost a fixed front-end bubble.
+
+use softwatt_isa::{CpuEvent, InstrSource, OpClass};
+use softwatt_mem::MemHierarchy;
+use softwatt_stats::{StatsCollector, UnitEvent};
+
+use crate::common::{record_execute_events, Cpu, CycleOutcome};
+use crate::config::MipsyConfig;
+
+/// The in-order CPU model. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_cpu::{Cpu, MipsyConfig, MipsyCpu};
+/// use softwatt_isa::{Instr, Reg, VecSource};
+/// use softwatt_mem::{MemConfig, MemHierarchy};
+/// use softwatt_stats::{Clocking, StatsCollector};
+///
+/// let mut cpu = MipsyCpu::new(MipsyConfig::default());
+/// let mut mem = MemHierarchy::new(MemConfig::default());
+/// let mut stats = StatsCollector::new(Clocking::default(), 1_000);
+/// let mut src = VecSource::new(vec![Instr::nop(0), Instr::nop(4)]);
+/// while !cpu.cycle(&mut src, &mut mem, &mut stats).program_exited {
+///     stats.tick();
+/// }
+/// assert_eq!(cpu.committed_instructions(), 2);
+/// ```
+#[derive(Debug)]
+pub struct MipsyCpu {
+    config: MipsyConfig,
+    stall_cycles: u32,
+    committed: u64,
+    exited: bool,
+}
+
+impl MipsyCpu {
+    /// Creates a Mipsy CPU.
+    pub fn new(config: MipsyConfig) -> MipsyCpu {
+        MipsyCpu {
+            config,
+            stall_cycles: 0,
+            committed: 0,
+            exited: false,
+        }
+    }
+}
+
+impl Cpu for MipsyCpu {
+    fn cycle(
+        &mut self,
+        frontend: &mut dyn InstrSource,
+        mem: &mut MemHierarchy,
+        stats: &mut StatsCollector,
+    ) -> CycleOutcome {
+        if self.exited {
+            return CycleOutcome {
+                program_exited: true,
+                ..CycleOutcome::default()
+            };
+        }
+        if self.stall_cycles > 0 {
+            self.stall_cycles -= 1;
+            return CycleOutcome::default();
+        }
+
+        let Some(instr) = frontend.next_instr(stats) else {
+            self.exited = true;
+            return CycleOutcome {
+                program_exited: true,
+                ..CycleOutcome::default()
+            };
+        };
+        debug_assert!(instr.validate().is_ok());
+
+        stats.record(UnitEvent::FetchCycle);
+        stats.record(UnitEvent::DecodeOp);
+        let fetch_stall = mem.fetch(instr.pc, stats);
+
+        let mut event = None;
+        let mut data_stall = 0;
+        if let Some(addr) = instr.mem_addr {
+            if !mem.translate(addr, stats) {
+                // Software-managed TLB: raise the fault; the OS injects the
+                // utlb handler next and refills. The data access proceeds
+                // as if re-executed after the refill.
+                event = Some(CpuEvent::TlbMiss { vaddr: addr });
+            }
+            let latency = mem.data_access(addr, instr.op == OpClass::Store, stats);
+            data_stall = latency.saturating_sub(mem.config().l1_hit_cycles);
+        }
+
+        record_execute_events(&instr, stats);
+        stats.record(UnitEvent::CommitInstr);
+
+        let branch_stall = if instr.op.is_branch() && instr.taken {
+            self.config.taken_branch_penalty
+        } else {
+            0
+        };
+        let exec_stall = instr.op.latency().saturating_sub(1);
+
+        self.stall_cycles = fetch_stall + data_stall + branch_stall + exec_stall;
+        self.committed += 1;
+
+        if event.is_none() && instr.op == OpClass::Syscall {
+            event = instr.syscall.map(CpuEvent::SyscallRetired);
+        }
+
+        CycleOutcome {
+            committed: 1,
+            event,
+            program_exited: false,
+        }
+    }
+
+    fn committed_instructions(&self) -> u64 {
+        self.committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softwatt_isa::{FileRef, Instr, Reg, SyscallKind, VecSource};
+    use softwatt_mem::MemConfig;
+    use softwatt_stats::Clocking;
+
+    fn rig() -> (MipsyCpu, MemHierarchy, StatsCollector) {
+        (
+            MipsyCpu::new(MipsyConfig::default()),
+            MemHierarchy::new(MemConfig::default()),
+            StatsCollector::new(Clocking::default(), 1_000_000),
+        )
+    }
+
+    fn run_to_exit(
+        cpu: &mut MipsyCpu,
+        src: &mut VecSource,
+        mem: &mut MemHierarchy,
+        stats: &mut StatsCollector,
+    ) -> (u64, Vec<CpuEvent>) {
+        let mut cycles = 0;
+        let mut events = Vec::new();
+        loop {
+            let out = cpu.cycle(src, mem, stats);
+            if out.program_exited {
+                break;
+            }
+            if let Some(e) = out.event {
+                events.push(e);
+            }
+            stats.tick();
+            cycles += 1;
+            assert!(cycles < 1_000_000, "runaway test");
+        }
+        (cycles, events)
+    }
+
+    #[test]
+    fn straight_line_code_has_cpi_above_one_due_to_cold_misses() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        // 256 hot-loop instructions in one cache line region.
+        let mut src: VecSource = (0..256u64)
+            .map(|i| Instr::alu((i % 16) * 4, Reg::int(1), None, None))
+            .collect();
+        let (cycles, _) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        assert_eq!(cpu.committed_instructions(), 256);
+        assert!(cycles >= 256);
+        assert!(cycles < 1000, "warm loop should be near CPI 1, got {cycles}");
+    }
+
+    #[test]
+    fn taken_branches_add_bubbles() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        let n = 64u64;
+        let mut straight: VecSource = (0..n).map(|i| Instr::alu(i % 8 * 4, Reg::int(1), None, None)).collect();
+        let (base, _) = run_to_exit(&mut cpu, &mut straight, &mut mem, &mut stats);
+
+        let (mut cpu2, mut mem2, mut stats2) = rig();
+        let mut branchy: VecSource = (0..n)
+            .map(|i| Instr::branch(i % 8 * 4, None, true, 0))
+            .collect();
+        let (with_branches, _) = run_to_exit(&mut cpu2, &mut branchy, &mut mem2, &mut stats2);
+        assert!(
+            with_branches >= base + n / 2,
+            "taken branches must cost bubbles: {with_branches} vs {base}"
+        );
+    }
+
+    #[test]
+    fn tlb_miss_raises_event() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        let mut src = VecSource::new(vec![Instr::load(0, Reg::int(1), None, 0x0040_0000)]);
+        let (_, events) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        assert_eq!(events, vec![CpuEvent::TlbMiss { vaddr: 0x0040_0000 }]);
+    }
+
+    #[test]
+    fn kernel_address_does_not_fault() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        let mut src = VecSource::new(vec![Instr::load(0, Reg::int(1), None, 0x8000_0100)]);
+        let (_, events) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn syscall_raises_event() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        let call = SyscallKind::Open { file: FileRef(3) };
+        let mut src = VecSource::new(vec![Instr::syscall(0, call)]);
+        let (_, events) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        assert_eq!(events, vec![CpuEvent::SyscallRetired(call)]);
+    }
+
+    #[test]
+    fn dcache_miss_stalls_longer_than_hit() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        // Two loads to the same kernel line: miss then hit.
+        let mut src = VecSource::new(vec![
+            Instr::load(0, Reg::int(1), None, 0x8000_0000),
+            Instr::load(4, Reg::int(2), None, 0x8000_0008),
+        ]);
+        let (cycles, _) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        // First load pays L2+DRAM; second is 1-cycle.
+        let cfg = MemConfig::default();
+        assert!(cycles as u32 >= cfg.l2_hit_cycles + cfg.dram_cycles);
+    }
+
+    #[test]
+    fn commit_events_counted() {
+        let (mut cpu, mut mem, mut stats) = rig();
+        let mut src: VecSource = (0..10u64).map(|i| Instr::nop(i * 4)).collect();
+        run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
+        let t = stats.totals().combined();
+        assert_eq!(t.get(UnitEvent::CommitInstr), 10);
+        assert_eq!(t.get(UnitEvent::IcacheAccess), 10);
+    }
+}

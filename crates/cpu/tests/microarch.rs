@@ -1,0 +1,230 @@
+//! Microarchitectural behavior tests for the MXS model: structural
+//! resources must bind exactly where the R10000-style design says they do.
+
+use softwatt_cpu::{Cpu, MipsyConfig, MipsyCpu, MxsConfig, MxsCpu};
+use softwatt_isa::{Instr, OpClass, Reg, VecSource};
+use softwatt_mem::{MemConfig, MemHierarchy};
+use softwatt_stats::{Clocking, StatsCollector, UnitEvent};
+
+fn run_mxs(config: MxsConfig, instrs: Vec<Instr>) -> (u64, StatsCollector) {
+    let mut cpu = MxsCpu::new(config);
+    let mut mem = MemHierarchy::new(MemConfig::default());
+    let mut stats = StatsCollector::new(Clocking::default(), 10_000_000);
+    let mut src = VecSource::new(instrs);
+    let mut cycles = 0u64;
+    loop {
+        let out = cpu.cycle(&mut src, &mut mem, &mut stats);
+        stats.tick();
+        cycles += 1;
+        if out.program_exited {
+            break;
+        }
+        assert!(cycles < 5_000_000, "runaway");
+    }
+    (cycles, stats)
+}
+
+/// Independent loads to distinct cold lines in kernel space (no TLB).
+fn cold_loads(n: u64) -> Vec<Instr> {
+    (0..n)
+        .map(|i| Instr::load((i % 16) * 4, Reg::int((i % 8) as u8 + 1), None, 0x9f00_0000 + i * 256))
+        .collect()
+}
+
+fn independent_alu(n: u64) -> Vec<Instr> {
+    (0..n)
+        .map(|i| Instr::alu((i % 16) * 4, Reg::int((i % 8) as u8 + 1), None, None))
+        .collect()
+}
+
+#[test]
+fn larger_window_overlaps_more_misses() {
+    let narrow = MxsConfig { window_size: 4, lsq_size: 4, fetch_buffer: 4, ..MxsConfig::default() };
+    let (cycles_narrow, _) = run_mxs(narrow, cold_loads(256));
+    let (cycles_wide, _) = run_mxs(MxsConfig::default(), cold_loads(256));
+    assert!(
+        cycles_wide * 2 < cycles_narrow,
+        "64-entry window must overlap DRAM misses far better: {cycles_wide} vs {cycles_narrow}"
+    );
+}
+
+#[test]
+fn commit_width_bounds_ipc() {
+    let two_wide_commit = MxsConfig {
+        commit_width: 2,
+        int_units: 4,
+        issue_width: 4,
+        ..MxsConfig::default()
+    };
+    let n = 4000;
+    let (cycles, _) = run_mxs(two_wide_commit, independent_alu(n));
+    let ipc = n as f64 / cycles as f64;
+    assert!(ipc <= 2.02, "commit width 2 caps IPC at 2, got {ipc:.2}");
+}
+
+#[test]
+fn int_units_bound_alu_throughput() {
+    let one_alu = MxsConfig { int_units: 1, ..MxsConfig::default() };
+    let n = 4000;
+    let (cycles, _) = run_mxs(one_alu, independent_alu(n));
+    let ipc = n as f64 / cycles as f64;
+    assert!(ipc <= 1.02, "1 int unit caps ALU IPC at 1, got {ipc:.2}");
+}
+
+#[test]
+fn mem_ports_bound_load_throughput() {
+    // Warm, independent loads: with 1 port, IPC of a pure load stream <= 1.
+    let warm_loads: Vec<Instr> = (0..2000u64)
+        .map(|i| Instr::load((i % 16) * 4, Reg::int((i % 8) as u8 + 1), None, 0x9f00_0000 + (i % 64) * 8))
+        .collect();
+    let (cycles, _) = run_mxs(MxsConfig::default(), warm_loads);
+    assert!(cycles >= 2000, "1 memory port serializes a pure load stream");
+}
+
+#[test]
+fn return_address_stack_predicts_matched_pairs() {
+    // call/return pairs with matched targets: the RAS should predict every
+    // return, so the run is only marginally slower than straight ALU code.
+    let mut instrs = Vec::new();
+    for i in 0..1000u64 {
+        let ret_addr = 0x100 + i % 32 * 16 + 4;
+        instrs.push(Instr::call(0x100 + (i % 32) * 16, 0x8000));
+        instrs.push(Instr::alu(0x8000, Reg::int(1), None, None));
+        instrs.push(Instr::ret(0x8004, ret_addr));
+        instrs.push(Instr::alu(ret_addr, Reg::int(2), None, None));
+    }
+    let mut cpu = MxsCpu::new(MxsConfig::default());
+    let mut mem = MemHierarchy::new(MemConfig::default());
+    let mut stats = StatsCollector::new(Clocking::default(), 10_000_000);
+    let mut src = VecSource::new(instrs);
+    loop {
+        let out = cpu.cycle(&mut src, &mut mem, &mut stats);
+        stats.tick();
+        if out.program_exited {
+            break;
+        }
+    }
+    // Predicted returns are invisible to branch_stats (only mispredicted
+    // returns count); zero mispredicts plus the expected RAS traffic means
+    // every return was RAS-predicted.
+    let (_, mispredicts) = cpu.branch_stats();
+    assert_eq!(mispredicts, 0, "matched call/return pairs must be RAS-predicted");
+    let ras = stats.totals().combined().get(UnitEvent::RasAccess);
+    assert_eq!(ras, 2000, "one push per call plus one pop per return");
+}
+
+#[test]
+fn mismatched_returns_mispredict() {
+    // Returns to targets that never match the RAS (no calls at all).
+    let instrs: Vec<Instr> = (0..500u64)
+        .map(|i| Instr::ret((i % 8) * 4, 0xdead_0000 + i * 4))
+        .collect();
+    let mut cpu = MxsCpu::new(MxsConfig::default());
+    let mut mem = MemHierarchy::new(MemConfig::default());
+    let mut stats = StatsCollector::new(Clocking::default(), 10_000_000);
+    let mut src = VecSource::new(instrs);
+    loop {
+        let out = cpu.cycle(&mut src, &mut mem, &mut stats);
+        stats.tick();
+        if out.program_exited {
+            break;
+        }
+    }
+    let (branches, mispredicts) = cpu.branch_stats();
+    assert_eq!(mispredicts, branches, "returns without calls cannot be predicted");
+}
+
+#[test]
+fn serializing_instructions_drain_the_pipeline() {
+    // N erets interleaved with ALU work: each eret costs a full drain, so
+    // the run is much slower than the same instruction count of plain ALU.
+    let mut with_erets = Vec::new();
+    for i in 0..200u64 {
+        with_erets.extend(independent_alu(8).into_iter().map(|mut x| {
+            x.pc += i * 64;
+            x
+        }));
+        with_erets.push(Instr::eret(0x9000 + i * 4));
+    }
+    let plain = independent_alu(200 * 9);
+    let (cycles_eret, _) = run_mxs(MxsConfig::default(), with_erets);
+    let (cycles_plain, _) = run_mxs(MxsConfig::default(), plain);
+    assert!(
+        cycles_eret as f64 > 1.5 * cycles_plain as f64,
+        "erets must serialize: {cycles_eret} vs {cycles_plain}"
+    );
+}
+
+#[test]
+fn wrong_path_energy_charged_on_mispredicts() {
+    // Alternating branch defeats the BHT; wrong-path fetch events follow.
+    let instrs: Vec<Instr> = (0..400u64)
+        .map(|i| Instr::branch(0x100, None, i % 2 == 0, 0x40))
+        .collect();
+    let (_, stats) = run_mxs(MxsConfig::default(), instrs);
+    let t = stats.totals().combined();
+    assert!(t.get(UnitEvent::BranchMispredict) > 50);
+    assert!(
+        t.get(UnitEvent::WrongPathFetch) >= t.get(UnitEvent::BranchMispredict),
+        "each mispredict charges wrong-path fetch energy"
+    );
+}
+
+#[test]
+fn predictor_events_track_branch_mix() {
+    let n = 1000u64;
+    let mut instrs = Vec::new();
+    for i in 0..n {
+        instrs.push(Instr::branch(0x100 + (i % 4) * 4, None, true, 0x100));
+        instrs.push(Instr::alu(0x200, Reg::int(1), None, None));
+    }
+    let (_, stats) = run_mxs(MxsConfig::default(), instrs);
+    let t = stats.totals().combined();
+    assert_eq!(t.get(UnitEvent::BhtLookup), n);
+    assert_eq!(t.get(UnitEvent::BhtUpdate), n);
+    assert!(t.get(UnitEvent::BtbUpdate) >= n, "taken branches update the BTB");
+}
+
+#[test]
+fn mipsy_total_latency_is_sum_of_parts() {
+    // One cold load: Mipsy pays fetch miss + L2 + DRAM in sequence.
+    let cfg = MemConfig::default();
+    let mut cpu = MipsyCpu::new(MipsyConfig::default());
+    let mut mem = MemHierarchy::new(cfg);
+    let mut stats = StatsCollector::new(Clocking::default(), 1_000_000);
+    let mut src = VecSource::new(vec![Instr::load(0x100, Reg::int(1), None, 0x9e00_0000)]);
+    let mut cycles = 0u64;
+    loop {
+        let out = cpu.cycle(&mut src, &mut mem, &mut stats);
+        stats.tick();
+        cycles += 1;
+        if out.program_exited {
+            break;
+        }
+    }
+    let ifetch_miss = cfg.l2_hit_cycles + cfg.dram_cycles;
+    let data_miss = cfg.l2_hit_cycles + cfg.dram_cycles + cfg.l1_hit_cycles;
+    assert!(
+        cycles as u32 >= ifetch_miss + data_miss,
+        "blocking pipeline pays both misses in sequence: {cycles}"
+    );
+}
+
+#[test]
+fn fp_code_exercises_fp_units_only() {
+    let instrs: Vec<Instr> = (0..500u64)
+        .map(|i| {
+            Instr::arith(
+                if i % 2 == 0 { OpClass::FpAdd } else { OpClass::FpMul },
+                (i % 16) * 4,
+                Reg::fp((i % 8) as u8),
+                Some(Reg::fp(((i + 1) % 8) as u8)),
+                None,
+            )
+        })
+        .collect();
+    let (_, stats) = run_mxs(MxsConfig::default(), instrs);
+    let t = stats.totals().combined();
+    assert_eq!(t.get(UnitEvent::FpAluOp) + t.get(UnitEvent::FpMulOp), 500);
+    assert_eq!(t.get(UnitEvent::AluOp), 0);
+}

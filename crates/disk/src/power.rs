@@ -1,0 +1,177 @@
+//! Disk operating modes and their power values (paper Figure 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operating mode of the power-managed disk.
+///
+/// `SpinDown` is the in-flight spin-down transition; the paper assumes it
+/// consumes no power but takes the full 5 s, during which the disk cannot
+/// service requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskMode {
+    /// Lowest-power state; reachable only via explicit command.
+    Sleep,
+    /// Spun down, electronics partially on.
+    Standby,
+    /// Platters spinning, heads parked.
+    Idle,
+    /// Servicing a transfer (or, for the conventional disk, simply on).
+    Active,
+    /// Head seek in progress.
+    Seeking,
+    /// Spinning up from STANDBY/SLEEP.
+    SpinUp,
+    /// Spinning down toward STANDBY (consumes no power per the paper).
+    SpinDown,
+}
+
+impl DiskMode {
+    /// All modes in ascending power order.
+    pub const ALL: [DiskMode; 7] = [
+        DiskMode::SpinDown,
+        DiskMode::Sleep,
+        DiskMode::Standby,
+        DiskMode::Idle,
+        DiskMode::Active,
+        DiskMode::Seeking,
+        DiskMode::SpinUp,
+    ];
+
+    /// Dense index for per-mode accounting arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DiskMode::SpinDown => 0,
+            DiskMode::Sleep => 1,
+            DiskMode::Standby => 2,
+            DiskMode::Idle => 3,
+            DiskMode::Active => 4,
+            DiskMode::Seeking => 5,
+            DiskMode::SpinUp => 6,
+        }
+    }
+
+    /// Number of modes.
+    pub const COUNT: usize = 7;
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskMode::Sleep => "sleep",
+            DiskMode::Standby => "standby",
+            DiskMode::Idle => "idle",
+            DiskMode::Active => "active",
+            DiskMode::Seeking => "seeking",
+            DiskMode::SpinUp => "spin_up",
+            DiskMode::SpinDown => "spin_down",
+        }
+    }
+
+    /// Whether the disk can begin servicing a request from this mode
+    /// without spinning up first.
+    pub fn is_spinning(self) -> bool {
+        matches!(
+            self,
+            DiskMode::Idle | DiskMode::Active | DiskMode::Seeking
+        )
+    }
+}
+
+impl fmt::Display for DiskMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-mode power values in Watts. Defaults are the Toshiba MK3003MAN
+/// values from the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskPowerTable {
+    /// SLEEP power (W).
+    pub sleep_w: f64,
+    /// STANDBY power (W).
+    pub standby_w: f64,
+    /// IDLE power (W).
+    pub idle_w: f64,
+    /// ACTIVE power (W).
+    pub active_w: f64,
+    /// Seek power (W).
+    pub seeking_w: f64,
+    /// Spin-up power (W).
+    pub spinup_w: f64,
+}
+
+impl Default for DiskPowerTable {
+    fn default() -> Self {
+        DiskPowerTable {
+            sleep_w: 0.15,
+            standby_w: 0.35,
+            idle_w: 1.6,
+            active_w: 3.2,
+            seeking_w: 4.1,
+            spinup_w: 4.2,
+        }
+    }
+}
+
+impl DiskPowerTable {
+    /// Power drawn in `mode` (spin-down draws nothing, per the paper).
+    pub fn watts(&self, mode: DiskMode) -> f64 {
+        match mode {
+            DiskMode::Sleep => self.sleep_w,
+            DiskMode::Standby => self.standby_w,
+            DiskMode::Idle => self.idle_w,
+            DiskMode::Active => self.active_w,
+            DiskMode::Seeking => self.seeking_w,
+            DiskMode::SpinUp => self.spinup_w,
+            DiskMode::SpinDown => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_power_values() {
+        let p = DiskPowerTable::default();
+        assert_eq!(p.watts(DiskMode::Sleep), 0.15);
+        assert_eq!(p.watts(DiskMode::Idle), 1.6);
+        assert_eq!(p.watts(DiskMode::Standby), 0.35);
+        assert_eq!(p.watts(DiskMode::Active), 3.2);
+        assert_eq!(p.watts(DiskMode::Seeking), 4.1);
+        assert_eq!(p.watts(DiskMode::SpinUp), 4.2);
+        assert_eq!(p.watts(DiskMode::SpinDown), 0.0);
+    }
+
+    #[test]
+    fn modes_are_ordered_by_power() {
+        let p = DiskPowerTable::default();
+        let mut last = -1.0;
+        for m in DiskMode::ALL {
+            let w = p.watts(m);
+            assert!(w >= last, "{m} breaks power ordering");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; DiskMode::COUNT];
+        for m in DiskMode::ALL {
+            assert!(!seen[m.index()]);
+            seen[m.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn spinning_classification() {
+        assert!(DiskMode::Idle.is_spinning());
+        assert!(DiskMode::Active.is_spinning());
+        assert!(!DiskMode::Standby.is_spinning());
+        assert!(!DiskMode::SpinDown.is_spinning());
+        assert!(!DiskMode::Sleep.is_spinning());
+    }
+}

@@ -1,0 +1,74 @@
+//! Mechanical timing parameters of the simulated disk.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing constants, in paper-time units. Defaults approximate the Toshiba
+/// MK3003MAN (a 4200 rpm 2.5" drive) plus the paper's 5 s spin-up/-down
+/// figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskTimings {
+    /// Spin-up time in seconds (STANDBY → ACTIVE).
+    pub spin_up_s: f64,
+    /// Spin-down time in seconds (IDLE → STANDBY); the paper assumes it
+    /// equals the spin-up time.
+    pub spin_down_s: f64,
+    /// Average seek time in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Average rotational latency in milliseconds (half a revolution at
+    /// 4200 rpm ≈ 7.1 ms per rev).
+    pub avg_rotation_ms: f64,
+    /// Sustained media transfer rate in MB/s.
+    pub transfer_mb_s: f64,
+}
+
+impl Default for DiskTimings {
+    fn default() -> Self {
+        DiskTimings {
+            spin_up_s: 5.0,
+            spin_down_s: 5.0,
+            avg_seek_ms: 13.0,
+            avg_rotation_ms: 3.6,
+            transfer_mb_s: 5.0,
+        }
+    }
+}
+
+impl DiskTimings {
+    /// Service time in seconds for a transfer of `bytes`: seek plus
+    /// rotational latency plus media transfer.
+    pub fn service_secs(&self, bytes: u64) -> f64 {
+        let transfer = bytes as f64 / (self.transfer_mb_s * 1024.0 * 1024.0);
+        self.avg_seek_ms / 1000.0 + self.avg_rotation_ms / 1000.0 + transfer
+    }
+
+    /// The seek portion of the service time, in seconds (charged at seek
+    /// power; the rest is charged at active power).
+    pub fn seek_secs(&self) -> f64 {
+        self.avg_seek_ms / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_grows_with_transfer_size() {
+        let t = DiskTimings::default();
+        assert!(t.service_secs(1024 * 1024) > t.service_secs(4096));
+    }
+
+    #[test]
+    fn small_transfer_dominated_by_seek_and_rotation() {
+        let t = DiskTimings::default();
+        let s = t.service_secs(512);
+        assert!(s > 0.016 && s < 0.018, "got {s}");
+    }
+
+    #[test]
+    fn paper_spin_times() {
+        let t = DiskTimings::default();
+        assert_eq!(t.spin_up_s, 5.0);
+        assert_eq!(t.spin_down_s, t.spin_up_s, "paper assumes symmetric spin ops");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the disk model's accounting invariants: for any
+//! request schedule and any policy, time is conserved, energy equals the
+//! mode-residency dot the power table, completions are monotone, and
+//! policy orderings hold.
+
+use proptest::prelude::*;
+
+use softwatt_disk::{Disk, DiskConfig, DiskMode, DiskPolicy, DiskPowerTable};
+use softwatt_stats::Clocking;
+
+fn clk() -> Clocking {
+    Clocking::scaled(200.0e6, 1_000.0)
+}
+
+fn policies() -> impl Strategy<Value = DiskPolicy> {
+    prop_oneof![
+        Just(DiskPolicy::Conventional),
+        Just(DiskPolicy::IdleWhenNotBusy),
+        (1u32..8).prop_map(|t| DiskPolicy::Standby { threshold_s: f64::from(t) }),
+        (1u32..4, 1u32..8).prop_map(|(t, s)| DiskPolicy::Sleep {
+            threshold_s: f64::from(t),
+            sleep_after_s: f64::from(s),
+        }),
+    ]
+}
+
+/// Random request schedule: (gap seconds before the request, bytes).
+fn schedules() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    prop::collection::vec((0.05f64..12.0, 512u64..262_144), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn residency_partitions_time_and_energy_matches(
+        policy in policies(),
+        schedule in schedules(),
+    ) {
+        let c = clk();
+        let mut disk = Disk::new(DiskConfig::new(policy), c);
+        let mut t_s = 0.0;
+        let mut last_done = 0;
+        for &(gap_s, bytes) in &schedule {
+            t_s += gap_s;
+            let at = c.paper_secs_to_cycles(t_s).max(last_done);
+            let done = disk.submit(at, bytes);
+            prop_assert!(done > at, "completion must be in the future");
+            prop_assert!(done >= last_done, "completions are monotone");
+            last_done = done;
+        }
+        let horizon = last_done + c.paper_secs_to_cycles(t_s + 20.0);
+        let report = disk.report(horizon);
+
+        // (1) Mode residency partitions the run exactly.
+        let total: f64 = report.mode_secs.iter().sum();
+        let expected = c.cycles_to_paper_secs(horizon);
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0),
+            "residency {total} vs horizon {expected}");
+
+        // (2) Energy equals residency x the power table.
+        let table = DiskPowerTable::default();
+        let recomputed: f64 = DiskMode::ALL
+            .iter()
+            .map(|&m| report.mode_secs[m.index()] * table.watts(m))
+            .sum();
+        prop_assert!((report.energy_j - recomputed).abs() < 1e-6 * recomputed.max(1.0));
+
+        // (3) Request count is preserved.
+        prop_assert_eq!(report.requests, schedule.len() as u64);
+
+        // (4) The conventional disk never changes mode.
+        if matches!(policy, DiskPolicy::Conventional) {
+            prop_assert_eq!(report.spindowns, 0);
+            prop_assert_eq!(report.spinups, 0);
+            prop_assert_eq!(report.mode_secs[DiskMode::Idle.index()], 0.0);
+        }
+        // (5) The idle-only disk never spins down either.
+        if matches!(policy, DiskPolicy::IdleWhenNotBusy) {
+            prop_assert_eq!(report.spindowns, 0);
+        }
+    }
+
+    #[test]
+    fn conventional_dominates_every_policy_in_energy(
+        policy in policies(),
+        schedule in schedules(),
+    ) {
+        let c = clk();
+        let run = |p: DiskPolicy| {
+            let mut disk = Disk::new(DiskConfig::new(p), c);
+            let mut t_s = 0.0;
+            let mut last = 0;
+            for &(gap_s, bytes) in &schedule {
+                t_s += gap_s;
+                let at = c.paper_secs_to_cycles(t_s).max(last);
+                last = disk.submit(at, bytes);
+            }
+            // Same absolute horizon for both policies.
+            disk.report(c.paper_secs_to_cycles(400.0))
+        };
+        let conventional = run(DiskPolicy::Conventional);
+        let other = run(policy);
+        // Spin-up bursts (4.2 W) can never outweigh ACTIVE-forever (3.2 W)
+        // over a horizon that dwarfs the schedule.
+        prop_assert!(other.energy_j <= conventional.energy_j + 1e-9,
+            "{} used {} J vs conventional {} J",
+            other.policy.label(), other.energy_j, conventional.energy_j);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_time(
+        policy in policies(),
+        split_s in 1.0f64..60.0,
+    ) {
+        let c = clk();
+        let mut disk = Disk::new(DiskConfig::new(policy), c);
+        disk.submit(0, 65_536);
+        let early = {
+            let mut d = disk.clone();
+            d.sync_to(c.paper_secs_to_cycles(split_s));
+            d.energy_j()
+        };
+        disk.sync_to(c.paper_secs_to_cycles(split_s + 30.0));
+        prop_assert!(disk.energy_j() >= early - 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Virtual address-space conventions.
+//!
+//! The simulated machine follows the MIPS convention the paper's IRIX
+//! kernel relied on: user addresses live in the lower half of the address
+//! space and are translated through the software-managed TLB; kernel
+//! addresses (`0x8000_0000` and above, the `kseg` segments) are directly
+//! mapped and bypass the TLB. This is what lets the `utlb` handler itself
+//! run without taking TLB misses.
+
+/// Log2 of the page size (4 KiB pages, as on MIPS R10000 under IRIX).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// First address of the directly-mapped kernel segment.
+pub const KSEG_BASE: u64 = 0x8000_0000;
+
+/// Whether `vaddr` is a kernel (directly-mapped, TLB-bypassing) address.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::is_kernel_addr;
+/// assert!(!is_kernel_addr(0x0040_0000));
+/// assert!(is_kernel_addr(0x8000_1000));
+/// ```
+#[inline]
+pub fn is_kernel_addr(vaddr: u64) -> bool {
+    vaddr >= KSEG_BASE
+}
+
+/// Virtual page number of `vaddr`.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::{page_number, PAGE_SIZE};
+/// assert_eq!(page_number(0), 0);
+/// assert_eq!(page_number(PAGE_SIZE), 1);
+/// assert_eq!(page_number(PAGE_SIZE + 17), 1);
+/// ```
+#[inline]
+pub fn page_number(vaddr: u64) -> u64 {
+    vaddr >> PAGE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kseg_boundary() {
+        assert!(!is_kernel_addr(KSEG_BASE - 1));
+        assert!(is_kernel_addr(KSEG_BASE));
+        assert!(is_kernel_addr(u64::MAX));
+    }
+
+    #[test]
+    fn page_numbers_partition_the_space() {
+        assert_eq!(page_number(PAGE_SIZE - 1), 0);
+        assert_eq!(page_number(PAGE_SIZE), 1);
+        assert_eq!(page_number(10 * PAGE_SIZE + 5), 10);
+    }
+}

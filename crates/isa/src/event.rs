@@ -1,0 +1,43 @@
+//! Events raised by the CPU models back to the OS model.
+
+use crate::SyscallKind;
+
+/// An architectural event the OS model must handle.
+///
+/// The CPU raises at most one event per cycle; the OS reacts by switching
+/// the instruction stream it feeds the CPU (e.g. into the `utlb` handler or
+/// a system-call service body).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpuEvent {
+    /// A system-call instruction retired; the OS should enter the matching
+    /// service. System calls serialize the pipeline, so the machine is
+    /// drained when this fires.
+    SyscallRetired(SyscallKind),
+    /// A data access missed the software-managed TLB; the OS should run the
+    /// `utlb` handler for the faulting address. The pipeline has been
+    /// flushed.
+    TlbMiss {
+        /// Faulting virtual address.
+        vaddr: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileRef;
+
+    #[test]
+    fn events_compare_by_payload() {
+        assert_eq!(
+            CpuEvent::TlbMiss { vaddr: 0x1000 },
+            CpuEvent::TlbMiss { vaddr: 0x1000 }
+        );
+        assert_ne!(
+            CpuEvent::TlbMiss { vaddr: 0x1000 },
+            CpuEvent::TlbMiss { vaddr: 0x2000 }
+        );
+        let s = CpuEvent::SyscallRetired(SyscallKind::Open { file: FileRef(1) });
+        assert_ne!(s, CpuEvent::TlbMiss { vaddr: 0 });
+    }
+}

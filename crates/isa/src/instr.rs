@@ -1,0 +1,245 @@
+//! The instruction record.
+
+use crate::{OpClass, Reg, SyscallKind};
+
+/// One synthetic instruction.
+///
+/// Fields are public: an `Instr` is passive data flowing from generators to
+/// the machine models. Use the constructors to build well-formed instances;
+/// [`Instr::validate`] checks the invariants the machine models rely on.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::{Instr, OpClass, Reg};
+///
+/// let ld = Instr::load(0x4000, Reg::int(8), Some(Reg::int(29)), 0x7fff_1000);
+/// assert_eq!(ld.op, OpClass::Load);
+/// assert_eq!(ld.mem_addr, Some(0x7fff_1000));
+/// ld.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instr {
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination register, if the instruction produces a value.
+    pub dest: Option<Reg>,
+    /// First source operand.
+    pub src1: Option<Reg>,
+    /// Second source operand.
+    pub src2: Option<Reg>,
+    /// Program counter (drives I-cache and predictor behavior).
+    pub pc: u64,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Actual outcome for conditional branches (`true` = taken).
+    pub taken: bool,
+    /// Branch/jump target (also the return address for calls).
+    pub target: u64,
+    /// System-call request for [`OpClass::Syscall`] instructions.
+    pub syscall: Option<SyscallKind>,
+}
+
+impl Instr {
+    fn base(op: OpClass, pc: u64) -> Instr {
+        Instr {
+            op,
+            dest: None,
+            src1: None,
+            src2: None,
+            pc,
+            mem_addr: None,
+            taken: false,
+            target: 0,
+            syscall: None,
+        }
+    }
+
+    /// An integer ALU instruction.
+    pub fn alu(pc: u64, dest: Reg, src1: Option<Reg>, src2: Option<Reg>) -> Instr {
+        Instr {
+            dest: Some(dest),
+            src1,
+            src2,
+            ..Instr::base(OpClass::IntAlu, pc)
+        }
+    }
+
+    /// An arithmetic instruction of an explicit class (mul/div/fp...).
+    pub fn arith(op: OpClass, pc: u64, dest: Reg, src1: Option<Reg>, src2: Option<Reg>) -> Instr {
+        debug_assert!(!op.is_mem() && !op.is_branch() && op != OpClass::Syscall);
+        Instr {
+            dest: Some(dest),
+            src1,
+            src2,
+            ..Instr::base(op, pc)
+        }
+    }
+
+    /// A load from `addr` into `dest`, with optional base register `base`.
+    pub fn load(pc: u64, dest: Reg, base: Option<Reg>, addr: u64) -> Instr {
+        Instr {
+            dest: Some(dest),
+            src1: base,
+            mem_addr: Some(addr),
+            ..Instr::base(OpClass::Load, pc)
+        }
+    }
+
+    /// A store of `value` to `addr`, with optional base register `base`.
+    pub fn store(pc: u64, value: Option<Reg>, base: Option<Reg>, addr: u64) -> Instr {
+        Instr {
+            src1: value,
+            src2: base,
+            mem_addr: Some(addr),
+            ..Instr::base(OpClass::Store, pc)
+        }
+    }
+
+    /// A conditional branch with outcome `taken` and target `target`.
+    pub fn branch(pc: u64, src1: Option<Reg>, taken: bool, target: u64) -> Instr {
+        Instr {
+            src1,
+            taken,
+            target,
+            ..Instr::base(OpClass::BranchCond, pc)
+        }
+    }
+
+    /// An unconditional jump.
+    pub fn jump(pc: u64, target: u64) -> Instr {
+        Instr {
+            taken: true,
+            target,
+            ..Instr::base(OpClass::Jump, pc)
+        }
+    }
+
+    /// A call (always taken; pushes the return-address stack).
+    pub fn call(pc: u64, target: u64) -> Instr {
+        Instr {
+            taken: true,
+            target,
+            ..Instr::base(OpClass::Call, pc)
+        }
+    }
+
+    /// A return (always taken; pops the return-address stack).
+    pub fn ret(pc: u64, target: u64) -> Instr {
+        Instr {
+            taken: true,
+            target,
+            ..Instr::base(OpClass::Return, pc)
+        }
+    }
+
+    /// A system-call instruction.
+    pub fn syscall(pc: u64, call: SyscallKind) -> Instr {
+        Instr {
+            syscall: Some(call),
+            ..Instr::base(OpClass::Syscall, pc)
+        }
+    }
+
+    /// A synchronization primitive touching `addr` (LL/SC style).
+    pub fn sync(pc: u64, addr: u64) -> Instr {
+        Instr {
+            mem_addr: Some(addr),
+            ..Instr::base(OpClass::Sync, pc)
+        }
+    }
+
+    /// A return-from-exception (ends a kernel service body).
+    pub fn eret(pc: u64) -> Instr {
+        Instr::base(OpClass::Eret, pc)
+    }
+
+    /// A no-operation.
+    pub fn nop(pc: u64) -> Instr {
+        Instr::base(OpClass::Nop, pc)
+    }
+
+    /// Checks the structural invariants the machine models rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violated invariant:
+    /// memory operations must carry an address, non-memory operations must
+    /// not (sync primitives may), and syscall instructions must carry a
+    /// request.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.op.is_mem() && self.mem_addr.is_none() {
+            return Err("memory operation without an effective address");
+        }
+        if !self.op.is_mem() && self.op != OpClass::Sync && self.mem_addr.is_some() {
+            return Err("non-memory operation carries an effective address");
+        }
+        if (self.op == OpClass::Syscall) != self.syscall.is_some() {
+            return Err("syscall payload must accompany exactly the Syscall op");
+        }
+        if self.op == OpClass::Store && self.dest.is_some() {
+            return Err("store must not have a destination register");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileRef;
+
+    #[test]
+    fn constructors_produce_valid_instrs() {
+        let instrs = [
+            Instr::alu(0, Reg::int(1), Some(Reg::int(2)), Some(Reg::int(3))),
+            Instr::arith(OpClass::FpMul, 4, Reg::fp(0), Some(Reg::fp(1)), None),
+            Instr::load(8, Reg::int(4), Some(Reg::int(29)), 0x1000),
+            Instr::store(12, Some(Reg::int(4)), Some(Reg::int(29)), 0x1008),
+            Instr::branch(16, Some(Reg::int(4)), true, 0x40),
+            Instr::jump(20, 0x80),
+            Instr::call(24, 0x100),
+            Instr::ret(28, 0x28),
+            Instr::syscall(32, SyscallKind::Open { file: FileRef(1) }),
+            Instr::sync(36, 0x2000),
+            Instr::eret(40),
+            Instr::nop(44),
+        ];
+        for i in &instrs {
+            i.validate().unwrap_or_else(|e| panic!("{:?}: {e}", i.op));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_load_without_address() {
+        let mut ld = Instr::load(0, Reg::int(1), None, 0x10);
+        ld.mem_addr = None;
+        assert!(ld.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_alu_with_address() {
+        let mut a = Instr::alu(0, Reg::int(1), None, None);
+        a.mem_addr = Some(0x10);
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_syscall_mismatch() {
+        let mut s = Instr::syscall(0, SyscallKind::Bsd);
+        s.syscall = None;
+        assert!(s.validate().is_err());
+        let mut a = Instr::nop(0);
+        a.syscall = Some(SyscallKind::Bsd);
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn branches_carry_outcomes() {
+        let b = Instr::branch(0, None, true, 0x40);
+        assert!(b.taken);
+        assert_eq!(b.target, 0x40);
+        let j = Instr::jump(0, 0x80);
+        assert!(j.taken);
+    }
+}

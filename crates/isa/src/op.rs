@@ -1,0 +1,230 @@
+//! Operation classes and functional-unit kinds.
+
+use std::fmt;
+
+/// Functional-unit kind an operation executes on. Table 1 provides two
+/// integer and two floating-point units; loads and stores go through the
+/// cache ports via the load/store queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU (also executes branches and sync primitives).
+    Int,
+    /// Floating-point unit.
+    Fp,
+    /// Memory port (load/store pipeline).
+    Mem,
+    /// No functional unit (e.g. NOPs, system calls resolve at commit).
+    None,
+}
+
+/// Coarse operation class of an [`crate::Instr`].
+///
+/// Classes are chosen so the power models can attribute energy to the right
+/// unit and the timing models can pick latencies, without modeling the full
+/// MIPS opcode space.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::{FuKind, OpClass};
+///
+/// assert!(OpClass::Load.is_mem());
+/// assert!(OpClass::BranchCond.is_branch());
+/// assert_eq!(OpClass::FpMul.fu(), FuKind::Fp);
+/// assert!(OpClass::IntAlu.latency() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer add/sub/logic/shift/compare.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide/sqrt.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    BranchCond,
+    /// Unconditional jump.
+    Jump,
+    /// Function call (pushes the return-address stack).
+    Call,
+    /// Function return (pops the return-address stack).
+    Return,
+    /// System call (serializing; raises a [`crate::CpuEvent`] at commit).
+    Syscall,
+    /// Atomic/synchronization primitive (LL/SC style).
+    Sync,
+    /// Return from exception (serializing; ends every kernel service body
+    /// so the pipeline drains cleanly at the service boundary).
+    Eret,
+    /// No-operation (fetch/decode bandwidth only).
+    Nop,
+}
+
+impl OpClass {
+    /// All operation classes.
+    pub const ALL: [OpClass; 16] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::BranchCond,
+        OpClass::Jump,
+        OpClass::Call,
+        OpClass::Return,
+        OpClass::Syscall,
+        OpClass::Sync,
+        OpClass::Eret,
+        OpClass::Nop,
+    ];
+
+    /// Whether the operation accesses data memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the operation redirects control flow.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            OpClass::BranchCond | OpClass::Jump | OpClass::Call | OpClass::Return
+        )
+    }
+
+    /// Whether the operation uses the floating-point pipeline.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// Whether the pipeline must drain before/while executing this
+    /// operation (system calls and exception returns).
+    #[inline]
+    pub fn is_serializing(self) -> bool {
+        matches!(self, OpClass::Syscall | OpClass::Eret)
+    }
+
+    /// Functional unit the operation occupies.
+    pub fn fu(self) -> FuKind {
+        match self {
+            OpClass::IntAlu
+            | OpClass::IntMul
+            | OpClass::IntDiv
+            | OpClass::BranchCond
+            | OpClass::Jump
+            | OpClass::Call
+            | OpClass::Return
+            | OpClass::Sync
+            | OpClass::Eret => FuKind::Int,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => FuKind::Fp,
+            OpClass::Load | OpClass::Store => FuKind::Mem,
+            OpClass::Syscall | OpClass::Nop => FuKind::None,
+        }
+    }
+
+    /// Execution latency in cycles, excluding memory-hierarchy time
+    /// (R10000-flavoured).
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu
+            | OpClass::BranchCond
+            | OpClass::Jump
+            | OpClass::Call
+            | OpClass::Return
+            | OpClass::Nop => 1,
+            OpClass::Sync => 2,
+            OpClass::Eret => 1,
+            OpClass::IntMul => 5,
+            OpClass::IntDiv => 34,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 2,
+            OpClass::FpDiv => 18,
+            // Loads/stores add cache latency on top of address generation.
+            OpClass::Load | OpClass::Store => 1,
+            OpClass::Syscall => 1,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int_alu",
+            OpClass::IntMul => "int_mul",
+            OpClass::IntDiv => "int_div",
+            OpClass::FpAdd => "fp_add",
+            OpClass::FpMul => "fp_mul",
+            OpClass::FpDiv => "fp_div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::BranchCond => "branch",
+            OpClass::Jump => "jump",
+            OpClass::Call => "call",
+            OpClass::Return => "return",
+            OpClass::Syscall => "syscall",
+            OpClass::Sync => "sync",
+            OpClass::Eret => "eret",
+            OpClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifications_are_consistent() {
+        for op in OpClass::ALL {
+            if op.is_mem() {
+                assert_eq!(op.fu(), FuKind::Mem);
+            }
+            if op.is_fp() {
+                assert_eq!(op.fu(), FuKind::Fp);
+            }
+            assert!(op.latency() >= 1, "{op} must take at least one cycle");
+        }
+    }
+
+    #[test]
+    fn branches_execute_on_int_unit() {
+        for op in [OpClass::BranchCond, OpClass::Jump, OpClass::Call, OpClass::Return] {
+            assert!(op.is_branch());
+            assert_eq!(op.fu(), FuKind::Int);
+        }
+    }
+
+    #[test]
+    fn serializing_ops() {
+        assert!(OpClass::Syscall.is_serializing());
+        assert!(OpClass::Eret.is_serializing());
+        assert!(
+            !OpClass::Sync.is_serializing(),
+            "sync spins must run at full speed (paper Table 3: sync IPC ~1.5)"
+        );
+        assert!(!OpClass::Load.is_serializing());
+    }
+
+    #[test]
+    fn long_latency_ops_are_longer() {
+        assert!(OpClass::IntDiv.latency() > OpClass::IntMul.latency());
+        assert!(OpClass::IntMul.latency() > OpClass::IntAlu.latency());
+        assert!(OpClass::FpDiv.latency() > OpClass::FpMul.latency());
+    }
+}

@@ -1,0 +1,122 @@
+//! Architectural registers.
+//!
+//! Table 1 of the paper specifies a register file of 34 integer and 32
+//! floating-point registers (MIPS: 32 GPRs plus HI/LO). Registers exist in
+//! the IR purely for dependence tracking and register-file/rename energy
+//! accounting; they carry no values.
+
+use std::fmt;
+
+/// Number of architectural integer registers (32 GPRs + HI + LO).
+pub const INT_REGS: u8 = 34;
+
+/// Number of architectural floating-point registers.
+pub const FP_REGS: u8 = 32;
+
+/// An architectural register: integer indices `0..34`, then floating-point
+/// indices `34..66` in a single dense namespace.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::Reg;
+///
+/// let r4 = Reg::int(4);
+/// let f2 = Reg::fp(2);
+/// assert!(!r4.is_fp());
+/// assert!(f2.is_fp());
+/// assert_ne!(r4.index(), f2.index());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Total number of architectural registers across both files.
+    pub const COUNT: usize = (INT_REGS + FP_REGS) as usize;
+
+    /// Integer register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 34`.
+    #[inline]
+    pub fn int(i: u8) -> Reg {
+        assert!(i < INT_REGS, "integer register index out of range");
+        Reg(i)
+    }
+
+    /// Floating-point register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn fp(i: u8) -> Reg {
+        assert!(i < FP_REGS, "fp register index out of range");
+        Reg(INT_REGS + i)
+    }
+
+    /// Dense index across both register files, in `0..Reg::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this register belongs to the floating-point file.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= INT_REGS
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - INT_REGS)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        for i in 0..INT_REGS {
+            assert!(!Reg::int(i).is_fp());
+        }
+        for i in 0..FP_REGS {
+            assert!(Reg::fp(i).is_fp());
+        }
+        assert_ne!(Reg::int(0).index(), Reg::fp(0).index());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(Reg::int(0).index(), 0);
+        assert_eq!(Reg::int(INT_REGS - 1).index(), (INT_REGS - 1) as usize);
+        assert_eq!(Reg::fp(0).index(), INT_REGS as usize);
+        assert_eq!(Reg::fp(FP_REGS - 1).index(), Reg::COUNT - 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::fp(7).to_string(), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register index out of range")]
+    fn int_bounds_checked() {
+        let _ = Reg::int(INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp register index out of range")]
+    fn fp_bounds_checked() {
+        let _ = Reg::fp(FP_REGS);
+    }
+}

@@ -1,0 +1,121 @@
+//! The instruction-source abstraction.
+
+use softwatt_stats::StatsCollector;
+
+use crate::Instr;
+
+/// A producer of synthetic instructions.
+///
+/// Implemented by workload generators, kernel-service bodies, the idle
+/// loop, and — crucially — by the OS model itself, which multiplexes all of
+/// the above behind one facade that the CPU fetches from.
+///
+/// The source receives the run's [`StatsCollector`] so the OS facade can
+/// switch the software [`softwatt_stats::Mode`] and open/close kernel-
+/// service attribution frames exactly at the instruction where a stream
+/// boundary occurs. Plain generators simply ignore it.
+///
+/// Returning `None` means the source has no more instructions *ever* (the
+/// simulated program exited). Sources that are momentarily unable to make
+/// progress (e.g. a process blocked on disk I/O) must instead yield
+/// instructions from whatever runs in the meantime (the idle loop) — in a
+/// full-system simulation the machine always executes something.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_isa::{Instr, InstrSource};
+/// use softwatt_stats::{Clocking, StatsCollector};
+///
+/// struct Nops { left: u32, pc: u64 }
+/// impl InstrSource for Nops {
+///     fn next_instr(&mut self, _stats: &mut StatsCollector) -> Option<Instr> {
+///         (self.left > 0).then(|| {
+///             self.left -= 1;
+///             self.pc += 4;
+///             Instr::nop(self.pc)
+///         })
+///     }
+/// }
+///
+/// let mut stats = StatsCollector::new(Clocking::default(), 100);
+/// let mut s = Nops { left: 1, pc: 0 };
+/// assert!(s.next_instr(&mut stats).is_some());
+/// assert!(s.next_instr(&mut stats).is_none());
+/// ```
+pub trait InstrSource {
+    /// Produces the next instruction, or `None` when the simulated program
+    /// has exited.
+    fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr>;
+}
+
+impl<T: InstrSource + ?Sized> InstrSource for &mut T {
+    fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr> {
+        (**self).next_instr(stats)
+    }
+}
+
+impl<T: InstrSource + ?Sized> InstrSource for Box<T> {
+    fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr> {
+        (**self).next_instr(stats)
+    }
+}
+
+/// An [`InstrSource`] over a fixed instruction sequence — handy in tests.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    instrs: std::vec::IntoIter<Instr>,
+}
+
+impl VecSource {
+    /// Creates a source yielding `instrs` in order, then `None`.
+    pub fn new(instrs: Vec<Instr>) -> VecSource {
+        VecSource {
+            instrs: instrs.into_iter(),
+        }
+    }
+}
+
+impl InstrSource for VecSource {
+    fn next_instr(&mut self, _stats: &mut StatsCollector) -> Option<Instr> {
+        self.instrs.next()
+    }
+}
+
+impl FromIterator<Instr> for VecSource {
+    fn from_iter<I: IntoIterator<Item = Instr>>(iter: I) -> Self {
+        VecSource::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+    use softwatt_stats::Clocking;
+
+    fn stats() -> StatsCollector {
+        StatsCollector::new(Clocking::default(), 100)
+    }
+
+    #[test]
+    fn vec_source_yields_in_order_then_none() {
+        let mut st = stats();
+        let mut s: VecSource = (0..3).map(|i| Instr::nop(i * 4)).collect();
+        assert_eq!(s.next_instr(&mut st).unwrap().pc, 0);
+        assert_eq!(s.next_instr(&mut st).unwrap().pc, 4);
+        assert_eq!(s.next_instr(&mut st).unwrap().pc, 8);
+        assert!(s.next_instr(&mut st).is_none());
+        assert!(s.next_instr(&mut st).is_none());
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let mut st = stats();
+        let mut v = VecSource::new(vec![Instr::nop(0)]);
+        let by_ref: &mut dyn InstrSource = &mut v;
+        assert_eq!(by_ref.next_instr(&mut st).unwrap().op, OpClass::Nop);
+        let mut boxed: Box<dyn InstrSource> = Box::new(VecSource::new(vec![Instr::nop(4)]));
+        assert_eq!(boxed.next_instr(&mut st).unwrap().pc, 4);
+    }
+}

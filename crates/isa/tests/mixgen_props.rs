@@ -1,0 +1,96 @@
+//! Property tests on the instruction-mix generator: any valid spec must
+//! yield well-formed instructions whose measured statistics track the
+//! requested fractions.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use softwatt_isa::{DataPattern, MixGenerator, MixSpec, OpClass};
+
+fn specs() -> impl Strategy<Value = MixSpec> {
+    (
+        0.0f64..0.35,  // load
+        0.0f64..0.15,  // store
+        0.0f64..0.25,  // branch
+        0.0f64..0.20,  // fp
+        0.0f64..0.60,  // dep_prob
+        0.5f64..1.0,   // branch_stability
+        1u32..4,       // n_loops
+        16u32..128,    // loop_len
+    )
+        .prop_map(|(load, store, branch, fp, dep, stab, n_loops, loop_len)| MixSpec {
+            load,
+            store,
+            branch,
+            fp,
+            mul: 0.01,
+            dep_prob: dep,
+            branch_stability: stab,
+            code_base: 0x1_0000,
+            loop_len,
+            n_loops,
+            stay_per_loop: 512,
+            data: DataPattern {
+                base: 0x1000_0000,
+                hot_bytes: 16 * 1024,
+                span_bytes: 256 * 1024,
+                hot_frac: 0.9,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_instructions_validate(spec in specs(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = MixGenerator::new(spec);
+        for _ in 0..2_000 {
+            let i = gen.next_instr_with(&mut rng);
+            prop_assert!(i.validate().is_ok(), "{:?}", i.op);
+            prop_assert!(i.pc >= spec.code_base);
+            if let Some(addr) = i.mem_addr {
+                prop_assert!(addr >= spec.data.base);
+                prop_assert!(addr < spec.data.base + spec.data.span_bytes + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn measured_fractions_track_the_spec(spec in specs(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = MixGenerator::new(spec);
+        let n = 30_000usize;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut branches = 0usize;
+        for _ in 0..n {
+            match gen.next_instr_with(&mut rng).op {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::BranchCond => branches += 1,
+                _ => {}
+            }
+        }
+        let nf = n as f64;
+        // Branch fraction includes the forced loop back-edges on top of
+        // the requested fraction; loads/stores are sampled after branches.
+        prop_assert!((loads as f64 / nf - spec.load).abs() < 0.05,
+            "load {} vs {}", loads as f64 / nf, spec.load);
+        prop_assert!((stores as f64 / nf - spec.store).abs() < 0.05);
+        prop_assert!(branches as f64 / nf >= spec.branch - 0.05);
+        prop_assert!(branches as f64 / nf <= spec.branch + 1.0 / f64::from(spec.loop_len) + 0.05);
+    }
+
+    #[test]
+    fn generator_is_deterministic(spec in specs(), seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut gen = MixGenerator::new(spec);
+            (0..500).map(|_| gen.next_instr_with(&mut rng)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,240 @@
+//! A set-associative cache timing model with true LRU replacement.
+
+use crate::CacheGeometry;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    // Higher = more recently used.
+    lru: u64,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line address of a dirty victim evicted to make room (write-back
+    /// traffic), if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative, write-back, write-allocate cache.
+///
+/// Stores tags only: SoftWatt needs hit/miss behavior and event counts, not
+/// data. Starts cold (all lines invalid).
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_mem::{Cache, CacheGeometry};
+///
+/// let mut c = Cache::new(CacheGeometry::new(1024, 64, 2));
+/// assert!(!c.access(0x40, false).hit); // cold miss
+/// assert!(c.access(0x40, false).hit);  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cold cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Cache {
+        Cache {
+            geometry,
+            sets: vec![Vec::with_capacity(geometry.assoc() as usize); geometry.sets() as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accesses `addr`, allocating on miss. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let set_index = self.geometry.set_index(addr) as usize;
+        let tag = self.geometry.tag(addr);
+        let assoc = self.geometry.assoc() as usize;
+        let tick = self.tick;
+        let set = &mut self.sets[set_index];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= write;
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.misses += 1;
+        let mut writeback = None;
+        if set.len() == assoc {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("set is full, victim exists");
+            if set[victim].dirty {
+                let victim_addr = (set[victim].tag * self.geometry.sets()
+                    + set_index as u64)
+                    * u64::from(self.geometry.line_bytes());
+                writeback = Some(victim_addr);
+            }
+            set.swap_remove(victim);
+        }
+        set.push(Line {
+            tag,
+            dirty: write,
+            lru: tick,
+        });
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Whether the line containing `addr` is resident (no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr) as usize];
+        let tag = self.geometry.tag(addr);
+        set.iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates the whole cache, discarding dirty state (the paper's
+    /// `cacheflush` service). Returns how many lines were dropped.
+    pub fn flush(&mut self) -> u64 {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            dropped += set.len() as u64;
+            set.clear();
+        }
+        dropped
+    }
+
+    /// Hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; `None` before any access.
+    pub fn miss_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.misses as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64 B lines.
+        Cache::new(CacheGeometry::new(512, 64, 2))
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut c = small();
+        assert!(!c.access(0x0, false).hit);
+        assert!(c.access(0x0, false).hit);
+        assert!(c.access(0x3f, false).hit); // same line
+        assert!(!c.access(0x40, false).hit); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        let stride = 64 * 4; // same set, different tags
+        c.access(0, false);
+        c.access(stride, false);
+        c.access(0, false); // refresh tag 0
+        c.access(2 * stride, false); // evicts `stride`
+        assert!(c.probe(0));
+        assert!(!c.probe(stride));
+        assert!(c.probe(2 * stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let stride = 64 * 4;
+        c.access(0, true); // dirty
+        c.access(stride, false);
+        let out = c.access(2 * stride, false); // evicts dirty line 0
+        assert!(!out.hit);
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        let stride = 64 * 4;
+        c.access(0, false);
+        c.access(stride, false);
+        let out = c.access(2 * stride, false);
+        assert!(out.writeback.is_none());
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        let stride = 64 * 4;
+        c.access(0, false);
+        c.access(0, true); // dirty via hit
+        c.access(stride, false);
+        let out = c.access(2 * stride, false);
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(64, false);
+        assert_eq!(c.flush(), 2);
+        assert!(!c.probe(0));
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small();
+        let stride = 64 * 4;
+        c.access(0, false);
+        c.access(stride, false);
+        let _ = c.probe(0); // must not refresh line 0
+        c.access(2 * stride, false); // LRU is line 0
+        assert!(!c.probe(0));
+        assert!(c.probe(stride));
+    }
+
+    #[test]
+    fn miss_ratio_tracks_accesses() {
+        let mut c = small();
+        assert!(c.miss_ratio().is_none());
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.miss_ratio().unwrap() - 0.5).abs() < 1e-12);
+    }
+}

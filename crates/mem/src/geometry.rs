@@ -1,0 +1,160 @@
+//! Cache geometry: size, line size, associativity.
+//!
+//! Geometry is shared between the timing model (this crate) and the
+//! analytical power models (`softwatt-power`), which derive per-access
+//! energies from the same numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size/line/associativity of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_mem::CacheGeometry;
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 64, 2);
+/// assert_eq!(l1.sets(), 256);
+/// assert_eq!(l1.set_index(0), l1.set_index(64 * 256)); // wraps around
+/// assert_ne!(l1.tag(0), l1.tag(64 * 256));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u32,
+    assoc: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `line_bytes`, and `assoc` are positive
+    /// powers of two (line and associativity) dividing evenly into the size.
+    pub fn new(size_bytes: u64, line_bytes: u32, assoc: u32) -> CacheGeometry {
+        assert!(size_bytes > 0, "cache size must be positive");
+        assert!(
+            line_bytes > 0 && line_bytes.is_power_of_two(),
+            "line size must be a positive power of two"
+        );
+        assert!(assoc > 0, "associativity must be positive");
+        let line_capacity = size_bytes / u64::from(line_bytes);
+        assert!(
+            line_capacity % u64::from(assoc) == 0 && line_capacity > 0,
+            "size must be divisible into an integral number of sets"
+        );
+        let geometry = CacheGeometry {
+            size_bytes,
+            line_bytes,
+            assoc,
+        };
+        assert!(
+            geometry.sets().is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        geometry
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Set associativity.
+    #[inline]
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.assoc)
+    }
+
+    /// Set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr / u64::from(self.line_bytes)) & (self.sets() - 1)
+    }
+
+    /// Tag for an address (line address above the index bits).
+    #[inline]
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / u64::from(self.line_bytes) / self.sets()
+    }
+
+    /// Line-aligned address of the line containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(u64::from(self.line_bytes) - 1)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B/{}-way",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.assoc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        let l1 = CacheGeometry::new(32 * 1024, 64, 2);
+        assert_eq!(l1.sets(), 256);
+        let l2 = CacheGeometry::new(1024 * 1024, 128, 2);
+        assert_eq!(l2.sets(), 4096);
+    }
+
+    #[test]
+    fn tag_and_index_reconstruct_line() {
+        let g = CacheGeometry::new(32 * 1024, 64, 2);
+        let addr = 0xdead_beef;
+        let line = g.line_addr(addr);
+        let reconstructed = (g.tag(addr) * g.sets() + g.set_index(addr)) * u64::from(g.line_bytes());
+        assert_eq!(reconstructed, line);
+    }
+
+    #[test]
+    fn same_set_different_tag_conflicts() {
+        let g = CacheGeometry::new(32 * 1024, 64, 2);
+        let stride = u64::from(g.line_bytes()) * g.sets();
+        assert_eq!(g.set_index(0x100), g.set_index(0x100 + stride));
+        assert_ne!(g.tag(0x100), g.tag(0x100 + stride));
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be a positive power of two")]
+    fn rejects_non_power_of_two_line() {
+        let _ = CacheGeometry::new(32 * 1024, 48, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must be positive")]
+    fn rejects_zero_assoc() {
+        let _ = CacheGeometry::new(32 * 1024, 64, 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(CacheGeometry::new(32 * 1024, 64, 2).to_string(), "32KB/64B/2-way");
+    }
+}

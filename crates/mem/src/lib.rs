@@ -1,0 +1,36 @@
+//! Memory hierarchy for the SoftWatt full-system simulator.
+//!
+//! Models the paper's Table 1 configuration: split 32 KB 2-way L1
+//! instruction/data caches with 64 B lines, a unified 1 MB 2-way L2 with
+//! 128 B lines, a 64-entry fully-associative software-managed unified TLB,
+//! and a flat DRAM behind it all.
+//!
+//! The hierarchy is a *timing and event* model: accesses return added
+//! latency and record [`softwatt_stats::UnitEvent`]s for the power
+//! post-processor; no data values are stored. Caches start cold, which is
+//! what produces the paper's initial memory-power spike (Figure 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use softwatt_mem::{MemConfig, MemHierarchy};
+//! use softwatt_stats::{Clocking, StatsCollector};
+//!
+//! let mut mem = MemHierarchy::new(MemConfig::default());
+//! let mut stats = StatsCollector::new(Clocking::default(), 1_000);
+//! // Cold miss goes all the way to DRAM...
+//! let cold = mem.data_access(0x1_0000, false, &mut stats);
+//! // ...and the refill makes the next access to the same line a hit.
+//! let warm = mem.data_access(0x1_0008, false, &mut stats);
+//! assert!(cold > warm);
+//! ```
+
+pub mod cache;
+pub mod geometry;
+pub mod hierarchy;
+pub mod tlb;
+
+pub use cache::Cache;
+pub use geometry::CacheGeometry;
+pub use hierarchy::{MemConfig, MemHierarchy};
+pub use tlb::Tlb;

@@ -1,0 +1,167 @@
+//! The unified, fully-associative, software-managed TLB.
+//!
+//! MIPS TLBs are software-managed: a miss traps to the OS (`utlb` handler),
+//! which performs the translation and refills an entry. That handler is the
+//! single largest kernel activity in the paper's workloads (Table 4), so
+//! TLB behavior matters a great deal to the kernel power profile.
+
+/// A fully-associative TLB with true LRU replacement, tracking virtual page
+/// numbers only (the simulation has no physical addresses).
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_mem::Tlb;
+///
+/// let mut tlb = Tlb::new(4);
+/// assert!(!tlb.lookup(7)); // cold miss — OS would run utlb now
+/// tlb.insert(7);
+/// assert!(tlb.lookup(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    // (vpn, last-use tick); linear scan is fine at 64 entries.
+    entries: Vec<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries the TLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a virtual page number, updating LRU state on hit.
+    pub fn lookup(&mut self, vpn: u64) -> bool {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a translation (the software refill), evicting the LRU entry
+    /// if full. Inserting an already-present page refreshes it.
+    pub fn insert(&mut self, vpn: u64) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("full TLB has a victim");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((vpn, self.tick));
+    }
+
+    /// Drops all translations (context switch / flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut t = Tlb::new(2);
+        assert!(!t.lookup(1));
+        t.insert(1);
+        assert!(t.lookup(1));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2);
+        t.insert(1);
+        t.insert(2);
+        assert!(t.lookup(1)); // refresh 1; LRU is now 2
+        t.insert(3); // evicts 2
+        assert!(t.lookup(1));
+        assert!(!t.lookup(2));
+        assert!(t.lookup(3));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_grow() {
+        let mut t = Tlb::new(2);
+        t.insert(1);
+        t.insert(1);
+        t.insert(2);
+        assert!(t.lookup(1));
+        assert!(t.lookup(2));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = Tlb::new(4);
+        t.insert(1);
+        t.insert(2);
+        t.flush();
+        assert!(!t.lookup(1));
+        assert!(!t.lookup(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "TLB capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut t = Tlb::new(8);
+        for vpn in 0..8 {
+            t.insert(vpn);
+        }
+        for round in 0..3 {
+            for vpn in 0..8 {
+                assert!(t.lookup(vpn), "round {round} vpn {vpn}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests pitting the cache and TLB against naive reference
+//! models: for any access sequence, the optimized implementations must
+//! produce exactly the same hit/miss behavior as an obviously-correct
+//! recency-list implementation.
+
+use proptest::prelude::*;
+
+use softwatt_mem::{Cache, CacheGeometry, Tlb};
+
+/// An obviously-correct set-associative LRU cache: per-set vector of tags
+/// ordered most-recent-first.
+struct ReferenceCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<u64>>,
+}
+
+impl ReferenceCache {
+    fn new(geometry: CacheGeometry) -> ReferenceCache {
+        ReferenceCache {
+            geometry,
+            sets: vec![Vec::new(); geometry.sets() as usize],
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let set = &mut self.sets[self.geometry.set_index(addr) as usize];
+        let tag = self.geometry.tag(addr);
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.insert(0, tag);
+            true
+        } else {
+            set.insert(0, tag);
+            set.truncate(self.geometry.assoc() as usize);
+            false
+        }
+    }
+}
+
+/// An obviously-correct fully-associative LRU TLB.
+struct ReferenceTlb {
+    capacity: usize,
+    entries: Vec<u64>, // most-recent-first
+}
+
+impl ReferenceTlb {
+    fn lookup(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&v| v == vpn) {
+            self.entries.remove(pos);
+            self.entries.insert(0, vpn);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, vpn: u64) {
+        if let Some(pos) = self.entries.iter().position(|&v| v == vpn) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, vpn);
+        self.entries.truncate(self.capacity);
+    }
+}
+
+fn small_geometries() -> impl Strategy<Value = CacheGeometry> {
+    prop_oneof![
+        Just(CacheGeometry::new(512, 64, 2)),
+        Just(CacheGeometry::new(1024, 64, 4)),
+        Just(CacheGeometry::new(2048, 32, 2)),
+        Just(CacheGeometry::new(4096, 128, 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        geometry in small_geometries(),
+        // Small address space so sets conflict often.
+        addrs in prop::collection::vec(0u64..16_384, 1..400),
+        writes in prop::collection::vec(any::<bool>(), 400),
+    ) {
+        let mut cache = Cache::new(geometry);
+        let mut reference = ReferenceCache::new(geometry);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let expected = reference.access(addr);
+            let got = cache.access(addr, writes[i % writes.len()]).hit;
+            prop_assert_eq!(got, expected, "access #{} to {:#x}", i, addr);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn tlb_matches_reference_lru(
+        capacity in 1usize..16,
+        ops in prop::collection::vec((any::<bool>(), 0u64..64), 1..300),
+    ) {
+        let mut tlb = Tlb::new(capacity);
+        let mut reference = ReferenceTlb { capacity, entries: Vec::new() };
+        for (i, &(is_insert, vpn)) in ops.iter().enumerate() {
+            if is_insert {
+                tlb.insert(vpn);
+                reference.insert(vpn);
+            } else {
+                let expected = reference.lookup(vpn);
+                let got = tlb.lookup(vpn);
+                prop_assert_eq!(got, expected, "op #{} vpn {}", i, vpn);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_flush_restores_cold_state(
+        geometry in small_geometries(),
+        addrs in prop::collection::vec(0u64..8192, 1..100),
+    ) {
+        let mut cache = Cache::new(geometry);
+        for &a in &addrs {
+            cache.access(a, false);
+        }
+        cache.flush();
+        for &a in &addrs {
+            prop_assert!(!cache.probe(a), "{a:#x} survived a flush");
+        }
+    }
+}

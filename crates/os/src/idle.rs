@@ -1,0 +1,120 @@
+//! The busy-waiting idle process.
+//!
+//! IRIX idles by busy-waiting, which the paper highlights as a real power
+//! consumer (over 5% of system energy). The loop below is tuned to the
+//! paper's Table 3 idle-mode profile: roughly 0.8 instruction-cache
+//! references per cycle and 0.35 data-cache references per cycle — a short,
+//! serially-dependent flag-polling loop that stays resident in the L1
+//! caches.
+
+use softwatt_isa::{Instr, Reg};
+
+/// Kernel address of the scheduler run-queue flag the idle loop polls.
+const FLAG_ADDR: u64 = 0x8003_0000;
+/// Kernel address of the idle loop's counter spill slot.
+const COUNTER_ADDR: u64 = 0x8003_0040;
+/// Code base of the idle loop.
+const CODE_BASE: u64 = 0x8003_1000;
+
+/// Instructions per loop iteration.
+pub const LOOP_LEN: u64 = 8;
+
+/// An infinite busy-wait instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_os::IdleLoop;
+///
+/// let mut idle = IdleLoop::new();
+/// let first = idle.next_instr();
+/// let eighth = {
+///     for _ in 0..7 { idle.next_instr(); }
+///     idle.next_instr()
+/// };
+/// assert_eq!(first.pc, eighth.pc, "loop wraps around");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IdleLoop {
+    pos: u64,
+}
+
+impl IdleLoop {
+    /// Creates an idle loop at its first instruction.
+    pub fn new() -> IdleLoop {
+        IdleLoop { pos: 0 }
+    }
+
+    /// Emits the next instruction of the loop (never exhausts).
+    pub fn next_instr(&mut self) -> Instr {
+        let slot = self.pos % LOOP_LEN;
+        self.pos += 1;
+        let pc = CODE_BASE + slot * 4;
+        // A serially-dependent poll: three chained loads, two chained
+        // compares, the spin-counter store, and the back edge — tuned to
+        // the paper's Table 3 idle profile (~0.8 iL1/cyc, ~0.35 dL1/cyc,
+        // ~0.26 ALU/cyc).
+        match slot {
+            0 => Instr::load(pc, Reg::int(2), Some(Reg::int(6)), FLAG_ADDR),
+            1 => Instr::load(pc, Reg::int(3), Some(Reg::int(2)), COUNTER_ADDR),
+            2 => Instr::load(pc, Reg::int(4), Some(Reg::int(3)), FLAG_ADDR + 8),
+            3 => Instr::alu(pc, Reg::int(5), Some(Reg::int(4)), Some(Reg::int(2))),
+            4 => Instr::alu(pc, Reg::int(6), Some(Reg::int(5)), None),
+            5 => Instr::store(pc, Some(Reg::int(6)), Some(Reg::int(29)), COUNTER_ADDR),
+            6 => Instr::nop(pc),
+            _ => Instr::branch(pc, Some(Reg::int(6)), true, CODE_BASE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softwatt_isa::OpClass;
+
+    #[test]
+    fn loop_is_cyclic_and_valid() {
+        let mut idle = IdleLoop::new();
+        let first_iter: Vec<Instr> = (0..LOOP_LEN).map(|_| idle.next_instr()).collect();
+        let second_iter: Vec<Instr> = (0..LOOP_LEN).map(|_| idle.next_instr()).collect();
+        assert_eq!(first_iter, second_iter);
+        for i in &first_iter {
+            i.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn data_ratio_matches_table3_idle_profile() {
+        // 3 loads + 1 store out of 8 instructions = 0.5 memory fraction;
+        // with idle IPC below 1 this lands near the paper's ~0.35 dL1
+        // refs/cycle against ~0.8 iL1 refs/cycle.
+        let mut idle = IdleLoop::new();
+        let iter: Vec<Instr> = (0..LOOP_LEN).map(|_| idle.next_instr()).collect();
+        let mem = iter.iter().filter(|i| i.op.is_mem()).count();
+        assert_eq!(mem, 4);
+    }
+
+    #[test]
+    fn addresses_are_kernel_space() {
+        let mut idle = IdleLoop::new();
+        for _ in 0..LOOP_LEN {
+            let i = idle.next_instr();
+            assert!(softwatt_isa::is_kernel_addr(i.pc));
+            if let Some(a) = i.mem_addr {
+                assert!(softwatt_isa::is_kernel_addr(a));
+            }
+        }
+    }
+
+    #[test]
+    fn back_edge_is_always_taken() {
+        let mut idle = IdleLoop::new();
+        for _ in 0..3 * LOOP_LEN {
+            let i = idle.next_instr();
+            if i.op == OpClass::BranchCond {
+                assert!(i.taken);
+                assert_eq!(i.target, CODE_BASE);
+            }
+        }
+    }
+}

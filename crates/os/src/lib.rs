@@ -1,0 +1,49 @@
+//! The IRIX-like operating-system model for the SoftWatt simulator.
+//!
+//! The paper's central thesis is that software power estimation needs a
+//! *complete* machine: the OS contributes up to 17% of processor/memory
+//! energy, kernel services have distinctive power signatures, and the
+//! busy-waiting idle process burns real power while the disk spins. This
+//! crate models exactly the kernel surface the paper characterizes:
+//!
+//! - the twelve services of Table 4 ([`KernelService`]): `utlb`, `read`,
+//!   `write`, `open`, `demand_zero`, `cacheflush`, `vfault`, `tlb_miss`,
+//!   `BSD`, `du_poll`, `xstat`, and the `clock` interrupt — each as a
+//!   synthetic instruction-body generator with the instruction/data profile
+//!   the paper describes (e.g. `utlb` is short and not data-intensive;
+//!   `read`/`write` are copy loops whose cost depends on transfer size and
+//!   file-cache state);
+//! - a software-managed TLB fault path: `utlb` refill, escalation to the
+//!   slower `tlb_miss` handler, and first-touch page faults chaining
+//!   `vfault` → `demand_zero`;
+//! - a warm-able file (buffer) cache ([`FileCache`]) in front of the disk,
+//!   reproducing the paper's checkpoint methodology ("file caches were
+//!   warmed and a checkpoint taken before the program was loaded");
+//! - a busy-waiting idle process ([`IdleLoop`]) scheduled while the user
+//!   process blocks on I/O — idle cycles are exactly what Figure 9's right
+//!   panel counts;
+//! - kernel synchronization regions (spin-lock bodies inside services)
+//!   executed in [`softwatt_stats::Mode::KernelSync`];
+//! - a periodic `clock` interrupt.
+//!
+//! [`SystemOs`] multiplexes all of the above plus the user workload behind
+//! one [`softwatt_isa::InstrSource`] facade that the CPU fetches from, and
+//! reacts to [`softwatt_isa::CpuEvent`]s raised at commit.
+//!
+//! # Examples
+//!
+//! See `softwatt::Simulator` (the `softwatt` facade crate) for the
+//! assembled machine; [`SystemOs`] is not usually driven by hand.
+
+pub mod bodies;
+pub mod config;
+pub mod filecache;
+pub mod idle;
+pub mod service;
+pub mod system;
+
+pub use config::OsConfig;
+pub use filecache::FileCache;
+pub use idle::IdleLoop;
+pub use service::KernelService;
+pub use system::{DeferredOp, SystemOs};

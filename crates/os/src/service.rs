@@ -1,0 +1,203 @@
+//! The kernel services of the paper's Table 4.
+
+use std::fmt;
+
+use softwatt_stats::ServiceId;
+
+/// A kernel service (or the idle pseudo-service used for attribution while
+/// a process blocks on I/O).
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_os::KernelService;
+///
+/// assert_eq!(KernelService::Utlb.name(), "utlb");
+/// assert_eq!(
+///     KernelService::from_id(KernelService::Read.id()),
+///     Some(KernelService::Read)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelService {
+    /// First-level software TLB refill handler (the dominant kernel
+    /// activity in the paper's workloads).
+    Utlb,
+    /// `read` system call.
+    Read,
+    /// `write` system call.
+    Write,
+    /// `open` system call (path lookup).
+    Open,
+    /// Zero-fill a newly allocated page.
+    DemandZero,
+    /// Flush the I-/D-caches (invoked after JIT code generation).
+    CacheFlush,
+    /// Validity-fault handler.
+    Vfault,
+    /// Second-level (slow-path) TLB miss handler.
+    TlbMiss,
+    /// Miscellaneous BSD-flavoured calls.
+    Bsd,
+    /// Device poll.
+    DuPoll,
+    /// File status query.
+    Xstat,
+    /// Periodic clock interrupt.
+    Clock,
+    /// Pseudo-service: the idle process while a request blocks on disk.
+    /// Excluded from kernel-service tables; reported as idle time.
+    IdleProcess,
+}
+
+impl KernelService {
+    /// All real kernel services (excludes [`KernelService::IdleProcess`]),
+    /// in Table 4 display order.
+    pub const ALL: [KernelService; 12] = [
+        KernelService::Utlb,
+        KernelService::Read,
+        KernelService::Write,
+        KernelService::Open,
+        KernelService::DemandZero,
+        KernelService::CacheFlush,
+        KernelService::Vfault,
+        KernelService::TlbMiss,
+        KernelService::Bsd,
+        KernelService::DuPoll,
+        KernelService::Xstat,
+        KernelService::Clock,
+    ];
+
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelService::Utlb => "utlb",
+            KernelService::Read => "read",
+            KernelService::Write => "write",
+            KernelService::Open => "open",
+            KernelService::DemandZero => "demand_zero",
+            KernelService::CacheFlush => "cacheflush",
+            KernelService::Vfault => "vfault",
+            KernelService::TlbMiss => "tlb_miss",
+            KernelService::Bsd => "BSD",
+            KernelService::DuPoll => "du_poll",
+            KernelService::Xstat => "xstat",
+            KernelService::Clock => "clock",
+            KernelService::IdleProcess => "idle",
+        }
+    }
+
+    /// Stable attribution id for the stats layer.
+    pub fn id(self) -> ServiceId {
+        ServiceId(match self {
+            KernelService::Utlb => 0,
+            KernelService::Read => 1,
+            KernelService::Write => 2,
+            KernelService::Open => 3,
+            KernelService::DemandZero => 4,
+            KernelService::CacheFlush => 5,
+            KernelService::Vfault => 6,
+            KernelService::TlbMiss => 7,
+            KernelService::Bsd => 8,
+            KernelService::DuPoll => 9,
+            KernelService::Xstat => 10,
+            KernelService::Clock => 11,
+            KernelService::IdleProcess => 12,
+        })
+    }
+
+    /// Inverse of [`KernelService::id`].
+    pub fn from_id(id: ServiceId) -> Option<KernelService> {
+        match id.0 {
+            0 => Some(KernelService::Utlb),
+            1 => Some(KernelService::Read),
+            2 => Some(KernelService::Write),
+            3 => Some(KernelService::Open),
+            4 => Some(KernelService::DemandZero),
+            5 => Some(KernelService::CacheFlush),
+            6 => Some(KernelService::Vfault),
+            7 => Some(KernelService::TlbMiss),
+            8 => Some(KernelService::Bsd),
+            9 => Some(KernelService::DuPoll),
+            10 => Some(KernelService::Xstat),
+            11 => Some(KernelService::Clock),
+            12 => Some(KernelService::IdleProcess),
+            _ => None,
+        }
+    }
+
+    /// Whether the service is internal to the kernel (the paper's Table 5
+    /// split: internal services show tiny per-invocation energy variation,
+    /// externally-invoked I/O calls show large variation).
+    pub fn is_internal(self) -> bool {
+        matches!(
+            self,
+            KernelService::Utlb
+                | KernelService::DemandZero
+                | KernelService::CacheFlush
+                | KernelService::Vfault
+                | KernelService::TlbMiss
+                | KernelService::Clock
+        )
+    }
+
+    /// Base of this service's kernel code region (for I-cache behavior).
+    pub(crate) fn code_base(self) -> u64 {
+        0x8004_0000 + u64::from(self.id().0) * 0x1_0000
+    }
+
+    /// Base of this service's kernel data region.
+    pub(crate) fn data_base(self) -> u64 {
+        0x9000_0000 + u64::from(self.id().0) * 0x10_0000
+    }
+}
+
+impl fmt::Display for KernelService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in KernelService::ALL.iter().copied().chain([KernelService::IdleProcess]) {
+            assert_eq!(KernelService::from_id(s.id()), Some(s));
+            assert!(seen.insert(s.id()), "duplicate id for {s}");
+        }
+        assert_eq!(KernelService::from_id(ServiceId(99)), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(KernelService::Utlb.name(), "utlb");
+        assert_eq!(KernelService::Bsd.name(), "BSD");
+        assert_eq!(KernelService::DemandZero.name(), "demand_zero");
+        assert_eq!(KernelService::TlbMiss.name(), "tlb_miss");
+    }
+
+    #[test]
+    fn internal_split_matches_table5() {
+        // Table 5: utlb/demand_zero/cacheflush internal; read/write/open external.
+        assert!(KernelService::Utlb.is_internal());
+        assert!(KernelService::DemandZero.is_internal());
+        assert!(KernelService::CacheFlush.is_internal());
+        assert!(!KernelService::Read.is_internal());
+        assert!(!KernelService::Write.is_internal());
+        assert!(!KernelService::Open.is_internal());
+    }
+
+    #[test]
+    fn code_regions_are_disjoint_kernel_addresses() {
+        for (i, a) in KernelService::ALL.iter().enumerate() {
+            assert!(softwatt_isa::is_kernel_addr(a.code_base()));
+            for b in &KernelService::ALL[i + 1..] {
+                assert_ne!(a.code_base(), b.code_base());
+            }
+        }
+    }
+}

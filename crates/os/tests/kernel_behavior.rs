@@ -1,0 +1,216 @@
+//! Behavioral tests of the OS model on a full machine: fault chains,
+//! checkpoint semantics, timer interrupts, and I/O blocking.
+
+use softwatt_cpu::{Cpu, MxsConfig, MxsCpu};
+use softwatt_disk::{Disk, DiskConfig, DiskPolicy};
+use softwatt_isa::{FileRef, Instr, Reg, SyscallKind, VecSource};
+use softwatt_mem::{MemConfig, MemHierarchy};
+use softwatt_os::{DeferredOp, KernelService, OsConfig, SystemOs};
+use softwatt_stats::{Clocking, Mode, StatsCollector};
+
+fn clocking() -> Clocking {
+    Clocking::scaled(200.0e6, 1_000.0)
+}
+
+fn drive(mut os: SystemOs) -> (SystemOs, StatsCollector, u64) {
+    let mut cpu = MxsCpu::new(MxsConfig::default());
+    let mut mem = MemHierarchy::new(MemConfig::default());
+    let mut stats = StatsCollector::new(clocking(), 100_000);
+    let mut cycles = 0u64;
+    loop {
+        let out = cpu.cycle(&mut os, &mut mem, &mut stats);
+        if let Some(e) = out.event {
+            os.handle_event(e, &mut stats);
+        }
+        for d in os.take_deferred() {
+            match d {
+                DeferredOp::TlbFill(v) => mem.tlb_insert(v, &mut stats),
+                DeferredOp::FlushL1 => {
+                    mem.flush_l1();
+                }
+            }
+        }
+        stats.tick();
+        cycles += 1;
+        if out.program_exited && os.finished() {
+            break;
+        }
+        assert!(cycles < 30_000_000, "runaway");
+    }
+    (os, stats, cycles)
+}
+
+fn os_with(user: Vec<Instr>, config: OsConfig) -> SystemOs {
+    let disk = Disk::new(DiskConfig::new(DiskPolicy::IdleWhenNotBusy), clocking());
+    SystemOs::new(config, clocking(), disk, Box::new(VecSource::new(user)))
+}
+
+fn touch_pages(n: u64) -> Vec<Instr> {
+    (0..n)
+        .map(|i| Instr::store((i % 16) * 4, None, None, 0x2000_0000 + i * 4096))
+        .collect()
+}
+
+#[test]
+fn premapped_pages_skip_the_fault_chain() {
+    let cfg = OsConfig { vfault_frac: 1.0, ..OsConfig::default() };
+
+    let cold = os_with(touch_pages(16), cfg);
+    let (_, cold_stats, _) = drive(cold);
+    let (_, cold_prof) = cold_stats.finish_with_services();
+    assert_eq!(
+        cold_prof.aggregates()[&KernelService::DemandZero.id()].invocations,
+        16
+    );
+    assert_eq!(cold_prof.aggregates()[&KernelService::Vfault.id()].invocations, 16);
+
+    let mut warm = os_with(touch_pages(16), cfg);
+    warm.premap_region(0x2000_0000, 16 * 4096);
+    let (_, warm_stats, _) = drive(warm);
+    let (_, warm_prof) = warm_stats.finish_with_services();
+    assert!(
+        !warm_prof.aggregates().contains_key(&KernelService::DemandZero.id()),
+        "premapped pages must not zero-fill"
+    );
+    // ...but they still take fast utlb refills (the TLB itself is cold).
+    assert_eq!(
+        warm_prof.aggregates()[&KernelService::Utlb.id()].invocations,
+        16
+    );
+}
+
+#[test]
+fn timer_interrupts_fire_on_schedule() {
+    // A long CPU-bound run with a 0.05 s timer: expect duration/0.05 ticks.
+    let user: Vec<Instr> = (0..120_000u64)
+        .map(|i| Instr::alu((i % 64) * 4, Reg::int((i % 8) as u8 + 1), None, None))
+        .collect();
+    let os = os_with(
+        user,
+        OsConfig { timer_interval_s: 0.05, ..OsConfig::default() },
+    );
+    let (_, stats, cycles) = drive(os);
+    let (_, prof) = stats.finish_with_services();
+    let ticks = prof.aggregates()[&KernelService::Clock.id()].invocations;
+    let expected = clocking().cycles_to_paper_secs(cycles) / 0.05;
+    assert!(
+        (ticks as f64) > expected * 0.7 && (ticks as f64) < expected * 1.3,
+        "got {ticks} ticks, expected ~{expected:.0}"
+    );
+}
+
+#[test]
+fn slow_tlb_path_escalates_at_the_configured_rate() {
+    let user: Vec<Instr> = (0..40_000u64)
+        .map(|i| {
+            Instr::load(
+                (i % 32) * 4,
+                Reg::int((i % 8) as u8 + 1),
+                None,
+                0x2000_0000 + (i * 7919) % (512 * 4096),
+            )
+        })
+        .collect();
+    let mut os = os_with(
+        user,
+        OsConfig {
+            tlb_slow_path_prob: 0.2,
+            vfault_frac: 0.0,
+            ..OsConfig::default()
+        },
+    );
+    os.premap_region(0x2000_0000, 512 * 4096);
+    let (_, stats, _) = drive(os);
+    let (_, prof) = stats.finish_with_services();
+    let utlb = prof.aggregates()[&KernelService::Utlb.id()].invocations;
+    let slow = prof.aggregates()[&KernelService::TlbMiss.id()].invocations;
+    let rate = slow as f64 / (utlb as f64);
+    assert!(
+        rate > 0.1 && rate < 0.35,
+        "slow-path rate {rate:.2} should track the configured 0.2"
+    );
+}
+
+#[test]
+fn blocking_reads_put_idle_between_kernel_halves() {
+    // One cold read: the service frame must exclude the idle wait.
+    let user = vec![Instr::syscall(
+        0x1000,
+        SyscallKind::Read { file: FileRef(9), offset: 0, bytes: 4096 },
+    )];
+    let os = os_with(user, OsConfig::default());
+    let (_, stats, _) = drive(os);
+    let idle_mode_cycles = stats.mode_cycles(Mode::Idle);
+    let (_, prof) = stats.finish_with_services();
+    let idle_frame = &prof.aggregates()[&KernelService::IdleProcess.id()];
+    assert!(idle_mode_cycles > 0);
+    // The idle pseudo-frame accounts for (almost) all idle-mode cycles.
+    assert!(
+        idle_frame.cycles * 10 >= idle_mode_cycles * 9,
+        "idle frame {} vs idle mode {}",
+        idle_frame.cycles,
+        idle_mode_cycles
+    );
+}
+
+#[test]
+fn write_syscalls_do_not_touch_the_disk() {
+    let user: Vec<Instr> = (0..20)
+        .map(|i| {
+            Instr::syscall(
+                0x1000 + i * 4,
+                SyscallKind::Write { file: FileRef(3), bytes: 8192 },
+            )
+        })
+        .collect();
+    let os = os_with(user, OsConfig::default());
+    let (os, stats, _) = drive(os);
+    assert_eq!(stats.mode_cycles(Mode::Idle), 0, "write-behind never blocks");
+    let disk = os.into_disk();
+    assert_eq!(disk.report(1).requests, 0);
+}
+
+#[test]
+fn file_cache_capacity_forces_disk_traffic() {
+    // A tiny file cache: re-reading more distinct blocks than capacity
+    // keeps missing.
+    let user: Vec<Instr> = (0..30u64)
+        .map(|i| {
+            Instr::syscall(
+                0x1000 + i * 4,
+                SyscallKind::Read {
+                    file: FileRef((i % 10) as u32),
+                    offset: 0,
+                    bytes: 4096,
+                },
+            )
+        })
+        .collect();
+    let os = os_with(
+        user,
+        OsConfig { file_cache_blocks: 4, ..OsConfig::default() },
+    );
+    let (os, _, _) = drive(os);
+    assert!(
+        os.file_cache().misses() > 15,
+        "10 files through 4 blocks must thrash: {} misses",
+        os.file_cache().misses()
+    );
+}
+
+#[test]
+fn deferred_flush_invalidates_the_l1() {
+    // cacheflush at a high rate; afterwards the machine still runs
+    // correctly (flushes are performance events, not correctness ones).
+    let user: Vec<Instr> = (0..30_000u64)
+        .map(|i| Instr::alu((i % 64) * 4, Reg::int((i % 8) as u8 + 1), None, None))
+        .collect();
+    let os = os_with(
+        user,
+        OsConfig { cacheflush_per_kinstr: 2.0, ..OsConfig::default() },
+    );
+    let (_, stats, _) = drive(os);
+    let (_, prof) = stats.finish_with_services();
+    let flushes = prof.aggregates()[&KernelService::CacheFlush.id()].invocations;
+    assert!(flushes > 20, "got {flushes}");
+}

@@ -1,0 +1,157 @@
+//! Wattch-style RAM-array and CAM models for the associative pipeline
+//! structures: register file, rename table, issue window, load/store
+//! queue, branch predictor tables, and the TLB.
+
+use crate::TechParams;
+
+/// Per-access energy of a small RAM array of `rows` entries of
+/// `bits` each, read/written through one port.
+///
+/// Same component structure as the cache model minus tags: bitlines,
+/// wordline, decoder, sense, output.
+pub fn ram_access_j(tech: &TechParams, rows: u64, bits: u64) -> f64 {
+    let rows_f = rows.max(1) as f64;
+    let bits_f = bits.max(1) as f64;
+    let e_bitlines = tech.e_bitline(bits_f * rows_f * tech.c_bitline_per_cell);
+    let e_wordline = tech.e_full(bits_f * tech.c_wordline_per_cell);
+    let e_decoder = tech.e_full(rows_f.log2().max(1.0).ceil() * tech.c_decoder_per_bit);
+    let e_sense = tech.e_full(bits_f * tech.c_senseamp);
+    let e_output = tech.e_full(bits_f * tech.c_output_per_bit);
+    let e_port = tech.e_full(tech.c_array_port);
+    e_bitlines + e_wordline + e_decoder + e_sense + e_output + e_port
+}
+
+/// Per-operation energy of a fully-associative CAM search over `entries`
+/// of `tag_bits` each (issue-window wakeup, LSQ disambiguation, TLB
+/// lookup): every match line and tag column switches.
+pub fn cam_search_j(tech: &TechParams, entries: u64, tag_bits: u64) -> f64 {
+    let cells = (entries.max(1) * tag_bits.max(1)) as f64;
+    // Tag broadcast drives all columns; match lines precharge/evaluate.
+    let e_broadcast = tech.e_bitline(cells * tech.c_cam_per_bit);
+    let e_matchlines = tech.e_full(entries as f64 * tag_bits as f64 * 0.25 * tech.c_cam_per_bit);
+    let e_port = tech.e_full(tech.c_array_port);
+    e_broadcast + e_matchlines + e_port
+}
+
+/// Sizes of the array structures, derived from the machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayEnergies {
+    /// Register file read/write (one port activation).
+    pub regfile_j: f64,
+    /// Rename (map) table lookup/allocate.
+    pub rename_j: f64,
+    /// Window insert (RAM write of one entry).
+    pub window_insert_j: f64,
+    /// Window wakeup (CAM broadcast).
+    pub window_wakeup_j: f64,
+    /// Window select/issue (selection tree + RAM read).
+    pub window_issue_j: f64,
+    /// LSQ insert.
+    pub lsq_insert_j: f64,
+    /// LSQ associative search.
+    pub lsq_search_j: f64,
+    /// BHT lookup/update.
+    pub bht_j: f64,
+    /// BTB lookup/update.
+    pub btb_j: f64,
+    /// Return-address-stack push/pop.
+    pub ras_j: f64,
+    /// TLB lookup (fully associative CAM) and refill write.
+    pub tlb_j: f64,
+}
+
+/// Structure dimensions needed by the array models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayDims {
+    /// Architectural registers (both files).
+    pub regs: u64,
+    /// Register width in bits.
+    pub reg_bits: u64,
+    /// Issue-window entries.
+    pub window: u64,
+    /// LSQ entries.
+    pub lsq: u64,
+    /// BHT entries (2-bit counters).
+    pub bht: u64,
+    /// BTB entries.
+    pub btb: u64,
+    /// RAS entries.
+    pub ras: u64,
+    /// TLB entries.
+    pub tlb: u64,
+}
+
+impl ArrayEnergies {
+    /// Builds all array energies from dimensions.
+    pub fn new(tech: &TechParams, dims: &ArrayDims) -> ArrayEnergies {
+        ArrayEnergies {
+            regfile_j: ram_access_j(tech, dims.regs, dims.reg_bits),
+            rename_j: ram_access_j(tech, dims.regs, 8),
+            window_insert_j: ram_access_j(tech, dims.window, 80),
+            window_wakeup_j: cam_search_j(tech, dims.window, 8),
+            window_issue_j: ram_access_j(tech, dims.window, 80)
+                + tech.e_full((dims.window as f64).log2() * tech.c_decoder_per_bit),
+            lsq_insert_j: ram_access_j(tech, dims.lsq, 72),
+            lsq_search_j: cam_search_j(tech, dims.lsq, 40),
+            bht_j: ram_access_j(tech, dims.bht, 2),
+            btb_j: ram_access_j(tech, dims.btb, 64),
+            ras_j: ram_access_j(tech, dims.ras, 32),
+            tlb_j: cam_search_j(tech, dims.tlb, 28) + ram_access_j(tech, dims.tlb, 36),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> ArrayDims {
+        // Table 1 machine.
+        ArrayDims {
+            regs: 66,
+            reg_bits: 64,
+            window: 64,
+            lsq: 32,
+            bht: 1024,
+            btb: 1024,
+            ras: 32,
+            tlb: 64,
+        }
+    }
+
+    #[test]
+    fn array_energies_are_sub_nanojoule() {
+        let e = ArrayEnergies::new(&TechParams::default(), &dims());
+        for (name, j) in [
+            ("regfile", e.regfile_j),
+            ("rename", e.rename_j),
+            ("wakeup", e.window_wakeup_j),
+            ("issue", e.window_issue_j),
+            ("lsq_search", e.lsq_search_j),
+            ("bht", e.bht_j),
+            ("tlb", e.tlb_j),
+        ] {
+            assert!(j > 0.0 && j < 2.0e-9, "{name} energy out of range: {j}");
+        }
+    }
+
+    #[test]
+    fn bigger_structures_cost_more() {
+        let t = TechParams::default();
+        assert!(ram_access_j(&t, 1024, 64) > ram_access_j(&t, 64, 64));
+        assert!(cam_search_j(&t, 64, 8) > cam_search_j(&t, 16, 8));
+    }
+
+    #[test]
+    fn bht_cheaper_than_btb() {
+        // 2-bit counters vs 64-bit target entries.
+        let e = ArrayEnergies::new(&TechParams::default(), &dims());
+        assert!(e.bht_j < e.btb_j);
+    }
+
+    #[test]
+    fn cam_scales_with_tag_width() {
+        let t = TechParams::default();
+        assert!(cam_search_j(&t, 64, 40) > cam_search_j(&t, 64, 8));
+    }
+}

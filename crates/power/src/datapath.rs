@@ -1,0 +1,225 @@
+//! Fine-grained datapath breakdown.
+//!
+//! The paper clubs the load/store queue, issue window, register renaming
+//! unit, result bus, register file, and ALUs together as "datapath" in its
+//! graphs and defers the per-component breakdown to its technical-report
+//! companion. This module provides that breakdown: the same event-energy
+//! products as [`crate::PowerModel`], resolved to individual structures.
+
+use std::fmt;
+
+use softwatt_stats::{CounterSet, UnitEvent};
+
+use crate::model::PowerModel;
+
+/// An individual structure inside the clubbed "datapath" group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatapathComponent {
+    /// Architectural register file ports.
+    RegFile,
+    /// Register rename (map) table.
+    Rename,
+    /// Issue window (insert + wakeup CAM + select).
+    Window,
+    /// Load/store queue (insert + disambiguation search).
+    Lsq,
+    /// Result bus drivers.
+    ResultBus,
+    /// Integer ALUs and multiplier.
+    IntUnits,
+    /// Floating-point pipelines.
+    FpUnits,
+    /// Branch predictor structures (BHT, BTB, RAS).
+    Predictor,
+    /// Unified TLB lookups and refills.
+    Tlb,
+    /// Decode logic.
+    Decode,
+}
+
+impl DatapathComponent {
+    /// All components in report order.
+    pub const ALL: [DatapathComponent; 10] = [
+        DatapathComponent::RegFile,
+        DatapathComponent::Rename,
+        DatapathComponent::Window,
+        DatapathComponent::Lsq,
+        DatapathComponent::ResultBus,
+        DatapathComponent::IntUnits,
+        DatapathComponent::FpUnits,
+        DatapathComponent::Predictor,
+        DatapathComponent::Tlb,
+        DatapathComponent::Decode,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            DatapathComponent::RegFile => 0,
+            DatapathComponent::Rename => 1,
+            DatapathComponent::Window => 2,
+            DatapathComponent::Lsq => 3,
+            DatapathComponent::ResultBus => 4,
+            DatapathComponent::IntUnits => 5,
+            DatapathComponent::FpUnits => 6,
+            DatapathComponent::Predictor => 7,
+            DatapathComponent::Tlb => 8,
+            DatapathComponent::Decode => 9,
+        }
+    }
+
+    /// Number of components.
+    pub const COUNT: usize = 10;
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatapathComponent::RegFile => "Register File",
+            DatapathComponent::Rename => "Rename",
+            DatapathComponent::Window => "Issue Window",
+            DatapathComponent::Lsq => "LSQ",
+            DatapathComponent::ResultBus => "Result Bus",
+            DatapathComponent::IntUnits => "Int Units",
+            DatapathComponent::FpUnits => "FP Units",
+            DatapathComponent::Predictor => "Predictor",
+            DatapathComponent::Tlb => "TLB",
+            DatapathComponent::Decode => "Decode",
+        }
+    }
+
+    /// Which component an event's energy belongs to, or `None` for events
+    /// outside the datapath group.
+    pub fn of_event(event: UnitEvent) -> Option<DatapathComponent> {
+        use UnitEvent::*;
+        Some(match event {
+            RegRead | RegWrite => DatapathComponent::RegFile,
+            RenameAccess => DatapathComponent::Rename,
+            WindowInsert | WindowWakeup | WindowIssue => DatapathComponent::Window,
+            LsqInsert | LsqSearch => DatapathComponent::Lsq,
+            ResultBus => DatapathComponent::ResultBus,
+            AluOp | MulOp => DatapathComponent::IntUnits,
+            FpAluOp | FpMulOp => DatapathComponent::FpUnits,
+            BhtLookup | BhtUpdate | BtbLookup | BtbUpdate | RasAccess => {
+                DatapathComponent::Predictor
+            }
+            TlbAccess | TlbWrite => DatapathComponent::Tlb,
+            DecodeOp => DatapathComponent::Decode,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DatapathComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-component power (or energy) breakdown of the datapath group.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DatapathBreakdown {
+    values: [f64; DatapathComponent::COUNT],
+}
+
+impl DatapathBreakdown {
+    /// Value of one component.
+    pub fn get(&self, component: DatapathComponent) -> f64 {
+        self.values[component.index()]
+    }
+
+    /// Sum over components — equals the clubbed Datapath group value.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// `(component, value)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (DatapathComponent, f64)> + '_ {
+        DatapathComponent::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Display for DatapathBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, v) in self.iter() {
+            writeln!(f, "{:<14} {:8.3}", c.label(), v)?;
+        }
+        write!(f, "{:<14} {:8.3}", "Total", self.total())
+    }
+}
+
+impl PowerModel {
+    /// Average datapath power over a window, per component (W).
+    pub fn datapath_power_w(&self, events: &CounterSet, cycles: u64) -> DatapathBreakdown {
+        let mut out = DatapathBreakdown::default();
+        if cycles == 0 {
+            return out;
+        }
+        let secs = cycles as f64 / self.params().tech.freq_hz;
+        for (ev, count) in events.iter() {
+            if count == 0 {
+                continue;
+            }
+            if let Some(c) = DatapathComponent::of_event(ev) {
+                out.values[c.index()] += count as f64 * self.event_energy_j(ev) / secs;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::UnitGroup;
+    use crate::model::PowerParams;
+
+    #[test]
+    fn every_datapath_event_maps_to_exactly_one_component() {
+        for ev in UnitEvent::ALL {
+            let in_group = UnitGroup::of_event(ev) == Some(UnitGroup::Datapath);
+            let has_component = DatapathComponent::of_event(ev).is_some();
+            assert_eq!(
+                in_group, has_component,
+                "{ev}: group membership and component mapping must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_total_matches_clubbed_group() {
+        let model = PowerModel::new(&PowerParams::default());
+        let mut events = CounterSet::new();
+        events.add(UnitEvent::RegRead, 800);
+        events.add(UnitEvent::AluOp, 700);
+        events.add(UnitEvent::WindowWakeup, 500);
+        events.add(UnitEvent::LsqSearch, 100);
+        events.add(UnitEvent::BhtLookup, 200);
+        events.add(UnitEvent::IcacheAccess, 2000); // outside the datapath
+        let cycles = 1000;
+        let breakdown = model.datapath_power_w(&events, cycles);
+        let clubbed = model.window_power_w(&events, cycles).get(UnitGroup::Datapath);
+        assert!(
+            (breakdown.total() - clubbed).abs() < 1e-9,
+            "breakdown {} vs clubbed {}",
+            breakdown.total(),
+            clubbed
+        );
+        assert!(breakdown.get(DatapathComponent::RegFile) > 0.0);
+        assert_eq!(breakdown.get(DatapathComponent::FpUnits), 0.0);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in DatapathComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_power() {
+        let model = PowerModel::new(&PowerParams::default());
+        let mut events = CounterSet::new();
+        events.add(UnitEvent::AluOp, 10);
+        assert_eq!(model.datapath_power_w(&events, 0).total(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Unit groups for budget reporting — the legend of the paper's Figures
+//! 5–7: datapath, split L1/L2 caches by stream, clock, and memory.
+
+use std::fmt;
+
+use softwatt_stats::UnitEvent;
+
+/// A reporting group of the processor/memory budget. The disk is appended
+/// at the system-report level (it is not part of the processor model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitGroup {
+    /// Load/store queue, issue window, rename, result bus, register file,
+    /// ALUs — the paper's clubbed "datapath" (plus predictor and TLB).
+    Datapath,
+    /// L1 data cache.
+    L1D,
+    /// L2 traffic on behalf of the data stream.
+    L2D,
+    /// L1 instruction cache.
+    L1I,
+    /// L2 traffic on behalf of the instruction stream.
+    L2I,
+    /// Clock generation and distribution.
+    Clock,
+    /// Main memory (DRAM).
+    Memory,
+}
+
+impl UnitGroup {
+    /// All groups in the paper's legend order.
+    pub const ALL: [UnitGroup; 7] = [
+        UnitGroup::Datapath,
+        UnitGroup::L1D,
+        UnitGroup::L2D,
+        UnitGroup::L1I,
+        UnitGroup::L2I,
+        UnitGroup::Clock,
+        UnitGroup::Memory,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            UnitGroup::Datapath => 0,
+            UnitGroup::L1D => 1,
+            UnitGroup::L2D => 2,
+            UnitGroup::L1I => 3,
+            UnitGroup::L2I => 4,
+            UnitGroup::Clock => 5,
+            UnitGroup::Memory => 6,
+        }
+    }
+
+    /// Number of groups.
+    pub const COUNT: usize = 7;
+
+    /// Display label (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitGroup::Datapath => "Datapath",
+            UnitGroup::L1D => "L1 D-Cache",
+            UnitGroup::L2D => "L2 D-Cache",
+            UnitGroup::L1I => "L1 I-Cache",
+            UnitGroup::L2I => "L2 I-Cache",
+            UnitGroup::Clock => "Clock",
+            UnitGroup::Memory => "Memory",
+        }
+    }
+
+    /// The group an event's energy is charged to, or `None` for events
+    /// that carry no energy of their own.
+    pub fn of_event(event: UnitEvent) -> Option<UnitGroup> {
+        use UnitEvent::*;
+        Some(match event {
+            IcacheAccess | IcacheMiss | WrongPathFetch => UnitGroup::L1I,
+            DcacheRead | DcacheWrite | DcacheMiss => UnitGroup::L1D,
+            L2AccessI => UnitGroup::L2I,
+            L2AccessD => UnitGroup::L2D,
+            MemAccess => UnitGroup::Memory,
+            TlbAccess | TlbWrite | AluOp | MulOp | FpAluOp | FpMulOp | RegRead | RegWrite
+            | RenameAccess | WindowInsert | WindowWakeup | WindowIssue | LsqInsert | LsqSearch
+            | ResultBus | BhtLookup | BhtUpdate | BtbLookup | BtbUpdate | RasAccess
+            | DecodeOp => UnitGroup::Datapath,
+            L2Miss | TlbMiss | BranchMispredict | CommitInstr | FetchCycle | SyncOp => {
+                return None
+            }
+        })
+    }
+
+    /// Whether the group belongs to the memory subsystem (caches + DRAM)
+    /// in the paper's Figure 3 sense.
+    pub fn is_memory_subsystem(self) -> bool {
+        matches!(
+            self,
+            UnitGroup::L1D | UnitGroup::L2D | UnitGroup::L1I | UnitGroup::L2I | UnitGroup::Memory
+        )
+    }
+}
+
+impl fmt::Display for UnitGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Power (or energy) per group, in the unit of the producing call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupPower {
+    values: [f64; UnitGroup::COUNT],
+}
+
+impl GroupPower {
+    /// A zeroed breakdown.
+    pub fn new() -> GroupPower {
+        GroupPower::default()
+    }
+
+    /// Value for one group.
+    #[inline]
+    pub fn get(&self, group: UnitGroup) -> f64 {
+        self.values[group.index()]
+    }
+
+    /// Adds to one group.
+    #[inline]
+    pub fn add(&mut self, group: UnitGroup, value: f64) {
+        self.values[group.index()] += value;
+    }
+
+    /// Sum across groups.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Sum of memory-subsystem groups (paper Figure 3).
+    pub fn memory_subsystem(&self) -> f64 {
+        UnitGroup::ALL
+            .iter()
+            .filter(|g| g.is_memory_subsystem())
+            .map(|g| self.get(*g))
+            .sum()
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &GroupPower) {
+        for i in 0..UnitGroup::COUNT {
+            self.values[i] += other.values[i];
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn scaled(&self, k: f64) -> GroupPower {
+        let mut out = GroupPower::new();
+        for g in UnitGroup::ALL {
+            out.add(g, self.get(g) * k);
+        }
+        out
+    }
+
+    /// `(group, value)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (UnitGroup, f64)> + '_ {
+        UnitGroup::ALL.iter().map(move |&g| (g, self.get(g)))
+    }
+}
+
+impl fmt::Display for GroupPower {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (g, v) in self.iter() {
+            writeln!(f, "{:<12} {:8.3}", g.label(), v)?;
+        }
+        write!(f, "{:<12} {:8.3}", "Total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_maps_to_at_most_one_group() {
+        for e in UnitEvent::ALL {
+            let _ = UnitGroup::of_event(e); // must not panic
+        }
+    }
+
+    #[test]
+    fn cache_events_map_to_cache_groups() {
+        assert_eq!(UnitGroup::of_event(UnitEvent::IcacheAccess), Some(UnitGroup::L1I));
+        assert_eq!(UnitGroup::of_event(UnitEvent::DcacheWrite), Some(UnitGroup::L1D));
+        assert_eq!(UnitGroup::of_event(UnitEvent::L2AccessI), Some(UnitGroup::L2I));
+        assert_eq!(UnitGroup::of_event(UnitEvent::MemAccess), Some(UnitGroup::Memory));
+        assert_eq!(UnitGroup::of_event(UnitEvent::AluOp), Some(UnitGroup::Datapath));
+    }
+
+    #[test]
+    fn group_power_arithmetic() {
+        let mut a = GroupPower::new();
+        a.add(UnitGroup::L1I, 2.0);
+        a.add(UnitGroup::Clock, 1.0);
+        let mut b = GroupPower::new();
+        b.add(UnitGroup::L1I, 1.0);
+        a.merge(&b);
+        assert_eq!(a.get(UnitGroup::L1I), 3.0);
+        assert_eq!(a.total(), 4.0);
+        assert_eq!(a.scaled(0.5).total(), 2.0);
+    }
+
+    #[test]
+    fn memory_subsystem_excludes_datapath_and_clock() {
+        let mut p = GroupPower::new();
+        p.add(UnitGroup::L1D, 1.0);
+        p.add(UnitGroup::Memory, 1.0);
+        p.add(UnitGroup::Clock, 5.0);
+        p.add(UnitGroup::Datapath, 5.0);
+        assert_eq!(p.memory_subsystem(), 2.0);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, g) in UnitGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Post-processing of simulation logs into power profiles and per-mode
+//! tables — the paper's offline pipeline (Figure 1's "Analytical Power
+//! Models" stage).
+
+use softwatt_stats::{Mode, SimLog};
+
+use crate::group::GroupPower;
+use crate::model::PowerModel;
+
+/// One point of a time-resolved power/execution profile (Figures 3 and 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilePoint {
+    /// End of the window in paper-time seconds.
+    pub t_end_s: f64,
+    /// Cycles covered by the window.
+    pub cycles: u64,
+    /// Cycles per mode within the window.
+    pub mode_cycles: [u64; Mode::COUNT],
+    /// Average power *while executing in each mode* during the window,
+    /// per group (W). Zero for modes that did not occur.
+    pub mode_power_w: [GroupPower; Mode::COUNT],
+    /// Average power over the whole window (W), per group.
+    pub window_power_w: GroupPower,
+}
+
+impl ProfilePoint {
+    /// Fraction of the window spent in `mode`.
+    pub fn mode_share(&self, mode: Mode) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mode_cycles[mode.index()] as f64 / self.cycles as f64
+    }
+
+    /// Window power contribution attributable to `mode` (W): the mode's
+    /// energy spread over the whole window — what the paper's stacked
+    /// power profiles plot.
+    pub fn mode_contribution_w(&self, mode: Mode) -> f64 {
+        self.mode_power_w[mode.index()].total() * self.mode_share(mode)
+    }
+}
+
+/// A time-resolved profile of the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerProfile {
+    /// Profile points in time order, one per log sample.
+    pub points: Vec<ProfilePoint>,
+}
+
+impl PowerProfile {
+    /// Peak window-average power over the run (W) and when it occurred.
+    ///
+    /// The paper focuses on average power but notes the tool also yields
+    /// peak power from the same profiles (§3.1, for cooling/DTM design);
+    /// the peak is taken over sampling windows, so it is a lower bound on
+    /// the true per-cycle peak.
+    pub fn peak_power_w(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.window_power_w.total(), p.t_end_s))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+    }
+
+    /// Average total power over the run (W).
+    pub fn average_power_w(&self) -> f64 {
+        let total_cycles: u64 = self.points.iter().map(|p| p.cycles).sum();
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .points
+            .iter()
+            .map(|p| p.window_power_w.total() * p.cycles as f64)
+            .sum();
+        weighted / total_cycles as f64
+    }
+}
+
+/// Whole-run per-mode energy/power — the data behind Figure 6 and the
+/// energy columns of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModePowerTable {
+    /// Cycles per mode.
+    pub mode_cycles: [u64; Mode::COUNT],
+    /// Energy per mode, per group (J, machine time).
+    pub mode_energy_j: [GroupPower; Mode::COUNT],
+    /// Clock frequency used for power conversion.
+    pub freq_hz: f64,
+}
+
+impl ModePowerTable {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.mode_cycles.iter().sum()
+    }
+
+    /// Total energy across modes (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.mode_energy_j.iter().map(GroupPower::total).sum()
+    }
+
+    /// Fraction of cycles spent in `mode` (Table 2 "Cycles").
+    pub fn cycle_fraction(&self, mode: Mode) -> f64 {
+        self.mode_cycles[mode.index()] as f64 / self.total_cycles().max(1) as f64
+    }
+
+    /// Fraction of energy consumed in `mode` (Table 2 "Energy").
+    pub fn energy_fraction(&self, mode: Mode) -> f64 {
+        let total = self.total_energy_j();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.mode_energy_j[mode.index()].total() / total
+    }
+
+    /// Average power while executing in `mode`, per group (Figure 6).
+    pub fn average_power_w(&self, mode: Mode) -> GroupPower {
+        let cycles = self.mode_cycles[mode.index()];
+        if cycles == 0 {
+            return GroupPower::new();
+        }
+        let secs = cycles as f64 / self.freq_hz;
+        self.mode_energy_j[mode.index()].scaled(1.0 / secs)
+    }
+
+    /// Run-wide average power, per group (the budget numerator for
+    /// Figures 5/7 before the disk is appended).
+    pub fn overall_average_power_w(&self) -> GroupPower {
+        let secs = self.total_cycles() as f64 / self.freq_hz;
+        if secs == 0.0 {
+            return GroupPower::new();
+        }
+        let mut e = GroupPower::new();
+        for m in &self.mode_energy_j {
+            e.merge(m);
+        }
+        e.scaled(1.0 / secs)
+    }
+
+    /// Energy-delay product (J·s) over the run — the paper's EDP metric.
+    pub fn energy_delay_product(&self) -> f64 {
+        let secs = self.total_cycles() as f64 / self.freq_hz;
+        self.total_energy_j() * secs
+    }
+}
+
+impl PowerModel {
+    /// Replays a log into a time-resolved profile.
+    pub fn profile(&self, log: &SimLog) -> PowerProfile {
+        let clocking = log.clocking();
+        let points = log
+            .samples()
+            .iter()
+            .map(|s| {
+                let cycles = s.cycles();
+                let mut mode_power_w = [GroupPower::new(); Mode::COUNT];
+                for mode in Mode::ALL {
+                    let mc = s.mode_cycles[mode.index()];
+                    if mc > 0 {
+                        mode_power_w[mode.index()] =
+                            self.window_power_w(s.events.mode(mode), mc);
+                    }
+                }
+                let window_power_w = self.window_power_w(&s.events.combined(), cycles);
+                ProfilePoint {
+                    t_end_s: clocking.cycles_to_paper_secs(s.end_cycle),
+                    cycles,
+                    mode_cycles: s.mode_cycles,
+                    mode_power_w,
+                    window_power_w,
+                }
+            })
+            .collect();
+        PowerProfile { points }
+    }
+
+    /// Aggregates a log into the per-mode energy/power table.
+    pub fn mode_table(&self, log: &SimLog) -> ModePowerTable {
+        let mut mode_cycles = [0u64; Mode::COUNT];
+        let mut mode_energy_j = [GroupPower::new(); Mode::COUNT];
+        for s in log.samples() {
+            for mode in Mode::ALL {
+                let mc = s.mode_cycles[mode.index()];
+                if mc == 0 {
+                    continue;
+                }
+                mode_cycles[mode.index()] += mc;
+                mode_energy_j[mode.index()]
+                    .merge(&self.window_energy_j(s.events.mode(mode), mc));
+            }
+        }
+        ModePowerTable {
+            mode_cycles,
+            mode_energy_j,
+            freq_hz: self.params().tech.freq_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PowerParams;
+    use crate::UnitGroup;
+    use softwatt_stats::{Clocking, StatsCollector, UnitEvent};
+
+    /// Builds a log with a busy user phase then a quiet idle phase.
+    fn two_phase_log() -> SimLog {
+        let mut stats = StatsCollector::new(Clocking::full_speed(200.0e6), 1000);
+        stats.set_mode(Mode::User);
+        for _ in 0..2000 {
+            stats.record_n(UnitEvent::IcacheAccess, 2);
+            stats.record(UnitEvent::AluOp);
+            stats.record(UnitEvent::CommitInstr);
+            stats.tick();
+        }
+        stats.set_mode(Mode::Idle);
+        for _ in 0..2000 {
+            stats.record(UnitEvent::IcacheAccess);
+            stats.tick();
+        }
+        stats.finish()
+    }
+
+    #[test]
+    fn profile_covers_every_sample() {
+        let model = PowerModel::new(&PowerParams::default());
+        let log = two_phase_log();
+        let profile = model.profile(&log);
+        assert_eq!(profile.points.len(), log.samples().len());
+        assert!(profile.average_power_w() > 0.0);
+    }
+
+    #[test]
+    fn busy_windows_burn_more_than_idle_windows() {
+        let model = PowerModel::new(&PowerParams::default());
+        let profile = model.profile(&two_phase_log());
+        let busy = profile.points.first().unwrap().window_power_w.total();
+        let idle = profile.points.last().unwrap().window_power_w.total();
+        assert!(busy > idle, "busy {busy} vs idle {idle}");
+        // ...but idle is NOT free: busy-waiting keeps clock + L1I going,
+        // the paper's point about the IRIX idle loop.
+        assert!(idle > 0.5, "idle must burn real power, got {idle}");
+    }
+
+    #[test]
+    fn mode_table_splits_cycles_and_energy() {
+        let model = PowerModel::new(&PowerParams::default());
+        let table = model.mode_table(&two_phase_log());
+        assert_eq!(table.mode_cycles[Mode::User.index()], 2000);
+        assert_eq!(table.mode_cycles[Mode::Idle.index()], 2000);
+        assert!((table.cycle_fraction(Mode::User) - 0.5).abs() < 1e-9);
+        // User does strictly more work per cycle => larger energy share.
+        assert!(table.energy_fraction(Mode::User) > 0.5);
+        let fractions: f64 = Mode::ALL.iter().map(|&m| table.energy_fraction(m)).sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_mode_average_power_exceeds_idle() {
+        let model = PowerModel::new(&PowerParams::default());
+        let table = model.mode_table(&two_phase_log());
+        let user = table.average_power_w(Mode::User).total();
+        let idle = table.average_power_w(Mode::Idle).total();
+        assert!(user > idle);
+        assert!(
+            table.average_power_w(Mode::KernelInstr).total() == 0.0,
+            "no kernel cycles in this log"
+        );
+    }
+
+    #[test]
+    fn overall_average_is_cycle_weighted_mix() {
+        let model = PowerModel::new(&PowerParams::default());
+        let table = model.mode_table(&two_phase_log());
+        let overall = table.overall_average_power_w().total();
+        let user = table.average_power_w(Mode::User).total();
+        let idle = table.average_power_w(Mode::Idle).total();
+        assert!((overall - (user + idle) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mode_contribution_stacks_to_window_power() {
+        let model = PowerModel::new(&PowerParams::default());
+        let profile = model.profile(&two_phase_log());
+        for p in &profile.points {
+            let stacked: f64 = Mode::ALL.iter().map(|&m| p.mode_contribution_w(m)).sum();
+            assert!(
+                (stacked - p.window_power_w.total()).abs() < 0.15 * p.window_power_w.total(),
+                "stacked {stacked} vs window {}",
+                p.window_power_w.total()
+            );
+        }
+    }
+
+    #[test]
+    fn peak_exceeds_average_and_lands_in_the_busy_phase() {
+        let model = PowerModel::new(&PowerParams::default());
+        let profile = model.profile(&two_phase_log());
+        let (peak_w, at_s) = profile.peak_power_w().expect("non-empty profile");
+        assert!(peak_w >= profile.average_power_w());
+        // The busy (user) phase is the first half of the log.
+        let end = profile.points.last().unwrap().t_end_s;
+        assert!(at_s <= end / 2.0 + 1e-9, "peak at {at_s} of {end}");
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let model = PowerModel::new(&PowerParams::default());
+        let table = model.mode_table(&two_phase_log());
+        let secs = table.total_cycles() as f64 / table.freq_hz;
+        assert!((table.energy_delay_product() - table.total_energy_j() * secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1i_energy_present_in_both_modes() {
+        let model = PowerModel::new(&PowerParams::default());
+        let table = model.mode_table(&two_phase_log());
+        assert!(table.mode_energy_j[Mode::User.index()].get(UnitGroup::L1I) > 0.0);
+        assert!(table.mode_energy_j[Mode::Idle.index()].get(UnitGroup::L1I) > 0.0);
+    }
+}

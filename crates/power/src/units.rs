@@ -1,0 +1,51 @@
+//! Functional-unit and bus energies.
+
+use crate::TechParams;
+
+/// Per-operation energies of the execution resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEnergies {
+    /// Integer ALU operation.
+    pub alu_j: f64,
+    /// Integer multiply/divide.
+    pub mul_j: f64,
+    /// Floating-point add-pipe operation.
+    pub fp_alu_j: f64,
+    /// Floating-point multiply/divide.
+    pub fp_mul_j: f64,
+    /// Result-bus drive.
+    pub result_bus_j: f64,
+}
+
+impl UnitEnergies {
+    /// Builds the table from technology constants.
+    pub fn new(tech: &TechParams) -> UnitEnergies {
+        UnitEnergies {
+            alu_j: tech.e_full(tech.c_alu_op),
+            mul_j: tech.e_full(tech.c_mul_op),
+            fp_alu_j: tech.e_full(tech.c_fpu_op),
+            fp_mul_j: tech.e_full(tech.c_fpu_op) * 1.3,
+            result_bus_j: tech.e_full(tech.c_result_bus),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_costs_more_than_int() {
+        let u = UnitEnergies::new(&TechParams::default());
+        assert!(u.fp_alu_j > u.alu_j);
+        assert!(u.fp_mul_j > u.fp_alu_j);
+        assert!(u.mul_j > u.alu_j);
+    }
+
+    #[test]
+    fn magnitudes_are_plausible_for_035um() {
+        let u = UnitEnergies::new(&TechParams::default());
+        assert!(u.alu_j > 0.05e-9 && u.alu_j < 1.0e-9);
+        assert!(u.result_bus_j > 0.01e-9 && u.result_bus_j < 1.0e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! The per-simulation statistics sink.
+
+use crate::{
+    Clocking, EnergyWeights, InvocationRecord, Mode, ModeCounters, Sample,
+    ServiceId, ServiceProfiler, SimLog,
+};
+
+/// Central event sink for one simulation run.
+///
+/// The machine models call [`StatsCollector::record`] as they work and
+/// [`StatsCollector::tick`] once per simulated cycle; the OS model switches
+/// [`Mode`]s and brackets kernel-service invocations. When the run finishes,
+/// [`StatsCollector::finish`] yields the [`SimLog`] for power post-processing
+/// together with the service aggregates.
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_stats::{Clocking, Mode, StatsCollector, UnitEvent};
+///
+/// let mut stats = StatsCollector::new(Clocking::full_speed(200.0e6), 2);
+/// stats.set_mode(Mode::KernelInstr);
+/// stats.record(UnitEvent::AluOp);
+/// stats.tick();
+/// stats.tick();
+/// stats.tick();
+/// let log = stats.finish();
+/// assert_eq!(log.total_cycles(), 3);
+/// assert_eq!(log.mode_cycles(Mode::KernelInstr), 3);
+/// ```
+#[derive(Debug)]
+pub struct StatsCollector {
+    cycle: u64,
+    mode: Mode,
+    totals: ModeCounters,
+    mode_cycles: [u64; Mode::COUNT],
+    // Snapshot at the start of the current sampling window.
+    window_start_totals: ModeCounters,
+    window_start_mode_cycles: [u64; Mode::COUNT],
+    window_start_cycle: u64,
+    sample_interval: u64,
+    log: SimLog,
+    profiler: ServiceProfiler,
+}
+
+impl StatsCollector {
+    /// Creates a collector that emits one sample every `sample_interval`
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_interval` is zero.
+    pub fn new(clocking: Clocking, sample_interval: u64) -> StatsCollector {
+        StatsCollector::with_weights(clocking, sample_interval, EnergyWeights::zero())
+    }
+
+    /// Creates a collector whose service profiler tracks per-invocation
+    /// energy with the given weights table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_interval` is zero.
+    pub fn with_weights(
+        clocking: Clocking,
+        sample_interval: u64,
+        weights: EnergyWeights,
+    ) -> StatsCollector {
+        assert!(sample_interval > 0, "sample interval must be positive");
+        StatsCollector {
+            cycle: 0,
+            mode: Mode::User,
+            totals: ModeCounters::new(),
+            mode_cycles: [0; Mode::COUNT],
+            window_start_totals: ModeCounters::new(),
+            window_start_mode_cycles: [0; Mode::COUNT],
+            window_start_cycle: 0,
+            sample_interval,
+            log: SimLog::new(clocking, sample_interval),
+            profiler: ServiceProfiler::new(weights),
+        }
+    }
+
+    /// Current simulated cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current software mode.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Switches the software mode; subsequent events and cycles accrue to
+    /// the new mode.
+    #[inline]
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Records one occurrence of `event` in the current mode.
+    #[inline]
+    pub fn record(&mut self, event: crate::UnitEvent) {
+        self.totals.mode_mut(self.mode).add(event, 1);
+    }
+
+    /// Records `n` occurrences of `event` in the current mode.
+    #[inline]
+    pub fn record_n(&mut self, event: crate::UnitEvent, n: u64) {
+        self.totals.mode_mut(self.mode).add(event, n);
+    }
+
+    /// Advances one cycle, attributing it to the current mode and emitting a
+    /// sample if the window filled up.
+    pub fn tick(&mut self) {
+        self.mode_cycles[self.mode.index()] += 1;
+        self.cycle += 1;
+        if self.cycle - self.window_start_cycle >= self.sample_interval {
+            self.emit_sample();
+        }
+    }
+
+    /// Advances `n` cycles at once (used when fast-forwarding, e.g. disk
+    /// spin operations — see paper §3.3).
+    pub fn tick_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Enters a kernel-service invocation frame.
+    pub fn enter_service(&mut self, service: ServiceId) {
+        let counters = self.totals.combined();
+        self.profiler.enter(service, self.cycle, &counters);
+    }
+
+    /// Exits the innermost kernel-service invocation frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` does not match the innermost frame.
+    pub fn exit_service(&mut self, service: ServiceId) -> InvocationRecord {
+        let counters = self.totals.combined();
+        self.profiler.exit(service, self.cycle, &counters)
+    }
+
+    /// Service currently receiving attribution, if any.
+    pub fn current_service(&self) -> Option<ServiceId> {
+        self.profiler.current()
+    }
+
+    /// Running totals (all samples plus the open window).
+    pub fn totals(&self) -> &ModeCounters {
+        &self.totals
+    }
+
+    /// Cycles attributed to `mode` so far.
+    pub fn mode_cycles(&self, mode: Mode) -> u64 {
+        self.mode_cycles[mode.index()]
+    }
+
+    /// Read access to the service profiler.
+    pub fn profiler(&self) -> &ServiceProfiler {
+        &self.profiler
+    }
+
+    fn emit_sample(&mut self) {
+        let events = self.totals.delta_since(&self.window_start_totals);
+        let mut mode_cycles = [0; Mode::COUNT];
+        for i in 0..Mode::COUNT {
+            mode_cycles[i] = self.mode_cycles[i] - self.window_start_mode_cycles[i];
+        }
+        self.log.push(Sample {
+            end_cycle: self.cycle,
+            mode_cycles,
+            events,
+        });
+        self.window_start_totals = self.totals.clone();
+        self.window_start_mode_cycles = self.mode_cycles;
+        self.window_start_cycle = self.cycle;
+    }
+
+    /// Flushes any partial window and returns the completed log.
+    pub fn finish(mut self) -> SimLog {
+        if self.cycle > self.window_start_cycle {
+            self.emit_sample();
+        }
+        self.log
+    }
+
+    /// Flushes any partial window and returns the log together with the
+    /// service profiler (for per-service reports).
+    pub fn finish_with_services(mut self) -> (SimLog, ServiceProfiler) {
+        if self.cycle > self.window_start_cycle {
+            self.emit_sample();
+        }
+        (self.log, self.profiler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitEvent;
+
+    #[test]
+    fn samples_cover_all_cycles_exactly_once() {
+        let mut s = StatsCollector::new(Clocking::default(), 10);
+        for i in 0..37 {
+            if i % 2 == 0 {
+                s.record(UnitEvent::IcacheAccess);
+            }
+            s.tick();
+        }
+        let log = s.finish();
+        assert_eq!(log.total_cycles(), 37);
+        assert_eq!(log.samples().len(), 4); // 10+10+10+7
+        assert_eq!(log.samples()[3].cycles(), 7);
+        assert_eq!(
+            log.total_events().combined().get(UnitEvent::IcacheAccess),
+            19
+        );
+    }
+
+    #[test]
+    fn mode_switches_partition_cycles() {
+        let mut s = StatsCollector::new(Clocking::default(), 100);
+        s.set_mode(Mode::User);
+        s.tick_n(30);
+        s.set_mode(Mode::Idle);
+        s.tick_n(20);
+        s.set_mode(Mode::KernelInstr);
+        s.tick_n(50);
+        let log = s.finish();
+        assert_eq!(log.mode_cycles(Mode::User), 30);
+        assert_eq!(log.mode_cycles(Mode::Idle), 20);
+        assert_eq!(log.mode_cycles(Mode::KernelInstr), 50);
+        assert_eq!(log.total_cycles(), 100);
+    }
+
+    #[test]
+    fn events_bucket_into_current_mode() {
+        let mut s = StatsCollector::new(Clocking::default(), 1000);
+        s.set_mode(Mode::KernelSync);
+        s.record_n(UnitEvent::SyncOp, 7);
+        s.tick();
+        let log = s.finish();
+        let totals = log.total_events();
+        assert_eq!(totals.mode(Mode::KernelSync).get(UnitEvent::SyncOp), 7);
+        assert_eq!(totals.mode(Mode::User).get(UnitEvent::SyncOp), 0);
+    }
+
+    #[test]
+    fn service_frames_attribute_cycles() {
+        let mut s = StatsCollector::new(Clocking::default(), 1_000_000);
+        s.tick_n(5);
+        s.enter_service(ServiceId(7));
+        s.record_n(UnitEvent::AluOp, 3);
+        s.tick_n(10);
+        let rec = s.exit_service(ServiceId(7));
+        assert_eq!(rec.cycles, 10);
+        let (_, prof) = s.finish_with_services();
+        let agg = &prof.aggregates()[&ServiceId(7)];
+        assert_eq!(agg.invocations, 1);
+        assert_eq!(agg.events.get(UnitEvent::AluOp), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be positive")]
+    fn rejects_zero_interval() {
+        let _ = StatsCollector::new(Clocking::default(), 0);
+    }
+
+    #[test]
+    fn finish_without_partial_window_adds_no_sample() {
+        let mut s = StatsCollector::new(Clocking::default(), 5);
+        s.tick_n(10);
+        let log = s.finish();
+        assert_eq!(log.samples().len(), 2);
+    }
+}

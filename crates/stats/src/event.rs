@@ -1,0 +1,173 @@
+//! Hardware unit events.
+//!
+//! Every microarchitectural component of the simulated machine reports its
+//! activity as a stream of [`UnitEvent`]s. The analytical power models in
+//! `softwatt-power` assign an energy to each event kind; the product of
+//! counts and per-event energies, divided by elapsed time, yields component
+//! power — exactly the paper's post-processing methodology.
+
+use std::fmt;
+
+macro_rules! unit_events {
+    ($($(#[$doc:meta])* $name:ident => $label:literal,)+) => {
+        /// A countable activation of one hardware unit.
+        ///
+        /// The set is fixed at compile time so counter storage can be a flat
+        /// array ([`crate::CounterSet`]) indexed by [`UnitEvent::index`].
+        ///
+        /// # Examples
+        ///
+        /// ```
+        /// use softwatt_stats::UnitEvent;
+        /// let ev = UnitEvent::DcacheRead;
+        /// assert_eq!(UnitEvent::from_index(ev.index()), ev);
+        /// assert_eq!(ev.label(), "dcache_read");
+        /// ```
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub enum UnitEvent {
+            $($(#[$doc])* $name,)+
+        }
+
+        impl UnitEvent {
+            /// Number of distinct event kinds.
+            pub const COUNT: usize = 0 $(+ { let _ = $label; 1 })+;
+
+            /// All events in index order.
+            pub const ALL: [UnitEvent; UnitEvent::COUNT] = [$(UnitEvent::$name,)+];
+
+            /// Snake-case label used in logs and reports.
+            pub fn label(self) -> &'static str {
+                match self {
+                    $(UnitEvent::$name => $label,)+
+                }
+            }
+        }
+    };
+}
+
+unit_events! {
+    /// One instruction fetched from the L1 instruction cache. The paper's
+    /// Table 3 "iL1 refs per cycle" counts these.
+    IcacheAccess => "icache_access",
+    /// L1 instruction cache miss (refill from L2).
+    IcacheMiss => "icache_miss",
+    /// Load access to the L1 data cache.
+    DcacheRead => "dcache_read",
+    /// Store access to the L1 data cache.
+    DcacheWrite => "dcache_write",
+    /// L1 data cache miss (refill from L2).
+    DcacheMiss => "dcache_miss",
+    /// Unified L2 access on behalf of the instruction stream.
+    L2AccessI => "l2_access_i",
+    /// Unified L2 access on behalf of the data stream.
+    L2AccessD => "l2_access_d",
+    /// L2 miss (either stream) going to main memory.
+    L2Miss => "l2_miss",
+    /// Main-memory (DRAM) access.
+    MemAccess => "mem_access",
+    /// Unified TLB lookup.
+    TlbAccess => "tlb_access",
+    /// TLB miss raised to the software handler (`utlb`).
+    TlbMiss => "tlb_miss",
+    /// TLB entry refill write performed by the `utlb` handler.
+    TlbWrite => "tlb_write",
+    /// Integer ALU operation.
+    AluOp => "alu_op",
+    /// Integer multiply/divide operation.
+    MulOp => "mul_op",
+    /// Floating-point add/compare/convert operation.
+    FpAluOp => "fp_alu_op",
+    /// Floating-point multiply/divide operation.
+    FpMulOp => "fp_mul_op",
+    /// Architectural register-file read port activation.
+    RegRead => "reg_read",
+    /// Architectural register-file write port activation.
+    RegWrite => "reg_write",
+    /// Register rename table lookup/allocate (decode stage).
+    RenameAccess => "rename_access",
+    /// Instruction inserted into the out-of-order issue window.
+    WindowInsert => "window_insert",
+    /// Issue-window wakeup (tag broadcast match) activation.
+    WindowWakeup => "window_wakeup",
+    /// Instruction selected and issued from the window.
+    WindowIssue => "window_issue",
+    /// Entry allocated in the load/store queue.
+    LsqInsert => "lsq_insert",
+    /// Associative search of the load/store queue (disambiguation).
+    LsqSearch => "lsq_search",
+    /// Result bus drive (one per completing instruction).
+    ResultBus => "result_bus",
+    /// Branch history table lookup.
+    BhtLookup => "bht_lookup",
+    /// Branch history table update at resolve.
+    BhtUpdate => "bht_update",
+    /// Branch target buffer lookup.
+    BtbLookup => "btb_lookup",
+    /// Branch target buffer update.
+    BtbUpdate => "btb_update",
+    /// Return address stack push or pop.
+    RasAccess => "ras_access",
+    /// Conditional branch mispredicted (recovery initiated).
+    BranchMispredict => "branch_mispredict",
+    /// Instruction passed through a decode slot.
+    DecodeOp => "decode_op",
+    /// Instruction committed (retired) in program order.
+    CommitInstr => "commit_instr",
+    /// Cycle in which the fetch stage performed any work (for clock gating).
+    FetchCycle => "fetch_cycle",
+    /// Wrong-path instruction fetched and later squashed.
+    WrongPathFetch => "wrong_path_fetch",
+    /// Atomic/synchronization primitive executed (LL/SC style).
+    SyncOp => "sync_op",
+}
+
+impl UnitEvent {
+    /// Dense index of this event, in `0..UnitEvent::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`UnitEvent::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= UnitEvent::COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> UnitEvent {
+        UnitEvent::ALL[index]
+    }
+}
+
+impl fmt::Display for UnitEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_round_trip() {
+        for (i, ev) in UnitEvent::ALL.iter().enumerate() {
+            assert_eq!(ev.index(), i);
+            assert_eq!(UnitEvent::from_index(i), *ev);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = UnitEvent::ALL.iter().map(|e| e.label()).collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn count_matches_all() {
+        assert_eq!(UnitEvent::ALL.len(), UnitEvent::COUNT);
+    }
+}

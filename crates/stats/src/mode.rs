@@ -1,0 +1,133 @@
+//! Software execution modes.
+//!
+//! The paper attributes every simulated cycle to one of four modes and builds
+//! all of its software-level power analyses (Figures 3, 4, 6; Table 2) on
+//! that attribution.
+
+use std::fmt;
+
+/// The four software execution modes of the SoftWatt characterization.
+///
+/// - [`Mode::User`]: application (and JVM/JIT) instructions.
+/// - [`Mode::KernelInstr`]: operating-system instructions outside
+///   synchronization regions.
+/// - [`Mode::KernelSync`]: kernel synchronization (spin-lock style) regions,
+///   which the paper found power-hungry but rare.
+/// - [`Mode::Idle`]: the busy-waiting idle process that IRIX schedules when
+///   no runnable process exists (e.g. while a disk request is outstanding).
+///
+/// # Examples
+///
+/// ```
+/// use softwatt_stats::Mode;
+/// assert_eq!(Mode::COUNT, 4);
+/// assert_eq!(Mode::from_index(Mode::KernelSync.index()), Mode::KernelSync);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Application (user-level) execution.
+    User,
+    /// Kernel execution outside synchronization regions.
+    KernelInstr,
+    /// Kernel synchronization (spin-lock) regions.
+    KernelSync,
+    /// The busy-waiting idle process.
+    Idle,
+}
+
+impl Mode {
+    /// Number of distinct modes.
+    pub const COUNT: usize = 4;
+
+    /// All modes in display order (user, kernel, sync, idle).
+    pub const ALL: [Mode; Mode::COUNT] =
+        [Mode::User, Mode::KernelInstr, Mode::KernelSync, Mode::Idle];
+
+    /// Dense index of this mode, in `0..Mode::COUNT`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Mode::User => 0,
+            Mode::KernelInstr => 1,
+            Mode::KernelSync => 2,
+            Mode::Idle => 3,
+        }
+    }
+
+    /// Inverse of [`Mode::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Mode::COUNT`.
+    #[inline]
+    pub fn from_index(index: usize) -> Mode {
+        Mode::ALL[index]
+    }
+
+    /// Short label used in reports (`user`, `kernel`, `sync`, `idle`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::User => "user",
+            Mode::KernelInstr => "kernel",
+            Mode::KernelSync => "sync",
+            Mode::Idle => "idle",
+        }
+    }
+
+    /// Whether this mode executes inside the kernel (instructions or sync).
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Mode::KernelInstr | Mode::KernelSync)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode::User
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, m) in Mode::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(Mode::from_index(i), *m);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let labels: Vec<_> = Mode::ALL.iter().map(|m| m.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+        }
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn kernel_classification() {
+        assert!(Mode::KernelInstr.is_kernel());
+        assert!(Mode::KernelSync.is_kernel());
+        assert!(!Mode::User.is_kernel());
+        assert!(!Mode::Idle.is_kernel());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for m in Mode::ALL {
+            assert_eq!(m.to_string(), m.label());
+        }
+    }
+}

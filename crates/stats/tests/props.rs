@@ -1,0 +1,111 @@
+//! Property tests on the statistics substrate: counter conservation,
+//! sampling coverage, service-frame accounting, time-scaling round trips,
+//! and CSV log round trips.
+
+use proptest::prelude::*;
+
+use softwatt_stats::{Clocking, Mode, ServiceId, StatsCollector, UnitEvent};
+
+fn modes() -> impl Strategy<Value = Mode> {
+    prop_oneof![
+        Just(Mode::User),
+        Just(Mode::KernelInstr),
+        Just(Mode::KernelSync),
+        Just(Mode::Idle),
+    ]
+}
+
+fn events() -> impl Strategy<Value = UnitEvent> {
+    (0usize..UnitEvent::COUNT).prop_map(UnitEvent::from_index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded event appears exactly once in the finished log, in
+    /// the mode it was recorded under, regardless of sampling interval.
+    #[test]
+    fn log_conserves_events_and_cycles(
+        interval in 1u64..64,
+        steps in prop::collection::vec((modes(), events(), 0u64..5), 1..300),
+    ) {
+        let mut stats = StatsCollector::new(Clocking::default(), interval);
+        let mut expected = std::collections::HashMap::new();
+        for &(mode, event, n) in &steps {
+            stats.set_mode(mode);
+            stats.record_n(event, n);
+            *expected.entry((mode, event)).or_insert(0u64) += n;
+            stats.tick();
+        }
+        let log = stats.finish();
+        prop_assert_eq!(log.total_cycles(), steps.len() as u64);
+        let totals = log.total_events();
+        for ((mode, event), n) in expected {
+            prop_assert_eq!(totals.mode(mode).get(event), n, "{}/{}", mode, event);
+        }
+        // Sample windows never exceed the interval.
+        for s in log.samples() {
+            prop_assert!(s.cycles() <= interval);
+        }
+    }
+
+    /// CSV export/import is the identity on arbitrary logs.
+    #[test]
+    fn csv_round_trip(
+        interval in 1u64..32,
+        scale in 1.0f64..10_000.0,
+        steps in prop::collection::vec((modes(), events(), 0u64..9), 1..120),
+    ) {
+        let mut stats = StatsCollector::new(Clocking::scaled(200.0e6, scale), interval);
+        for &(mode, event, n) in &steps {
+            stats.set_mode(mode);
+            stats.record_n(event, n);
+            stats.tick();
+        }
+        let log = stats.finish();
+        let mut buf = Vec::new();
+        log.to_csv(&mut buf).unwrap();
+        let back = softwatt_stats::SimLog::from_csv(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    /// Nested service frames: child cycles never exceed the parent's span,
+    /// and total attributed cycles never exceed elapsed cycles.
+    #[test]
+    fn service_frames_conserve_cycles(
+        spans in prop::collection::vec((1u64..50, 1u64..50, 1u64..50), 1..40),
+    ) {
+        let mut stats = StatsCollector::new(Clocking::default(), 1_000_000);
+        for &(before, inner, after) in &spans {
+            stats.tick_n(before);
+            stats.enter_service(ServiceId(1));
+            stats.tick_n(inner / 2 + 1);
+            stats.enter_service(ServiceId(2));
+            stats.tick_n(inner);
+            stats.exit_service(ServiceId(2));
+            stats.tick_n(after);
+            stats.exit_service(ServiceId(1));
+        }
+        let elapsed = stats.cycle();
+        let (_, prof) = stats.finish_with_services();
+        let attributed: u64 = prof.aggregates().values().map(|a| a.cycles).sum();
+        prop_assert!(attributed <= elapsed);
+        let inner_total: u64 = spans.iter().map(|&(_, i, _)| i).sum();
+        prop_assert_eq!(prof.aggregates()[&ServiceId(2)].cycles, inner_total);
+    }
+
+    /// Paper-time round trips through cycles are accurate to one cycle.
+    #[test]
+    fn clocking_round_trips(
+        hz in 1.0e6f64..1.0e9,
+        scale in 0.5f64..100_000.0,
+        secs in 1.0e-3f64..100.0,
+    ) {
+        let clk = Clocking::scaled(hz, scale);
+        let cycles = clk.paper_secs_to_cycles(secs);
+        let back = clk.cycles_to_paper_secs(cycles);
+        let one_cycle = scale / hz;
+        prop_assert!((back - secs).abs() <= one_cycle + 1e-12,
+            "{} -> {} cycles -> {}", secs, cycles, back);
+    }
+}

@@ -1,0 +1,236 @@
+//! Benchmark specification types.
+
+use serde::{Deserialize, Serialize};
+
+/// Rates of steady-state system calls, per thousand user instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SyscallRates {
+    /// Warm `read`s (file-cache resident working files).
+    pub read: f64,
+    /// `write`s.
+    pub write: f64,
+    /// `open`s.
+    pub open: f64,
+    /// `xstat`s.
+    pub xstat: f64,
+    /// `du_poll`s.
+    pub du_poll: f64,
+    /// Miscellaneous BSD calls.
+    pub bsd: f64,
+    /// Mean transfer size of steady reads/writes in bytes.
+    pub io_bytes_mean: u32,
+}
+
+/// One phase of a benchmark's user execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Phase label (for reports).
+    pub name: &'static str,
+    /// Fraction of total user instructions spent in this phase.
+    pub frac: f64,
+    /// Load fraction of the instruction mix.
+    pub load: f64,
+    /// Store fraction.
+    pub store: f64,
+    /// Conditional-branch fraction.
+    pub branch: f64,
+    /// Floating-point fraction.
+    pub fp: f64,
+    /// Integer-multiply fraction.
+    pub mul: f64,
+    /// Serial-dependence probability (higher = lower ILP).
+    pub dep_prob: f64,
+    /// Branch-outcome stability (predictor accuracy knob).
+    pub branch_stability: f64,
+    /// Hot data subset in bytes.
+    pub hot_bytes: u64,
+    /// Full data working set in bytes (beyond ~256 KiB exceeds the
+    /// 64-entry TLB's reach and produces `utlb` activity).
+    pub span_bytes: u64,
+    /// Fraction of accesses staying in the hot subset.
+    pub hot_frac: f64,
+    /// Instructions per code loop.
+    pub loop_len: u32,
+    /// Distinct code loops cycled through.
+    pub n_loops: u32,
+    /// Instructions spent per loop before moving on.
+    pub stay_per_loop: u32,
+    /// Steady system-call rates during the phase.
+    pub syscalls: SyscallRates,
+    /// Fresh page allocations (first touches driving `demand_zero`) per
+    /// thousand instructions. One-time page-fault work does not shrink
+    /// under time scaling, so it is rate-controlled explicitly while the
+    /// established working set is pre-mapped (checkpoint semantics).
+    pub fresh_per_kinstr: f64,
+}
+
+/// A timed burst of cold-file I/O (drives Figure 9's spin-down study).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoBurst {
+    /// When the burst fires, in paper-time seconds from run start.
+    pub at_s: f64,
+    /// Number of cold files opened and read.
+    pub files: u32,
+    /// Bytes read per file.
+    pub bytes_per_file: u32,
+}
+
+/// A complete benchmark description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (paper spelling).
+    pub name: &'static str,
+    /// Target run duration on the superscalar (MXS) machine, paper-time
+    /// seconds. The instruction budget is derived from this via
+    /// `assumed_ipc`.
+    pub duration_s: f64,
+    /// Expected commit IPC used to size the instruction budget.
+    pub assumed_ipc: f64,
+    /// Class files loaded by the prologue.
+    pub class_files: u32,
+    /// Mean class-file size in bytes.
+    pub class_file_bytes: u32,
+    /// Fraction of the user-instruction budget spent on load/verify/JIT
+    /// work between class-file loads. Expressed as a fraction (not a
+    /// count) so the prologue scales with the time-scale substitution.
+    pub startup_compute_frac: f64,
+    /// JIT-driven `cacheflush` invocations per thousand user instructions.
+    pub cacheflush_per_kinstr: f64,
+    /// Execution phases (fracs should sum to ~1).
+    pub phases: Vec<PhaseSpec>,
+    /// Timed mid-run cold I/O bursts.
+    pub io_bursts: Vec<IoBurst>,
+}
+
+impl BenchmarkSpec {
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration_s <= 0.0 || self.assumed_ipc <= 0.0 {
+            return Err(format!("{}: duration and IPC must be positive", self.name));
+        }
+        if self.phases.is_empty() {
+            return Err(format!("{}: needs at least one phase", self.name));
+        }
+        let frac_sum: f64 = self.phases.iter().map(|p| p.frac).sum();
+        if !(0.99..=1.01).contains(&frac_sum) {
+            return Err(format!(
+                "{}: phase fractions sum to {frac_sum}, expected 1.0",
+                self.name
+            ));
+        }
+        for p in &self.phases {
+            let mix = p.load + p.store + p.branch + p.fp + p.mul;
+            if mix > 1.0 {
+                return Err(format!("{}/{}: mix fractions exceed 1", self.name, p.name));
+            }
+            if p.hot_bytes > p.span_bytes {
+                return Err(format!(
+                    "{}/{}: hot set larger than working set",
+                    self.name, p.name
+                ));
+            }
+        }
+        if !(0.0..=0.5).contains(&self.startup_compute_frac) {
+            return Err(format!("{}: startup compute fraction out of range", self.name));
+        }
+        let mut last = 0.0;
+        for b in &self.io_bursts {
+            if b.at_s < last {
+                return Err(format!("{}: I/O bursts must be time-ordered", self.name));
+            }
+            last = b.at_s;
+        }
+        Ok(())
+    }
+
+    /// Total user-instruction budget for a given clocking.
+    pub fn user_instr_budget(&self, clocking: softwatt_stats::Clocking) -> u64 {
+        let cycles = clocking.paper_secs_to_cycles(self.duration_s);
+        ((cycles as f64) * self.assumed_ipc) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softwatt_stats::Clocking;
+
+    fn phase(frac: f64) -> PhaseSpec {
+        PhaseSpec {
+            name: "steady",
+            frac,
+            load: 0.25,
+            store: 0.08,
+            branch: 0.15,
+            fp: 0.02,
+            mul: 0.01,
+            dep_prob: 0.3,
+            branch_stability: 0.93,
+            hot_bytes: 64 * 1024,
+            span_bytes: 1024 * 1024,
+            hot_frac: 0.98,
+            loop_len: 64,
+            n_loops: 8,
+            stay_per_loop: 2048,
+            syscalls: SyscallRates::default(),
+            fresh_per_kinstr: 0.05,
+        }
+    }
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "test",
+            duration_s: 4.0,
+            assumed_ipc: 1.6,
+            class_files: 10,
+            class_file_bytes: 8192,
+            startup_compute_frac: 0.05,
+            cacheflush_per_kinstr: 0.01,
+            phases: vec![phase(1.0)],
+            io_bursts: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        spec().validate().unwrap();
+    }
+
+    #[test]
+    fn phase_fractions_must_sum_to_one() {
+        let mut s = spec();
+        s.phases = vec![phase(0.5)];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn bursts_must_be_ordered() {
+        let mut s = spec();
+        s.io_bursts = vec![
+            IoBurst { at_s: 3.0, files: 1, bytes_per_file: 4096 },
+            IoBurst { at_s: 1.0, files: 1, bytes_per_file: 4096 },
+        ];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn instruction_budget_scales_with_duration() {
+        let clk = Clocking::scaled(200.0e6, 1000.0);
+        let short = spec().user_instr_budget(clk);
+        let mut long = spec();
+        long.duration_s = 8.0;
+        assert_eq!(long.user_instr_budget(clk), 2 * short);
+    }
+
+    #[test]
+    fn oversubscribed_mix_rejected() {
+        let mut s = spec();
+        s.phases[0].load = 0.9;
+        s.phases[0].store = 0.9;
+        assert!(s.validate().is_err());
+    }
+}

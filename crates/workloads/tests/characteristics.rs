@@ -1,0 +1,141 @@
+//! Per-benchmark stream characteristics: each generator must show the
+//! qualitative character the paper ascribes to its benchmark, measured
+//! directly on the instruction stream (no machine in the loop).
+
+use softwatt_isa::{InstrSource, OpClass, SyscallKind};
+use softwatt_stats::{Clocking, StatsCollector};
+use softwatt_workloads::Benchmark;
+
+struct StreamStats {
+    total: usize,
+    loads: usize,
+    stores: usize,
+    branches: usize,
+    fp: usize,
+    syscalls: usize,
+    reads: usize,
+    distinct_pages: usize,
+}
+
+fn measure(benchmark: Benchmark) -> StreamStats {
+    let clk = Clocking::scaled(200.0e6, 8_000.0);
+    let mut stats = StatsCollector::new(clk, 1_000_000);
+    let mut w = benchmark.workload(clk, 17);
+    let mut s = StreamStats {
+        total: 0,
+        loads: 0,
+        stores: 0,
+        branches: 0,
+        fp: 0,
+        syscalls: 0,
+        reads: 0,
+        distinct_pages: 0,
+    };
+    let mut pages = std::collections::HashSet::new();
+    while let Some(i) = w.next_instr(&mut stats) {
+        s.total += 1;
+        match i.op {
+            OpClass::Load => s.loads += 1,
+            OpClass::Store => s.stores += 1,
+            OpClass::BranchCond => s.branches += 1,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => s.fp += 1,
+            OpClass::Syscall => {
+                s.syscalls += 1;
+                // Steady-state reads hit the warm working files (ids >= 1000);
+                // startup/burst reads use low file ids.
+                if matches!(i.syscall, Some(SyscallKind::Read { file, .. }) if file.0 >= 1000) {
+                    s.reads += 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some(addr) = i.mem_addr {
+            pages.insert(softwatt_isa::page_number(addr));
+        }
+        stats.tick(); // approximate clock so timed bursts fire
+        assert!(s.total < 20_000_000, "runaway stream");
+    }
+    s.distinct_pages = pages.len();
+    s
+}
+
+#[test]
+fn every_stream_terminates_with_plausible_mix() {
+    for b in Benchmark::ALL {
+        let s = measure(b);
+        assert!(s.total > 50_000, "{b}: {} instructions", s.total);
+        let load_frac = s.loads as f64 / s.total as f64;
+        let branch_frac = s.branches as f64 / s.total as f64;
+        assert!(load_frac > 0.15 && load_frac < 0.45, "{b}: load frac {load_frac}");
+        let store_frac = s.stores as f64 / s.total as f64;
+        assert!(store_frac > 0.03 && store_frac < 0.20, "{b}: store frac {store_frac}");
+        assert!(branch_frac > 0.08 && branch_frac < 0.35, "{b}: branch frac {branch_frac}");
+        assert!(s.syscalls > 10, "{b}: {} syscalls", s.syscalls);
+    }
+}
+
+#[test]
+fn mtrt_is_the_only_fp_heavy_stream() {
+    for b in Benchmark::ALL {
+        let s = measure(b);
+        let fp_frac = s.fp as f64 / s.total as f64;
+        if b == Benchmark::Mtrt {
+            assert!(fp_frac > 0.08, "mtrt fp frac {fp_frac}");
+        } else {
+            assert!(fp_frac < 0.03, "{b}: fp frac {fp_frac}");
+        }
+    }
+}
+
+#[test]
+fn jack_issues_steady_reads_at_the_highest_rate() {
+    // Table 4: jack's read service is the heaviest of the six benchmarks;
+    // its generator sustains the highest warm-read rate.
+    let jack = measure(Benchmark::Jack);
+    let jack_rate = jack.reads as f64 / jack.total as f64;
+    for other in [Benchmark::Compress, Benchmark::Db, Benchmark::Mtrt, Benchmark::Javac] {
+        let o = measure(other);
+        let other_rate = o.reads as f64 / o.total as f64;
+        assert!(
+            jack_rate > other_rate,
+            "jack steady-read rate {jack_rate:.2e} vs {other} {other_rate:.2e}"
+        );
+    }
+}
+
+#[test]
+fn working_sets_exceed_tlb_reach_in_pages() {
+    for b in Benchmark::ALL {
+        let s = measure(b);
+        assert!(
+            s.distinct_pages > 64,
+            "{b}: only {} distinct pages — no TLB pressure",
+            s.distinct_pages
+        );
+    }
+}
+
+#[test]
+fn compress_touches_fewer_pages_than_javac() {
+    // compress has the smallest kernel share in the paper; its data
+    // working set is the tightest.
+    let compress = measure(Benchmark::Compress);
+    let javac = measure(Benchmark::Javac);
+    let compress_rate = compress.distinct_pages as f64;
+    let javac_rate = javac.distinct_pages as f64;
+    assert!(
+        compress_rate < javac_rate,
+        "compress pages {compress_rate} vs javac {javac_rate}"
+    );
+}
+
+#[test]
+fn streams_differ_across_benchmarks() {
+    let a = measure(Benchmark::Jess);
+    let b = measure(Benchmark::Db);
+    assert_ne!(
+        (a.total, a.loads, a.branches),
+        (b.total, b.loads, b.branches),
+        "distinct benchmarks must generate distinct streams"
+    );
+}

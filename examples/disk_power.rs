@@ -1,0 +1,50 @@
+//! The Section 4 disk power-management study (Figure 9): run every
+//! benchmark under the four disk configurations and print the
+//! energy/performance trade-offs.
+//!
+//! ```sh
+//! cargo run --release --example disk_power [time_scale]
+//! ```
+
+use softwatt::experiments::{DiskSetup, ExperimentSuite};
+use softwatt::SystemConfig;
+
+fn main() -> Result<(), String> {
+    let time_scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000.0);
+    let suite = ExperimentSuite::new(SystemConfig {
+        time_scale,
+        ..SystemConfig::default()
+    })?;
+
+    println!("disk energy (J, paper time) and idle cycles per configuration\n");
+    for row in suite.fig9_disk_study() {
+        print!("{row}");
+        let base = row.cell(DiskSetup::Conventional);
+        let idle_only = row.cell(DiskSetup::IdleOnly);
+        let t2 = row.cell(DiskSetup::Standby2s);
+        let t4 = row.cell(DiskSetup::Standby4s);
+        println!(
+            "  IDLE mode saves {:.0}%; 2s spin-down is {} vs IDLE-only; 4s is {}.",
+            100.0 * (1.0 - idle_only.disk_energy_j / base.disk_energy_j),
+            if t2.disk_energy_j > idle_only.disk_energy_j * 1.05 {
+                "WORSE (thrashing)"
+            } else {
+                "comparable"
+            },
+            if t4.disk_energy_j > t2.disk_energy_j * 1.05 {
+                "worse than 2s (late spin-down idles longer)"
+            } else if t4.idle_cycles < t2.idle_cycles {
+                "better (a spin-down pair eliminated)"
+            } else {
+                "comparable to IDLE-only"
+            },
+        );
+        println!();
+    }
+    println!("paper's rule (§4): spin down only when the gap between disk");
+    println!("accesses is much larger than the spin-down + spin-up time.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one benchmark on the full system and print its power
+//! story — the complete SoftWatt pipeline in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark] [time_scale]
+//! ```
+
+use softwatt::budget::system_budget;
+use softwatt::{Benchmark, Mode, PowerModel, Simulator, SystemConfig};
+
+fn main() -> Result<(), String> {
+    let benchmark = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Jess);
+    let time_scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000.0);
+
+    let config = SystemConfig {
+        time_scale,
+        ..SystemConfig::default()
+    };
+    let sim = Simulator::new(config.clone())?;
+    println!("running {benchmark} on the 4-wide MXS model (time scale {time_scale}x)...");
+    let run = sim.run_benchmark(benchmark);
+
+    println!(
+        "\n{} finished: {} cycles ({:.2} paper-seconds), {} instructions, IPC {:.2}",
+        benchmark, run.cycles, run.duration_s, run.committed, run.ipc()
+    );
+    println!("disk: {} requests, {:.2} J", run.disk.requests, run.disk.energy_j);
+
+    println!("\ncycles by software mode:");
+    for mode in Mode::ALL {
+        let cycles = run.mode_cycles(mode);
+        println!(
+            "  {:<8} {:>10} cycles ({:.1}%)",
+            mode.label(),
+            cycles,
+            100.0 * cycles as f64 / run.cycles as f64
+        );
+    }
+
+    let model = PowerModel::new(&config.power_params());
+    let budget = system_budget(&model, &run);
+    println!("\nsystem power budget (the paper's Figure 5 view):");
+    println!("{budget}");
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Determinism and property-based invariants of the full system.
+
+use proptest::prelude::*;
+
+use softwatt::{Benchmark, Mode, PowerModel, Simulator, SystemConfig};
+
+fn config(scale: f64, seed: u64) -> SystemConfig {
+    SystemConfig {
+        time_scale: scale,
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn identical_configs_give_identical_runs() {
+    for benchmark in [Benchmark::Jess, Benchmark::Compress] {
+        let a = Simulator::new(config(40_000.0, 7)).unwrap().run_benchmark(benchmark);
+        let b = Simulator::new(config(40_000.0, 7)).unwrap().run_benchmark(benchmark);
+        assert_eq!(a.cycles, b.cycles, "{benchmark}");
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.log.total_events(), b.log.total_events());
+        assert_eq!(a.log.samples().len(), b.log.samples().len());
+        assert!((a.disk.energy_j - b.disk.energy_j).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = Simulator::new(config(40_000.0, 1)).unwrap().run_benchmark(Benchmark::Db);
+    let b = Simulator::new(config(40_000.0, 2)).unwrap().run_benchmark(Benchmark::Db);
+    assert_ne!(
+        a.log.total_events(),
+        b.log.total_events(),
+        "seeds must actually perturb the run"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cycle accounting is conserved for any seed: per-mode cycles
+    /// partition the run, and the sampled log covers every cycle.
+    #[test]
+    fn cycles_are_conserved(seed in 0u64..1_000) {
+        let run = Simulator::new(config(80_000.0, seed))
+            .unwrap()
+            .run_benchmark(Benchmark::Jess);
+        let mode_sum: u64 = Mode::ALL.iter().map(|&m| run.mode_cycles(m)).sum();
+        prop_assert_eq!(mode_sum, run.cycles);
+        prop_assert_eq!(run.log.total_cycles(), run.cycles);
+    }
+
+    /// Energy is non-negative and monotone in coverage for any seed:
+    /// the whole-run energy equals the sum over modes.
+    #[test]
+    fn energy_decomposes_over_modes(seed in 0u64..1_000) {
+        let cfg = config(80_000.0, seed);
+        let run = Simulator::new(cfg.clone()).unwrap().run_benchmark(Benchmark::Db);
+        let model = PowerModel::new(&cfg.power_params());
+        let table = model.mode_table(&run.log);
+        let per_mode: f64 = Mode::ALL
+            .iter()
+            .map(|&m| table.mode_energy_j[m.index()].total())
+            .sum();
+        prop_assert!((per_mode - table.total_energy_j()).abs() < 1e-9);
+        prop_assert!(per_mode > 0.0);
+        let fractions: f64 = Mode::ALL.iter().map(|&m| table.energy_fraction(m)).sum();
+        prop_assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    /// The disk's mode-residency always covers the whole run and its
+    /// energy is consistent with the per-mode power table, for any seed.
+    #[test]
+    fn disk_accounting_is_consistent(seed in 0u64..1_000) {
+        let run = Simulator::new(config(80_000.0, seed))
+            .unwrap()
+            .run_benchmark(Benchmark::Jess);
+        let residency: f64 = run.disk.mode_secs.iter().sum();
+        prop_assert!((residency - run.duration_s).abs() < 0.02 * run.duration_s);
+        prop_assert!(run.disk.energy_j > 0.0);
+        // Conventional disk: ACTIVE/SEEK only => average power in [3.2, 4.2].
+        let avg = run.disk.energy_j / run.duration_s;
+        prop_assert!(avg >= 3.19 && avg <= 4.21, "avg disk power {}", avg);
+    }
+
+    /// Kernel-service cycles never exceed kernel-mode cycles plus
+    /// attribution boundary slack, for any seed.
+    #[test]
+    fn service_cycles_bounded_by_kernel_time(seed in 0u64..1_000) {
+        let run = Simulator::new(config(80_000.0, seed))
+            .unwrap()
+            .run_benchmark(Benchmark::Javac);
+        let service_cycles: u64 = softwatt_os::KernelService::ALL
+            .iter()
+            .filter_map(|s| run.services.aggregates().get(&s.id()))
+            .map(|a| a.cycles)
+            .sum();
+        let kernel_cycles =
+            run.mode_cycles(Mode::KernelInstr) + run.mode_cycles(Mode::KernelSync);
+        // Frames open at event delivery and close at stream switch, so a
+        // small slack of boundary cycles is expected.
+        prop_assert!(
+            service_cycles <= kernel_cycles + kernel_cycles / 4 + 1000,
+            "services {} vs kernel modes {}",
+            service_cycles,
+            kernel_cycles
+        );
+    }
+}
