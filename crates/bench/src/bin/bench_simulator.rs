@@ -1,0 +1,99 @@
+//! Simulator-throughput measurement mode: times the core simulator per
+//! CPU model and the full experiment grid serial vs parallel, and writes
+//! the results as machine-readable JSON (`BENCH_simulator.json`).
+//!
+//! Usage: `bench_simulator [--scale S] [--jobs N] [--out FILE]`
+//! (defaults: scale 2000 — the experiment harness's fidelity setting —
+//! `--jobs` = available parallelism, out `BENCH_simulator.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use softwatt::experiments::ExperimentSuite;
+use softwatt::{Benchmark, CpuModel, Simulator, SystemConfig};
+
+fn main() {
+    let mut scale = 2000.0f64;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("BENCH_simulator.json");
+    fn usage_exit(msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: bench_simulator [--scale S] [--jobs N] [--out FILE]");
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |flag: &str| args.next().unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")));
+        match arg.as_str() {
+            "--scale" => match value("--scale").parse() {
+                Ok(v) if v > 0.0 => scale = v,
+                _ => usage_exit("--scale needs a positive number"),
+            },
+            "--jobs" => match value("--jobs").parse() {
+                Ok(n) if n > 0 => jobs = n,
+                _ => usage_exit("--jobs needs a positive thread count"),
+            },
+            "--out" => out = value("--out"),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+
+    let config = SystemConfig {
+        time_scale: scale,
+        ..SystemConfig::default()
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("simulator throughput (scale {scale}x, {cores} core(s), --jobs {jobs})");
+
+    // Core simulator throughput: simulated cycles per wall-clock second,
+    // one jess run per CPU model.
+    let mut cpu_rows = String::new();
+    for cpu in [CpuModel::Mipsy, CpuModel::MxsSingleIssue, CpuModel::Mxs] {
+        let mut c = config.clone();
+        c.cpu = cpu;
+        let sim = Simulator::new(c).expect("valid config");
+        let start = Instant::now();
+        let run = sim.run_benchmark(Benchmark::Jess);
+        let wall_s = start.elapsed().as_secs_f64();
+        let rate = run.cycles as f64 / wall_s;
+        eprintln!(
+            "  {:<22} {:>12} cycles in {wall_s:7.3} s  ({rate:.3e} cycles/s)",
+            cpu.label(),
+            run.cycles
+        );
+        if !cpu_rows.is_empty() {
+            cpu_rows.push_str(",\n");
+        }
+        write!(
+            cpu_rows,
+            "    {{\"model\": \"{}\", \"benchmark\": \"jess\", \"cycles\": {}, \"wall_s\": {wall_s:.6}, \"cycles_per_sec\": {rate:.1}}}",
+            cpu.label(),
+            run.cycles
+        )
+        .expect("write to string");
+    }
+
+    // Full experiment grid, serial then parallel, fresh memo each time.
+    let suite = ExperimentSuite::new(config.clone()).expect("valid config");
+    let grid = suite.paper_grid();
+    let start = Instant::now();
+    suite.run_all(1);
+    let serial_s = start.elapsed().as_secs_f64();
+    eprintln!("  grid x{} serial      {serial_s:7.3} s", grid.len());
+
+    let suite_par = ExperimentSuite::new(config).expect("valid config");
+    let start = Instant::now();
+    suite_par.run_all(jobs);
+    let parallel_s = start.elapsed().as_secs_f64();
+    let speedup = serial_s / parallel_s;
+    eprintln!("  grid x{} --jobs {jobs}    {parallel_s:7.3} s  ({speedup:.2}x)", grid.len());
+
+    let json = format!(
+        "{{\n  \"schema\": \"softwatt-bench-simulator-v1\",\n  \"time_scale\": {scale},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \"cpu_models\": [\n{cpu_rows}\n  ],\n  \"grid\": {{\"runs\": {}, \"serial_wall_s\": {serial_s:.6}, \"parallel_wall_s\": {parallel_s:.6}, \"speedup\": {speedup:.4}}}\n}}\n",
+        grid.len()
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

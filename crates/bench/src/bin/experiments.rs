@@ -2,24 +2,48 @@
 //! measured values next to the paper's (see `EXPERIMENTS.md`).
 //!
 //! Usage: `cargo run --release -p softwatt-bench --bin experiments
-//! [time_scale]` — the optional time-scale factor (default 2000) trades
-//! fidelity for speed.
+//! [time_scale] [--jobs N]` — the optional time-scale factor (default
+//! 2000) trades fidelity for speed; `--jobs N` prewarms the whole run
+//! grid on N worker threads before the (serial, deterministic) printing
+//! pass, so stdout is byte-identical whatever N is.
 
 use softwatt::experiments::{DiskSetup, ExperimentSuite};
 use softwatt::report::paper;
 use softwatt::{Mode, SystemConfig, UnitGroup};
 
 fn main() {
-    let time_scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000.0);
+    let mut time_scale = 2000.0f64;
+    let mut jobs = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive thread count");
+                    std::process::exit(2);
+                }
+            },
+            other => match other.parse() {
+                Ok(v) => time_scale = v,
+                Err(_) => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: experiments [time_scale] [--jobs N]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
     let config = SystemConfig {
         time_scale,
         ..SystemConfig::default()
     };
     println!("SoftWatt experiment harness (time scale {time_scale}x)\n");
     let suite = ExperimentSuite::new(config).expect("valid config");
+    if jobs > 1 {
+        // Fill the memo in parallel; every table below is then a lookup.
+        suite.run_all(jobs);
+    }
 
     heading("V1  §2 validation: maximum CPU power");
     println!("{}\n", suite.validation());

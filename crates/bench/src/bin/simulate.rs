@@ -17,10 +17,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use softwatt::budget::system_budget;
 use softwatt::{
-    Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, SimLog, Simulator,
-    SystemConfig,
+    Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, RunResult, SimLog,
+    Simulator, SystemConfig,
 };
 
 fn main() -> ExitCode {
@@ -40,17 +43,28 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  simulate run <benchmark> [--cpu mxs|mxs1|mipsy] [--disk conv|idle|standby2|standby4|sleep]
-                [--scale N] [--seed N] [--log FILE] [--record FILE] [--replay FILE]
+  simulate run <benchmark>[,<benchmark>...] [--cpu mxs|mxs1|mipsy]
+                [--disk conv|idle|standby2|standby4|sleep] [--scale N] [--seed N]
+                [--jobs N] [--log FILE] [--record FILE] [--replay FILE]
   simulate post <logfile>
 
-benchmarks: compress jess db javac mtrt jack";
+benchmarks: compress jess db javac mtrt jack (or 'all');
+--jobs N simulates a multi-benchmark list on N threads (results print
+in list order either way)";
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let benchmark = args
-        .first()
-        .and_then(|s| Benchmark::from_name(s))
-        .ok_or_else(|| format!("unknown or missing benchmark\n{USAGE}"))?;
+    let spec = args.first().ok_or_else(|| format!("missing benchmark\n{USAGE}"))?;
+    let benchmarks: Vec<Benchmark> = if spec == "all" {
+        Benchmark::ALL.to_vec()
+    } else {
+        spec.split(',')
+            .map(|name| {
+                Benchmark::from_name(name)
+                    .ok_or_else(|| format!("unknown benchmark {name}\n{USAGE}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let benchmark = benchmarks[0];
 
     let mut config = SystemConfig {
         time_scale: 4000.0,
@@ -59,6 +73,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut log_path: Option<String> = None;
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut jobs = 1usize;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -98,11 +113,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--seed needs an integer".to_string())?
             }
+            "--jobs" => {
+                jobs = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs needs a positive thread count".to_string())?
+            }
             "--log" => log_path = Some(value()?),
             "--record" => record_path = Some(value()?),
             "--replay" => replay_path = Some(value()?),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
+    }
+
+    if benchmarks.len() > 1 {
+        if record_path.is_some() || replay_path.is_some() || log_path.is_some() {
+            return Err("--log/--record/--replay need a single benchmark".into());
+        }
+        return run_many(&benchmarks, &config, jobs);
     }
 
     let sim = Simulator::new(config.clone())?;
@@ -144,6 +173,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         (None, None) => sim.run_benchmark(benchmark),
     };
 
+    print_run(benchmark, &config, &run);
+
+    if let Some(path) = log_path {
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        run.log
+            .to_csv(BufWriter::new(file))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote simulation log to {path} ({} samples)", run.log.samples().len());
+    }
+    Ok(())
+}
+
+fn print_run(benchmark: Benchmark, config: &SystemConfig, run: &RunResult) {
     println!(
         "{benchmark}: {} cycles, {:.2} paper-seconds, IPC {:.2}",
         run.cycles, run.duration_s,
@@ -157,18 +199,42 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
     let model = PowerModel::new(&config.power_params());
-    println!("{}", system_budget(&model, &run));
+    println!("{}", system_budget(&model, run));
     println!(
         "disk: {} requests, {} spin-ups, {} spin-downs, {:.2} J",
         run.disk.requests, run.disk.spinups, run.disk.spindowns, run.disk.energy_j
     );
+}
 
-    if let Some(path) = log_path {
-        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        run.log
-            .to_csv(BufWriter::new(file))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote simulation log to {path} ({} samples)", run.log.samples().len());
+/// Simulates several benchmarks on up to `jobs` threads. Runs are seeded
+/// per-configuration and independent, so results (printed in list order)
+/// are identical whatever `jobs` is.
+fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Result<(), String> {
+    Simulator::new(config.clone())?; // surface config errors before spawning
+    let workers = jobs.min(benchmarks.len());
+    eprintln!(
+        "running {} benchmarks on {} (disk {}, scale {}x, {workers} worker(s))...",
+        benchmarks.len(),
+        config.cpu.label(),
+        config.disk.policy.label(),
+        config.time_scale
+    );
+    let results: Vec<Mutex<Option<RunResult>>> =
+        benchmarks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&bench) = benchmarks.get(i) else { break };
+                let sim = Simulator::new(config.clone()).expect("validated config");
+                *results[i].lock().expect("result slot") = Some(sim.run_benchmark(bench));
+            });
+        }
+    });
+    for (&bench, slot) in benchmarks.iter().zip(&results) {
+        let run = slot.lock().expect("result slot").take().expect("completed run");
+        print_run(bench, config, &run);
     }
     Ok(())
 }

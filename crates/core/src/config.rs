@@ -1,6 +1,5 @@
 //! The whole-system configuration (paper Table 1 by default).
 
-use serde::{Deserialize, Serialize};
 
 use softwatt_cpu::{MipsyConfig, MxsConfig};
 use softwatt_disk::{DiskConfig, DiskPolicy};
@@ -10,7 +9,7 @@ use softwatt_power::PowerParams;
 use softwatt_stats::Clocking;
 
 /// Which CPU timing model to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuModel {
     /// The in-order R4000-like model (memory-system profiles, Figure 3).
     Mipsy,
@@ -35,7 +34,7 @@ impl CpuModel {
 ///
 /// Defaults reproduce the paper's Table 1 system at a time scale of 2000×
 /// (see `DESIGN.md` §2 for the scaling substitution).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// CPU timing model.
     pub cpu: CpuModel,
@@ -148,7 +147,9 @@ impl SystemConfig {
     ///
     /// Returns a description of the first invalid field combination.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.freq_hz > 0.0) || !(self.time_scale > 0.0) {
+        // NaN must fail too, so compare through partial_cmp.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if !positive(self.freq_hz) || !positive(self.time_scale) {
             return Err("frequency and time scale must be positive".into());
         }
         if self.sample_interval_cycles == 0 {
@@ -190,8 +191,10 @@ mod tests {
 
     #[test]
     fn power_params_follow_cpu_model() {
-        let mut c = SystemConfig::default();
-        c.cpu = CpuModel::Mxs;
+        let mut c = SystemConfig {
+            cpu: CpuModel::Mxs,
+            ..SystemConfig::default()
+        };
         assert_eq!(c.power_params().fetch_width, 4);
         c.cpu = CpuModel::MxsSingleIssue;
         assert_eq!(c.power_params().fetch_width, 1);
@@ -202,8 +205,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_scale() {
-        let mut c = SystemConfig::default();
-        c.time_scale = 0.0;
+        let c = SystemConfig {
+            time_scale: 0.0,
+            ..SystemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -5,10 +5,10 @@
 //! machine configuration. `DESIGN.md` §5 maps each method here to its
 //! paper artifact; `EXPERIMENTS.md` records paper-vs-measured values.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use softwatt_disk::{DiskConfig, DiskMode, DiskPolicy, DiskPowerTable};
 use softwatt_os::KernelService;
@@ -69,11 +69,15 @@ impl DiskSetup {
     }
 }
 
+/// One machine setup the suite can simulate: the memoization key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RunKey {
-    benchmark: Benchmark,
-    cpu: CpuModel,
-    disk: DiskSetup,
+pub struct RunKey {
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// Disk power-management configuration.
+    pub disk: DiskSetup,
 }
 
 /// A memoized run plus the power model it should be post-processed with.
@@ -85,11 +89,42 @@ pub struct RunBundle {
     pub model: PowerModel,
 }
 
+/// A memo slot: either the finished bundle, or a ticket other threads
+/// wait on while the claiming thread simulates.
+#[derive(Debug)]
+enum Slot {
+    Ready(Arc<RunBundle>),
+    Pending(Arc<InFlight>),
+}
+
+/// Completion ticket for an in-flight simulation.
+#[derive(Debug, Default)]
+struct InFlight {
+    done: Mutex<Option<Arc<RunBundle>>>,
+    cv: Condvar,
+}
+
+// Everything the worker threads exchange must stay shareable; a field
+// regressing to `Rc`/`RefCell` should fail here, not at a call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunBundle>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<PowerModel>();
+    assert_send_sync::<softwatt_stats::SimLog>();
+};
+
 /// The experiment driver. See the module docs.
+///
+/// Thread-safe: any number of threads may call [`ExperimentSuite::run`]
+/// concurrently. Each distinct [`RunKey`] is simulated exactly once — a
+/// thread requesting a key another thread is already simulating blocks
+/// until that simulation finishes and then shares the same bundle.
 #[derive(Debug)]
 pub struct ExperimentSuite {
     config: SystemConfig,
-    runs: RefCell<HashMap<RunKey, Rc<RunBundle>>>,
+    runs: Mutex<HashMap<RunKey, Slot>>,
+    executed: AtomicUsize,
 }
 
 impl ExperimentSuite {
@@ -103,7 +138,8 @@ impl ExperimentSuite {
         config.validate()?;
         Ok(ExperimentSuite {
             config,
-            runs: RefCell::new(HashMap::new()),
+            runs: Mutex::new(HashMap::new()),
+            executed: AtomicUsize::new(0),
         })
     }
 
@@ -112,29 +148,130 @@ impl ExperimentSuite {
         &self.config
     }
 
+    /// How many simulations have actually executed (memo misses). Stays at
+    /// the number of distinct keys requested no matter how many threads
+    /// race on the same keys.
+    pub fn runs_executed(&self) -> usize {
+        self.executed.load(Ordering::Acquire)
+    }
+
     /// Runs (or returns the memoized) simulation for one machine setup.
-    pub fn run(&self, benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup) -> Rc<RunBundle> {
-        let key = RunKey { benchmark, cpu, disk };
-        if let Some(r) = self.runs.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        let mut config = self.config.clone();
-        config.cpu = cpu;
-        config.disk = DiskConfig {
-            policy: disk.policy(),
-            ..self.config.disk
+    pub fn run(&self, benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup) -> Arc<RunBundle> {
+        self.run_key(RunKey { benchmark, cpu, disk })
+    }
+
+    /// [`ExperimentSuite::run`] addressed by key.
+    pub fn run_key(&self, key: RunKey) -> Arc<RunBundle> {
+        // Claim the key or find existing work under the lock; simulate
+        // outside it so other keys proceed in parallel.
+        let ticket = {
+            let mut runs = self.runs.lock().expect("memo lock");
+            match runs.get(&key) {
+                Some(Slot::Ready(bundle)) => return Arc::clone(bundle),
+                Some(Slot::Pending(inflight)) => Some(Arc::clone(inflight)),
+                None => {
+                    runs.insert(key, Slot::Pending(Arc::new(InFlight::default())));
+                    None
+                }
+            }
         };
-        let sim = Simulator::new(config.clone()).expect("validated config");
-        let run = sim.run_benchmark(benchmark);
-        let bundle = Rc::new(RunBundle {
-            run,
-            model: PowerModel::new(&config.power_params()),
-        });
-        self.runs.borrow_mut().insert(key, Rc::clone(&bundle));
+
+        if let Some(inflight) = ticket {
+            // Another thread is simulating this key; wait for its result.
+            let mut done = inflight.done.lock().expect("inflight lock");
+            while done.is_none() {
+                done = inflight.cv.wait(done).expect("inflight wait");
+            }
+            return Arc::clone(done.as_ref().expect("completed bundle"));
+        }
+
+        let bundle = Arc::new(self.execute(key));
+        let mut runs = self.runs.lock().expect("memo lock");
+        let Some(Slot::Pending(inflight)) = runs.insert(key, Slot::Ready(Arc::clone(&bundle)))
+        else {
+            unreachable!("claimed slot must still be pending");
+        };
+        drop(runs);
+        *inflight.done.lock().expect("inflight lock") = Some(Arc::clone(&bundle));
+        inflight.cv.notify_all();
         bundle
     }
 
-    fn baseline_runs(&self) -> Vec<Rc<RunBundle>> {
+    /// Performs one simulation (always a memo miss).
+    fn execute(&self, key: RunKey) -> RunBundle {
+        let mut config = self.config.clone();
+        config.cpu = key.cpu;
+        config.disk = DiskConfig {
+            policy: key.disk.policy(),
+            ..self.config.disk
+        };
+        let sim = Simulator::new(config.clone()).expect("validated config");
+        let run = sim.run_benchmark(key.benchmark);
+        self.executed.fetch_add(1, Ordering::AcqRel);
+        RunBundle {
+            run,
+            model: PowerModel::new(&config.power_params()),
+        }
+    }
+
+    /// Every distinct machine setup the full paper evaluation touches.
+    ///
+    /// Prewarming this grid makes all subsequent table/figure methods pure
+    /// memo lookups (except [`ExperimentSuite::ext_kernel_energy_estimate`],
+    /// whose reference runs use a different seed and so a nested suite).
+    pub fn paper_grid(&self) -> Vec<RunKey> {
+        let mut keys = Vec::new();
+        for &benchmark in Benchmark::ALL.iter() {
+            for disk in DiskSetup::ALL {
+                keys.push(RunKey { benchmark, cpu: CpuModel::Mxs, disk });
+            }
+            keys.push(RunKey { benchmark, cpu: CpuModel::Mxs, disk: DiskSetup::SleepExt });
+            keys.push(RunKey {
+                benchmark,
+                cpu: CpuModel::MxsSingleIssue,
+                disk: DiskSetup::Conventional,
+            });
+        }
+        keys.push(RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mipsy,
+            disk: DiskSetup::Conventional,
+        });
+        keys
+    }
+
+    /// Simulates the given keys on up to `jobs` worker threads.
+    ///
+    /// Results land in the memo, so later [`ExperimentSuite::run`] calls
+    /// are lookups. Runs are seeded per-configuration and mutually
+    /// independent, so the memoized results are bit-identical to a serial
+    /// pass regardless of `jobs`.
+    pub fn prewarm(&self, keys: &[RunKey], jobs: usize) {
+        let jobs = jobs.clamp(1, keys.len().max(1));
+        if jobs == 1 {
+            for &key in keys {
+                self.run_key(key);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&key) = keys.get(i) else { break };
+                    self.run_key(key);
+                });
+            }
+        });
+    }
+
+    /// Prewarms the whole paper grid on up to `jobs` threads.
+    pub fn run_all(&self, jobs: usize) {
+        self.prewarm(&self.paper_grid(), jobs);
+    }
+
+    fn baseline_runs(&self) -> Vec<Arc<RunBundle>> {
         Benchmark::ALL
             .iter()
             .map(|&b| self.run(b, CpuModel::Mxs, DiskSetup::Conventional))

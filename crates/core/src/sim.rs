@@ -4,7 +4,7 @@ use softwatt_cpu::{Cpu, MipsyCpu, MxsConfig, MxsCpu};
 use softwatt_disk::{Disk, DiskReport};
 use softwatt_isa::InstrSource;
 use softwatt_mem::MemHierarchy;
-use softwatt_os::{DeferredOp, IdleLoop, OsConfig, SystemOs};
+use softwatt_os::{IdleLoop, OsConfig, SystemOs};
 use softwatt_power::PowerModel;
 use softwatt_stats::{Mode, ServiceProfiler, SimLog, StatsCollector, UnitEvent};
 use softwatt_workloads::Benchmark;
@@ -153,14 +153,7 @@ impl Simulator {
             if let Some(event) = out.event {
                 os.handle_event(event, &mut stats);
             }
-            for d in os.take_deferred() {
-                match d {
-                    DeferredOp::TlbFill(vaddr) => mem.tlb_insert(vaddr, &mut stats),
-                    DeferredOp::FlushL1 => {
-                        mem.flush_l1();
-                    }
-                }
-            }
+            os.apply_deferred(&mut mem, &mut stats);
             stats.tick();
             if out.program_exited && os.finished() {
                 break;
@@ -212,13 +205,13 @@ impl Simulator {
             cpu.cycle(&mut idle, &mut mem, &mut stats);
             stats.tick();
         }
-        let warm_snapshot = stats.totals().combined();
+        let warm_snapshot = stats.combined().clone();
         let warm_cycle = stats.cycle();
         for _ in 0..4_000 {
             cpu.cycle(&mut idle, &mut mem, &mut stats);
             stats.tick();
         }
-        let delta = stats.totals().combined().delta_since(&warm_snapshot);
+        let delta = stats.combined().delta_since(&warm_snapshot);
         let cycles = (stats.cycle() - warm_cycle) as f64;
         IdleRates {
             per_cycle: delta

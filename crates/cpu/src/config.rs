@@ -1,10 +1,9 @@
 //! CPU model configurations.
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the out-of-order MXS model. Defaults are the paper's
 /// Table 1 values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MxsConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,
@@ -99,7 +98,7 @@ impl MxsConfig {
 }
 
 /// Configuration of the in-order Mipsy model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MipsyConfig {
     /// Extra bubble cycles on taken control transfers (static prediction,
     /// delay-slot-less approximation of an R4000 front end).

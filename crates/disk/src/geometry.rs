@@ -12,17 +12,10 @@
 //! - [`DriveGeometry::mk3003man`] — the Toshiba MK3003MAN-like 2.5" drive
 //!   the paper layers on top.
 
-use serde::{Deserialize, Serialize};
-
-fn custom_name() -> &'static str {
-    "custom"
-}
-
 /// Physical geometry and seek-curve parameters of one drive.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriveGeometry {
-    /// Marketing name (not serialized; restored as "custom" on load).
-    #[serde(skip, default = "custom_name")]
+    /// Marketing name.
     pub name: &'static str,
     /// Cylinders.
     pub cylinders: u32,

@@ -3,14 +3,13 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use softwatt_stats::Clocking;
 
 use crate::{DiskMode, DiskPowerTable, DiskTimings, DriveGeometry};
 
 /// Power-management policy — the four configurations of the paper's
 /// Section 4 study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DiskPolicy {
     /// Configuration 1: the baseline disk never leaves ACTIVE (upper bound
     /// on disk power; "conventional" in Figure 5).
@@ -56,7 +55,7 @@ impl fmt::Display for DiskPolicy {
 }
 
 /// Full disk configuration: policy plus power and timing tables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskConfig {
     /// Power-management policy.
     pub policy: DiskPolicy,

@@ -1,6 +1,5 @@
 //! Disk operating modes and their power values (paper Figure 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operating mode of the power-managed disk.
@@ -8,7 +7,7 @@ use std::fmt;
 /// `SpinDown` is the in-flight spin-down transition; the paper assumes it
 /// consumes no power but takes the full 5 s, during which the disk cannot
 /// service requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiskMode {
     /// Lowest-power state; reachable only via explicit command.
     Sleep,
@@ -85,7 +84,7 @@ impl fmt::Display for DiskMode {
 
 /// Per-mode power values in Watts. Defaults are the Toshiba MK3003MAN
 /// values from the paper's Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskPowerTable {
     /// SLEEP power (W).
     pub sleep_w: f64,

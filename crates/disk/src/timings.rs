@@ -1,11 +1,10 @@
 //! Mechanical timing parameters of the simulated disk.
 
-use serde::{Deserialize, Serialize};
 
 /// Timing constants, in paper-time units. Defaults approximate the Toshiba
 /// MK3003MAN (a 4200 rpm 2.5" drive) plus the paper's 5 s spin-up/-down
 /// figure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskTimings {
     /// Spin-up time in seconds (STANDBY → ACTIVE).
     pub spin_up_s: f64,

@@ -204,7 +204,7 @@ impl MixGenerator {
     pub fn next_instr_with<R: Rng>(&mut self, rng: &mut R) -> Instr {
         let s = self.spec;
         let pc = self.pc();
-        let at_loop_end = (self.emitted + 1) % u64::from(s.loop_len) == 0;
+        let at_loop_end = (self.emitted + 1).is_multiple_of(u64::from(s.loop_len));
         self.emitted += 1;
 
         let roll = rng.gen::<f64>();

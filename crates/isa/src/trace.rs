@@ -338,7 +338,6 @@ mod tests {
             w.record(i).unwrap();
         }
         assert_eq!(w.recorded(), instrs.len() as u64);
-        drop(w);
 
         let mut stats = StatsCollector::new(Clocking::default(), 100);
         let mut r = TraceReader::new(&buf[..]).unwrap();
@@ -388,7 +387,6 @@ mod tests {
         for i in sample_instrs() {
             w.record(&i).unwrap();
         }
-        drop(w);
         buf.truncate(buf.len() - 3); // chop mid-record
         let mut stats = StatsCollector::new(Clocking::default(), 100);
         let mut r = TraceReader::new(&buf[..]).unwrap();

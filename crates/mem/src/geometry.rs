@@ -4,7 +4,6 @@
 //! analytical power models (`softwatt-power`), which derive per-access
 //! energies from the same numbers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size/line/associativity of one cache level.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(l1.set_index(0), l1.set_index(64 * 256)); // wraps around
 /// assert_ne!(l1.tag(0), l1.tag(64 * 256));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_bytes: u64,
     line_bytes: u32,
@@ -42,7 +41,7 @@ impl CacheGeometry {
         assert!(assoc > 0, "associativity must be positive");
         let line_capacity = size_bytes / u64::from(line_bytes);
         assert!(
-            line_capacity % u64::from(assoc) == 0 && line_capacity > 0,
+            line_capacity.is_multiple_of(u64::from(assoc)) && line_capacity > 0,
             "size must be divisible into an integral number of sets"
         );
         let geometry = CacheGeometry {

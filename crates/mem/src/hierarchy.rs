@@ -1,6 +1,5 @@
 //! The assembled two-level memory hierarchy with TLB and DRAM timing.
 
-use serde::{Deserialize, Serialize};
 
 use softwatt_isa::{is_kernel_addr, page_number};
 use softwatt_stats::{StatsCollector, UnitEvent};
@@ -8,7 +7,7 @@ use softwatt_stats::{StatsCollector, UnitEvent};
 use crate::{Cache, CacheGeometry, Tlb};
 
 /// Configuration of the memory subsystem (defaults = paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
     /// L1 instruction cache geometry.
     pub il1: CacheGeometry,

@@ -569,7 +569,7 @@ mod tests {
     fn utlb_is_short_fixed_and_fill_carrying() {
         let steps = drain(ServiceBody::utlb(0x0040_0000, true), 3);
         let n = instr_count(&steps);
-        assert!(n >= 15 && n <= 30, "utlb should be ~20 instrs, got {n}");
+        assert!((15..=30).contains(&n), "utlb should be ~20 instrs, got {n}");
         assert!(steps
             .iter()
             .any(|s| matches!(s, BodyStep::Directive(Directive::TlbFill { vaddr: 0x0040_0000 }))));

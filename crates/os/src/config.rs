@@ -1,11 +1,10 @@
 //! OS model configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the kernel model. Rates that the paper ties to workload
 /// behavior (e.g. how often JIT code generation triggers `cacheflush`) are
 /// set per benchmark by `softwatt-workloads`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OsConfig {
     /// File (buffer) cache capacity in 4 KiB blocks.
     pub file_cache_blocks: usize,
@@ -51,7 +50,8 @@ impl OsConfig {
         if self.file_cache_blocks == 0 {
             return Err("file cache must hold at least one block");
         }
-        if !(self.timer_interval_s > 0.0) {
+        // NaN must fail too, so compare through partial_cmp.
+        if self.timer_interval_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("timer interval must be positive");
         }
         if !(0.0..=1.0).contains(&self.tlb_slow_path_prob)

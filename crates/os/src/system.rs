@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use softwatt_disk::Disk;
 use softwatt_isa::{page_number, CpuEvent, FileRef, Instr, InstrSource, SyscallKind};
+use softwatt_mem::MemHierarchy;
 use softwatt_stats::{Clocking, Mode, StatsCollector};
 
 use crate::bodies::{BodyStep, Directive, ServiceBody};
@@ -15,7 +16,7 @@ use crate::{FileCache, IdleLoop, KernelService, OsConfig};
 
 /// A hardware side effect the OS scheduled but that requires the memory
 /// hierarchy to apply; the simulator main loop drains these each cycle via
-/// [`SystemOs::take_deferred`].
+/// [`SystemOs::apply_deferred`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeferredOp {
     /// Install a TLB entry for the page containing this address.
@@ -164,9 +165,21 @@ impl SystemOs {
         self.disk
     }
 
-    /// Drains side effects scheduled by kernel bodies this cycle.
-    pub fn take_deferred(&mut self) -> Vec<DeferredOp> {
-        std::mem::take(&mut self.deferred)
+    /// Applies side effects scheduled by kernel bodies this cycle to the
+    /// memory hierarchy, draining the queue in place.
+    ///
+    /// The queue's capacity is reused across cycles, so the simulator's
+    /// per-cycle driver loop never allocates here (the old `take_deferred`
+    /// returned a fresh `Vec` every cycle).
+    pub fn apply_deferred(&mut self, mem: &mut MemHierarchy, stats: &mut StatsCollector) {
+        for op in self.deferred.drain(..) {
+            match op {
+                DeferredOp::TlbFill(vaddr) => mem.tlb_insert(vaddr, stats),
+                DeferredOp::FlushL1 => {
+                    mem.flush_l1();
+                }
+            }
+        }
     }
 
     /// Reacts to an architectural event raised by the CPU.
@@ -360,14 +373,7 @@ mod tests {
             if let Some(e) = out.event {
                 os.handle_event(e, &mut stats);
             }
-            for d in os.take_deferred() {
-                match d {
-                    DeferredOp::TlbFill(v) => mem.tlb_insert(v, &mut stats),
-                    DeferredOp::FlushL1 => {
-                        mem.flush_l1();
-                    }
-                }
-            }
+            os.apply_deferred(&mut mem, &mut stats);
             stats.tick();
             cycles += 1;
             if out.program_exited && os.finished() {
@@ -528,7 +534,7 @@ mod tests {
         let (_, prof) = stats.finish_with_services();
         let n = prof.aggregates()[&KernelService::CacheFlush.id()].invocations;
         // ~20 expected at 1 per 1000 user instructions.
-        assert!(n >= 5 && n <= 60, "got {n} cacheflushes");
+        assert!((5..=60).contains(&n), "got {n} cacheflushes");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use softwatt_cpu::{Cpu, MxsConfig, MxsCpu};
 use softwatt_disk::{Disk, DiskConfig, DiskPolicy};
 use softwatt_isa::{FileRef, Instr, Reg, SyscallKind, VecSource};
 use softwatt_mem::{MemConfig, MemHierarchy};
-use softwatt_os::{DeferredOp, KernelService, OsConfig, SystemOs};
+use softwatt_os::{KernelService, OsConfig, SystemOs};
 use softwatt_stats::{Clocking, Mode, StatsCollector};
 
 fn clocking() -> Clocking {
@@ -22,14 +22,7 @@ fn drive(mut os: SystemOs) -> (SystemOs, StatsCollector, u64) {
         if let Some(e) = out.event {
             os.handle_event(e, &mut stats);
         }
-        for d in os.take_deferred() {
-            match d {
-                DeferredOp::TlbFill(v) => mem.tlb_insert(v, &mut stats),
-                DeferredOp::FlushL1 => {
-                    mem.flush_l1();
-                }
-            }
-        }
+        os.apply_deferred(&mut mem, &mut stats);
         stats.tick();
         cycles += 1;
         if out.program_exited && os.finished() {

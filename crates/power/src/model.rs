@@ -1,6 +1,5 @@
 //! The assembled processor/memory power model.
 
-use serde::{Deserialize, Serialize};
 
 use softwatt_mem::CacheGeometry;
 use softwatt_stats::{CounterSet, EnergyWeights, UnitEvent};
@@ -16,27 +15,24 @@ use crate::units::UnitEnergies;
 /// paper uses the simple style ([`ClockGating::Gated`]): a unit burns full
 /// per-access power when used and nothing when idle. The alternatives
 /// exist for ablation (see the `ablations` bench).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum ClockGating {
     /// CC1: no gating — every unit burns its peak power every cycle.
     AlwaysOn,
     /// CC2 (the paper's model): power scales with accesses; idle units
     /// burn nothing.
+    #[default]
     Gated,
     /// CC3: like CC2 but idle units retain a residual fraction of their
     /// peak power (imperfect gating).
     GatedWithResidual(f64),
 }
 
-impl Default for ClockGating {
-    fn default() -> Self {
-        ClockGating::Gated
-    }
-}
 
 /// Structural parameters the power model derives energies from (defaults =
 /// paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerParams {
     /// Technology/operating point.
     pub tech: TechParams,

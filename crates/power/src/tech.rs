@@ -5,10 +5,9 @@
 //! benchmark (see `DESIGN.md` §6) — and produce a maximum-activity CPU
 //! power near the paper's 25.3 W validation figure.
 
-use serde::{Deserialize, Serialize};
 
 /// Process and operating-point constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechParams {
     /// Supply voltage (V).
     pub vdd: f64,

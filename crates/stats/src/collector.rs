@@ -1,7 +1,7 @@
 //! The per-simulation statistics sink.
 
 use crate::{
-    Clocking, EnergyWeights, InvocationRecord, Mode, ModeCounters, Sample,
+    Clocking, CounterSet, EnergyWeights, InvocationRecord, Mode, ModeCounters, Sample,
     ServiceId, ServiceProfiler, SimLog,
 };
 
@@ -33,6 +33,9 @@ pub struct StatsCollector {
     cycle: u64,
     mode: Mode,
     totals: ModeCounters,
+    // `totals` summed over modes, maintained incrementally so the
+    // per-syscall service brackets never pay a full reduction.
+    combined: CounterSet,
     mode_cycles: [u64; Mode::COUNT],
     // Snapshot at the start of the current sampling window.
     window_start_totals: ModeCounters,
@@ -70,6 +73,7 @@ impl StatsCollector {
             cycle: 0,
             mode: Mode::User,
             totals: ModeCounters::new(),
+            combined: CounterSet::new(),
             mode_cycles: [0; Mode::COUNT],
             window_start_totals: ModeCounters::new(),
             window_start_mode_cycles: [0; Mode::COUNT],
@@ -103,12 +107,14 @@ impl StatsCollector {
     #[inline]
     pub fn record(&mut self, event: crate::UnitEvent) {
         self.totals.mode_mut(self.mode).add(event, 1);
+        self.combined.add(event, 1);
     }
 
     /// Records `n` occurrences of `event` in the current mode.
     #[inline]
     pub fn record_n(&mut self, event: crate::UnitEvent, n: u64) {
         self.totals.mode_mut(self.mode).add(event, n);
+        self.combined.add(event, n);
     }
 
     /// Advances one cycle, attributing it to the current mode and emitting a
@@ -123,16 +129,26 @@ impl StatsCollector {
 
     /// Advances `n` cycles at once (used when fast-forwarding, e.g. disk
     /// spin operations — see paper §3.3).
-    pub fn tick_n(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
+    ///
+    /// Whole sample windows advance arithmetically, so the cost is
+    /// O(samples emitted), not O(`n`); the emitted sample sequence is
+    /// exactly what `n` individual [`StatsCollector::tick`] calls produce.
+    pub fn tick_n(&mut self, mut n: u64) {
+        while n > 0 {
+            let in_window = self.cycle - self.window_start_cycle;
+            let step = n.min(self.sample_interval - in_window);
+            self.mode_cycles[self.mode.index()] += step;
+            self.cycle += step;
+            n -= step;
+            if self.cycle - self.window_start_cycle >= self.sample_interval {
+                self.emit_sample();
+            }
         }
     }
 
     /// Enters a kernel-service invocation frame.
     pub fn enter_service(&mut self, service: ServiceId) {
-        let counters = self.totals.combined();
-        self.profiler.enter(service, self.cycle, &counters);
+        self.profiler.enter(service, self.cycle, &self.combined);
     }
 
     /// Exits the innermost kernel-service invocation frame.
@@ -141,8 +157,7 @@ impl StatsCollector {
     ///
     /// Panics if `service` does not match the innermost frame.
     pub fn exit_service(&mut self, service: ServiceId) -> InvocationRecord {
-        let counters = self.totals.combined();
-        self.profiler.exit(service, self.cycle, &counters)
+        self.profiler.exit(service, self.cycle, &self.combined)
     }
 
     /// Service currently receiving attribution, if any.
@@ -153,6 +168,12 @@ impl StatsCollector {
     /// Running totals (all samples plus the open window).
     pub fn totals(&self) -> &ModeCounters {
         &self.totals
+    }
+
+    /// Running totals summed over modes, maintained incrementally
+    /// (equivalent to `totals().combined()` without the reduction).
+    pub fn combined(&self) -> &CounterSet {
+        &self.combined
     }
 
     /// Cycles attributed to `mode` so far.
@@ -168,8 +189,11 @@ impl StatsCollector {
     fn emit_sample(&mut self) {
         let events = self.totals.delta_since(&self.window_start_totals);
         let mut mode_cycles = [0; Mode::COUNT];
-        for i in 0..Mode::COUNT {
-            mode_cycles[i] = self.mode_cycles[i] - self.window_start_mode_cycles[i];
+        for (out, (now, start)) in mode_cycles
+            .iter_mut()
+            .zip(self.mode_cycles.iter().zip(&self.window_start_mode_cycles))
+        {
+            *out = now - start;
         }
         self.log.push(Sample {
             end_cycle: self.cycle,

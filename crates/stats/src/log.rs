@@ -67,7 +67,7 @@ impl SimLog {
         debug_assert!(
             self.samples
                 .last()
-                .map_or(true, |s| s.end_cycle < sample.end_cycle),
+                .is_none_or(|s| s.end_cycle < sample.end_cycle),
             "samples must be appended in cycle order"
         );
         self.samples.push(sample);

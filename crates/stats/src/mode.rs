@@ -24,8 +24,10 @@ use std::fmt;
 /// assert_eq!(Mode::from_index(Mode::KernelSync.index()), Mode::KernelSync);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
 pub enum Mode {
     /// Application (user-level) execution.
+    #[default]
     User,
     /// Kernel execution outside synchronization regions.
     KernelInstr,
@@ -86,11 +88,6 @@ impl fmt::Display for Mode {
     }
 }
 
-impl Default for Mode {
-    fn default() -> Self {
-        Mode::User
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -94,6 +94,37 @@ proptest! {
         prop_assert_eq!(prof.aggregates()[&ServiceId(2)].cycles, inner_total);
     }
 
+    /// Bulk `tick_n(n)` emits exactly the sample sequence of `n` single
+    /// `tick()` calls — same end cycles, mode cycles, and event deltas —
+    /// across arbitrary interleavings of mode switches, event bursts, and
+    /// sample-window boundaries.
+    #[test]
+    fn tick_n_matches_repeated_tick(
+        interval in 1u64..64,
+        steps in prop::collection::vec((modes(), events(), 0u64..7, 0u64..200), 1..60),
+    ) {
+        let mut bulk = StatsCollector::new(Clocking::default(), interval);
+        let mut single = StatsCollector::new(Clocking::default(), interval);
+        for &(mode, event, events_n, ticks) in &steps {
+            bulk.set_mode(mode);
+            single.set_mode(mode);
+            bulk.record_n(event, events_n);
+            single.record_n(event, events_n);
+            bulk.tick_n(ticks);
+            for _ in 0..ticks {
+                single.tick();
+            }
+            prop_assert_eq!(bulk.cycle(), single.cycle());
+        }
+        let bulk_log = bulk.finish();
+        let single_log = single.finish();
+        prop_assert_eq!(bulk_log.samples().len(), single_log.samples().len());
+        for (a, b) in bulk_log.samples().iter().zip(single_log.samples()) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(bulk_log, single_log);
+    }
+
     /// Paper-time round trips through cycles are accurate to one cycle.
     #[test]
     fn clocking_round_trips(

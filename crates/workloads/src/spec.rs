@@ -1,9 +1,8 @@
 //! Benchmark specification types.
 
-use serde::{Deserialize, Serialize};
 
 /// Rates of steady-state system calls, per thousand user instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SyscallRates {
     /// Warm `read`s (file-cache resident working files).
     pub read: f64,
@@ -22,7 +21,7 @@ pub struct SyscallRates {
 }
 
 /// One phase of a benchmark's user execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseSpec {
     /// Phase label (for reports).
     pub name: &'static str,
@@ -65,7 +64,7 @@ pub struct PhaseSpec {
 }
 
 /// A timed burst of cold-file I/O (drives Figure 9's spin-down study).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoBurst {
     /// When the burst fires, in paper-time seconds from run start.
     pub at_s: f64,
@@ -76,7 +75,7 @@ pub struct IoBurst {
 }
 
 /// A complete benchmark description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
     /// Benchmark name (paper spelling).
     pub name: &'static str,

@@ -1,8 +1,11 @@
 //! Determinism and property-based invariants of the full system.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
-use softwatt::{Benchmark, Mode, PowerModel, Simulator, SystemConfig};
+use softwatt::experiments::{DiskSetup, ExperimentSuite, RunKey};
+use softwatt::{Benchmark, CpuModel, Mode, PowerModel, Simulator, SystemConfig};
 
 fn config(scale: f64, seed: u64) -> SystemConfig {
     SystemConfig {
@@ -34,6 +37,52 @@ fn different_seeds_give_different_runs() {
         b.log.total_events(),
         "seeds must actually perturb the run"
     );
+}
+
+#[test]
+fn parallel_prewarm_is_bit_identical_to_serial() {
+    let keys = [
+        RunKey { benchmark: Benchmark::Jess, cpu: CpuModel::Mxs, disk: DiskSetup::Conventional },
+        RunKey { benchmark: Benchmark::Compress, cpu: CpuModel::Mxs, disk: DiskSetup::IdleOnly },
+        RunKey { benchmark: Benchmark::Db, cpu: CpuModel::Mipsy, disk: DiskSetup::Standby2s },
+        RunKey { benchmark: Benchmark::Jess, cpu: CpuModel::MxsSingleIssue, disk: DiskSetup::Conventional },
+    ];
+    let serial = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
+    serial.prewarm(&keys, 1);
+    let parallel = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
+    parallel.prewarm(&keys, 3);
+    assert_eq!(serial.runs_executed(), keys.len());
+    assert_eq!(parallel.runs_executed(), keys.len());
+    for key in keys {
+        let a = serial.run_key(key);
+        let b = parallel.run_key(key);
+        assert_eq!(a.run.cycles, b.run.cycles, "{key:?}");
+        assert_eq!(a.run.committed, b.run.committed, "{key:?}");
+        assert_eq!(a.run.log, b.run.log, "{key:?} logs must match sample-for-sample");
+        assert_eq!(
+            a.run.disk.energy_j.to_bits(),
+            b.run.disk.energy_j.to_bits(),
+            "{key:?} disk energy must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn concurrent_requests_for_one_key_share_a_single_run() {
+    let suite = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
+    let key = RunKey {
+        benchmark: Benchmark::Jess,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    let bundles: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| suite.run_key(key))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+    assert_eq!(suite.runs_executed(), 1, "racing threads must not duplicate the run");
+    for other in &bundles[1..] {
+        assert!(Arc::ptr_eq(&bundles[0], other), "all threads share one bundle");
+    }
 }
 
 proptest! {
@@ -81,7 +130,7 @@ proptest! {
         prop_assert!(run.disk.energy_j > 0.0);
         // Conventional disk: ACTIVE/SEEK only => average power in [3.2, 4.2].
         let avg = run.disk.energy_j / run.duration_s;
-        prop_assert!(avg >= 3.19 && avg <= 4.21, "avg disk power {}", avg);
+        prop_assert!((3.19..=4.21).contains(&avg), "avg disk power {}", avg);
     }
 
     /// Kernel-service cycles never exceed kernel-mode cycles plus

@@ -1,0 +1,188 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment is offline, so the workspace carries the slice of
+//! criterion its benches use: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`Throughput`], and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is a plain warm-up + timed-samples loop reporting the mean
+//! wall-clock time per iteration (no statistics engine, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran (report hook; no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let id = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&id, samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding one warm-up sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            total += start.elapsed();
+        }
+        self.iters = self.samples as u64;
+        self.mean = total / self.samples as u32;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { samples, mean: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let per_iter = b.mean.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<56} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_mean() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("spin2", |b| b.iter(|| (0..1000u64).product::<u64>()));
+        group.finish();
+    }
+}

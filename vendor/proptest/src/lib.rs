@@ -1,0 +1,138 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment is offline, so the workspace carries the slice of
+//! proptest it uses: the [`Strategy`] trait with `prop_map`, range / tuple /
+//! `Just` / `any` / `prop_oneof!` / `prop::collection::vec` strategies, and
+//! the `proptest!` test macro. Cases are drawn from a per-test deterministic
+//! RNG (seeded from the test name), so failures reproduce exactly; there is
+//! no shrinking — a failing case panics with its number.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` etc., mirroring proptest's `prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements to generate: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of `size` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::Config as ProptestConfig;
+
+/// Everything a proptest-based test file imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a proptest body (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the `#![proptest_config(...)]` header and any number of
+/// `fn name(arg in strategy, ...) { body }` items, like upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __proptest_case in 0..config.cases {
+                let _ = __proptest_case;
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+    )*};
+}

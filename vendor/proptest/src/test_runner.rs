@@ -1,0 +1,75 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// How many cases each property runs (mirrors `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic generator used to draw test cases.
+///
+/// Seeded from the test's name so every test gets an independent but fully
+/// reproducible stream — a failing case number identifies the exact inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name gives a stable, well-spread seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo + 1 >= hi {
+            return lo;
+        }
+        self.0.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.0.gen::<f64>() * (hi - lo)
+    }
+
+    /// Full-range `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        RngCore::next_u64(&mut self.0)
+    }
+
+    /// Fair boolean.
+    pub fn bool(&mut self) -> bool {
+        self.0.gen::<bool>()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo + 1 >= hi {
+            return lo;
+        }
+        self.0.gen_range(lo..hi)
+    }
+}

@@ -1,0 +1,275 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment is offline, so the workspace carries the small
+//! slice of `rand` it actually uses: [`rngs::SmallRng`] (xoshiro256++ with
+//! the rand_core 0.6 `seed_from_u64` expansion), the [`Rng`]/[`SeedableRng`]
+//! traits, uniform integer ranges (Lemire widening-multiply rejection, as in
+//! rand 0.8), and the 53-bit `Standard` f64. The algorithms match upstream
+//! so seeded streams keep the statistical behavior the simulator's tests
+//! and workload models were tuned against — and every draw is fully
+//! deterministic, which the parallel experiment farm relies on.
+
+pub mod rngs;
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with the PCG32
+    /// sequence rand_core 0.6 uses, so short seeds still fill all state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sample a value of `Self` from the "standard" distribution: full-range
+/// integers, 53-bit-mantissa uniform `[0, 1)` floats, fair booleans.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8's `Standard` for f64: 53 high bits, scaled to [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl StandardSample for $ty {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+/// Types that can be drawn uniformly from a range (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+// Widening multiply helpers (rand 0.8's `wmul`).
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let m = u64::from(a) * u64::from(b);
+    ((m >> 32) as u32, m as u32)
+}
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let m = u128::from(a) * u128::from(b);
+    ((m >> 64) as u64, m as u64)
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty, $uty:ty, $large:ty, $wmul:ident, $next:ident);* $(;)?) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low < high, "gen_range: low must be < high");
+                let range = high.wrapping_sub(low) as $uty as $large;
+                // Lemire rejection: accept v*range whose low word falls in
+                // the unbiased zone.
+                let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                let zone = <$large>::MAX - ints_to_reject;
+                loop {
+                    let v = rng.$next() as $large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $ty, high: $ty) -> $ty {
+                assert!(low <= high, "gen_range: low must be <= high");
+                let span = high.wrapping_sub(low) as $uty as $large;
+                if span == <$large>::MAX {
+                    return (rng.$next() as $large) as $ty;
+                }
+                let range = span + 1;
+                let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                let zone = <$large>::MAX - ints_to_reject;
+                loop {
+                    let v = rng.$next() as $large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+uniform_int! {
+    u8, u8, u32, wmul32, next_u32;
+    u16, u16, u32, wmul32, next_u32;
+    u32, u32, u32, wmul32, next_u32;
+    i8, u8, u32, wmul32, next_u32;
+    i16, u16, u32, wmul32, next_u32;
+    i32, u32, u32, wmul32, next_u32;
+    u64, u64, u64, wmul64, next_u64;
+    i64, u64, u64, wmul64, next_u64;
+    usize, usize, u64, wmul64, next_u64;
+    isize, usize, u64, wmul64, next_u64;
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range: low must be < high");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        Self::sample_half_open(rng, low, high)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v: u32 = r.gen_range(2..=6);
+            assert!((2..=6).contains(&v));
+            seen[(v - 2) as usize] = true;
+            let w: u64 = r.gen_range(0..3);
+            assert!(w < 3);
+            let b: u8 = r.gen_range(1..17);
+            assert!((1..17).contains(&b));
+        }
+        assert!(seen.iter().all(|&s| s), "inclusive range must cover all values");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
