@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use softwatt::{Benchmark, Simulator, SystemConfig};
+use softwatt::{Benchmark, IdleHandling, Simulator, SystemConfig};
 use softwatt_os::KernelService;
 
 fn base_config() -> SystemConfig {
@@ -38,10 +38,14 @@ fn bench_sample_interval(c: &mut Criterion) {
 fn bench_idle_fastforward(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_idle_fastforward");
     group.sample_size(10);
-    for (label, ff) in [("simulate_idle", false), ("fast_forward", true)] {
+    for (label, idle) in [
+        ("simulate_idle", IdleHandling::Simulate),
+        ("fast_forward", IdleHandling::FastForward),
+        ("analytic", IdleHandling::Analytic),
+    ] {
         group.bench_function(label, |b| {
             let sim = Simulator::new(SystemConfig {
-                fast_forward_idle: ff,
+                idle,
                 ..base_config()
             })
             .expect("valid");
@@ -109,5 +113,10 @@ fn bench_kernel_estimate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablations, bench_sample_interval, bench_idle_fastforward, bench_kernel_estimate);
+criterion_group!(
+    ablations,
+    bench_sample_interval,
+    bench_idle_fastforward,
+    bench_kernel_estimate
+);
 criterion_main!(ablations);

@@ -1,6 +1,8 @@
 //! Simulator-throughput measurement mode: times the core simulator per
-//! CPU model and the full experiment grid serial vs parallel, and writes
-//! the results as machine-readable JSON (`BENCH_simulator.json`).
+//! CPU model, the full experiment grid serial vs parallel (with the
+//! trace-replay engine), and the same grid with replay disabled (every key
+//! fully simulated) for the replay speedup headline. Writes the results as
+//! machine-readable JSON (`BENCH_simulator.json`).
 //!
 //! Usage: `bench_simulator [--scale S] [--jobs N] [--out FILE]`
 //! (defaults: scale 2000 — the experiment harness's fidelity setting —
@@ -23,8 +25,10 @@ fn main() {
     }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value =
-            |flag: &str| args.next().unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")));
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
         match arg.as_str() {
             "--scale" => match value("--scale").parse() {
                 Ok(v) if v > 0.0 => scale = v,
@@ -74,23 +78,45 @@ fn main() {
         .expect("write to string");
     }
 
-    // Full experiment grid, serial then parallel, fresh memo each time.
+    // Full experiment grid with the trace-replay engine, serial then
+    // parallel, fresh memo each time.
     let suite = ExperimentSuite::new(config.clone()).expect("valid config");
     let grid = suite.paper_grid();
     let start = Instant::now();
     suite.run_all(1);
     let serial_s = start.elapsed().as_secs_f64();
-    eprintln!("  grid x{} serial      {serial_s:7.3} s", grid.len());
+    let full_sims = suite.runs_executed();
+    let replays = suite.replays_derived();
+    eprintln!(
+        "  grid x{} serial      {serial_s:7.3} s  ({full_sims} full sims + {replays} replays)",
+        grid.len()
+    );
 
-    let suite_par = ExperimentSuite::new(config).expect("valid config");
+    let suite_par = ExperimentSuite::new(config.clone()).expect("valid config");
     let start = Instant::now();
     suite_par.run_all(jobs);
     let parallel_s = start.elapsed().as_secs_f64();
     let speedup = serial_s / parallel_s;
-    eprintln!("  grid x{} --jobs {jobs}    {parallel_s:7.3} s  ({speedup:.2}x)", grid.len());
+    eprintln!(
+        "  grid x{} --jobs {jobs}    {parallel_s:7.3} s  ({speedup:.2}x)",
+        grid.len()
+    );
+
+    // The same grid with replay disabled: every key is a full simulation.
+    // The ratio against the replaying grid at the same jobs count is the
+    // headline win of the log-once/replay-many engine.
+    let suite_full = ExperimentSuite::with_full_simulation(config).expect("valid config");
+    let start = Instant::now();
+    suite_full.run_all(jobs);
+    let full_sim_s = start.elapsed().as_secs_f64();
+    let replay_speedup = full_sim_s / parallel_s;
+    eprintln!(
+        "  grid x{} full-sim --jobs {jobs} {full_sim_s:7.3} s  (replay engine {replay_speedup:.2}x faster)",
+        grid.len()
+    );
 
     let json = format!(
-        "{{\n  \"schema\": \"softwatt-bench-simulator-v1\",\n  \"time_scale\": {scale},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \"cpu_models\": [\n{cpu_rows}\n  ],\n  \"grid\": {{\"runs\": {}, \"serial_wall_s\": {serial_s:.6}, \"parallel_wall_s\": {parallel_s:.6}, \"speedup\": {speedup:.4}}}\n}}\n",
+        "{{\n  \"schema\": \"softwatt-bench-simulator-v2\",\n  \"time_scale\": {scale},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \"cpu_models\": [\n{cpu_rows}\n  ],\n  \"grid\": {{\"runs\": {}, \"full_sims\": {full_sims}, \"replays\": {replays}, \"serial_wall_s\": {serial_s:.6}, \"parallel_wall_s\": {parallel_s:.6}, \"speedup\": {speedup:.4}, \"full_sim_wall_s\": {full_sim_s:.6}, \"replay_speedup\": {replay_speedup:.4}}}\n}}\n",
         grid.len()
     );
     std::fs::write(&out, &json).expect("write benchmark JSON");

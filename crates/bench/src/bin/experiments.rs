@@ -66,7 +66,11 @@ fn main() {
         mem_profiles.mipsy.avg_memory_w() / mem_profiles.mipsy.avg_processor_w().max(1e-9)
     );
     print_profile_sparkline("mipsy idle share over time     ", &mem_profiles.mipsy, 3);
-    print_profile_sparkline("1-wide MXS idle share over time", &mem_profiles.single_issue, 3);
+    print_profile_sparkline(
+        "1-wide MXS idle share over time",
+        &mem_profiles.single_issue,
+        3,
+    );
     println!();
 
     heading("F4  Figure 4: jess processor profile (4-wide MXS)");
@@ -91,7 +95,10 @@ fn main() {
             .iter()
             .find(|g| g.label() == label)
             .expect("known label");
-        println!("  paper: {label} {p:.0}%  (measured {:.1}%)", fig5.group_pct(*g));
+        println!(
+            "  paper: {label} {p:.0}%  (measured {:.1}%)",
+            fig5.group_pct(*g)
+        );
     }
     println!();
 

@@ -22,8 +22,8 @@ use std::sync::Mutex;
 
 use softwatt::budget::system_budget;
 use softwatt::{
-    Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, RunResult, SimLog,
-    Simulator, SystemConfig,
+    Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, RunResult, SimLog, Simulator,
+    SystemConfig,
 };
 
 fn main() -> ExitCode {
@@ -53,7 +53,9 @@ benchmarks: compress jess db javac mtrt jack (or 'all');
 in list order either way)";
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let spec = args.first().ok_or_else(|| format!("missing benchmark\n{USAGE}"))?;
+    let spec = args
+        .first()
+        .ok_or_else(|| format!("missing benchmark\n{USAGE}"))?;
     let benchmarks: Vec<Benchmark> = if spec == "all" {
         Benchmark::ALL.to_vec()
     } else {
@@ -97,7 +99,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                         "idle" => DiskPolicy::IdleWhenNotBusy,
                         "standby2" => DiskPolicy::Standby { threshold_s: 2.0 },
                         "standby4" => DiskPolicy::Standby { threshold_s: 4.0 },
-                        "sleep" => DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 5.0 },
+                        "sleep" => DiskPolicy::Sleep {
+                            threshold_s: 2.0,
+                            sleep_after_s: 5.0,
+                        },
                         other => return Err(format!("unknown disk policy {other}\n{USAGE}")),
                     },
                     ..config.disk
@@ -156,9 +161,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         (Some(_), Some(_)) => return Err("--record and --replay are exclusive".into()),
         (Some(path), None) => {
             let out = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            let recording =
-                softwatt_isa::Recording::new(reference, BufWriter::new(out))
-                    .map_err(|e| format!("cannot start trace {path}: {e}"))?;
+            let recording = softwatt_isa::Recording::new(reference, BufWriter::new(out))
+                .map_err(|e| format!("cannot start trace {path}: {e}"))?;
             let run = sim.run_source(Box::new(recording), &warm, &premap, os_config);
             eprintln!("recorded user trace to {path}");
             run
@@ -180,7 +184,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         run.log
             .to_csv(BufWriter::new(file))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote simulation log to {path} ({} samples)", run.log.samples().len());
+        eprintln!(
+            "wrote simulation log to {path} ({} samples)",
+            run.log.samples().len()
+        );
     }
     Ok(())
 }
@@ -188,7 +195,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn print_run(benchmark: Benchmark, config: &SystemConfig, run: &RunResult) {
     println!(
         "{benchmark}: {} cycles, {:.2} paper-seconds, IPC {:.2}",
-        run.cycles, run.duration_s,
+        run.cycles,
+        run.duration_s,
         run.ipc()
     );
     for mode in Mode::ALL {
@@ -226,14 +234,20 @@ fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Res
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&bench) = benchmarks.get(i) else { break };
+                let Some(&bench) = benchmarks.get(i) else {
+                    break;
+                };
                 let sim = Simulator::new(config.clone()).expect("validated config");
                 *results[i].lock().expect("result slot") = Some(sim.run_benchmark(bench));
             });
         }
     });
     for (&bench, slot) in benchmarks.iter().zip(&results) {
-        let run = slot.lock().expect("result slot").take().expect("completed run");
+        let run = slot
+            .lock()
+            .expect("result slot")
+            .take()
+            .expect("completed run");
         print_run(bench, config, &run);
     }
     Ok(())
@@ -242,8 +256,8 @@ fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Res
 fn cmd_post(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(|| USAGE.to_string())?;
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let log = SimLog::from_csv(BufReader::new(file))
-        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let log =
+        SimLog::from_csv(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
 
     // Post-processing needs only the structural power model; the machine
     // that produced the log used Table 1 defaults unless stated otherwise.
@@ -271,6 +285,9 @@ fn cmd_post(args: &[String]) -> Result<(), String> {
     if let Some((peak_w, at_s)) = profile.peak_power_w() {
         println!("peak window power: {peak_w:.2} W at {at_s:.2} s");
     }
-    println!("energy-delay product: {:.3e} J.s", table.energy_delay_product());
+    println!(
+        "energy-delay product: {:.3e} J.s",
+        table.energy_delay_product()
+    );
     Ok(())
 }

@@ -53,9 +53,21 @@ impl SystemBudget {
 impl fmt::Display for SystemBudget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (g, w) in self.groups.iter() {
-            writeln!(f, "{:<12} {:7.3} W  {:5.1}%", g.label(), w, self.group_pct(g))?;
+            writeln!(
+                f,
+                "{:<12} {:7.3} W  {:5.1}%",
+                g.label(),
+                w,
+                self.group_pct(g)
+            )?;
         }
-        writeln!(f, "{:<12} {:7.3} W  {:5.1}%", "Disk", self.disk_w, self.disk_pct())?;
+        writeln!(
+            f,
+            "{:<12} {:7.3} W  {:5.1}%",
+            "Disk",
+            self.disk_w,
+            self.disk_pct()
+        )?;
         write!(f, "{:<12} {:7.3} W", "Total", self.total_w())
     }
 }
@@ -81,14 +93,16 @@ mod tests {
     fn budget(l1i: f64, disk: f64) -> SystemBudget {
         let mut groups = GroupPower::new();
         groups.add(UnitGroup::L1I, l1i);
-        SystemBudget { groups, disk_w: disk }
+        SystemBudget {
+            groups,
+            disk_w: disk,
+        }
     }
 
     #[test]
     fn percentages_sum_to_one_hundred() {
         let b = budget(6.0, 4.0);
-        let sum: f64 =
-            UnitGroup::ALL.iter().map(|&g| b.group_pct(g)).sum::<f64>() + b.disk_pct();
+        let sum: f64 = UnitGroup::ALL.iter().map(|&g| b.group_pct(g)).sum::<f64>() + b.disk_pct();
         assert!((sum - 100.0).abs() < 1e-9);
         assert!((b.disk_pct() - 40.0).abs() < 1e-9);
     }

@@ -1,6 +1,5 @@
 //! The whole-system configuration (paper Table 1 by default).
 
-
 use softwatt_cpu::{MipsyConfig, MxsConfig};
 use softwatt_disk::{DiskConfig, DiskPolicy};
 use softwatt_mem::MemConfig;
@@ -30,6 +29,24 @@ impl CpuModel {
     }
 }
 
+/// How disk-blocked idle stretches are handled by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IdleHandling {
+    /// Execute the busy-waiting idle loop cycle by cycle (the faithful
+    /// full-system behavior; slowest).
+    #[default]
+    Simulate,
+    /// The paper's §3.3 acceleration: skip *deep* blocked stretches by
+    /// synthesizing idle events at measured per-cycle rates, still
+    /// simulating the shallow head/tail of each stretch.
+    FastForward,
+    /// Account for *every* blocked stretch analytically: the CPU never
+    /// executes idle-loop instructions; gaps are patched into the log
+    /// arithmetically. Makes the work stream disk-policy-independent,
+    /// which is what the trace-replay engine relies on (`DESIGN.md`).
+    Analytic,
+}
+
 /// Full machine + methodology configuration.
 ///
 /// Defaults reproduce the paper's Table 1 system at a time scale of 2000×
@@ -57,9 +74,8 @@ pub struct SystemConfig {
     pub sample_interval_cycles: u64,
     /// Master seed (workload and OS randomness derive from it).
     pub seed: u64,
-    /// Fast-forward long disk-blocked idle stretches by synthesizing idle
-    /// events at measured rates (the paper's §3.3 acceleration).
-    pub fast_forward_idle: bool,
+    /// How disk-blocked idle stretches are handled (§3.3).
+    pub idle: IdleHandling,
 }
 
 impl Default for SystemConfig {
@@ -75,7 +91,7 @@ impl Default for SystemConfig {
             time_scale: 2000.0,
             sample_interval_cycles: 2000,
             seed: 0xB0A7,
-            fast_forward_idle: false,
+            idle: IdleHandling::Simulate,
         }
     }
 }

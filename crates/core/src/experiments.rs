@@ -1,23 +1,28 @@
 //! One entry point per table and figure of the paper's evaluation.
 //!
-//! [`ExperimentSuite`] memoizes simulation runs by (benchmark, CPU model,
-//! disk policy), so regenerating all artifacts costs one run per distinct
-//! machine configuration. `DESIGN.md` §5 maps each method here to its
-//! paper artifact; `EXPERIMENTS.md` records paper-vs-measured values.
+//! [`ExperimentSuite`] memoizes work at two levels. A full simulation runs
+//! once per distinct (benchmark, CPU model) pair and captures a
+//! policy-independent [`PerfTrace`]; every (benchmark, CPU, disk policy)
+//! bundle is then *derived* from that trace by replaying the disk request
+//! stream through the requested policy ([`Simulator::replay_trace`]) —
+//! exactly reproducing what a direct simulation would have produced, at a
+//! fraction of the cost. `DESIGN.md` §5 maps each method here to its paper
+//! artifact; `EXPERIMENTS.md` records paper-vs-measured values.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use softwatt_disk::{DiskConfig, DiskMode, DiskPolicy, DiskPowerTable};
 use softwatt_os::KernelService;
 use softwatt_power::{GroupPower, PowerModel, UnitGroup};
-use softwatt_stats::Mode;
+use softwatt_stats::{Mode, PerfTrace};
 use softwatt_workloads::Benchmark;
 
 use crate::budget::{system_budget, SystemBudget};
-use crate::config::{CpuModel, SystemConfig};
+use crate::config::{CpuModel, IdleHandling, SystemConfig};
 use crate::report::{joules, pct};
 use crate::sim::{RunResult, Simulator};
 
@@ -53,7 +58,10 @@ impl DiskSetup {
             DiskSetup::IdleOnly => DiskPolicy::IdleWhenNotBusy,
             DiskSetup::Standby2s => DiskPolicy::Standby { threshold_s: 2.0 },
             DiskSetup::Standby4s => DiskPolicy::Standby { threshold_s: 4.0 },
-            DiskSetup::SleepExt => DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 10.0 },
+            DiskSetup::SleepExt => DiskPolicy::Sleep {
+                threshold_s: 2.0,
+                sleep_after_s: 10.0,
+            },
         }
     }
 
@@ -89,19 +97,67 @@ pub struct RunBundle {
     pub model: PowerModel,
 }
 
-/// A memo slot: either the finished bundle, or a ticket other threads
-/// wait on while the claiming thread simulates.
+/// A memo slot: either the finished value, or a ticket other threads
+/// wait on while the claiming thread computes it.
 #[derive(Debug)]
-enum Slot {
-    Ready(Arc<RunBundle>),
-    Pending(Arc<InFlight>),
+enum Slot<T> {
+    Ready(Arc<T>),
+    Pending(Arc<InFlight<T>>),
 }
 
-/// Completion ticket for an in-flight simulation.
-#[derive(Debug, Default)]
-struct InFlight {
-    done: Mutex<Option<Arc<RunBundle>>>,
+/// Completion ticket for an in-flight computation.
+#[derive(Debug)]
+struct InFlight<T> {
+    done: Mutex<Option<Arc<T>>>,
     cv: Condvar,
+}
+
+impl<T> Default for InFlight<T> {
+    fn default() -> Self {
+        InFlight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Claims `key` in `map` and computes it with `build`, or waits for (and
+/// shares) the result another thread is already computing. `build` runs
+/// outside the map lock, so distinct keys proceed in parallel.
+fn memoize<K, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: K, build: impl FnOnce() -> T) -> Arc<T>
+where
+    K: Eq + Hash + Copy,
+{
+    let ticket = {
+        let mut slots = map.lock().expect("memo lock");
+        match slots.get(&key) {
+            Some(Slot::Ready(value)) => return Arc::clone(value),
+            Some(Slot::Pending(inflight)) => Some(Arc::clone(inflight)),
+            None => {
+                slots.insert(key, Slot::Pending(Arc::new(InFlight::default())));
+                None
+            }
+        }
+    };
+
+    if let Some(inflight) = ticket {
+        // Another thread is computing this key; wait for its result.
+        let mut done = inflight.done.lock().expect("inflight lock");
+        while done.is_none() {
+            done = inflight.cv.wait(done).expect("inflight wait");
+        }
+        return Arc::clone(done.as_ref().expect("completed value"));
+    }
+
+    let value = Arc::new(build());
+    let mut slots = map.lock().expect("memo lock");
+    let Some(Slot::Pending(inflight)) = slots.insert(key, Slot::Ready(Arc::clone(&value))) else {
+        unreachable!("claimed slot must still be pending");
+    };
+    drop(slots);
+    *inflight.done.lock().expect("inflight lock") = Some(Arc::clone(&value));
+    inflight.cv.notify_all();
+    value
 }
 
 // Everything the worker threads exchange must stay shareable; a field
@@ -112,6 +168,7 @@ const _: () = {
     assert_send_sync::<RunResult>();
     assert_send_sync::<PowerModel>();
     assert_send_sync::<softwatt_stats::SimLog>();
+    assert_send_sync::<PerfTrace>();
 };
 
 /// The experiment driver. See the module docs.
@@ -123,23 +180,50 @@ const _: () = {
 #[derive(Debug)]
 pub struct ExperimentSuite {
     config: SystemConfig,
-    runs: Mutex<HashMap<RunKey, Slot>>,
+    runs: Mutex<HashMap<RunKey, Slot<RunBundle>>>,
+    traces: Mutex<HashMap<(Benchmark, CpuModel), Slot<PerfTrace>>>,
+    replay_enabled: bool,
     executed: AtomicUsize,
+    replays: AtomicUsize,
 }
 
 impl ExperimentSuite {
     /// Creates a suite over a base configuration (CPU model and disk
     /// policy fields are overridden per experiment).
     ///
+    /// All runs use [`IdleHandling::Analytic`], which makes the simulated
+    /// work stream independent of the disk policy; the suite exploits that
+    /// by fully simulating each (benchmark, CPU) pair once and deriving
+    /// every disk-policy variant by trace replay.
+    ///
     /// # Errors
     ///
     /// Returns the first configuration problem found.
     pub fn new(config: SystemConfig) -> Result<ExperimentSuite, String> {
+        Self::with_replay(config, true)
+    }
+
+    /// Like [`ExperimentSuite::new`], but every bundle comes from a direct
+    /// full simulation — no trace capture, no replay. Exists for A/B
+    /// benchmarking and for the replay-equivalence tests; results are
+    /// bit-identical to the replaying suite's.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration problem found.
+    pub fn with_full_simulation(config: SystemConfig) -> Result<ExperimentSuite, String> {
+        Self::with_replay(config, false)
+    }
+
+    fn with_replay(config: SystemConfig, replay_enabled: bool) -> Result<ExperimentSuite, String> {
         config.validate()?;
         Ok(ExperimentSuite {
             config,
             runs: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
+            replay_enabled,
             executed: AtomicUsize::new(0),
+            replays: AtomicUsize::new(0),
         })
     }
 
@@ -148,56 +232,51 @@ impl ExperimentSuite {
         &self.config
     }
 
-    /// How many simulations have actually executed (memo misses). Stays at
-    /// the number of distinct keys requested no matter how many threads
-    /// race on the same keys.
+    /// How many *full* simulations have actually executed. With replay
+    /// enabled this is the number of distinct (benchmark, CPU) pairs
+    /// requested — not the number of distinct keys — no matter how many
+    /// threads race on the same keys.
     pub fn runs_executed(&self) -> usize {
         self.executed.load(Ordering::Acquire)
     }
 
+    /// How many bundles were derived by trace replay instead of a full
+    /// simulation.
+    pub fn replays_derived(&self) -> usize {
+        self.replays.load(Ordering::Acquire)
+    }
+
     /// Runs (or returns the memoized) simulation for one machine setup.
     pub fn run(&self, benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup) -> Arc<RunBundle> {
-        self.run_key(RunKey { benchmark, cpu, disk })
+        self.run_key(RunKey {
+            benchmark,
+            cpu,
+            disk,
+        })
     }
 
     /// [`ExperimentSuite::run`] addressed by key.
     pub fn run_key(&self, key: RunKey) -> Arc<RunBundle> {
-        // Claim the key or find existing work under the lock; simulate
-        // outside it so other keys proceed in parallel.
-        let ticket = {
-            let mut runs = self.runs.lock().expect("memo lock");
-            match runs.get(&key) {
-                Some(Slot::Ready(bundle)) => return Arc::clone(bundle),
-                Some(Slot::Pending(inflight)) => Some(Arc::clone(inflight)),
-                None => {
-                    runs.insert(key, Slot::Pending(Arc::new(InFlight::default())));
-                    None
-                }
-            }
-        };
-
-        if let Some(inflight) = ticket {
-            // Another thread is simulating this key; wait for its result.
-            let mut done = inflight.done.lock().expect("inflight lock");
-            while done.is_none() {
-                done = inflight.cv.wait(done).expect("inflight wait");
-            }
-            return Arc::clone(done.as_ref().expect("completed bundle"));
-        }
-
-        let bundle = Arc::new(self.execute(key));
-        let mut runs = self.runs.lock().expect("memo lock");
-        let Some(Slot::Pending(inflight)) = runs.insert(key, Slot::Ready(Arc::clone(&bundle)))
-        else {
-            unreachable!("claimed slot must still be pending");
-        };
-        drop(runs);
-        *inflight.done.lock().expect("inflight lock") = Some(Arc::clone(&bundle));
-        inflight.cv.notify_all();
-        bundle
+        memoize(&self.runs, key, || self.execute(key))
     }
 
-    /// Performs one simulation (always a memo miss).
+    /// The captured trace for one (benchmark, CPU) pair, simulating it if
+    /// this is the first request.
+    fn trace_for(&self, benchmark: Benchmark, cpu: CpuModel) -> Arc<PerfTrace> {
+        memoize(&self.traces, (benchmark, cpu), || {
+            let mut config = self.config.clone();
+            config.cpu = cpu;
+            config.idle = IdleHandling::Analytic;
+            // The capture run uses the suite's base disk config; the trace
+            // it produces is disk-policy-independent.
+            let sim = Simulator::new(config).expect("validated config");
+            self.executed.fetch_add(1, Ordering::AcqRel);
+            sim.run_benchmark_traced(benchmark).1
+        })
+    }
+
+    /// Produces one bundle (always a memo miss): by trace replay when
+    /// enabled, by direct full simulation otherwise.
     fn execute(&self, key: RunKey) -> RunBundle {
         let mut config = self.config.clone();
         config.cpu = key.cpu;
@@ -205,9 +284,18 @@ impl ExperimentSuite {
             policy: key.disk.policy(),
             ..self.config.disk
         };
+        config.idle = IdleHandling::Analytic;
         let sim = Simulator::new(config.clone()).expect("validated config");
-        let run = sim.run_benchmark(key.benchmark);
-        self.executed.fetch_add(1, Ordering::AcqRel);
+        let run = if self.replay_enabled {
+            let trace = self.trace_for(key.benchmark, key.cpu);
+            self.replays.fetch_add(1, Ordering::AcqRel);
+            let mut run = sim.replay_trace(&trace);
+            run.benchmark = Some(key.benchmark);
+            run
+        } else {
+            self.executed.fetch_add(1, Ordering::AcqRel);
+            sim.run_benchmark(key.benchmark)
+        };
         RunBundle {
             run,
             model: PowerModel::new(&config.power_params()),
@@ -223,9 +311,17 @@ impl ExperimentSuite {
         let mut keys = Vec::new();
         for &benchmark in Benchmark::ALL.iter() {
             for disk in DiskSetup::ALL {
-                keys.push(RunKey { benchmark, cpu: CpuModel::Mxs, disk });
+                keys.push(RunKey {
+                    benchmark,
+                    cpu: CpuModel::Mxs,
+                    disk,
+                });
             }
-            keys.push(RunKey { benchmark, cpu: CpuModel::Mxs, disk: DiskSetup::SleepExt });
+            keys.push(RunKey {
+                benchmark,
+                cpu: CpuModel::Mxs,
+                disk: DiskSetup::SleepExt,
+            });
             keys.push(RunKey {
                 benchmark,
                 cpu: CpuModel::MxsSingleIssue,
@@ -294,10 +390,7 @@ impl ExperimentSuite {
     /// Figure 2's operating-mode power values.
     pub fn disk_modes(&self) -> Vec<(DiskMode, f64)> {
         let table = DiskPowerTable::default();
-        DiskMode::ALL
-            .iter()
-            .map(|&m| (m, table.watts(m)))
-            .collect()
+        DiskMode::ALL.iter().map(|&m| (m, table.watts(m))).collect()
     }
 
     // ----- F3/F4: jess time profiles -------------------------------------
@@ -307,7 +400,11 @@ impl ExperimentSuite {
     /// on the single-issue configuration.
     pub fn fig3_jess_memory(&self) -> MemoryProfiles {
         let mipsy = self.run(Benchmark::Jess, CpuModel::Mipsy, DiskSetup::Conventional);
-        let narrow = self.run(Benchmark::Jess, CpuModel::MxsSingleIssue, DiskSetup::Conventional);
+        let narrow = self.run(
+            Benchmark::Jess,
+            CpuModel::MxsSingleIssue,
+            DiskSetup::Conventional,
+        );
         MemoryProfiles {
             mipsy: profile_series(&mipsy),
             single_issue: profile_series(&narrow),
@@ -415,7 +512,10 @@ impl ExperimentSuite {
                         spindowns: bundle.run.disk.spindowns,
                     }
                 });
-                Fig9Row { benchmark: b, cells }
+                Fig9Row {
+                    benchmark: b,
+                    cells,
+                }
             })
             .collect()
     }
@@ -641,7 +741,10 @@ impl ExperimentSuite {
             DiskPolicy::IdleWhenNotBusy,
             DiskPolicy::Standby { threshold_s: 2.0 },
             DiskPolicy::Standby { threshold_s: 4.0 },
-            DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 5.0 },
+            DiskPolicy::Sleep {
+                threshold_s: 2.0,
+                sleep_after_s: 5.0,
+            },
         ];
         [4.0, 8.0, 12.0, 16.0, 24.0, 48.0, 96.0]
             .iter()
@@ -852,12 +955,10 @@ fn profile_series(bundle: &RunBundle) -> ProfileSeries {
         .iter()
         .map(|p| {
             let mode_pct = Mode::ALL.map(|m| 100.0 * p.mode_share(m));
-            let mem_w = Mode::ALL.map(|m| {
-                p.mode_power_w[m.index()].memory_subsystem() * p.mode_share(m)
-            });
-            let proc_w = Mode::ALL.map(|m| {
-                p.mode_power_w[m.index()].get(UnitGroup::Datapath) * p.mode_share(m)
-            });
+            let mem_w =
+                Mode::ALL.map(|m| p.mode_power_w[m.index()].memory_subsystem() * p.mode_share(m));
+            let proc_w = Mode::ALL
+                .map(|m| p.mode_power_w[m.index()].get(UnitGroup::Datapath) * p.mode_share(m));
             ProfileRow {
                 t_s: p.t_end_s,
                 mode_pct,
@@ -889,7 +990,11 @@ impl ModePowerFigure {
 
 impl fmt::Display for ModePowerFigure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<10} {:>8} {:>8} {:>8} {:>8}", "group", "user", "kernel", "sync", "idle")?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
+            "group", "user", "kernel", "sync", "idle"
+        )?;
         for g in UnitGroup::ALL {
             writeln!(
                 f,
@@ -1194,8 +1299,12 @@ impl fmt::Display for PowerMetricsRow {
         write!(
             f,
             "{:<9} avg {:5.2} W  peak {:5.2} W (at {:6.2}s)  E {}  EDP {:9.3e} J.s",
-            self.benchmark, self.average_w, self.peak_w, self.peak_at_s,
-            joules(self.energy_j), self.edp_js
+            self.benchmark,
+            self.average_w,
+            self.peak_w,
+            self.peak_at_s,
+            joules(self.energy_j),
+            self.edp_js
         )
     }
 }
@@ -1273,7 +1382,13 @@ pub struct GatingRow {
 
 impl fmt::Display for GatingRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<18} avg {:6.2} W  energy {}", self.label, self.average_w, joules(self.energy_j))
+        write!(
+            f,
+            "{:<18} avg {:6.2} W  energy {}",
+            self.label,
+            self.average_w,
+            joules(self.energy_j)
+        )
     }
 }
 
@@ -1317,6 +1432,10 @@ pub struct TechRow {
 
 impl fmt::Display for TechRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<32} avg {:6.2} W  max {:6.2} W", self.label, self.cpu_mem_w, self.max_w)
+        write!(
+            f,
+            "{:<32} avg {:6.2} W  max {:6.2} W",
+            self.label, self.cpu_mem_w, self.max_w
+        )
     }
 }

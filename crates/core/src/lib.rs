@@ -41,7 +41,7 @@ pub mod report;
 pub mod sim;
 
 pub use budget::{system_budget, SystemBudget};
-pub use config::{CpuModel, SystemConfig};
+pub use config::{CpuModel, IdleHandling, SystemConfig};
 pub use experiments::ExperimentSuite;
 pub use sim::{RunResult, Simulator};
 

@@ -34,23 +34,67 @@ pub mod paper {
     /// Table 2: (benchmark, % cycles per mode, % energy per mode) with
     /// modes ordered user / kernel / sync / idle.
     pub const TABLE2: [(&str, [f64; 4], [f64; 4]); 6] = [
-        ("compress", [88.24, 7.95, 0.20, 3.61], [93.74, 4.18, 0.14, 1.94]),
-        ("jess", [63.69, 24.57, 0.86, 10.88], [77.15, 15.12, 0.68, 7.05]),
+        (
+            "compress",
+            [88.24, 7.95, 0.20, 3.61],
+            [93.74, 4.18, 0.14, 1.94],
+        ),
+        (
+            "jess",
+            [63.69, 24.57, 0.86, 10.88],
+            [77.15, 15.12, 0.68, 7.05],
+        ),
         ("db", [66.10, 24.28, 0.75, 8.87], [81.19, 13.22, 0.54, 5.05]),
-        ("javac", [64.20, 27.54, 0.55, 7.71], [78.47, 15.98, 0.44, 5.11]),
-        ("mtrt", [80.62, 14.80, 0.26, 4.32], [90.07, 7.44, 0.17, 2.32]),
-        ("jack", [69.02, 27.91, 0.63, 2.44], [81.36, 16.43, 0.51, 1.70]),
+        (
+            "javac",
+            [64.20, 27.54, 0.55, 7.71],
+            [78.47, 15.98, 0.44, 5.11],
+        ),
+        (
+            "mtrt",
+            [80.62, 14.80, 0.26, 4.32],
+            [90.07, 7.44, 0.17, 2.32],
+        ),
+        (
+            "jack",
+            [69.02, 27.91, 0.63, 2.44],
+            [81.36, 16.43, 0.51, 1.70],
+        ),
     ];
 
     /// Table 3: (benchmark, iL1 refs/cycle per mode, dL1 refs/cycle per
     /// mode), modes ordered user / kernel / sync / idle.
     pub const TABLE3: [(&str, [f64; 4], [f64; 4]); 6] = [
-        ("compress", [2.0088, 1.1203, 1.5560, 0.7612], [0.6833, 0.2080, 0.1745, 0.3546]),
-        ("jess", [1.9861, 1.1143, 1.5956, 0.8267], [0.6217, 0.2164, 0.1775, 0.3851]),
-        ("db", [2.0911, 1.0602, 1.5240, 0.7244], [0.6699, 0.1892, 0.1832, 0.3375]),
-        ("javac", [1.9685, 1.0346, 1.5355, 0.8110], [0.5604, 0.1835, 0.1720, 0.3778]),
-        ("mtrt", [2.1105, 1.0850, 1.5177, 0.7524], [0.6473, 0.1908, 0.1697, 0.3505]),
-        ("jack", [1.8465, 1.0410, 1.5585, 0.8718], [0.5869, 0.1931, 0.1708, 0.4061]),
+        (
+            "compress",
+            [2.0088, 1.1203, 1.5560, 0.7612],
+            [0.6833, 0.2080, 0.1745, 0.3546],
+        ),
+        (
+            "jess",
+            [1.9861, 1.1143, 1.5956, 0.8267],
+            [0.6217, 0.2164, 0.1775, 0.3851],
+        ),
+        (
+            "db",
+            [2.0911, 1.0602, 1.5240, 0.7244],
+            [0.6699, 0.1892, 0.1832, 0.3375],
+        ),
+        (
+            "javac",
+            [1.9685, 1.0346, 1.5355, 0.8110],
+            [0.5604, 0.1835, 0.1720, 0.3778],
+        ),
+        (
+            "mtrt",
+            [2.1105, 1.0850, 1.5177, 0.7524],
+            [0.6473, 0.1908, 0.1697, 0.3505],
+        ),
+        (
+            "jack",
+            [1.8465, 1.0410, 1.5585, 0.8718],
+            [0.5869, 0.1931, 0.1708, 0.4061],
+        ),
     ];
 
     /// §3.2: ALU uses per cycle per mode (user/kernel/sync/idle).

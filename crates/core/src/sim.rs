@@ -1,15 +1,15 @@
 //! The full-system simulator driver.
 
 use softwatt_cpu::{Cpu, MipsyCpu, MxsConfig, MxsCpu};
-use softwatt_disk::{Disk, DiskReport};
+use softwatt_disk::{replay_requests, Disk, DiskReport};
 use softwatt_isa::InstrSource;
 use softwatt_mem::MemHierarchy;
-use softwatt_os::{IdleLoop, OsConfig, SystemOs};
+use softwatt_os::{IdleLoop, KernelService, OsConfig, SystemOs};
 use softwatt_power::PowerModel;
-use softwatt_stats::{Mode, ServiceProfiler, SimLog, StatsCollector, UnitEvent};
+use softwatt_stats::{Mode, PerfTrace, ServiceProfiler, SimLog, StatsCollector, UnitEvent};
 use softwatt_workloads::Benchmark;
 
-use crate::config::{CpuModel, SystemConfig};
+use crate::config::{CpuModel, IdleHandling, SystemConfig};
 
 /// Everything a run produces: the sampled log (for power post-processing),
 /// the kernel-service profile, the disk's online energy report, and
@@ -96,12 +96,32 @@ impl Simulator {
 
     /// Runs one of the named benchmarks.
     pub fn run_benchmark(&self, benchmark: Benchmark) -> RunResult {
+        self.run_benchmark_inner(benchmark, false).0
+    }
+
+    /// Runs one of the named benchmarks under analytic idle handling while
+    /// capturing a [`PerfTrace`]: the policy-independent record of the run
+    /// (sampled log split at request boundaries, the disk request stream in
+    /// work-relative time, idle event rates, and the kernel-service
+    /// profile). The trace can then be replayed through any disk
+    /// configuration with [`Simulator::replay_trace`], reproducing a direct
+    /// simulation exactly — see `DESIGN.md` "Two-phase architecture".
+    pub fn run_benchmark_traced(&self, benchmark: Benchmark) -> (RunResult, PerfTrace) {
+        let (result, trace) = self.run_benchmark_inner(benchmark, true);
+        (result, trace.expect("capture mode always yields a trace"))
+    }
+
+    fn run_benchmark_inner(
+        &self,
+        benchmark: Benchmark,
+        capture: bool,
+    ) -> (RunResult, Option<PerfTrace>) {
         let clocking = self.config.clocking();
         let workload = benchmark.workload(clocking, self.config.seed);
         let warm = workload.warm_files();
         let premap = workload.premap_regions();
         let cacheflush_rate = workload.spec().cacheflush_per_kinstr;
-        let mut result = self.run_source(
+        let (mut result, trace) = self.run_source_inner(
             Box::new(workload),
             &warm,
             &premap,
@@ -110,9 +130,10 @@ impl Simulator {
                 seed: self.config.seed ^ 0x5EED,
                 ..self.config.os
             },
+            capture,
         );
         result.benchmark = Some(benchmark);
-        result
+        (result, trace)
     }
 
     /// Runs an arbitrary instruction source under the OS model.
@@ -123,6 +144,18 @@ impl Simulator {
         premap: &[(u64, u64)],
         os_config: OsConfig,
     ) -> RunResult {
+        self.run_source_inner(user, warm_files, premap, os_config, false)
+            .0
+    }
+
+    fn run_source_inner(
+        &self,
+        user: Box<dyn InstrSource>,
+        warm_files: &[(softwatt_isa::FileRef, u64)],
+        premap: &[(u64, u64)],
+        os_config: OsConfig,
+        capture: bool,
+    ) -> (RunResult, Option<PerfTrace>) {
         let clocking = self.config.clocking();
         let model = PowerModel::new(&self.config.power_params());
         let mut stats = StatsCollector::with_weights(
@@ -141,10 +174,22 @@ impl Simulator {
         let mut mem = MemHierarchy::new(self.config.mem);
         let mut cpu = self.make_cpu();
 
-        let idle_rates = self
-            .config
-            .fast_forward_idle
-            .then(|| self.measure_idle_rates());
+        // Trace capture needs every blocked stretch handled analytically —
+        // that is what makes the captured work stream policy-independent.
+        let handling = if capture {
+            IdleHandling::Analytic
+        } else {
+            self.config.idle
+        };
+        let idle_rates = (handling != IdleHandling::Simulate).then(|| self.measure_idle_rates());
+        let analytic = handling == IdleHandling::Analytic;
+        os.set_analytic_idle(analytic);
+        if capture {
+            os.start_request_capture();
+        }
+        // Sample-index boundaries (before, after) of each analytic gap, for
+        // splitting the log into policy-independent work segments.
+        let mut marks: Vec<(usize, usize)> = Vec::new();
 
         // Safety net: a run that exceeds this is a livelock, not a workload.
         let cycle_cap = 400_000_000u64;
@@ -158,29 +203,84 @@ impl Simulator {
             if out.program_exited && os.finished() {
                 break;
             }
-            // Optional §3.3 acceleration: skip deep disk-blocked stretches.
-            if let (Some(rates), Some(until)) = (&idle_rates, os.blocked_until()) {
-                let now = stats.cycle();
-                if until > now + 5_000 {
-                    let gap = until - now - 500;
-                    let prev_mode = stats.mode();
-                    stats.set_mode(Mode::Idle);
-                    for &(ev, rate) in &rates.per_cycle {
-                        stats.record_n(ev, (rate * gap as f64) as u64);
+            match (&idle_rates, os.blocked_until()) {
+                // Analytic idle handling: account for the whole blocked
+                // stretch arithmetically, flushing the sample window at the
+                // request boundary even when the gap is empty (the gap
+                // length is the only policy-dependent quantity, so samples
+                // must never straddle a boundary).
+                (Some(rates), Some(until)) if analytic => {
+                    let now = stats.cycle();
+                    let gap = until.saturating_sub(now);
+                    stats.flush_window();
+                    let before = stats.samples_emitted();
+                    stats.skip_idle_gap(gap, &rates.per_cycle, KernelService::IdleProcess.id());
+                    os.complete_block(gap);
+                    if capture {
+                        marks.push((before, stats.samples_emitted()));
                     }
-                    stats.tick_n(gap);
-                    stats.set_mode(prev_mode);
                 }
+                // Legacy §3.3 acceleration: skip only *deep* stretches, and
+                // keep simulating their head and tail.
+                (Some(rates), Some(until)) => {
+                    let now = stats.cycle();
+                    if until > now + 5_000 {
+                        let gap = until - now - 500;
+                        let prev_mode = stats.mode();
+                        stats.set_mode(Mode::Idle);
+                        for &(ev, rate) in &rates.per_cycle {
+                            stats.record_n(ev, (rate * gap as f64) as u64);
+                        }
+                        stats.tick_n(gap);
+                        stats.set_mode(prev_mode);
+                    }
+                }
+                _ => {}
             }
             assert!(stats.cycle() < cycle_cap, "runaway simulation");
         }
 
         let cycles = stats.cycle();
+        let work_cycles = stats.work_cycle();
         let committed = cpu.committed_instructions();
         let user_instrs = os.user_instructions();
+        let requests = os.take_request_log();
         let (log, services) = stats.finish_with_services();
         let disk_report = os.into_disk().report(cycles);
-        RunResult {
+        let trace = capture.then(|| {
+            let samples = log.samples();
+            let mut segments = Vec::with_capacity(marks.len() + 1);
+            let mut start = 0usize;
+            for &(before, after) in &marks {
+                segments.push(samples[start..before].to_vec());
+                start = after;
+            }
+            segments.push(samples[start..].to_vec());
+            let mut work_services: Vec<_> = services
+                .aggregates()
+                .iter()
+                .filter(|(&id, _)| id != KernelService::IdleProcess.id())
+                .map(|(&id, agg)| (id, agg.clone()))
+                .collect();
+            work_services.sort_by_key(|&(id, _)| id);
+            let trace = PerfTrace {
+                clocking,
+                sample_interval: self.config.sample_interval_cycles,
+                segments,
+                requests,
+                idle_rates: idle_rates
+                    .as_ref()
+                    .map(|r| r.per_cycle.clone())
+                    .unwrap_or_default(),
+                work_services,
+                work_cycles,
+                committed,
+                user_instrs,
+            };
+            trace.validate().expect("captured trace is well-formed");
+            trace
+        });
+        let result = RunResult {
             benchmark: None,
             cpu: self.config.cpu,
             log,
@@ -189,6 +289,61 @@ impl Simulator {
             cycles,
             committed,
             user_instrs,
+            duration_s: clocking.cycles_to_paper_secs(cycles),
+        };
+        (result, trace)
+    }
+
+    /// Replays a captured [`PerfTrace`] through this simulator's disk
+    /// configuration without re-simulating the CPU: the request stream is
+    /// re-run through a fresh disk state machine, blocked gaps are
+    /// recomputed, and the log/profile are reconstructed by replaying the
+    /// trace's work segments and patching each gap with the same idle-event
+    /// machinery a direct analytic simulation uses. The result is exactly
+    /// (bit-for-bit) what [`Simulator::run_benchmark`] produces under
+    /// [`IdleHandling::Analytic`] for the same configuration.
+    ///
+    /// Only the disk configuration may differ from the capture run; the
+    /// CPU, memory, clocking, and workload are baked into the trace.
+    pub fn replay_trace(&self, trace: &PerfTrace) -> RunResult {
+        trace.validate().expect("valid trace");
+        let clocking = self.config.clocking();
+        let model = PowerModel::new(&self.config.power_params());
+        let timeline = replay_requests(
+            self.config.disk,
+            clocking,
+            &trace.requests,
+            trace.work_cycles,
+        );
+        let mut stats =
+            StatsCollector::with_weights(clocking, trace.sample_interval, model.energy_weights());
+        for (i, segment) in trace.segments.iter().enumerate() {
+            for sample in segment {
+                stats.replay_sample(sample);
+            }
+            if i < timeline.gaps.len() {
+                stats.skip_idle_gap(
+                    timeline.gaps[i],
+                    &trace.idle_rates,
+                    KernelService::IdleProcess.id(),
+                );
+            }
+        }
+        let cycles = stats.cycle();
+        debug_assert_eq!(cycles, timeline.total_cycles);
+        let (log, mut services) = stats.finish_with_services();
+        for (service, aggregate) in &trace.work_services {
+            services.merge_aggregate(*service, aggregate);
+        }
+        RunResult {
+            benchmark: None,
+            cpu: self.config.cpu,
+            log,
+            services,
+            disk: timeline.report,
+            cycles,
+            committed: trace.committed,
+            user_instrs: trace.user_instrs,
             duration_s: clocking.cycles_to_paper_secs(cycles),
         }
     }
@@ -267,16 +422,24 @@ mod tests {
         config.cpu = CpuModel::Mipsy;
         let sim = Simulator::new(config).unwrap();
         let run = sim.run_benchmark(Benchmark::Db);
-        assert!(run.ipc() <= 1.0, "Mipsy cannot exceed one IPC, got {:.2}", run.ipc());
+        assert!(
+            run.ipc() <= 1.0,
+            "Mipsy cannot exceed one IPC, got {:.2}",
+            run.ipc()
+        );
         assert!(run.cycles > 5_000);
     }
 
     #[test]
     fn single_issue_is_slower_than_wide() {
-        let wide = Simulator::new(quick_config()).unwrap().run_benchmark(Benchmark::Db);
+        let wide = Simulator::new(quick_config())
+            .unwrap()
+            .run_benchmark(Benchmark::Db);
         let mut narrow_cfg = quick_config();
         narrow_cfg.cpu = CpuModel::MxsSingleIssue;
-        let narrow = Simulator::new(narrow_cfg).unwrap().run_benchmark(Benchmark::Db);
+        let narrow = Simulator::new(narrow_cfg)
+            .unwrap()
+            .run_benchmark(Benchmark::Db);
         assert!(
             narrow.cycles > wide.cycles,
             "narrow {} vs wide {}",
@@ -298,10 +461,14 @@ mod tests {
 
     #[test]
     fn fast_forward_preserves_results_approximately() {
-        let slow = Simulator::new(quick_config()).unwrap().run_benchmark(Benchmark::Jess);
+        let slow = Simulator::new(quick_config())
+            .unwrap()
+            .run_benchmark(Benchmark::Jess);
         let mut ff_cfg = quick_config();
-        ff_cfg.fast_forward_idle = true;
-        let fast = Simulator::new(ff_cfg).unwrap().run_benchmark(Benchmark::Jess);
+        ff_cfg.idle = IdleHandling::FastForward;
+        let fast = Simulator::new(ff_cfg)
+            .unwrap()
+            .run_benchmark(Benchmark::Jess);
         // Same idle cycle total (time still passes), similar event totals.
         let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / (a.max(1) as f64);
         assert!(

@@ -110,7 +110,13 @@ mod tests {
     fn fp_ops_use_fp_units() {
         let mut stats = StatsCollector::new(Clocking::default(), 1000);
         record_execute_events(
-            &Instr::arith(OpClass::FpMul, 0, Reg::fp(0), Some(Reg::fp(1)), Some(Reg::fp(2))),
+            &Instr::arith(
+                OpClass::FpMul,
+                0,
+                Reg::fp(0),
+                Some(Reg::fp(1)),
+                Some(Reg::fp(2)),
+            ),
             &mut stats,
         );
         let t = stats.totals().combined();

@@ -1,6 +1,5 @@
 //! CPU model configurations.
 
-
 /// Configuration of the out-of-order MXS model. Defaults are the paper's
 /// Table 1 values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -71,6 +71,11 @@ impl Cpu for MipsyCpu {
         }
 
         let Some(instr) = frontend.next_instr(stats) else {
+            if frontend.stalled() {
+                // Transient stall (process blocked on I/O under analytic
+                // idle handling): an empty cycle, resolved by the driver.
+                return CycleOutcome::default();
+            }
             self.exited = true;
             return CycleOutcome {
                 program_exited: true,
@@ -173,14 +178,19 @@ mod tests {
         let (cycles, _) = run_to_exit(&mut cpu, &mut src, &mut mem, &mut stats);
         assert_eq!(cpu.committed_instructions(), 256);
         assert!(cycles >= 256);
-        assert!(cycles < 1000, "warm loop should be near CPI 1, got {cycles}");
+        assert!(
+            cycles < 1000,
+            "warm loop should be near CPI 1, got {cycles}"
+        );
     }
 
     #[test]
     fn taken_branches_add_bubbles() {
         let (mut cpu, mut mem, mut stats) = rig();
         let n = 64u64;
-        let mut straight: VecSource = (0..n).map(|i| Instr::alu(i % 8 * 4, Reg::int(1), None, None)).collect();
+        let mut straight: VecSource = (0..n)
+            .map(|i| Instr::alu(i % 8 * 4, Reg::int(1), None, None))
+            .collect();
         let (base, _) = run_to_exit(&mut cpu, &mut straight, &mut mem, &mut stats);
 
         let (mut cpu2, mut mem2, mut stats2) = rig();

@@ -130,7 +130,9 @@ impl MxsCpu {
         let mut committed = 0;
         let mut event = None;
         while committed < self.config.commit_width {
-            let Some(front) = self.window.front() else { break };
+            let Some(front) = self.window.front() else {
+                break;
+            };
             if front.state != SlotState::Done {
                 break;
             }
@@ -226,10 +228,7 @@ impl MxsCpu {
             if state != SlotState::Waiting {
                 continue;
             }
-            let ready = deps
-                .iter()
-                .flatten()
-                .all(|&d| self.dep_satisfied(d));
+            let ready = deps.iter().flatten().all(|&d| self.dep_satisfied(d));
             if !ready {
                 continue;
             }
@@ -285,7 +284,9 @@ impl MxsCpu {
     fn dispatch_stage(&mut self, stats: &mut StatsCollector) {
         let mut dispatched = 0;
         while dispatched < self.config.decode_width {
-            let Some(fetched) = self.fetch_buffer.front().copied() else { break };
+            let Some(fetched) = self.fetch_buffer.front().copied() else {
+                break;
+            };
             let instr = fetched.instr;
             let serializes = instr.op.is_serializing() || fetched.fault.is_some();
             if self.window.len() >= self.config.window_size {
@@ -356,7 +357,12 @@ impl MxsCpu {
             && self.fetch_buffer.len() < self.config.fetch_buffer
         {
             let Some(instr) = frontend.next_instr(stats) else {
-                self.source_exhausted = true;
+                // A stalled frontend (process blocked on I/O under analytic
+                // idle handling) resumes later; only a true end-of-stream is
+                // permanent.
+                if !frontend.stalled() {
+                    self.source_exhausted = true;
+                }
                 break;
             };
             debug_assert!(instr.validate().is_ok());
@@ -547,7 +553,10 @@ mod tests {
         let (cycles, _) = run(&mut cpu, &mut src, &mut mem, &mut stats);
         assert_eq!(cpu.committed_instructions(), n);
         let ipc = n as f64 / cycles as f64;
-        assert!(ipc > 1.5, "independent ALU code should exceed IPC 1.5, got {ipc:.2}");
+        assert!(
+            ipc > 1.5,
+            "independent ALU code should exceed IPC 1.5, got {ipc:.2}"
+        );
     }
 
     #[test]
@@ -567,7 +576,10 @@ mod tests {
         let n = 4000;
         let mut src = independent_alu(n);
         let (cycles, _) = run(&mut cpu, &mut src, &mut mem, &mut stats);
-        assert!(cycles >= n, "single-issue cannot beat one instruction per cycle");
+        assert!(
+            cycles >= n,
+            "single-issue cannot beat one instruction per cycle"
+        );
     }
 
     #[test]
@@ -647,7 +659,11 @@ mod tests {
     #[test]
     fn syscall_serializes_and_raises_event() {
         let (mut cpu, mut mem, mut stats) = rig(MxsConfig::default());
-        let call = SyscallKind::Read { file: FileRef(1), offset: 0, bytes: 128 };
+        let call = SyscallKind::Read {
+            file: FileRef(1),
+            offset: 0,
+            bytes: 128,
+        };
         let mut src = VecSource::new(vec![
             Instr::alu(0, Reg::int(1), None, None),
             Instr::syscall(4, call),
@@ -673,7 +689,14 @@ mod tests {
         let n = 64u64;
         let make_loads = || -> VecSource {
             (0..n)
-                .map(|i| Instr::load(i * 4, Reg::int((i % 8) as u8 + 1), None, 0x8010_0000 + i * 64))
+                .map(|i| {
+                    Instr::load(
+                        i * 4,
+                        Reg::int((i % 8) as u8 + 1),
+                        None,
+                        0x8010_0000 + i * 64,
+                    )
+                })
                 .collect()
         };
         let (mut mxs, mut mem1, mut stats1) = rig(MxsConfig::default());
@@ -733,6 +756,10 @@ mod tests {
         let n = 10;
         let mut src = independent_alu(n);
         let (_, _) = run(&mut cpu, &mut src, &mut mem, &mut stats);
-        assert_eq!(cpu.committed_instructions(), n, "all instructions commit before exit");
+        assert_eq!(
+            cpu.committed_instructions(),
+            n,
+            "all instructions commit before exit"
+        );
     }
 }

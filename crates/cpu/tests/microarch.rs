@@ -27,7 +27,14 @@ fn run_mxs(config: MxsConfig, instrs: Vec<Instr>) -> (u64, StatsCollector) {
 /// Independent loads to distinct cold lines in kernel space (no TLB).
 fn cold_loads(n: u64) -> Vec<Instr> {
     (0..n)
-        .map(|i| Instr::load((i % 16) * 4, Reg::int((i % 8) as u8 + 1), None, 0x9f00_0000 + i * 256))
+        .map(|i| {
+            Instr::load(
+                (i % 16) * 4,
+                Reg::int((i % 8) as u8 + 1),
+                None,
+                0x9f00_0000 + i * 256,
+            )
+        })
         .collect()
 }
 
@@ -39,7 +46,12 @@ fn independent_alu(n: u64) -> Vec<Instr> {
 
 #[test]
 fn larger_window_overlaps_more_misses() {
-    let narrow = MxsConfig { window_size: 4, lsq_size: 4, fetch_buffer: 4, ..MxsConfig::default() };
+    let narrow = MxsConfig {
+        window_size: 4,
+        lsq_size: 4,
+        fetch_buffer: 4,
+        ..MxsConfig::default()
+    };
     let (cycles_narrow, _) = run_mxs(narrow, cold_loads(256));
     let (cycles_wide, _) = run_mxs(MxsConfig::default(), cold_loads(256));
     assert!(
@@ -64,7 +76,10 @@ fn commit_width_bounds_ipc() {
 
 #[test]
 fn int_units_bound_alu_throughput() {
-    let one_alu = MxsConfig { int_units: 1, ..MxsConfig::default() };
+    let one_alu = MxsConfig {
+        int_units: 1,
+        ..MxsConfig::default()
+    };
     let n = 4000;
     let (cycles, _) = run_mxs(one_alu, independent_alu(n));
     let ipc = n as f64 / cycles as f64;
@@ -75,10 +90,20 @@ fn int_units_bound_alu_throughput() {
 fn mem_ports_bound_load_throughput() {
     // Warm, independent loads: with 1 port, IPC of a pure load stream <= 1.
     let warm_loads: Vec<Instr> = (0..2000u64)
-        .map(|i| Instr::load((i % 16) * 4, Reg::int((i % 8) as u8 + 1), None, 0x9f00_0000 + (i % 64) * 8))
+        .map(|i| {
+            Instr::load(
+                (i % 16) * 4,
+                Reg::int((i % 8) as u8 + 1),
+                None,
+                0x9f00_0000 + (i % 64) * 8,
+            )
+        })
         .collect();
     let (cycles, _) = run_mxs(MxsConfig::default(), warm_loads);
-    assert!(cycles >= 2000, "1 memory port serializes a pure load stream");
+    assert!(
+        cycles >= 2000,
+        "1 memory port serializes a pure load stream"
+    );
 }
 
 #[test]
@@ -108,7 +133,10 @@ fn return_address_stack_predicts_matched_pairs() {
     // returns count); zero mispredicts plus the expected RAS traffic means
     // every return was RAS-predicted.
     let (_, mispredicts) = cpu.branch_stats();
-    assert_eq!(mispredicts, 0, "matched call/return pairs must be RAS-predicted");
+    assert_eq!(
+        mispredicts, 0,
+        "matched call/return pairs must be RAS-predicted"
+    );
     let ras = stats.totals().combined().get(UnitEvent::RasAccess);
     assert_eq!(ras, 2000, "one push per call plus one pop per return");
 }
@@ -131,7 +159,10 @@ fn mismatched_returns_mispredict() {
         }
     }
     let (branches, mispredicts) = cpu.branch_stats();
-    assert_eq!(mispredicts, branches, "returns without calls cannot be predicted");
+    assert_eq!(
+        mispredicts, branches,
+        "returns without calls cannot be predicted"
+    );
 }
 
 #[test]
@@ -182,7 +213,10 @@ fn predictor_events_track_branch_mix() {
     let t = stats.totals().combined();
     assert_eq!(t.get(UnitEvent::BhtLookup), n);
     assert_eq!(t.get(UnitEvent::BhtUpdate), n);
-    assert!(t.get(UnitEvent::BtbUpdate) >= n, "taken branches update the BTB");
+    assert!(
+        t.get(UnitEvent::BtbUpdate) >= n,
+        "taken branches update the BTB"
+    );
 }
 
 #[test]
@@ -215,7 +249,11 @@ fn fp_code_exercises_fp_units_only() {
     let instrs: Vec<Instr> = (0..500u64)
         .map(|i| {
             Instr::arith(
-                if i % 2 == 0 { OpClass::FpAdd } else { OpClass::FpMul },
+                if i % 2 == 0 {
+                    OpClass::FpAdd
+                } else {
+                    OpClass::FpMul
+                },
                 (i % 16) * 4,
                 Reg::fp((i % 8) as u8),
                 Some(Reg::fp(((i + 1) % 8) as u8)),

@@ -201,6 +201,9 @@ mod tests {
     fn cylinder_mapping_covers_the_disk() {
         let geom = DriveGeometry::hp97560();
         assert_eq!(geom.cylinder_of(0), 0);
-        assert_eq!(geom.cylinder_of(geom.capacity_bytes() - 1), geom.cylinders - 1);
+        assert_eq!(
+            geom.cylinder_of(geom.capacity_bytes() - 1),
+            geom.cylinders - 1
+        );
     }
 }

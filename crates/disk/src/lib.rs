@@ -44,9 +44,11 @@
 pub mod geometry;
 pub mod model;
 pub mod power;
+pub mod replay;
 pub mod timings;
 
 pub use geometry::DriveGeometry;
 pub use model::{Disk, DiskConfig, DiskPolicy, DiskReport};
 pub use power::{DiskMode, DiskPowerTable};
+pub use replay::{replay_requests, ReplayTimeline};
 pub use timings::DiskTimings;

@@ -41,7 +41,10 @@ impl DiskPolicy {
             DiskPolicy::Conventional => "conventional".to_string(),
             DiskPolicy::IdleWhenNotBusy => "idle-only".to_string(),
             DiskPolicy::Standby { threshold_s } => format!("standby-{threshold_s}s"),
-            DiskPolicy::Sleep { threshold_s, sleep_after_s } => {
+            DiskPolicy::Sleep {
+                threshold_s,
+                sleep_after_s,
+            } => {
                 format!("sleep-{threshold_s}s+{sleep_after_s}s")
             }
         }
@@ -338,15 +341,16 @@ impl Disk {
         match self.config.policy {
             DiskPolicy::Standby { threshold_s } => {
                 let idle_end = from + self.secs_to_cycles(threshold_s);
-                let spindown_end =
-                    idle_end + self.secs_to_cycles(self.config.timings.spin_down_s);
+                let spindown_end = idle_end + self.secs_to_cycles(self.config.timings.spin_down_s);
                 self.segments.push_back((idle_end, DiskMode::Idle));
                 self.segments.push_back((spindown_end, DiskMode::SpinDown));
             }
-            DiskPolicy::Sleep { threshold_s, sleep_after_s } => {
+            DiskPolicy::Sleep {
+                threshold_s,
+                sleep_after_s,
+            } => {
                 let idle_end = from + self.secs_to_cycles(threshold_s);
-                let spindown_end =
-                    idle_end + self.secs_to_cycles(self.config.timings.spin_down_s);
+                let spindown_end = idle_end + self.secs_to_cycles(self.config.timings.spin_down_s);
                 let standby_end = spindown_end + self.secs_to_cycles(sleep_after_s);
                 self.segments.push_back((idle_end, DiskMode::Idle));
                 self.segments.push_back((spindown_end, DiskMode::SpinDown));
@@ -393,7 +397,11 @@ mod tests {
         let disk = Disk::new(DiskConfig::new(DiskPolicy::Conventional), c);
         let report = disk.report(cycles(&c, 10.0));
         // 10 s at 3.2 W.
-        assert!((report.energy_j - 32.0).abs() < 0.1, "got {}", report.energy_j);
+        assert!(
+            (report.energy_j - 32.0).abs() < 0.1,
+            "got {}",
+            report.energy_j
+        );
     }
 
     #[test]
@@ -401,7 +409,11 @@ mod tests {
         let c = clk();
         let disk = Disk::new(DiskConfig::new(DiskPolicy::IdleWhenNotBusy), c);
         let report = disk.report(cycles(&c, 10.0));
-        assert!((report.energy_j - 16.0).abs() < 0.1, "got {}", report.energy_j);
+        assert!(
+            (report.energy_j - 16.0).abs() < 0.1,
+            "got {}",
+            report.energy_j
+        );
     }
 
     #[test]
@@ -412,7 +424,8 @@ mod tests {
         assert!(done > 0);
         let horizon = cycles(&c, 10.0);
         let busy_report = with_io.report(horizon);
-        let quiet_report = Disk::new(DiskConfig::new(DiskPolicy::IdleWhenNotBusy), c).report(horizon);
+        let quiet_report =
+            Disk::new(DiskConfig::new(DiskPolicy::IdleWhenNotBusy), c).report(horizon);
         assert!(busy_report.energy_j > quiet_report.energy_j);
         assert_eq!(busy_report.requests, 1);
         assert!(busy_report.mode_secs[DiskMode::Seeking.index()] > 0.0);
@@ -421,14 +434,15 @@ mod tests {
     #[test]
     fn standby_policy_spins_down_after_threshold() {
         let c = clk();
-        let disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        );
+        let disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c);
         // 2 s idle + 5 s spin-down (free) + 3 s standby.
         let report = disk.report(cycles(&c, 10.0));
         let expected = 2.0 * 1.6 + 5.0 * 0.0 + 3.0 * 0.35;
-        assert!((report.energy_j - expected).abs() < 0.05, "got {}", report.energy_j);
+        assert!(
+            (report.energy_j - expected).abs() < 0.05,
+            "got {}",
+            report.energy_j
+        );
         assert_eq!(report.spindowns, 1);
         assert_eq!(report.spinups, 0);
     }
@@ -436,10 +450,7 @@ mod tests {
     #[test]
     fn request_from_standby_pays_spinup() {
         let c = clk();
-        let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        );
+        let mut disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c);
         // Let it spin down fully (2 + 5 s), then request at t = 8 s.
         let t8 = cycles(&c, 8.0);
         let done = disk.submit(t8, 4096);
@@ -453,10 +464,7 @@ mod tests {
     #[test]
     fn request_during_spindown_waits_out_the_spindown() {
         let c = clk();
-        let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        );
+        let mut disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c);
         // Spin-down runs from t=2 s to t=7 s; request at t = 3 s.
         let t3 = cycles(&c, 3.0);
         let done = disk.submit(t3, 4096);
@@ -470,10 +478,7 @@ mod tests {
     #[test]
     fn activity_before_threshold_prevents_spindown() {
         let c = clk();
-        let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        );
+        let mut disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c);
         // Request every second for 5 s: the 2 s threshold never elapses.
         let mut t = 0;
         for i in 0..5 {
@@ -501,7 +506,10 @@ mod tests {
     fn sleep_policy_reaches_the_floor_and_wakes_up() {
         let c = clk();
         let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 3.0 }),
+            DiskConfig::new(DiskPolicy::Sleep {
+                threshold_s: 2.0,
+                sleep_after_s: 3.0,
+            }),
             c,
         );
         // 2s idle + 5s spindown + 3s standby => asleep from t=10s.
@@ -520,28 +528,29 @@ mod tests {
     fn sleep_policy_beats_standby_on_long_quiet_stretches() {
         let c = clk();
         let horizon = cycles(&c, 120.0);
-        let standby = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        )
-        .report(horizon);
+        let standby =
+            Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c).report(horizon);
         let sleep = Disk::new(
-            DiskConfig::new(DiskPolicy::Sleep { threshold_s: 2.0, sleep_after_s: 5.0 }),
+            DiskConfig::new(DiskPolicy::Sleep {
+                threshold_s: 2.0,
+                sleep_after_s: 5.0,
+            }),
             c,
         )
         .report(horizon);
         // 0.15 W floor vs 0.35 W standby over ~110 quiet seconds.
-        assert!(sleep.energy_j < standby.energy_j - 15.0,
-            "sleep {} vs standby {}", sleep.energy_j, standby.energy_j);
+        assert!(
+            sleep.energy_j < standby.energy_j - 15.0,
+            "sleep {} vs standby {}",
+            sleep.energy_j,
+            standby.energy_j
+        );
     }
 
     #[test]
     fn sleep_command_from_standby() {
         let c = clk();
-        let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 1.0 }),
-            c,
-        );
+        let mut disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 1.0 }), c);
         // After 1 + 5 s the disk is in standby; sleep at 7 s.
         disk.sleep(cycles(&c, 7.0)).unwrap();
         let report = disk.report(cycles(&c, 17.0));
@@ -560,10 +569,10 @@ mod tests {
     fn longer_threshold_keeps_idle_power_longer() {
         let c = clk();
         let horizon = cycles(&c, 20.0);
-        let short = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c)
-            .report(horizon);
-        let long = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 4.0 }), c)
-            .report(horizon);
+        let short =
+            Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c).report(horizon);
+        let long =
+            Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 4.0 }), c).report(horizon);
         assert!(
             long.energy_j > short.energy_j,
             "longer threshold idles (1.6 W) longer before reaching standby (0.35 W)"
@@ -622,10 +631,7 @@ mod tests {
     #[test]
     fn mode_seconds_sum_to_run_duration() {
         let c = clk();
-        let mut disk = Disk::new(
-            DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }),
-            c,
-        );
+        let mut disk = Disk::new(DiskConfig::new(DiskPolicy::Standby { threshold_s: 2.0 }), c);
         disk.submit(cycles(&c, 1.0), 256 * 1024);
         disk.submit(cycles(&c, 9.0), 64 * 1024);
         let horizon = cycles(&c, 30.0);

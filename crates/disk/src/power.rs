@@ -69,10 +69,7 @@ impl DiskMode {
     /// Whether the disk can begin servicing a request from this mode
     /// without spinning up first.
     pub fn is_spinning(self) -> bool {
-        matches!(
-            self,
-            DiskMode::Idle | DiskMode::Active | DiskMode::Seeking
-        )
+        matches!(self, DiskMode::Idle | DiskMode::Active | DiskMode::Seeking)
     }
 }
 

@@ -1,6 +1,5 @@
 //! Mechanical timing parameters of the simulated disk.
 
-
 /// Timing constants, in paper-time units. Defaults approximate the Toshiba
 /// MK3003MAN (a 4200 rpm 2.5" drive) plus the paper's 5 s spin-up/-down
 /// figure.
@@ -68,6 +67,9 @@ mod tests {
     fn paper_spin_times() {
         let t = DiskTimings::default();
         assert_eq!(t.spin_up_s, 5.0);
-        assert_eq!(t.spin_down_s, t.spin_up_s, "paper assumes symmetric spin ops");
+        assert_eq!(
+            t.spin_down_s, t.spin_up_s,
+            "paper assumes symmetric spin ops"
+        );
     }
 }

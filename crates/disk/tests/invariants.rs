@@ -16,7 +16,9 @@ fn policies() -> impl Strategy<Value = DiskPolicy> {
     prop_oneof![
         Just(DiskPolicy::Conventional),
         Just(DiskPolicy::IdleWhenNotBusy),
-        (1u32..8).prop_map(|t| DiskPolicy::Standby { threshold_s: f64::from(t) }),
+        (1u32..8).prop_map(|t| DiskPolicy::Standby {
+            threshold_s: f64::from(t)
+        }),
         (1u32..4, 1u32..8).prop_map(|(t, s)| DiskPolicy::Sleep {
             threshold_s: f64::from(t),
             sleep_after_s: f64::from(s),

@@ -181,14 +181,17 @@ impl MixGenerator {
     fn pc(&self) -> u64 {
         let s = &self.spec;
         let within_loop = (self.emitted % u64::from(s.loop_len)) * 4;
-        let loop_idx =
-            (self.emitted / u64::from(s.stay_per_loop)) % u64::from(s.n_loops);
+        let loop_idx = (self.emitted / u64::from(s.stay_per_loop)) % u64::from(s.n_loops);
         s.code_base + loop_idx * u64::from(s.loop_len) * 4 + within_loop
     }
 
     fn next_reg(&mut self) -> Reg {
         let r = Reg::int(self.reg_cursor);
-        self.reg_cursor = if self.reg_cursor >= 16 { 1 } else { self.reg_cursor + 1 };
+        self.reg_cursor = if self.reg_cursor >= 16 {
+            1
+        } else {
+            self.reg_cursor + 1
+        };
         r
     }
 
@@ -212,7 +215,11 @@ impl MixGenerator {
             // Loop back-edge (stable) or data-dependent branch.
             let site_usual_taken = at_loop_end;
             let stable = rng.gen::<f64>() < s.branch_stability;
-            let taken = if stable { site_usual_taken } else { !site_usual_taken };
+            let taken = if stable {
+                site_usual_taken
+            } else {
+                !site_usual_taken
+            };
             let target = if taken {
                 pc.wrapping_sub(u64::from(s.loop_len) * 4 - 4)
             } else {
@@ -277,9 +284,16 @@ mod tests {
         let instrs = sample_mix(spec, 50_000, 1);
         let loads = instrs.iter().filter(|i| i.op == OpClass::Load).count() as f64;
         let stores = instrs.iter().filter(|i| i.op == OpClass::Store).count() as f64;
-        let branches = instrs.iter().filter(|i| i.op == OpClass::BranchCond).count() as f64;
+        let branches = instrs
+            .iter()
+            .filter(|i| i.op == OpClass::BranchCond)
+            .count() as f64;
         let n = instrs.len() as f64;
-        assert!((loads / n - spec.load).abs() < 0.02, "load frac {}", loads / n);
+        assert!(
+            (loads / n - spec.load).abs() < 0.02,
+            "load frac {}",
+            loads / n
+        );
         assert!((stores / n - spec.store).abs() < 0.02);
         // Branch fraction includes forced loop back-edges.
         assert!(branches / n >= spec.branch - 0.02);
@@ -327,7 +341,10 @@ mod tests {
         spec.branch = 0.0; // only back-edges
         spec.branch_stability = 1.0;
         let instrs = sample_mix(spec, 10_000, 4);
-        let backs: Vec<_> = instrs.iter().filter(|i| i.op == OpClass::BranchCond).collect();
+        let backs: Vec<_> = instrs
+            .iter()
+            .filter(|i| i.op == OpClass::BranchCond)
+            .collect();
         assert!(!backs.is_empty());
         assert!(backs.iter().all(|b| b.taken));
     }

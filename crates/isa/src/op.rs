@@ -204,7 +204,12 @@ mod tests {
 
     #[test]
     fn branches_execute_on_int_unit() {
-        for op in [OpClass::BranchCond, OpClass::Jump, OpClass::Call, OpClass::Return] {
+        for op in [
+            OpClass::BranchCond,
+            OpClass::Jump,
+            OpClass::Call,
+            OpClass::Return,
+        ] {
             assert!(op.is_branch());
             assert_eq!(op.fu(), FuKind::Int);
         }

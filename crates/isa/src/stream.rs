@@ -15,11 +15,15 @@ use crate::Instr;
 /// service attribution frames exactly at the instruction where a stream
 /// boundary occurs. Plain generators simply ignore it.
 ///
-/// Returning `None` means the source has no more instructions *ever* (the
-/// simulated program exited). Sources that are momentarily unable to make
-/// progress (e.g. a process blocked on disk I/O) must instead yield
-/// instructions from whatever runs in the meantime (the idle loop) — in a
-/// full-system simulation the machine always executes something.
+/// Returning `None` normally means the source has no more instructions
+/// *ever* (the simulated program exited). Sources that are momentarily
+/// unable to make progress (e.g. a process blocked on disk I/O) either
+/// yield instructions from whatever runs in the meantime (the idle loop) —
+/// in a full-system simulation the machine always executes something — or
+/// return `None` *while reporting [`InstrSource::stalled`]*, telling the
+/// CPU this is a transient stall to be resolved by the driver (the
+/// analytic idle-handling mode fast-forwards such stalls arithmetically
+/// instead of executing idle-loop instructions).
 ///
 /// # Examples
 ///
@@ -45,19 +49,34 @@ use crate::Instr;
 /// ```
 pub trait InstrSource {
     /// Produces the next instruction, or `None` when the simulated program
-    /// has exited.
+    /// has exited (or, if [`InstrSource::stalled`] returns `true`, is
+    /// transiently unable to run).
     fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr>;
+
+    /// Whether a `None` from [`InstrSource::next_instr`] means a transient
+    /// stall rather than program exit. Default: never stalled.
+    fn stalled(&self) -> bool {
+        false
+    }
 }
 
 impl<T: InstrSource + ?Sized> InstrSource for &mut T {
     fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr> {
         (**self).next_instr(stats)
     }
+
+    fn stalled(&self) -> bool {
+        (**self).stalled()
+    }
 }
 
 impl<T: InstrSource + ?Sized> InstrSource for Box<T> {
     fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr> {
         (**self).next_instr(stats)
+    }
+
+    fn stalled(&self) -> bool {
+        (**self).stalled()
     }
 }
 

@@ -32,7 +32,11 @@ impl fmt::Display for FileRef {
 pub enum SyscallKind {
     /// Read `bytes` from `file` at `offset`; may miss the file cache and
     /// block on the disk.
-    Read { file: FileRef, offset: u64, bytes: u32 },
+    Read {
+        file: FileRef,
+        offset: u64,
+        bytes: u32,
+    },
     /// Write `bytes` to `file` (write-behind through the file cache).
     Write { file: FileRef, bytes: u32 },
     /// Open a file (path lookup).
@@ -83,16 +87,20 @@ mod tests {
     fn names_match_paper_rows() {
         assert_eq!(SyscallKind::Bsd.name(), "BSD");
         assert_eq!(SyscallKind::DuPoll.name(), "du_poll");
-        assert_eq!(
-            SyscallKind::Open { file: FileRef(0) }.name(),
-            "open"
-        );
+        assert_eq!(SyscallKind::Open { file: FileRef(0) }.name(), "open");
     }
 
     #[test]
     fn transfer_bytes_only_for_io() {
-        let r = SyscallKind::Read { file: FileRef(1), offset: 0, bytes: 512 };
-        let w = SyscallKind::Write { file: FileRef(1), bytes: 256 };
+        let r = SyscallKind::Read {
+            file: FileRef(1),
+            offset: 0,
+            bytes: 512,
+        };
+        let w = SyscallKind::Write {
+            file: FileRef(1),
+            bytes: 256,
+        };
         assert_eq!(r.transfer_bytes(), 512);
         assert_eq!(w.transfer_bytes(), 256);
         assert_eq!(SyscallKind::Bsd.transfer_bytes(), 0);

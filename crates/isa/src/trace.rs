@@ -25,7 +25,10 @@ const F_TARGET: u8 = 1 << 2;
 const F_SYSCALL: u8 = 1 << 3;
 
 fn op_code(op: OpClass) -> u8 {
-    OpClass::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+    OpClass::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("op in ALL") as u8
 }
 
 fn op_from(code: u8) -> io::Result<OpClass> {
@@ -55,7 +58,11 @@ fn reg_from(code: u8) -> io::Result<Option<Reg>> {
 
 fn syscall_code(kind: SyscallKind) -> (u8, u32, u64, u32) {
     match kind {
-        SyscallKind::Read { file, offset, bytes } => (0, file.0, offset, bytes),
+        SyscallKind::Read {
+            file,
+            offset,
+            bytes,
+        } => (0, file.0, offset, bytes),
         SyscallKind::Write { file, bytes } => (1, file.0, 0, bytes),
         SyscallKind::Open { file } => (2, file.0, 0, 0),
         SyscallKind::Xstat { file } => (3, file.0, 0, 0),
@@ -66,10 +73,21 @@ fn syscall_code(kind: SyscallKind) -> (u8, u32, u64, u32) {
 
 fn syscall_from(code: u8, file: u32, offset: u64, bytes: u32) -> io::Result<SyscallKind> {
     Ok(match code {
-        0 => SyscallKind::Read { file: FileRef(file), offset, bytes },
-        1 => SyscallKind::Write { file: FileRef(file), bytes },
-        2 => SyscallKind::Open { file: FileRef(file) },
-        3 => SyscallKind::Xstat { file: FileRef(file) },
+        0 => SyscallKind::Read {
+            file: FileRef(file),
+            offset,
+            bytes,
+        },
+        1 => SyscallKind::Write {
+            file: FileRef(file),
+            bytes,
+        },
+        2 => SyscallKind::Open {
+            file: FileRef(file),
+        },
+        3 => SyscallKind::Xstat {
+            file: FileRef(file),
+        },
         4 => SyscallKind::DuPoll,
         5 => SyscallKind::Bsd,
         _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad syscall")),
@@ -184,7 +202,10 @@ impl<R: Read> TraceReader<R> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a softwatt trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a softwatt trace",
+            ));
         }
         Ok(TraceReader { input, done: false })
     }
@@ -316,11 +337,14 @@ mod tests {
             Instr::jump(0x110, 0x4000),
             Instr::call(0x114, 0x8000),
             Instr::ret(0x118, 0x118),
-            Instr::syscall(0x11c, SyscallKind::Read {
-                file: FileRef(77),
-                offset: 4096,
-                bytes: 8192,
-            }),
+            Instr::syscall(
+                0x11c,
+                SyscallKind::Read {
+                    file: FileRef(77),
+                    offset: 4096,
+                    bytes: 8192,
+                },
+            ),
             Instr::syscall(0x120, SyscallKind::Bsd),
             Instr::sync(0x124, 0x9000_0000),
             Instr::eret(0x128),
@@ -362,8 +386,7 @@ mod tests {
         let mut buf = Vec::new();
         let mut stats = StatsCollector::new(Clocking::default(), 100);
         {
-            let mut rec =
-                Recording::new(VecSource::new(instrs.clone()), &mut buf).unwrap();
+            let mut rec = Recording::new(VecSource::new(instrs.clone()), &mut buf).unwrap();
             let mut n = 0;
             while rec.next_instr(&mut stats).is_some() {
                 n += 1;
@@ -394,6 +417,10 @@ mod tests {
         while r.next_instr(&mut stats).is_some() {
             n += 1;
         }
-        assert_eq!(n, sample_instrs().len() - 1, "the torn final record is dropped");
+        assert_eq!(
+            n,
+            sample_instrs().len() - 1,
+            "the torn final record is dropped"
+        );
     }
 }

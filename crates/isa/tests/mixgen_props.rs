@@ -10,34 +10,36 @@ use softwatt_isa::{DataPattern, MixGenerator, MixSpec, OpClass};
 
 fn specs() -> impl Strategy<Value = MixSpec> {
     (
-        0.0f64..0.35,  // load
-        0.0f64..0.15,  // store
-        0.0f64..0.25,  // branch
-        0.0f64..0.20,  // fp
-        0.0f64..0.60,  // dep_prob
-        0.5f64..1.0,   // branch_stability
-        1u32..4,       // n_loops
-        16u32..128,    // loop_len
+        0.0f64..0.35, // load
+        0.0f64..0.15, // store
+        0.0f64..0.25, // branch
+        0.0f64..0.20, // fp
+        0.0f64..0.60, // dep_prob
+        0.5f64..1.0,  // branch_stability
+        1u32..4,      // n_loops
+        16u32..128,   // loop_len
     )
-        .prop_map(|(load, store, branch, fp, dep, stab, n_loops, loop_len)| MixSpec {
-            load,
-            store,
-            branch,
-            fp,
-            mul: 0.01,
-            dep_prob: dep,
-            branch_stability: stab,
-            code_base: 0x1_0000,
-            loop_len,
-            n_loops,
-            stay_per_loop: 512,
-            data: DataPattern {
-                base: 0x1000_0000,
-                hot_bytes: 16 * 1024,
-                span_bytes: 256 * 1024,
-                hot_frac: 0.9,
+        .prop_map(
+            |(load, store, branch, fp, dep, stab, n_loops, loop_len)| MixSpec {
+                load,
+                store,
+                branch,
+                fp,
+                mul: 0.01,
+                dep_prob: dep,
+                branch_stability: stab,
+                code_base: 0x1_0000,
+                loop_len,
+                n_loops,
+                stay_per_loop: 512,
+                data: DataPattern {
+                    base: 0x1000_0000,
+                    hot_bytes: 16 * 1024,
+                    span_bytes: 256 * 1024,
+                    hot_frac: 0.9,
+                },
             },
-        })
+        )
 }
 
 proptest! {

@@ -89,8 +89,7 @@ impl Cache {
                 .map(|(i, _)| i)
                 .expect("set is full, victim exists");
             if set[victim].dirty {
-                let victim_addr = (set[victim].tag * self.geometry.sets()
-                    + set_index as u64)
+                let victim_addr = (set[victim].tag * self.geometry.sets() + set_index as u64)
                     * u64::from(self.geometry.line_bytes());
                 writeback = Some(victim_addr);
             }

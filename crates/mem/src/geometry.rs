@@ -128,7 +128,8 @@ mod tests {
         let g = CacheGeometry::new(32 * 1024, 64, 2);
         let addr = 0xdead_beef;
         let line = g.line_addr(addr);
-        let reconstructed = (g.tag(addr) * g.sets() + g.set_index(addr)) * u64::from(g.line_bytes());
+        let reconstructed =
+            (g.tag(addr) * g.sets() + g.set_index(addr)) * u64::from(g.line_bytes());
         assert_eq!(reconstructed, line);
     }
 
@@ -154,6 +155,9 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(CacheGeometry::new(32 * 1024, 64, 2).to_string(), "32KB/64B/2-way");
+        assert_eq!(
+            CacheGeometry::new(32 * 1024, 64, 2).to_string(),
+            "32KB/64B/2-way"
+        );
     }
 }

@@ -1,6 +1,5 @@
 //! The assembled two-level memory hierarchy with TLB and DRAM timing.
 
-
 use softwatt_isa::{is_kernel_addr, page_number};
 use softwatt_stats::{StatsCollector, UnitEvent};
 
@@ -218,12 +217,19 @@ mod tests {
         // Evict from tiny L1? L1 is 32KB — instead touch a conflicting line:
         // same L1 set, different tag, maps to a different L2 set most likely
         // but the original stays in L2.
-        let l1_stride = u64::from(cfg.dl1.line_bytes()) * cfg.dl1.sets() ;
+        let l1_stride = u64::from(cfg.dl1.line_bytes()) * cfg.dl1.sets();
         m.data_access(0x2000 + l1_stride, false, &mut s);
         m.data_access(0x2000 + 2 * l1_stride, false, &mut s); // evict 0x2000 from L1
         let refetch = m.data_access(0x2000, false, &mut s);
-        assert_eq!(cold, cfg.l1_hit_cycles + cfg.l2_hit_cycles + cfg.dram_cycles);
-        assert_eq!(refetch, cfg.l1_hit_cycles + cfg.l2_hit_cycles, "L2 still holds it");
+        assert_eq!(
+            cold,
+            cfg.l1_hit_cycles + cfg.l2_hit_cycles + cfg.dram_cycles
+        );
+        assert_eq!(
+            refetch,
+            cfg.l1_hit_cycles + cfg.l2_hit_cycles,
+            "L2 still holds it"
+        );
     }
 
     #[test]
@@ -237,7 +243,10 @@ mod tests {
         m.data_access(0x4000 + l1_stride, false, &mut s);
         m.data_access(0x4000 + 2 * l1_stride, false, &mut s);
         let t = s.totals().combined();
-        assert!(t.get(UnitEvent::L2AccessD) >= 3, "writeback adds L2 traffic");
+        assert!(
+            t.get(UnitEvent::L2AccessD) >= 3,
+            "writeback adds L2 traffic"
+        );
     }
 
     #[test]

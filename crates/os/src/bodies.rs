@@ -67,7 +67,10 @@ pub enum BodyStep {
 #[derive(Debug, Clone)]
 enum Segment {
     /// Mixed kernel instructions from a generator.
-    Ops { remaining: u32, gen: Box<MixGenerator> },
+    Ops {
+        remaining: u32,
+        gen: Box<MixGenerator>,
+    },
     /// A fixed instruction script (the utlb handler).
     Scripted { instrs: Vec<Instr>, pos: usize },
     /// Spin-lock region in kernel-sync mode.
@@ -211,17 +214,35 @@ impl ServiceBody {
             instrs.push(i);
         };
         push(Instr::alu(0, Reg::int(26), None, None), &mut pc);
-        push(Instr::alu(0, Reg::int(27), Some(Reg::int(26)), None), &mut pc);
-        push(Instr::load(0, Reg::int(26), Some(Reg::int(27)), pt_base + 0x40), &mut pc);
-        push(Instr::alu(0, Reg::int(27), Some(Reg::int(26)), None), &mut pc);
-        push(Instr::load(0, Reg::int(26), Some(Reg::int(27)), pte_addr), &mut pc);
+        push(
+            Instr::alu(0, Reg::int(27), Some(Reg::int(26)), None),
+            &mut pc,
+        );
+        push(
+            Instr::load(0, Reg::int(26), Some(Reg::int(27)), pt_base + 0x40),
+            &mut pc,
+        );
+        push(
+            Instr::alu(0, Reg::int(27), Some(Reg::int(26)), None),
+            &mut pc,
+        );
+        push(
+            Instr::load(0, Reg::int(26), Some(Reg::int(27)), pte_addr),
+            &mut pc,
+        );
         // Two interleaved dependence chains: the handler is short but not
         // fully serial.
         for i in 0..12u8 {
             let (d, s1) = if i % 2 == 0 { (27, 26) } else { (25, 24) };
-            push(Instr::alu(0, Reg::int(d), Some(Reg::int(s1)), Some(Reg::int(d))), &mut pc);
+            push(
+                Instr::alu(0, Reg::int(d), Some(Reg::int(s1)), Some(Reg::int(d))),
+                &mut pc,
+            );
         }
-        push(Instr::alu(0, Reg::int(26), Some(Reg::int(27)), None), &mut pc);
+        push(
+            Instr::alu(0, Reg::int(26), Some(Reg::int(27)), None),
+            &mut pc,
+        );
 
         let mut segments = vec![Segment::Scripted { instrs, pos: 0 }];
         if fill {
@@ -242,7 +263,11 @@ impl ServiceBody {
             Self::ops_load_heavy(svc, 30),
         ];
         if !cached {
-            segments.push(Segment::Do(Directive::DiskRead { file, offset, bytes }));
+            segments.push(Segment::Do(Directive::DiskRead {
+                file,
+                offset,
+                bytes,
+            }));
         }
         segments.push(Segment::CopyLoop {
             lines,
@@ -349,11 +374,7 @@ impl ServiceBody {
         let svc = KernelService::Bsd;
         ServiceBody::new(
             svc,
-            vec![
-                Self::ops(svc, 260),
-                Self::sync(svc, 10),
-                Self::eret(svc),
-            ],
+            vec![Self::ops(svc, 260), Self::sync(svc, 10), Self::eret(svc)],
         )
     }
 
@@ -374,11 +395,7 @@ impl ServiceBody {
         let svc = KernelService::Clock;
         ServiceBody::new(
             svc,
-            vec![
-                Self::ops(svc, 140),
-                Self::sync(svc, 6),
-                Self::eret(svc),
-            ],
+            vec![Self::ops(svc, 140), Self::sync(svc, 6), Self::eret(svc)],
         )
     }
 
@@ -393,10 +410,7 @@ impl ServiceBody {
                         continue;
                     }
                     *remaining -= 1;
-                    return Some(BodyStep::Instr(
-                        gen.next_instr_with(rng),
-                        Mode::KernelInstr,
-                    ));
+                    return Some(BodyStep::Instr(gen.next_instr_with(rng), Mode::KernelInstr));
                 }
                 Segment::Scripted { instrs, pos } => {
                     if *pos >= instrs.len() {
@@ -407,7 +421,12 @@ impl ServiceBody {
                     *pos += 1;
                     return Some(BodyStep::Instr(i, Mode::KernelInstr));
                 }
-                Segment::SyncRegion { iters, pos, lock, pc_base } => {
+                Segment::SyncRegion {
+                    iters,
+                    pos,
+                    lock,
+                    pc_base,
+                } => {
                     // Per iteration: ll/sc, reload, three compares/increments,
                     // back edge — a tight loop exercising the L1 I-cache and
                     // ALUs intensely (paper §3.2).
@@ -431,14 +450,18 @@ impl ServiceBody {
                         2 => Instr::alu(pc, Reg::int(10), Some(Reg::int(9)), None),
                         3 => Instr::alu(pc, Reg::int(11), None, Some(Reg::int(12))),
                         4 => Instr::alu(pc, Reg::int(12), None, Some(Reg::int(11))),
-                        _ if !last_iter => {
-                            Instr::branch(pc, Some(Reg::int(10)), true, *pc_base)
-                        }
+                        _ if !last_iter => Instr::branch(pc, Some(Reg::int(10)), true, *pc_base),
                         _ => Instr::branch(pc + 0x40, Some(Reg::int(10)), false, *pc_base),
                     };
                     return Some(BodyStep::Instr(i, Mode::KernelSync));
                 }
-                Segment::CopyLoop { lines, pos, src, dst, pc_base } => {
+                Segment::CopyLoop {
+                    lines,
+                    pos,
+                    src,
+                    dst,
+                    pc_base,
+                } => {
                     // 10 instructions per 64 B line: 4 doubleword loads,
                     // 4 stores, pointer bump, back edge (an unrolled bcopy).
                     let per = 10u32;
@@ -472,7 +495,12 @@ impl ServiceBody {
                     };
                     return Some(BodyStep::Instr(i, Mode::KernelInstr));
                 }
-                Segment::ZeroLoop { lines, pos, dst, pc_base } => {
+                Segment::ZeroLoop {
+                    lines,
+                    pos,
+                    dst,
+                    pc_base,
+                } => {
                     // 10 instructions per line: 8 stores, bump, back edge.
                     let per = 10u32;
                     let total = *lines * per;
@@ -531,7 +559,10 @@ mod tests {
     }
 
     fn instr_count(steps: &[BodyStep]) -> usize {
-        steps.iter().filter(|s| matches!(s, BodyStep::Instr(..))).count()
+        steps
+            .iter()
+            .filter(|s| matches!(s, BodyStep::Instr(..)))
+            .count()
     }
 
     #[test]
@@ -570,9 +601,10 @@ mod tests {
         let steps = drain(ServiceBody::utlb(0x0040_0000, true), 3);
         let n = instr_count(&steps);
         assert!((15..=30).contains(&n), "utlb should be ~20 instrs, got {n}");
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, BodyStep::Directive(Directive::TlbFill { vaddr: 0x0040_0000 }))));
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            BodyStep::Directive(Directive::TlbFill { vaddr: 0x0040_0000 })
+        )));
         // Identical across invocations for the same address.
         let again = drain(ServiceBody::utlb(0x0040_0000, true), 99);
         assert_eq!(steps, again, "utlb body is deterministic");
@@ -591,7 +623,10 @@ mod tests {
             .iter()
             .filter(|s| matches!(s, BodyStep::Instr(i, _) if i.op.is_mem()))
             .count();
-        assert!(data_refs <= 3, "utlb is not data-intensive, got {data_refs} refs");
+        assert!(
+            data_refs <= 3,
+            "utlb is not data-intensive, got {data_refs} refs"
+        );
     }
 
     #[test]
@@ -610,7 +645,11 @@ mod tests {
             .position(|s| {
                 matches!(
                     s,
-                    BodyStep::Directive(Directive::DiskRead { file: FileRef(2), offset: 8192, bytes: 4096 })
+                    BodyStep::Directive(Directive::DiskRead {
+                        file: FileRef(2),
+                        offset: 8192,
+                        bytes: 4096
+                    })
                 )
             })
             .expect("uncached read must hit the disk");
@@ -630,7 +669,10 @@ mod tests {
     fn read_cost_scales_with_transfer_size() {
         let small = instr_count(&drain(ServiceBody::read(FileRef(1), 0, 512, true), 6));
         let large = instr_count(&drain(ServiceBody::read(FileRef(1), 0, 16 * 1024, true), 6));
-        assert!(large > 2 * small, "16K read ({large}) must dwarf 512B read ({small})");
+        assert!(
+            large > 2 * small,
+            "16K read ({large}) must dwarf 512B read ({small})"
+        );
     }
 
     #[test]
@@ -647,10 +689,8 @@ mod tests {
         assert!(sync_steps.iter().any(|i| i.op == OpClass::Sync));
         // Sync regions touch only the lock line (tight loop, low data
         // variety — the paper's high-iL1/low-dL1 signature).
-        let distinct_addrs: std::collections::HashSet<_> = sync_steps
-            .iter()
-            .filter_map(|i| i.mem_addr)
-            .collect();
+        let distinct_addrs: std::collections::HashSet<_> =
+            sync_steps.iter().filter_map(|i| i.mem_addr).collect();
         assert!(distinct_addrs.len() <= 2);
     }
 
@@ -705,8 +745,9 @@ mod tests {
     #[test]
     fn tlb_miss_performs_the_refill() {
         let steps = drain(ServiceBody::tlb_miss(0x55_5000), 12);
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, BodyStep::Directive(Directive::TlbFill { vaddr: 0x55_5000 }))));
+        assert!(steps.iter().any(|s| matches!(
+            s,
+            BodyStep::Directive(Directive::TlbFill { vaddr: 0x55_5000 })
+        )));
     }
 }

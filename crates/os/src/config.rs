@@ -1,6 +1,5 @@
 //! OS model configuration.
 
-
 /// Tunables of the kernel model. Rates that the paper ties to workload
 /// behavior (e.g. how often JIT code generation triggers `cacheflush`) are
 /// set per benchmark by `softwatt-workloads`.

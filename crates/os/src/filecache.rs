@@ -41,7 +41,10 @@ impl FileCache {
     ///
     /// Panics if `capacity_blocks` is zero.
     pub fn new(capacity_blocks: usize) -> FileCache {
-        assert!(capacity_blocks > 0, "file cache must hold at least one block");
+        assert!(
+            capacity_blocks > 0,
+            "file cache must hold at least one block"
+        );
         FileCache {
             capacity_blocks,
             blocks: HashMap::with_capacity(capacity_blocks),
@@ -83,8 +86,7 @@ impl FileCache {
         self.tick += 1;
         let tick = self.tick;
         for b in Self::block_range(offset, bytes) {
-            if self.blocks.len() >= self.capacity_blocks
-                && !self.blocks.contains_key(&(file.0, b))
+            if self.blocks.len() >= self.capacity_blocks && !self.blocks.contains_key(&(file.0, b))
             {
                 self.evict_lru();
             }

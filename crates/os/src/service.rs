@@ -165,7 +165,11 @@ mod tests {
     #[test]
     fn ids_round_trip_and_are_unique() {
         let mut seen = std::collections::HashSet::new();
-        for s in KernelService::ALL.iter().copied().chain([KernelService::IdleProcess]) {
+        for s in KernelService::ALL
+            .iter()
+            .copied()
+            .chain([KernelService::IdleProcess])
+        {
             assert_eq!(KernelService::from_id(s.id()), Some(s));
             assert!(seen.insert(s.id()), "duplicate id for {s}");
         }

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use softwatt_disk::Disk;
 use softwatt_isa::{page_number, CpuEvent, FileRef, Instr, InstrSource, SyscallKind};
 use softwatt_mem::MemHierarchy;
-use softwatt_stats::{Clocking, Mode, StatsCollector};
+use softwatt_stats::{Clocking, Mode, StatsCollector, TraceRequest};
 
 use crate::bodies::{BodyStep, Directive, ServiceBody};
 use crate::{FileCache, IdleLoop, KernelService, OsConfig};
@@ -52,6 +52,13 @@ pub struct SystemOs {
     stack: Vec<ServiceBody>,
     blocked_until: Option<u64>,
     idle_frame_open: bool,
+    // Analytic idle handling: while blocked the facade stalls (returns
+    // `None` with `stalled() == true`) instead of scheduling the idle
+    // loop; the simulator driver fast-forwards the gap arithmetically.
+    analytic_idle: bool,
+    // When capturing a performance trace: the disk request stream in
+    // work-relative time.
+    request_log: Option<Vec<TraceRequest>>,
     timer_interval_cycles: u64,
     next_timer_cycle: u64,
     next_cacheflush_at: Option<u64>,
@@ -98,6 +105,8 @@ impl SystemOs {
             stack: Vec::new(),
             blocked_until: None,
             idle_frame_open: false,
+            analytic_idle: false,
+            request_log: None,
             timer_interval_cycles,
             next_timer_cycle: timer_interval_cycles,
             next_cacheflush_at: None,
@@ -143,6 +152,36 @@ impl SystemOs {
     /// the hook for the paper's §3.3 idle fast-forwarding.
     pub fn blocked_until(&self) -> Option<u64> {
         self.blocked_until
+    }
+
+    /// Switches idle handling: when on, a blocked process makes the facade
+    /// stall (`next_instr` returns `None` with [`InstrSource::stalled`]
+    /// reporting `true`) instead of yielding idle-loop instructions. The
+    /// driver then accounts for the gap analytically and calls
+    /// [`SystemOs::complete_block`].
+    pub fn set_analytic_idle(&mut self, on: bool) {
+        self.analytic_idle = on;
+    }
+
+    /// Resolves an analytic stall: clears the block and shifts the clock-
+    /// interrupt schedule by the skipped gap, so timers fire at identical
+    /// *work* points regardless of how long the disk kept us waiting. This
+    /// is what makes the instruction stream policy-independent.
+    pub fn complete_block(&mut self, gap: u64) {
+        debug_assert!(self.analytic_idle, "complete_block is analytic-only");
+        self.blocked_until = None;
+        self.next_timer_cycle += gap;
+    }
+
+    /// Starts logging disk requests in work-relative time (for building a
+    /// [`softwatt_stats::PerfTrace`]).
+    pub fn start_request_capture(&mut self) {
+        self.request_log = Some(Vec::new());
+    }
+
+    /// Takes the captured request stream (empty if capture was never on).
+    pub fn take_request_log(&mut self) -> Vec<TraceRequest> {
+        self.request_log.take().unwrap_or_default()
     }
 
     /// User instructions delivered so far.
@@ -193,7 +232,11 @@ impl SystemOs {
     fn dispatch_syscall(&mut self, kind: SyscallKind, stats: &mut StatsCollector) {
         self.syscall_counts += 1;
         let body = match kind {
-            SyscallKind::Read { file, offset, bytes } => {
+            SyscallKind::Read {
+                file,
+                offset,
+                bytes,
+            } => {
                 let cached = self.file_cache.covers(file, offset, u64::from(bytes));
                 ServiceBody::read(file, offset, bytes, cached)
             }
@@ -240,13 +283,24 @@ impl SystemOs {
 
     fn apply_directive(&mut self, directive: Directive, stats: &mut StatsCollector) {
         match directive {
-            Directive::DiskRead { file, offset, bytes } => {
+            Directive::DiskRead {
+                file,
+                offset,
+                bytes,
+            } => {
                 let now = stats.cycle();
                 // Files live at fixed 4 MiB-aligned extents on the platter,
                 // so a position-aware drive model sees realistic seek
                 // distances; the flat model ignores the position.
                 let disk_offset = u64::from(file.0) * 4 * 1024 * 1024 + offset;
                 let done = self.disk.submit_at(now, disk_offset, u64::from(bytes));
+                if let Some(log) = self.request_log.as_mut() {
+                    log.push(TraceRequest {
+                        work_submit: stats.work_cycle(),
+                        disk_offset,
+                        bytes: u64::from(bytes),
+                    });
+                }
                 self.file_cache.insert_range(file, offset, u64::from(bytes));
                 self.blocked_until = Some(done.max(now + 1));
             }
@@ -272,6 +326,11 @@ impl InstrSource for SystemOs {
             // Blocked on disk: run the idle process, attributed to the idle
             // pseudo-frame so kernel-service energy stays clean.
             if let Some(until) = self.blocked_until {
+                if self.analytic_idle {
+                    // The driver fast-forwards the gap arithmetically; we
+                    // contribute no instructions, no frame, no mode switch.
+                    return None;
+                }
                 if stats.cycle() < until {
                     if !self.idle_frame_open {
                         stats.enter_service(KernelService::IdleProcess.id());
@@ -296,7 +355,9 @@ impl InstrSource for SystemOs {
                     }
                     Some(BodyStep::Directive(d)) => {
                         match d {
-                            Directive::TlbFill { vaddr } => self.deferred.push(DeferredOp::TlbFill(vaddr)),
+                            Directive::TlbFill { vaddr } => {
+                                self.deferred.push(DeferredOp::TlbFill(vaddr))
+                            }
                             Directive::FlushL1 => self.deferred.push(DeferredOp::FlushL1),
                             Directive::DiskRead { .. } => self.apply_directive(d, stats),
                         }
@@ -340,6 +401,10 @@ impl InstrSource for SystemOs {
 
             return None;
         }
+    }
+
+    fn stalled(&self) -> bool {
+        self.analytic_idle && self.blocked_until.is_some()
     }
 }
 
@@ -402,7 +467,13 @@ mod tests {
         // Touch 4 distinct pages twice each: 4 first-touch chains, then hits.
         let mut user = user_loads(4, 4);
         user.extend(user_loads(4, 4));
-        let os = make_os(user, OsConfig { vfault_frac: 0.0, ..OsConfig::default() });
+        let os = make_os(
+            user,
+            OsConfig {
+                vfault_frac: 0.0,
+                ..OsConfig::default()
+            },
+        );
         let (_, stats, _) = drive(os, MemConfig::default());
         let (_, prof) = stats.finish_with_services();
         let utlb = &prof.aggregates()[&KernelService::Utlb.id()];
@@ -414,7 +485,13 @@ mod tests {
     #[test]
     fn vfault_chains_on_first_touch_when_enabled() {
         let user = user_loads(8, 8);
-        let os = make_os(user, OsConfig { vfault_frac: 1.0, ..OsConfig::default() });
+        let os = make_os(
+            user,
+            OsConfig {
+                vfault_frac: 1.0,
+                ..OsConfig::default()
+            },
+        );
         let (_, stats, _) = drive(os, MemConfig::default());
         let (_, prof) = stats.finish_with_services();
         assert_eq!(
@@ -445,7 +522,11 @@ mod tests {
     fn cold_read_blocks_and_accrues_idle_cycles() {
         let user = vec![Instr::syscall(
             0x1000,
-            SyscallKind::Read { file: FileRef(7), offset: 0, bytes: 8192 },
+            SyscallKind::Read {
+                file: FileRef(7),
+                offset: 0,
+                bytes: 8192,
+            },
         )];
         let os = make_os(user, OsConfig::default());
         let (os, stats, _) = drive(os, MemConfig::default());
@@ -460,7 +541,10 @@ mod tests {
         let read = &prof.aggregates()[&KernelService::Read.id()];
         let idle = &prof.aggregates()[&KernelService::IdleProcess.id()];
         assert_eq!(idle.invocations, 1, "one blocking wait");
-        assert!(idle.cycles > 1000, "the disk wait is attributed to the idle frame");
+        assert!(
+            idle.cycles > 1000,
+            "the disk wait is attributed to the idle frame"
+        );
         assert!(read.cycles > 0);
     }
 
@@ -468,7 +552,11 @@ mod tests {
     fn warm_read_does_not_block() {
         let user = vec![Instr::syscall(
             0x1000,
-            SyscallKind::Read { file: FileRef(7), offset: 0, bytes: 8192 },
+            SyscallKind::Read {
+                file: FileRef(7),
+                offset: 0,
+                bytes: 8192,
+            },
         )];
         let mut os = make_os(user, OsConfig::default());
         os.warm_file(FileRef(7), 64 * 1024);
@@ -482,7 +570,11 @@ mod tests {
 
     #[test]
     fn repeated_reads_hit_after_first_miss() {
-        let call = SyscallKind::Read { file: FileRef(3), offset: 0, bytes: 4096 };
+        let call = SyscallKind::Read {
+            file: FileRef(3),
+            offset: 0,
+            bytes: 4096,
+        };
         let user = vec![
             Instr::syscall(0x1000, call),
             Instr::syscall(0x1004, call),
@@ -498,7 +590,11 @@ mod tests {
     fn sync_mode_cycles_appear_for_syscalls_with_locks() {
         let user = vec![Instr::syscall(
             0x1000,
-            SyscallKind::Read { file: FileRef(1), offset: 0, bytes: 1024 },
+            SyscallKind::Read {
+                file: FileRef(1),
+                offset: 0,
+                bytes: 1024,
+            },
         )];
         let mut os = make_os(user, OsConfig::default());
         os.warm_file(FileRef(1), 4096);

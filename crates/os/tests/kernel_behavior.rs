@@ -46,7 +46,10 @@ fn touch_pages(n: u64) -> Vec<Instr> {
 
 #[test]
 fn premapped_pages_skip_the_fault_chain() {
-    let cfg = OsConfig { vfault_frac: 1.0, ..OsConfig::default() };
+    let cfg = OsConfig {
+        vfault_frac: 1.0,
+        ..OsConfig::default()
+    };
 
     let cold = os_with(touch_pages(16), cfg);
     let (_, cold_stats, _) = drive(cold);
@@ -55,14 +58,19 @@ fn premapped_pages_skip_the_fault_chain() {
         cold_prof.aggregates()[&KernelService::DemandZero.id()].invocations,
         16
     );
-    assert_eq!(cold_prof.aggregates()[&KernelService::Vfault.id()].invocations, 16);
+    assert_eq!(
+        cold_prof.aggregates()[&KernelService::Vfault.id()].invocations,
+        16
+    );
 
     let mut warm = os_with(touch_pages(16), cfg);
     warm.premap_region(0x2000_0000, 16 * 4096);
     let (_, warm_stats, _) = drive(warm);
     let (_, warm_prof) = warm_stats.finish_with_services();
     assert!(
-        !warm_prof.aggregates().contains_key(&KernelService::DemandZero.id()),
+        !warm_prof
+            .aggregates()
+            .contains_key(&KernelService::DemandZero.id()),
         "premapped pages must not zero-fill"
     );
     // ...but they still take fast utlb refills (the TLB itself is cold).
@@ -80,7 +88,10 @@ fn timer_interrupts_fire_on_schedule() {
         .collect();
     let os = os_with(
         user,
-        OsConfig { timer_interval_s: 0.05, ..OsConfig::default() },
+        OsConfig {
+            timer_interval_s: 0.05,
+            ..OsConfig::default()
+        },
     );
     let (_, stats, cycles) = drive(os);
     let (_, prof) = stats.finish_with_services();
@@ -129,7 +140,11 @@ fn blocking_reads_put_idle_between_kernel_halves() {
     // One cold read: the service frame must exclude the idle wait.
     let user = vec![Instr::syscall(
         0x1000,
-        SyscallKind::Read { file: FileRef(9), offset: 0, bytes: 4096 },
+        SyscallKind::Read {
+            file: FileRef(9),
+            offset: 0,
+            bytes: 4096,
+        },
     )];
     let os = os_with(user, OsConfig::default());
     let (_, stats, _) = drive(os);
@@ -152,13 +167,20 @@ fn write_syscalls_do_not_touch_the_disk() {
         .map(|i| {
             Instr::syscall(
                 0x1000 + i * 4,
-                SyscallKind::Write { file: FileRef(3), bytes: 8192 },
+                SyscallKind::Write {
+                    file: FileRef(3),
+                    bytes: 8192,
+                },
             )
         })
         .collect();
     let os = os_with(user, OsConfig::default());
     let (os, stats, _) = drive(os);
-    assert_eq!(stats.mode_cycles(Mode::Idle), 0, "write-behind never blocks");
+    assert_eq!(
+        stats.mode_cycles(Mode::Idle),
+        0,
+        "write-behind never blocks"
+    );
     let disk = os.into_disk();
     assert_eq!(disk.report(1).requests, 0);
 }
@@ -181,7 +203,10 @@ fn file_cache_capacity_forces_disk_traffic() {
         .collect();
     let os = os_with(
         user,
-        OsConfig { file_cache_blocks: 4, ..OsConfig::default() },
+        OsConfig {
+            file_cache_blocks: 4,
+            ..OsConfig::default()
+        },
     );
     let (os, _, _) = drive(os);
     assert!(
@@ -200,7 +225,10 @@ fn deferred_flush_invalidates_the_l1() {
         .collect();
     let os = os_with(
         user,
-        OsConfig { cacheflush_per_kinstr: 2.0, ..OsConfig::default() },
+        OsConfig {
+            cacheflush_per_kinstr: 2.0,
+            ..OsConfig::default()
+        },
     );
     let (_, stats, _) = drive(os);
     let (_, prof) = stats.finish_with_services();

@@ -62,9 +62,8 @@ pub fn cache_energy(tech: &TechParams, geometry: CacheGeometry, access_bits: u64
     let tag_cols = tag_bits * u64::from(geometry.assoc());
     let active_cols = data_cols + tag_cols;
 
-    let e_bitlines = tech.e_bitline(
-        active_cols as f64 * rows_per_bank as f64 * tech.c_bitline_per_cell,
-    );
+    let e_bitlines =
+        tech.e_bitline(active_cols as f64 * rows_per_bank as f64 * tech.c_bitline_per_cell);
     let e_wordline = tech.e_full(active_cols as f64 * tech.c_wordline_per_cell);
     let row_addr_bits = (rows_per_bank.max(2) as f64).log2().ceil();
     let e_decoder = tech.e_full(row_addr_bits * tech.c_decoder_per_bit) * banks as f64;

@@ -134,7 +134,9 @@ impl DatapathBreakdown {
 
     /// `(component, value)` pairs in report order.
     pub fn iter(&self) -> impl Iterator<Item = (DatapathComponent, f64)> + '_ {
-        DatapathComponent::ALL.iter().map(move |&c| (c, self.get(c)))
+        DatapathComponent::ALL
+            .iter()
+            .map(move |&c| (c, self.get(c)))
     }
 }
 
@@ -197,7 +199,9 @@ mod tests {
         events.add(UnitEvent::IcacheAccess, 2000); // outside the datapath
         let cycles = 1000;
         let breakdown = model.datapath_power_w(&events, cycles);
-        let clubbed = model.window_power_w(&events, cycles).get(UnitGroup::Datapath);
+        let clubbed = model
+            .window_power_w(&events, cycles)
+            .get(UnitGroup::Datapath);
         assert!(
             (breakdown.total() - clubbed).abs() < 1e-9,
             "breakdown {} vs clubbed {}",

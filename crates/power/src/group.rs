@@ -79,11 +79,10 @@ impl UnitGroup {
             MemAccess => UnitGroup::Memory,
             TlbAccess | TlbWrite | AluOp | MulOp | FpAluOp | FpMulOp | RegRead | RegWrite
             | RenameAccess | WindowInsert | WindowWakeup | WindowIssue | LsqInsert | LsqSearch
-            | ResultBus | BhtLookup | BhtUpdate | BtbLookup | BtbUpdate | RasAccess
-            | DecodeOp => UnitGroup::Datapath,
-            L2Miss | TlbMiss | BranchMispredict | CommitInstr | FetchCycle | SyncOp => {
-                return None
+            | ResultBus | BhtLookup | BhtUpdate | BtbLookup | BtbUpdate | RasAccess | DecodeOp => {
+                UnitGroup::Datapath
             }
+            L2Miss | TlbMiss | BranchMispredict | CommitInstr | FetchCycle | SyncOp => return None,
         })
     }
 
@@ -185,11 +184,26 @@ mod tests {
 
     #[test]
     fn cache_events_map_to_cache_groups() {
-        assert_eq!(UnitGroup::of_event(UnitEvent::IcacheAccess), Some(UnitGroup::L1I));
-        assert_eq!(UnitGroup::of_event(UnitEvent::DcacheWrite), Some(UnitGroup::L1D));
-        assert_eq!(UnitGroup::of_event(UnitEvent::L2AccessI), Some(UnitGroup::L2I));
-        assert_eq!(UnitGroup::of_event(UnitEvent::MemAccess), Some(UnitGroup::Memory));
-        assert_eq!(UnitGroup::of_event(UnitEvent::AluOp), Some(UnitGroup::Datapath));
+        assert_eq!(
+            UnitGroup::of_event(UnitEvent::IcacheAccess),
+            Some(UnitGroup::L1I)
+        );
+        assert_eq!(
+            UnitGroup::of_event(UnitEvent::DcacheWrite),
+            Some(UnitGroup::L1D)
+        );
+        assert_eq!(
+            UnitGroup::of_event(UnitEvent::L2AccessI),
+            Some(UnitGroup::L2I)
+        );
+        assert_eq!(
+            UnitGroup::of_event(UnitEvent::MemAccess),
+            Some(UnitGroup::Memory)
+        );
+        assert_eq!(
+            UnitGroup::of_event(UnitEvent::AluOp),
+            Some(UnitGroup::Datapath)
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The assembled processor/memory power model.
 
-
 use softwatt_mem::CacheGeometry;
 use softwatt_stats::{CounterSet, EnergyWeights, UnitEvent};
 
@@ -15,8 +14,7 @@ use crate::units::UnitEnergies;
 /// paper uses the simple style ([`ClockGating::Gated`]): a unit burns full
 /// per-access power when used and nothing when idle. The alternatives
 /// exist for ablation (see the `ablations` bench).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ClockGating {
     /// CC1: no gating — every unit burns its peak power every cycle.
     AlwaysOn,
@@ -28,7 +26,6 @@ pub enum ClockGating {
     /// peak power (imperfect gating).
     GatedWithResidual(f64),
 }
-
 
 /// Structural parameters the power model derives energies from (defaults =
 /// paper Table 1).
@@ -385,9 +382,12 @@ mod tests {
         events.add(UnitEvent::CommitInstr, 800);
         let cycles = 1000;
         let power = |gating| {
-            PowerModel::new(&PowerParams { gating, ..PowerParams::default() })
-                .window_power_w(&events, cycles)
-                .total()
+            PowerModel::new(&PowerParams {
+                gating,
+                ..PowerParams::default()
+            })
+            .window_power_w(&events, cycles)
+            .total()
         };
         let cc1 = power(ClockGating::AlwaysOn);
         let cc2 = power(ClockGating::Gated);

@@ -157,8 +157,7 @@ impl PowerModel {
                 for mode in Mode::ALL {
                     let mc = s.mode_cycles[mode.index()];
                     if mc > 0 {
-                        mode_power_w[mode.index()] =
-                            self.window_power_w(s.events.mode(mode), mc);
+                        mode_power_w[mode.index()] = self.window_power_w(s.events.mode(mode), mc);
                     }
                 }
                 let window_power_w = self.window_power_w(&s.events.combined(), cycles);
@@ -185,8 +184,7 @@ impl PowerModel {
                     continue;
                 }
                 mode_cycles[mode.index()] += mc;
-                mode_energy_j[mode.index()]
-                    .merge(&self.window_energy_j(s.events.mode(mode), mc));
+                mode_energy_j[mode.index()].merge(&self.window_energy_j(s.events.mode(mode), mc));
             }
         }
         ModePowerTable {

@@ -5,7 +5,6 @@
 //! benchmark (see `DESIGN.md` §6) — and produce a maximum-activity CPU
 //! power near the paper's 25.3 W validation figure.
 
-
 /// Process and operating-point constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechParams {

@@ -48,8 +48,14 @@ impl Clocking {
     ///
     /// Panics if `hz` or `scale` is not strictly positive and finite.
     pub fn scaled(hz: f64, scale: f64) -> Clocking {
-        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
-        assert!(scale.is_finite() && scale > 0.0, "time scale must be positive");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "clock frequency must be positive"
+        );
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be positive"
+        );
         Clocking { hz, scale }
     }
 
@@ -68,7 +74,10 @@ impl Clocking {
     /// Converts a paper-time duration to simulated cycles (rounding to
     /// nearest, minimum 1 cycle for positive durations).
     pub fn paper_secs_to_cycles(&self, secs: f64) -> u64 {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be non-negative"
+        );
         if secs == 0.0 {
             return 0;
         }

@@ -1,8 +1,8 @@
 //! The per-simulation statistics sink.
 
 use crate::{
-    Clocking, CounterSet, EnergyWeights, InvocationRecord, Mode, ModeCounters, Sample,
-    ServiceId, ServiceProfiler, SimLog,
+    Clocking, CounterSet, EnergyWeights, InvocationRecord, Mode, ModeCounters, Sample, ServiceId,
+    ServiceProfiler, SimLog,
 };
 
 /// Central event sink for one simulation run.
@@ -42,6 +42,10 @@ pub struct StatsCollector {
     window_start_mode_cycles: [u64; Mode::COUNT],
     window_start_cycle: u64,
     sample_interval: u64,
+    // Cycles consumed by analytically skipped idle gaps (see
+    // [`StatsCollector::skip_idle_gap`]); `cycle - idle_skipped` is the
+    // policy-independent work clock.
+    idle_skipped: u64,
     log: SimLog,
     profiler: ServiceProfiler,
 }
@@ -79,6 +83,7 @@ impl StatsCollector {
             window_start_mode_cycles: [0; Mode::COUNT],
             window_start_cycle: 0,
             sample_interval,
+            idle_skipped: 0,
             log: SimLog::new(clocking, sample_interval),
             profiler: ServiceProfiler::new(weights),
         }
@@ -88,6 +93,21 @@ impl StatsCollector {
     #[inline]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Current *work* cycle: [`StatsCollector::cycle`] minus every cycle
+    /// consumed through [`StatsCollector::skip_idle_gap`]. Because skipped
+    /// gaps are exactly the disk-policy-dependent blocked stretches, the
+    /// work clock advances identically whatever disk policy is simulated —
+    /// it is the time base the trace-replay engine keys disk requests to.
+    #[inline]
+    pub fn work_cycle(&self) -> u64 {
+        self.cycle - self.idle_skipped
+    }
+
+    /// Number of samples emitted into the log so far.
+    pub fn samples_emitted(&self) -> usize {
+        self.log.samples().len()
     }
 
     /// Current software mode.
@@ -142,6 +162,79 @@ impl StatsCollector {
             n -= step;
             if self.cycle - self.window_start_cycle >= self.sample_interval {
                 self.emit_sample();
+            }
+        }
+    }
+
+    /// Closes the current sampling window early, emitting a (possibly
+    /// short) sample. No-op when the window is empty.
+    ///
+    /// The capture/replay engine flushes at every disk-request completion
+    /// boundary: whether a blocked gap follows is policy-dependent, so a
+    /// sample is never allowed to span a request boundary — otherwise it
+    /// could not be split when a different policy puts a gap there.
+    pub fn flush_window(&mut self) {
+        if self.cycle > self.window_start_cycle {
+            self.emit_sample();
+        }
+    }
+
+    /// Fast-forwards over a disk-blocked idle stretch analytically: the
+    /// paper's §3.3 acceleration, packaged so the capture run and the
+    /// policy-replay path execute the *identical* sequence of collector
+    /// operations (and therefore produce bit-identical logs, aggregates
+    /// and energy sums).
+    ///
+    /// The surrounding windows are flushed, `gap` cycles are attributed to
+    /// [`Mode::Idle`] inside an `idle_service` frame, and idle-loop events
+    /// are synthesized from the measured per-cycle `rates`. A zero-length
+    /// gap only flushes the window (the boundary is still policy-relevant).
+    pub fn skip_idle_gap(
+        &mut self,
+        gap: u64,
+        rates: &[(crate::UnitEvent, f64)],
+        idle_service: ServiceId,
+    ) {
+        self.flush_window();
+        if gap == 0 {
+            return;
+        }
+        let prev_mode = self.mode;
+        self.enter_service(idle_service);
+        self.set_mode(Mode::Idle);
+        for &(event, rate) in rates {
+            self.record_n(event, (rate * gap as f64) as u64);
+        }
+        self.tick_n(gap);
+        self.idle_skipped += gap;
+        self.exit_service(idle_service);
+        self.set_mode(prev_mode);
+        self.flush_window();
+    }
+
+    /// Replays a previously captured [`Sample`] through this collector:
+    /// every event delta is recorded first (so none can land past a window
+    /// boundary closed by the ticks), then the per-mode cycles are ticked.
+    /// Provided the replay sits at the same in-window offset as the
+    /// original run, the emitted sample stream is identical.
+    pub fn replay_sample(&mut self, sample: &Sample) {
+        for mode in Mode::ALL {
+            let counts = sample.events.mode(mode);
+            if counts.total() == 0 {
+                continue;
+            }
+            self.set_mode(mode);
+            for (event, n) in counts.iter() {
+                if n > 0 {
+                    self.record_n(event, n);
+                }
+            }
+        }
+        for mode in Mode::ALL {
+            let cycles = sample.mode_cycles[mode.index()];
+            if cycles > 0 {
+                self.set_mode(mode);
+                self.tick_n(cycles);
             }
         }
     }
@@ -302,5 +395,79 @@ mod tests {
         s.tick_n(10);
         let log = s.finish();
         assert_eq!(log.samples().len(), 2);
+    }
+
+    #[test]
+    fn flush_window_emits_short_sample_and_is_idempotent() {
+        let mut s = StatsCollector::new(Clocking::default(), 10);
+        s.tick_n(3);
+        s.flush_window();
+        s.flush_window(); // empty window: no-op
+        assert_eq!(s.samples_emitted(), 1);
+        s.tick_n(10);
+        let log = s.finish();
+        assert_eq!(log.samples().len(), 2);
+        assert_eq!(log.samples()[0].cycles(), 3);
+        assert_eq!(log.samples()[1].cycles(), 10);
+        assert_eq!(log.total_cycles(), 13);
+    }
+
+    #[test]
+    fn skip_idle_gap_patches_idle_mode_and_work_clock() {
+        let mut s = StatsCollector::new(Clocking::default(), 100);
+        s.set_mode(Mode::User);
+        s.tick_n(40);
+        let rates = [(UnitEvent::IcacheAccess, 0.5)];
+        s.skip_idle_gap(200, &rates, ServiceId(12));
+        assert_eq!(s.cycle(), 240);
+        assert_eq!(s.work_cycle(), 40);
+        assert_eq!(s.mode(), Mode::User, "previous mode restored");
+        s.tick_n(10);
+        let (log, prof) = s.finish_with_services();
+        assert_eq!(log.mode_cycles(Mode::Idle), 200);
+        assert_eq!(log.mode_cycles(Mode::User), 50);
+        assert_eq!(
+            log.total_events()
+                .mode(Mode::Idle)
+                .get(UnitEvent::IcacheAccess),
+            100
+        );
+        let agg = &prof.aggregates()[&ServiceId(12)];
+        assert_eq!(agg.invocations, 1);
+        assert_eq!(agg.cycles, 200);
+    }
+
+    #[test]
+    fn zero_length_gap_only_flushes() {
+        let mut s = StatsCollector::new(Clocking::default(), 100);
+        s.tick_n(7);
+        s.skip_idle_gap(0, &[], ServiceId(12));
+        assert_eq!(s.samples_emitted(), 1);
+        assert_eq!(s.work_cycle(), 7);
+        let (_, prof) = s.finish_with_services();
+        assert!(prof.aggregates().is_empty(), "no idle frame for a zero gap");
+    }
+
+    #[test]
+    fn replay_sample_reproduces_the_original_stream() {
+        // Original run: interleaved modes and events across window edges.
+        let mut a = StatsCollector::new(Clocking::default(), 10);
+        a.set_mode(Mode::User);
+        a.record_n(UnitEvent::AluOp, 3);
+        a.tick_n(7);
+        a.set_mode(Mode::KernelInstr);
+        a.record_n(UnitEvent::DcacheRead, 2);
+        a.tick_n(8);
+        a.set_mode(Mode::User);
+        a.tick_n(4);
+        let log_a = a.finish();
+
+        // Replay every captured sample through a fresh collector.
+        let mut b = StatsCollector::new(Clocking::default(), 10);
+        for sample in log_a.samples() {
+            b.replay_sample(sample);
+        }
+        let log_b = b.finish();
+        assert_eq!(log_a, log_b);
     }
 }

@@ -42,6 +42,7 @@ pub mod event;
 pub mod log;
 pub mod mode;
 pub mod service;
+pub mod trace;
 
 mod collector;
 
@@ -52,3 +53,4 @@ pub use event::UnitEvent;
 pub use log::{Sample, SimLog};
 pub use mode::Mode;
 pub use service::{EnergyWeights, InvocationRecord, ServiceAggregate, ServiceId, ServiceProfiler};
+pub use trace::{PerfTrace, TraceRequest};

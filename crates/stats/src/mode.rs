@@ -23,8 +23,7 @@ use std::fmt;
 /// assert_eq!(Mode::COUNT, 4);
 /// assert_eq!(Mode::from_index(Mode::KernelSync.index()), Mode::KernelSync);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Mode {
     /// Application (user-level) execution.
     #[default]
@@ -87,7 +86,6 @@ impl fmt::Display for Mode {
         f.write_str(self.label())
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -212,13 +212,18 @@ impl ServiceProfiler {
         cycle: u64,
         counters: &CounterSet,
     ) -> InvocationRecord {
-        let mut frame = self.stack.pop().expect("service exit without matching enter");
+        let mut frame = self
+            .stack
+            .pop()
+            .expect("service exit without matching enter");
         assert_eq!(
             frame.service, service,
             "service exit does not match innermost frame"
         );
         frame.cycles += cycle - frame.snap_cycle;
-        frame.events.merge(&counters.delta_since(&frame.snap_events));
+        frame
+            .events
+            .merge(&counters.delta_since(&frame.snap_events));
 
         // The parent frame (if any) resumes being innermost: re-snapshot.
         if let Some(parent) = self.stack.last_mut() {
@@ -247,6 +252,18 @@ impl ServiceProfiler {
     /// Per-service aggregates accumulated so far.
     pub fn aggregates(&self) -> &HashMap<ServiceId, ServiceAggregate> {
         &self.aggregates
+    }
+
+    /// Folds a pre-computed aggregate for `service` into this profiler.
+    ///
+    /// The trace-replay path uses this to restore the policy-independent
+    /// work services captured during the original simulation next to the
+    /// idle-process frames the replay rebuilds itself.
+    pub fn merge_aggregate(&mut self, service: ServiceId, aggregate: &ServiceAggregate) {
+        self.aggregates
+            .entry(service)
+            .or_insert_with(ServiceAggregate::new)
+            .merge(aggregate);
     }
 
     /// The weights table in use.

@@ -95,12 +95,7 @@ impl std::fmt::Display for Benchmark {
 
 /// Common three-phase skeleton: startup mix, steady mix, GC bursts.
 #[allow(clippy::too_many_arguments)]
-fn phases(
-    steady: PhaseSpec,
-    startup_frac: f64,
-    gc_frac: f64,
-    gc_span: u64,
-) -> Vec<PhaseSpec> {
+fn phases(steady: PhaseSpec, startup_frac: f64, gc_frac: f64, gc_span: u64) -> Vec<PhaseSpec> {
     let startup = PhaseSpec {
         name: "startup",
         frac: startup_frac,
@@ -181,13 +176,41 @@ fn compress() -> BenchmarkSpec {
         cacheflush_per_kinstr: 0.0012,
         phases: phases(steady, 0.05, 0.05, 640 * 1024),
         io_bursts: vec![
-            IoBurst { at_s: 3.2, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 6.0, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 8.8, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 11.6, files: 2, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 14.4, files: 2, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 17.2, files: 2, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 20.0, files: 2, bytes_per_file: 8 * 1024 },
+            IoBurst {
+                at_s: 3.2,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 6.0,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 8.8,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 11.6,
+                files: 2,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 14.4,
+                files: 2,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 17.2,
+                files: 2,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 20.0,
+                files: 2,
+                bytes_per_file: 8 * 1024,
+            },
         ],
     }
 }
@@ -307,9 +330,21 @@ fn javac() -> BenchmarkSpec {
         cacheflush_per_kinstr: 0.0040,
         phases: phases(steady, 0.06, 0.12, 640 * 1024),
         io_bursts: vec![
-            IoBurst { at_s: 2.6, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 5.6, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 8.4, files: 2, bytes_per_file: 8 * 1024 },
+            IoBurst {
+                at_s: 2.6,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 5.6,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 8.4,
+                files: 2,
+                bytes_per_file: 8 * 1024,
+            },
         ],
     }
 }
@@ -349,8 +384,16 @@ fn mtrt() -> BenchmarkSpec {
         cacheflush_per_kinstr: 0.0020,
         phases: phases(steady, 0.05, 0.06, 512 * 1024),
         io_bursts: vec![
-            IoBurst { at_s: 2.6, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 12.0, files: 3, bytes_per_file: 8 * 1024 },
+            IoBurst {
+                at_s: 2.6,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 12.0,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
         ],
     }
 }
@@ -390,9 +433,21 @@ fn jack() -> BenchmarkSpec {
         cacheflush_per_kinstr: 0.0016,
         phases: phases(steady, 0.05, 0.05, 576 * 1024),
         io_bursts: vec![
-            IoBurst { at_s: 2.4, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 5.6, files: 3, bytes_per_file: 8 * 1024 },
-            IoBurst { at_s: 22.0, files: 3, bytes_per_file: 8 * 1024 },
+            IoBurst {
+                at_s: 2.4,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 5.6,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
+            IoBurst {
+                at_s: 22.0,
+                files: 3,
+                bytes_per_file: 8 * 1024,
+            },
         ],
     }
 }
@@ -415,7 +470,11 @@ mod tests {
         for b in Benchmark::ALL {
             assert_eq!(Benchmark::from_name(b.name()), Some(b));
         }
-        assert_eq!(Benchmark::from_name("mpegaudio"), None, "excluded, as in the paper");
+        assert_eq!(
+            Benchmark::from_name("mpegaudio"),
+            None,
+            "excluded, as in the paper"
+        );
     }
 
     #[test]
@@ -431,7 +490,10 @@ mod tests {
                 assert!(*d <= 5.0, "{name} must be short");
                 continue;
             }
-            assert!(*d >= 8.0, "{name} must be long enough for spin-down dynamics");
+            assert!(
+                *d >= 8.0,
+                "{name} must be long enough for spin-down dynamics"
+            );
         }
     }
 
@@ -464,7 +526,10 @@ mod tests {
     fn mtrt_gap_exceeds_both_thresholds() {
         let spec = Benchmark::Mtrt.spec();
         let gap = spec.io_bursts[1].at_s - spec.io_bursts[0].at_s;
-        assert!(gap > 4.0, "mtrt spins down under both thresholds (gap {gap})");
+        assert!(
+            gap > 4.0,
+            "mtrt spins down under both thresholds (gap {gap})"
+        );
     }
 
     #[test]

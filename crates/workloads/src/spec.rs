@@ -1,6 +1,5 @@
 //! Benchmark specification types.
 
-
 /// Rates of steady-state system calls, per thousand user instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SyscallRates {
@@ -134,7 +133,10 @@ impl BenchmarkSpec {
             }
         }
         if !(0.0..=0.5).contains(&self.startup_compute_frac) {
-            return Err(format!("{}: startup compute fraction out of range", self.name));
+            return Err(format!(
+                "{}: startup compute fraction out of range",
+                self.name
+            ));
         }
         let mut last = 0.0;
         for b in &self.io_bursts {
@@ -210,8 +212,16 @@ mod tests {
     fn bursts_must_be_ordered() {
         let mut s = spec();
         s.io_bursts = vec![
-            IoBurst { at_s: 3.0, files: 1, bytes_per_file: 4096 },
-            IoBurst { at_s: 1.0, files: 1, bytes_per_file: 4096 },
+            IoBurst {
+                at_s: 3.0,
+                files: 1,
+                bytes_per_file: 4096,
+            },
+            IoBurst {
+                at_s: 1.0,
+                files: 1,
+                bytes_per_file: 4096,
+            },
         ];
         assert!(s.validate().is_err());
     }

@@ -5,9 +5,7 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use softwatt_isa::{
-    DataPattern, FileRef, Instr, InstrSource, MixGenerator, MixSpec, SyscallKind,
-};
+use softwatt_isa::{DataPattern, FileRef, Instr, InstrSource, MixGenerator, MixSpec, SyscallKind};
 use softwatt_stats::{Clocking, StatsCollector};
 
 use crate::spec::{BenchmarkSpec, PhaseSpec};
@@ -85,7 +83,8 @@ impl Workload {
     ///
     /// Panics if the spec fails [`BenchmarkSpec::validate`].
     pub fn new(spec: BenchmarkSpec, clocking: Clocking, seed: u64) -> Workload {
-        spec.validate().unwrap_or_else(|e| panic!("invalid benchmark spec: {e}"));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid benchmark spec: {e}"));
         let budget = spec.user_instr_budget(clocking);
         let chunk = ((budget as f64 * spec.startup_compute_frac) as u64
             / u64::from(spec.class_files.max(1))) as u32;
@@ -145,9 +144,7 @@ impl Workload {
             .phases
             .iter()
             .enumerate()
-            .map(|(idx, p)| {
-                (DATA_BASE + idx as u64 * 0x1000_0000, p.span_bytes + 4096)
-            })
+            .map(|(idx, p)| (DATA_BASE + idx as u64 * 0x1000_0000, p.span_bytes + 4096))
             .collect()
     }
 
@@ -207,8 +204,7 @@ impl Workload {
 
     fn sample_steady_syscall(&mut self) -> Option<SyscallKind> {
         let rates = self.spec.phases[self.phase_idx].syscalls;
-        let total =
-            rates.read + rates.write + rates.open + rates.xstat + rates.du_poll + rates.bsd;
+        let total = rates.read + rates.write + rates.open + rates.xstat + rates.du_poll + rates.bsd;
         if total <= 0.0 || self.rng.gen::<f64>() >= total / 1000.0 {
             return None;
         }
@@ -220,8 +216,21 @@ impl Workload {
             .rng
             .gen_range(0..WARM_FILE_BYTES.saturating_sub(u64::from(io_bytes)).max(1));
         for (rate, kind) in [
-            (rates.read, SyscallKind::Read { file: warm_file, offset, bytes: io_bytes }),
-            (rates.write, SyscallKind::Write { file: warm_file, bytes: io_bytes }),
+            (
+                rates.read,
+                SyscallKind::Read {
+                    file: warm_file,
+                    offset,
+                    bytes: io_bytes,
+                },
+            ),
+            (
+                rates.write,
+                SyscallKind::Write {
+                    file: warm_file,
+                    bytes: io_bytes,
+                },
+            ),
             (rates.open, SyscallKind::Open { file: warm_file }),
             (rates.xstat, SyscallKind::Xstat { file: warm_file }),
             (rates.du_poll, SyscallKind::DuPoll),
@@ -238,7 +247,11 @@ impl Workload {
 
 impl InstrSource for Workload {
     fn next_instr(&mut self, stats: &mut StatsCollector) -> Option<Instr> {
-        self.maybe_trigger_burst(stats.cycle());
+        // Bursts anchor to the *work* clock (cycles minus analytically
+        // skipped idle), so their trigger points are identical across disk
+        // policies and idle-handling modes; under the default handling the
+        // two clocks coincide.
+        self.maybe_trigger_burst(stats.work_cycle());
         loop {
             if self.chunk_remaining > 0 {
                 self.chunk_remaining -= 1;
@@ -343,7 +356,11 @@ mod tests {
                     fresh_per_kinstr: 0.05,
                 },
             ],
-            io_bursts: vec![IoBurst { at_s: 1.0, files: 2, bytes_per_file: 16384 }],
+            io_bursts: vec![IoBurst {
+                at_s: 1.0,
+                files: 2,
+                bytes_per_file: 16384,
+            }],
         }
     }
 
@@ -400,9 +417,7 @@ mod tests {
         let burst_reads: Vec<_> = instrs
             .iter()
             .filter_map(|i| match i.syscall {
-                Some(SyscallKind::Read { file, .. }) if file.0 >= 3 && file.0 < 1000 => {
-                    Some(file)
-                }
+                Some(SyscallKind::Read { file, .. }) if file.0 >= 3 && file.0 < 1000 => Some(file),
                 _ => None,
             })
             .collect();
@@ -434,7 +449,10 @@ mod tests {
         let instrs = drain(&mut w, &mut stats);
         let early_pc = instrs[50].pc;
         let late = &instrs[instrs.len() - 100];
-        assert!(late.pc >= CODE_BASE + 0x4_0000, "steady phase uses its own code region");
+        assert!(
+            late.pc >= CODE_BASE + 0x4_0000,
+            "steady phase uses its own code region"
+        );
         assert!(early_pc < CODE_BASE + 0x4_0000 || instrs[50].syscall.is_some());
     }
 

@@ -66,10 +66,19 @@ fn every_stream_terminates_with_plausible_mix() {
         assert!(s.total > 50_000, "{b}: {} instructions", s.total);
         let load_frac = s.loads as f64 / s.total as f64;
         let branch_frac = s.branches as f64 / s.total as f64;
-        assert!(load_frac > 0.15 && load_frac < 0.45, "{b}: load frac {load_frac}");
+        assert!(
+            load_frac > 0.15 && load_frac < 0.45,
+            "{b}: load frac {load_frac}"
+        );
         let store_frac = s.stores as f64 / s.total as f64;
-        assert!(store_frac > 0.03 && store_frac < 0.20, "{b}: store frac {store_frac}");
-        assert!(branch_frac > 0.08 && branch_frac < 0.35, "{b}: branch frac {branch_frac}");
+        assert!(
+            store_frac > 0.03 && store_frac < 0.20,
+            "{b}: store frac {store_frac}"
+        );
+        assert!(
+            branch_frac > 0.08 && branch_frac < 0.35,
+            "{b}: branch frac {branch_frac}"
+        );
         assert!(s.syscalls > 10, "{b}: {} syscalls", s.syscalls);
     }
 }
@@ -93,7 +102,12 @@ fn jack_issues_steady_reads_at_the_highest_rate() {
     // its generator sustains the highest warm-read rate.
     let jack = measure(Benchmark::Jack);
     let jack_rate = jack.reads as f64 / jack.total as f64;
-    for other in [Benchmark::Compress, Benchmark::Db, Benchmark::Mtrt, Benchmark::Javac] {
+    for other in [
+        Benchmark::Compress,
+        Benchmark::Db,
+        Benchmark::Mtrt,
+        Benchmark::Javac,
+    ] {
         let o = measure(other);
         let other_rate = o.reads as f64 / o.total as f64;
         assert!(

@@ -59,7 +59,11 @@ fn my_spec() -> BenchmarkSpec {
         startup_compute_frac: 0.06,
         cacheflush_per_kinstr: 0.001,
         phases: vec![startup, steady],
-        io_bursts: vec![IoBurst { at_s: 3.5, files: 3, bytes_per_file: 8192 }],
+        io_bursts: vec![IoBurst {
+            at_s: 3.5,
+            files: 3,
+            bytes_per_file: 8192,
+        }],
     }
 }
 
@@ -83,8 +87,7 @@ fn main() -> Result<(), String> {
     let trace_path = std::env::temp_dir().join("softwatt_txnbench.trace");
     let sim = Simulator::new(config.clone())?;
     let out = File::create(&trace_path).map_err(|e| e.to_string())?;
-    let recording =
-        Recording::new(workload, BufWriter::new(out)).map_err(|e| e.to_string())?;
+    let recording = Recording::new(workload, BufWriter::new(out)).map_err(|e| e.to_string())?;
     let wide = sim.run_source(Box::new(recording), &warm, &premap, os);
     println!(
         "txnbench on 4-wide MXS: {} cycles, IPC {:.2}, idle {:.1}%",

@@ -33,8 +33,7 @@ fn main() -> Result<(), String> {
     for p in &profile.points {
         let share = |i: usize| 100.0 * p.mode_cycles[i] as f64 / p.cycles.max(1) as f64;
         let mem = |i: usize| {
-            p.mode_power_w[i].memory_subsystem() * p.mode_cycles[i] as f64
-                / p.cycles.max(1) as f64
+            p.mode_power_w[i].memory_subsystem() * p.mode_cycles[i] as f64 / p.cycles.max(1) as f64
         };
         let proc = |i: usize| {
             p.mode_power_w[i].get(softwatt::UnitGroup::Datapath) * p.mode_cycles[i] as f64

@@ -28,9 +28,16 @@ fn main() -> Result<(), String> {
 
     println!(
         "\n{} finished: {} cycles ({:.2} paper-seconds), {} instructions, IPC {:.2}",
-        benchmark, run.cycles, run.duration_s, run.committed, run.ipc()
+        benchmark,
+        run.cycles,
+        run.duration_s,
+        run.committed,
+        run.ipc()
     );
-    println!("disk: {} requests, {:.2} J", run.disk.requests, run.disk.energy_j);
+    println!(
+        "disk: {} requests, {:.2} J",
+        run.disk.requests, run.disk.energy_j
+    );
 
     println!("\ncycles by software mode:");
     for mode in Mode::ALL {

@@ -18,8 +18,12 @@ fn config(scale: f64, seed: u64) -> SystemConfig {
 #[test]
 fn identical_configs_give_identical_runs() {
     for benchmark in [Benchmark::Jess, Benchmark::Compress] {
-        let a = Simulator::new(config(40_000.0, 7)).unwrap().run_benchmark(benchmark);
-        let b = Simulator::new(config(40_000.0, 7)).unwrap().run_benchmark(benchmark);
+        let a = Simulator::new(config(40_000.0, 7))
+            .unwrap()
+            .run_benchmark(benchmark);
+        let b = Simulator::new(config(40_000.0, 7))
+            .unwrap()
+            .run_benchmark(benchmark);
         assert_eq!(a.cycles, b.cycles, "{benchmark}");
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.log.total_events(), b.log.total_events());
@@ -30,8 +34,12 @@ fn identical_configs_give_identical_runs() {
 
 #[test]
 fn different_seeds_give_different_runs() {
-    let a = Simulator::new(config(40_000.0, 1)).unwrap().run_benchmark(Benchmark::Db);
-    let b = Simulator::new(config(40_000.0, 2)).unwrap().run_benchmark(Benchmark::Db);
+    let a = Simulator::new(config(40_000.0, 1))
+        .unwrap()
+        .run_benchmark(Benchmark::Db);
+    let b = Simulator::new(config(40_000.0, 2))
+        .unwrap()
+        .run_benchmark(Benchmark::Db);
     assert_ne!(
         a.log.total_events(),
         b.log.total_events(),
@@ -42,27 +50,110 @@ fn different_seeds_give_different_runs() {
 #[test]
 fn parallel_prewarm_is_bit_identical_to_serial() {
     let keys = [
-        RunKey { benchmark: Benchmark::Jess, cpu: CpuModel::Mxs, disk: DiskSetup::Conventional },
-        RunKey { benchmark: Benchmark::Compress, cpu: CpuModel::Mxs, disk: DiskSetup::IdleOnly },
-        RunKey { benchmark: Benchmark::Db, cpu: CpuModel::Mipsy, disk: DiskSetup::Standby2s },
-        RunKey { benchmark: Benchmark::Jess, cpu: CpuModel::MxsSingleIssue, disk: DiskSetup::Conventional },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Conventional,
+        },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Standby2s,
+        },
+        RunKey {
+            benchmark: Benchmark::Compress,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::IdleOnly,
+        },
+        RunKey {
+            benchmark: Benchmark::Db,
+            cpu: CpuModel::Mipsy,
+            disk: DiskSetup::Standby2s,
+        },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::MxsSingleIssue,
+            disk: DiskSetup::Conventional,
+        },
     ];
+    // 5 keys, but only 4 distinct (benchmark, cpu) pairs: full simulations
+    // are shared across disk policies; the fifth bundle comes from replay.
+    let distinct_pairs = 4;
     let serial = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
     serial.prewarm(&keys, 1);
     let parallel = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
     parallel.prewarm(&keys, 3);
-    assert_eq!(serial.runs_executed(), keys.len());
-    assert_eq!(parallel.runs_executed(), keys.len());
+    assert_eq!(serial.runs_executed(), distinct_pairs);
+    assert_eq!(parallel.runs_executed(), distinct_pairs);
+    assert_eq!(serial.replays_derived(), keys.len());
+    assert_eq!(parallel.replays_derived(), keys.len());
     for key in keys {
         let a = serial.run_key(key);
         let b = parallel.run_key(key);
         assert_eq!(a.run.cycles, b.run.cycles, "{key:?}");
         assert_eq!(a.run.committed, b.run.committed, "{key:?}");
-        assert_eq!(a.run.log, b.run.log, "{key:?} logs must match sample-for-sample");
+        assert_eq!(
+            a.run.log, b.run.log,
+            "{key:?} logs must match sample-for-sample"
+        );
         assert_eq!(
             a.run.disk.energy_j.to_bits(),
             b.run.disk.energy_j.to_bits(),
             "{key:?} disk energy must be bit-identical"
+        );
+    }
+}
+
+/// `jobs == 1` must take the strictly serial path (no thread scope at
+/// all): every bundle is produced on the calling thread, the two-level
+/// memo still collapses same-pair keys onto one full simulation, and the
+/// results equal a full-simulation suite's bit for bit.
+#[test]
+fn serial_prewarm_shares_one_full_sim_across_policies() {
+    let keys = [
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Conventional,
+        },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::IdleOnly,
+        },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Standby2s,
+        },
+        RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Standby4s,
+        },
+    ];
+    let suite = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
+    suite.prewarm(&keys, 1);
+    assert_eq!(
+        suite.runs_executed(),
+        1,
+        "four policies of one pair cost one full sim"
+    );
+    assert_eq!(suite.replays_derived(), keys.len());
+
+    let full = ExperimentSuite::with_full_simulation(config(40_000.0, 7)).unwrap();
+    full.prewarm(&keys, 1);
+    assert_eq!(full.runs_executed(), keys.len());
+    assert_eq!(full.replays_derived(), 0);
+    for key in keys {
+        let replayed = suite.run_key(key);
+        let direct = full.run_key(key);
+        assert_eq!(replayed.run.cycles, direct.run.cycles, "{key:?}");
+        assert_eq!(replayed.run.log, direct.run.log, "{key:?}");
+        assert_eq!(
+            replayed.run.disk.energy_j.to_bits(),
+            direct.run.disk.energy_j.to_bits(),
+            "{key:?}"
         );
     }
 }
@@ -77,11 +168,21 @@ fn concurrent_requests_for_one_key_share_a_single_run() {
     };
     let bundles: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| suite.run_key(key))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
-    assert_eq!(suite.runs_executed(), 1, "racing threads must not duplicate the run");
+    assert_eq!(
+        suite.runs_executed(),
+        1,
+        "racing threads must not duplicate the run"
+    );
     for other in &bundles[1..] {
-        assert!(Arc::ptr_eq(&bundles[0], other), "all threads share one bundle");
+        assert!(
+            Arc::ptr_eq(&bundles[0], other),
+            "all threads share one bundle"
+        );
     }
 }
 

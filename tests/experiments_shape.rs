@@ -45,7 +45,10 @@ fn paper_shapes_hold() {
         );
     }
     let disk_pct = fig5.disk_pct();
-    assert!((25.0..=50.0).contains(&disk_pct), "fig5: disk share {disk_pct}%");
+    assert!(
+        (25.0..=50.0).contains(&disk_pct),
+        "fig5: disk share {disk_pct}%"
+    );
 
     // ---- Figure 7: the IDLE-capable disk shifts the hotspot to clock+L1I.
     let fig7 = suite.fig7_budget_lowpower();
@@ -56,8 +59,7 @@ fn paper_shapes_hold() {
         fig5.disk_pct()
     );
     assert!(
-        fig7.group_pct(UnitGroup::Clock) + fig7.group_pct(UnitGroup::L1I)
-            > 1.5 * fig7.disk_pct(),
+        fig7.group_pct(UnitGroup::Clock) + fig7.group_pct(UnitGroup::L1I) > 1.5 * fig7.disk_pct(),
         "fig7: clock + L1I must dominate after the shift"
     );
 
@@ -97,8 +99,7 @@ fn paper_shapes_hold() {
             row.cycles_pct[0]
         );
         assert!(
-            row.energy_pct[Mode::KernelInstr.index()]
-                < row.cycles_pct[Mode::KernelInstr.index()],
+            row.energy_pct[Mode::KernelInstr.index()] < row.cycles_pct[Mode::KernelInstr.index()],
             "t2 {}: kernel energy share must trail its cycle share",
             row.benchmark
         );
@@ -175,17 +176,22 @@ fn paper_shapes_hold() {
         "fig9 compress: 2s spin-downs must hurt performance"
     );
     assert!(
-        (t4s.disk_energy_j - idle_only.disk_energy_j).abs()
-            < 0.1 * idle_only.disk_energy_j,
+        (t4s.disk_energy_j - idle_only.disk_energy_j).abs() < 0.1 * idle_only.disk_energy_j,
         "fig9 compress: 4s must behave like the IDLE-only configuration"
     );
-    let mtrt = fig9.iter().find(|r| r.benchmark == Benchmark::Mtrt).unwrap();
+    let mtrt = fig9
+        .iter()
+        .find(|r| r.benchmark == Benchmark::Mtrt)
+        .unwrap();
     assert!(
         mtrt.cell(DiskSetup::Standby4s).disk_energy_j
             > mtrt.cell(DiskSetup::Standby2s).disk_energy_j,
         "fig9 mtrt: the paper's anomaly — 4s consumes MORE than 2s"
     );
-    let jess = fig9.iter().find(|r| r.benchmark == Benchmark::Jess).unwrap();
+    let jess = fig9
+        .iter()
+        .find(|r| r.benchmark == Benchmark::Jess)
+        .unwrap();
     assert_eq!(
         jess.cell(DiskSetup::Standby2s).spinups,
         0,

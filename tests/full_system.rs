@@ -45,7 +45,9 @@ fn all_four_modes_occur_and_partition_cycles() {
 #[test]
 fn power_pipeline_produces_plausible_watts() {
     let cfg = config(20_000.0);
-    let run = Simulator::new(cfg.clone()).unwrap().run_benchmark(Benchmark::Db);
+    let run = Simulator::new(cfg.clone())
+        .unwrap()
+        .run_benchmark(Benchmark::Db);
     let model = PowerModel::new(&cfg.power_params());
     let budget = system_budget(&model, &run);
     // A mid-90s system: single-digit-to-low-double-digit watts.
@@ -117,7 +119,9 @@ fn tlb_pressure_reaches_the_software_handler() {
 #[test]
 fn mipsy_and_mxs_see_the_same_workload() {
     // Same seed, different CPU: the user instruction budget must match.
-    let mxs = Simulator::new(config(40_000.0)).unwrap().run_benchmark(Benchmark::Db);
+    let mxs = Simulator::new(config(40_000.0))
+        .unwrap()
+        .run_benchmark(Benchmark::Db);
     let mipsy = Simulator::new(SystemConfig {
         cpu: CpuModel::Mipsy,
         ..config(40_000.0)
@@ -125,8 +129,7 @@ fn mipsy_and_mxs_see_the_same_workload() {
     .unwrap()
     .run_benchmark(Benchmark::Db);
     // Timing differs, but the committed work is the same program.
-    let rel = (mxs.user_instrs as f64 - mipsy.user_instrs as f64).abs()
-        / mxs.user_instrs as f64;
+    let rel = (mxs.user_instrs as f64 - mipsy.user_instrs as f64).abs() / mxs.user_instrs as f64;
     assert!(rel < 0.02, "user instruction streams diverge by {rel}");
     assert!(mipsy.cycles > mxs.cycles, "the superscalar must be faster");
 }

@@ -1,0 +1,142 @@
+//! Replay-equivalence tests: the log-once / replay-many engine must
+//! reproduce a direct simulation EXACTLY — same sampled log, same mode
+//! cycles, same counters, same disk report, same service profile, with no
+//! tolerance. `EXPERIMENTS.md` cites these tests as the evidence that
+//! F7/F9/F10 artifacts derived by replay equal fully-simulated ones.
+
+use proptest::prelude::*;
+
+use softwatt::experiments::ExperimentSuite;
+use softwatt::{
+    Benchmark, DiskConfig, DiskPolicy, IdleHandling, RunResult, Simulator, SystemConfig,
+};
+
+const POLICIES: [DiskPolicy; 4] = [
+    DiskPolicy::Conventional,
+    DiskPolicy::IdleWhenNotBusy,
+    DiskPolicy::Standby { threshold_s: 2.0 },
+    DiskPolicy::Standby { threshold_s: 4.0 },
+];
+
+fn analytic_config(scale: f64, seed: u64, policy: DiskPolicy) -> SystemConfig {
+    SystemConfig {
+        time_scale: scale,
+        seed,
+        idle: IdleHandling::Analytic,
+        disk: DiskConfig::new(policy),
+        ..SystemConfig::default()
+    }
+}
+
+/// Bit-for-bit equality of everything a run produces.
+fn assert_exact(direct: &RunResult, replayed: &RunResult, label: &str) {
+    assert_eq!(direct.cycles, replayed.cycles, "{label}: cycles");
+    assert_eq!(direct.committed, replayed.committed, "{label}: committed");
+    assert_eq!(
+        direct.user_instrs, replayed.user_instrs,
+        "{label}: user instrs"
+    );
+    assert_eq!(
+        direct.log, replayed.log,
+        "{label}: sampled log must match sample-for-sample"
+    );
+    assert_eq!(direct.disk, replayed.disk, "{label}: disk report");
+    assert_eq!(
+        direct.disk.energy_j.to_bits(),
+        replayed.disk.energy_j.to_bits(),
+        "{label}: disk energy must be bit-identical"
+    );
+    assert_eq!(
+        direct.services.aggregates(),
+        replayed.services.aggregates(),
+        "{label}: kernel-service profile"
+    );
+    assert_eq!(
+        direct.duration_s.to_bits(),
+        replayed.duration_s.to_bits(),
+        "{label}: duration"
+    );
+}
+
+/// Cross-policy equivalence over the full paper grid: a suite that derives
+/// every bundle by replay produces, for EVERY grid key, exactly the bundle
+/// a full-simulation suite produces — while executing at most one full
+/// simulation per distinct (benchmark, CPU) pair.
+#[test]
+fn every_grid_key_replays_to_the_directly_simulated_bundle() {
+    let config = SystemConfig {
+        time_scale: 40_000.0,
+        idle: IdleHandling::Analytic,
+        ..SystemConfig::default()
+    };
+    let replaying = ExperimentSuite::new(config.clone()).unwrap();
+    let full = ExperimentSuite::with_full_simulation(config).unwrap();
+    let grid = replaying.paper_grid();
+    replaying.run_all(4);
+    full.run_all(4);
+
+    assert_eq!(
+        full.runs_executed(),
+        grid.len(),
+        "full suite simulates every key"
+    );
+    assert_eq!(full.replays_derived(), 0);
+    assert_eq!(
+        replaying.runs_executed(),
+        13,
+        "replay suite needs one full sim per distinct (benchmark, cpu) pair"
+    );
+    assert_eq!(replaying.replays_derived(), grid.len());
+
+    for key in grid {
+        let a = full.run_key(key);
+        let b = replaying.run_key(key);
+        assert_eq!(a.run.benchmark, b.run.benchmark, "{key:?}");
+        assert_exact(&a.run, &b.run, &format!("{key:?}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same-policy replay: a trace replayed through the configuration that
+    /// captured it reproduces the capture run's results exactly, for
+    /// randomized seeds, time scales, policies, and benchmarks.
+    #[test]
+    fn same_policy_replay_reproduces_the_capture_run(
+        seed in 0u64..1_000,
+        scale_k in 3u64..10,
+        policy_idx in 0usize..POLICIES.len(),
+        bench_idx in 0usize..Benchmark::ALL.len(),
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let cfg = analytic_config(scale_k as f64 * 10_000.0, seed, POLICIES[policy_idx]);
+        let sim = Simulator::new(cfg).unwrap();
+        let (direct, trace) = sim.run_benchmark_traced(benchmark);
+        prop_assert!(trace.segments.len() == trace.requests.len() + 1);
+        let mut replayed = sim.replay_trace(&trace);
+        replayed.benchmark = Some(benchmark);
+        assert_exact(&direct, &replayed, &format!("{benchmark} seed={seed}"));
+    }
+
+    /// Cross-policy replay on randomized seeds: capture once under the
+    /// base policy, replay under a different one, and match the direct
+    /// simulation of that other policy bit for bit.
+    #[test]
+    fn cross_policy_replay_matches_direct_simulation(
+        seed in 0u64..1_000,
+        capture_idx in 0usize..POLICIES.len(),
+        replay_idx in 0usize..POLICIES.len(),
+        bench_idx in 0usize..Benchmark::ALL.len(),
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let capture_cfg = analytic_config(40_000.0, seed, POLICIES[capture_idx]);
+        let (_, trace) = Simulator::new(capture_cfg).unwrap().run_benchmark_traced(benchmark);
+        let replay_cfg = analytic_config(40_000.0, seed, POLICIES[replay_idx]);
+        let sim = Simulator::new(replay_cfg).unwrap();
+        let direct = sim.run_benchmark(benchmark);
+        let mut replayed = sim.replay_trace(&trace);
+        replayed.benchmark = Some(benchmark);
+        assert_exact(&direct, &replayed, &format!("{benchmark} {capture_idx}->{replay_idx}"));
+    }
+}

@@ -126,7 +126,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher { samples, mean: Duration::ZERO, iters: 0 };
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut b);
     let per_iter = b.mean.as_secs_f64();
     let rate = match throughput {
@@ -176,9 +180,7 @@ mod tests {
     #[test]
     fn bencher_reports_positive_mean() {
         let mut c = Criterion::default().sample_size(3);
-        c.bench_function("spin", |b| {
-            b.iter(|| (0..1000u64).sum::<u64>())
-        });
+        c.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         let mut group = c.benchmark_group("grp");
         group.sample_size(2);
         group.throughput(Throughput::Elements(1000));

@@ -261,7 +261,10 @@ mod tests {
             let b: u8 = r.gen_range(1..17);
             assert!((1..17).contains(&b));
         }
-        assert!(seen.iter().all(|&s| s), "inclusive range must cover all values");
+        assert!(
+            seen.iter().all(|&s| s),
+            "inclusive range must cover all values"
+        );
     }
 
     #[test]

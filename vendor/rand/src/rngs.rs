@@ -20,7 +20,12 @@ impl SmallRng {
         }
         if s == [0; 4] {
             // All-zero state would be a fixed point; displace it.
-            s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                1,
+            ];
         }
         SmallRng { s }
     }
