@@ -4,23 +4,31 @@
 //! fully simulated) for the replay speedup headline. Writes the results as
 //! machine-readable JSON (`BENCH_simulator.json`).
 //!
-//! Usage: `bench_simulator [--scale S] [--jobs N] [--out FILE]`
+//! Usage: `bench_simulator [--scale S] [--jobs N] [--out FILE]
+//! [--metrics] [--metrics-out FILE] [--log-level LEVEL]`
 //! (defaults: scale 2000 — the experiment harness's fidelity setting —
 //! `--jobs` = available parallelism, out `BENCH_simulator.json`).
+//! Note that enabling metrics perturbs the very wall-clocks this tool
+//! measures; leave them off for regression comparisons.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use softwatt::experiments::ExperimentSuite;
 use softwatt::{Benchmark, CpuModel, Simulator, SystemConfig};
+use softwatt_bench::ObsFlags;
 
 fn main() {
     let mut scale = 2000.0f64;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("BENCH_simulator.json");
+    let mut obs = ObsFlags::default();
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: bench_simulator [--scale S] [--jobs N] [--out FILE]");
+        eprintln!(
+            "usage: bench_simulator [--scale S] [--jobs N] [--out FILE] {}",
+            ObsFlags::USAGE
+        );
         std::process::exit(2);
     }
     let mut args = std::env::args().skip(1);
@@ -39,9 +47,14 @@ fn main() {
                 _ => usage_exit("--jobs needs a positive thread count"),
             },
             "--out" => out = value("--out"),
-            other => usage_exit(&format!("unknown flag {other}")),
+            other => match obs.try_parse(other, || Some(value(other))) {
+                Ok(true) => {}
+                Ok(false) => usage_exit(&format!("unknown flag {other}")),
+                Err(e) => usage_exit(&e),
+            },
         }
     }
+    obs.activate();
 
     let config = SystemConfig {
         time_scale: scale,
@@ -122,4 +135,9 @@ fn main() {
     std::fs::write(&out, &json).expect("write benchmark JSON");
     eprintln!("wrote {out}");
     print!("{json}");
+
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

@@ -2,18 +2,23 @@
 //! measured values next to the paper's (see `EXPERIMENTS.md`).
 //!
 //! Usage: `cargo run --release -p softwatt-bench --bin experiments
-//! [time_scale] [--jobs N]` — the optional time-scale factor (default
+//! [time_scale] [--jobs N] [--metrics] [--metrics-out FILE]
+//! [--log-level LEVEL]` — the optional time-scale factor (default
 //! 2000) trades fidelity for speed; `--jobs N` prewarms the whole run
 //! grid on N worker threads before the (serial, deterministic) printing
-//! pass, so stdout is byte-identical whatever N is.
+//! pass, so stdout is byte-identical whatever N is. The observability
+//! flags go to stderr/file only, never stdout.
 
 use softwatt::experiments::{DiskSetup, ExperimentSuite};
 use softwatt::report::paper;
 use softwatt::{Mode, SystemConfig, UnitGroup};
+use softwatt_bench::ObsFlags;
+use softwatt_obs::obs_event;
 
 fn main() {
     let mut time_scale = 2000.0f64;
     let mut jobs = 1usize;
+    let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,16 +29,27 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            other => match other.parse() {
-                Ok(v) => time_scale = v,
-                Err(_) => {
-                    eprintln!("unknown argument: {other}");
-                    eprintln!("usage: experiments [time_scale] [--jobs N]");
+            other => match obs.try_parse(other, || args.next()) {
+                Ok(true) => {}
+                Ok(false) => match other.parse() {
+                    Ok(v) => time_scale = v,
+                    Err(_) => {
+                        eprintln!("unknown argument: {other}");
+                        eprintln!(
+                            "usage: experiments [time_scale] [--jobs N] {}",
+                            ObsFlags::USAGE
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 }
             },
         }
     }
+    obs.activate();
     let config = SystemConfig {
         time_scale,
         ..SystemConfig::default()
@@ -42,9 +58,19 @@ fn main() {
     let suite = ExperimentSuite::new(config).expect("valid config");
     if jobs > 1 {
         // Fill the memo in parallel; every table below is then a lookup.
+        let phase = softwatt_obs::span("phase.prewarm_ns");
         suite.run_all(jobs);
+        if let Some(ns) = phase.finish() {
+            obs_event!(
+                softwatt_obs::Level::Info,
+                "experiments",
+                "prewarm on {jobs} threads took {:.1} ms",
+                ns as f64 / 1e6
+            );
+        }
     }
 
+    let phase = softwatt_obs::span("phase.figures_ns");
     heading("V1  §2 validation: maximum CPU power");
     println!("{}\n", suite.validation());
 
@@ -151,6 +177,8 @@ fn main() {
     println!("  compress/javac/mtrt/jack; 4s behaves like config 2 for compress/javac;");
     println!("  mtrt consumes MORE energy at 4s than at 2s; jess/db unaffected.\n");
 
+    phase.finish();
+    let phase = softwatt_obs::span("phase.tables_ns");
     heading("T2  Table 2: % cycles vs % energy per mode");
     for row in suite.table2_mode_breakdown() {
         println!("  {row}");
@@ -200,7 +228,15 @@ fn main() {
     println!("  far less than externally-invoked I/O calls (read/write/open).");
     println!();
 
+    phase.finish();
+    let phase = softwatt_obs::span("phase.extensions_ns");
     print_extensions(&suite);
+    phase.finish();
+
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }
 
 fn print_extensions(suite: &ExperimentSuite) {

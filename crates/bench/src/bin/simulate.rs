@@ -20,11 +20,12 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use softwatt::budget::system_budget;
+use softwatt::budget::{system_budget, SystemBudget};
 use softwatt::{
     Benchmark, CpuModel, DiskConfig, DiskPolicy, Mode, PowerModel, RunResult, SimLog, Simulator,
     SystemConfig,
 };
+use softwatt_bench::ObsFlags;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,11 +47,13 @@ const USAGE: &str = "usage:
   simulate run <benchmark>[,<benchmark>...] [--cpu mxs|mxs1|mipsy]
                 [--disk conv|idle|standby2|standby4|sleep] [--scale N] [--seed N]
                 [--jobs N] [--log FILE] [--record FILE] [--replay FILE]
-  simulate post <logfile>
+                [--metrics] [--metrics-out FILE] [--log-level LEVEL]
+  simulate post <logfile> [--metrics] [--metrics-out FILE] [--log-level LEVEL]
 
 benchmarks: compress jess db javac mtrt jack (or 'all');
 --jobs N simulates a multi-benchmark list on N threads (results print
-in list order either way)";
+in list order either way); --metrics/--metrics-out/--log-level report
+observability data on stderr / to a JSON file";
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = args
@@ -60,13 +63,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Benchmark::ALL.to_vec()
     } else {
         spec.split(',')
+            .filter(|name| !name.is_empty())
             .map(|name| {
                 Benchmark::from_name(name)
                     .ok_or_else(|| format!("unknown benchmark {name}\n{USAGE}"))
             })
             .collect::<Result<_, _>>()?
     };
-    let benchmark = benchmarks[0];
+    // Validate here, at the CLI boundary: downstream aggregation
+    // (`SystemBudget::mean_of`) treats an empty selection as a caller
+    // error, so it must never get one.
+    let Some(&benchmark) = benchmarks.first() else {
+        return Err(format!("empty benchmark selection {spec:?}\n{USAGE}"));
+    };
 
     let mut config = SystemConfig {
         time_scale: 4000.0,
@@ -76,6 +85,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut jobs = 1usize;
+    let mut obs = ObsFlags::default();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -128,15 +138,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--log" => log_path = Some(value()?),
             "--record" => record_path = Some(value()?),
             "--replay" => replay_path = Some(value()?),
-            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            other => {
+                if !obs.try_parse(other, || value().ok())? {
+                    return Err(format!("unknown flag {other}\n{USAGE}"));
+                }
+            }
         }
     }
+    obs.activate();
 
     if benchmarks.len() > 1 {
         if record_path.is_some() || replay_path.is_some() || log_path.is_some() {
             return Err("--log/--record/--replay need a single benchmark".into());
         }
-        return run_many(&benchmarks, &config, jobs);
+        run_many(&benchmarks, &config, jobs)?;
+        return obs.finish();
     }
 
     let sim = Simulator::new(config.clone())?;
@@ -189,7 +205,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             run.log.samples().len()
         );
     }
-    Ok(())
+    obs.finish()
 }
 
 fn print_run(benchmark: Benchmark, config: &SystemConfig, run: &RunResult) {
@@ -242,19 +258,38 @@ fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Res
             });
         }
     });
+    let model = PowerModel::new(&config.power_params());
+    let mut budgets = Vec::with_capacity(benchmarks.len());
     for (&bench, slot) in benchmarks.iter().zip(&results) {
         let run = slot
             .lock()
             .expect("result slot")
             .take()
             .expect("completed run");
+        budgets.push(system_budget(&model, &run));
         print_run(bench, config, &run);
+    }
+    if let Some(mean) = SystemBudget::mean_of(&budgets) {
+        println!(
+            "mean over {} benchmarks: {:.3} W total, disk {:.1}%",
+            budgets.len(),
+            mean.total_w(),
+            mean.disk_pct()
+        );
     }
     Ok(())
 }
 
 fn cmd_post(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(|| USAGE.to_string())?;
+    let mut obs = ObsFlags::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        if !obs.try_parse(flag, || it.next().cloned())? {
+            return Err(format!("unknown flag {flag}\n{USAGE}"));
+        }
+    }
+    obs.activate();
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let log =
         SimLog::from_csv(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -289,5 +324,5 @@ fn cmd_post(args: &[String]) -> Result<(), String> {
         "energy-delay product: {:.3e} J.s",
         table.energy_delay_product()
     );
-    Ok(())
+    obs.finish()
 }

@@ -12,3 +12,105 @@
 //!
 //! Run `cargo run --release -p softwatt-bench --bin experiments` for the
 //! full paper regeneration, or `cargo bench` for the timed harness.
+//!
+//! The one piece of shared library code is [`ObsFlags`]: the observability
+//! command-line surface (`--metrics`, `--metrics-out FILE`,
+//! `--log-level LEVEL`) every binary exposes uniformly.
+
+use std::io::Write as _;
+
+/// The observability flags shared by `experiments`, `simulate`, and
+/// `bench_simulator`.
+///
+/// Parse with [`ObsFlags::try_parse`] inside the binary's flag loop, call
+/// [`ObsFlags::activate`] once parsing is done (this is what flips the
+/// global `softwatt-obs` switch — metrics stay disabled, and therefore
+/// ~free, unless one of the flags asked for them), and call
+/// [`ObsFlags::finish`] after the work to emit the requested outputs.
+#[derive(Debug, Default)]
+pub struct ObsFlags {
+    /// `--metrics`: print the human summary table to stderr at exit.
+    pub metrics: bool,
+    /// `--metrics-out FILE`: write the `softwatt-obs-v1` JSON document.
+    pub metrics_out: Option<String>,
+    /// `--log-level LEVEL`: stderr event-log threshold.
+    pub log_level: Option<softwatt_obs::Level>,
+}
+
+impl ObsFlags {
+    /// Usage text fragment describing the shared flags.
+    pub const USAGE: &'static str =
+        "[--metrics] [--metrics-out FILE] [--log-level off|error|warn|info|debug|trace]";
+
+    /// Tries to consume `flag` as an observability flag, pulling a value
+    /// from `next` when the flag takes one. Returns `Ok(false)` when the
+    /// flag is not an observability flag (the caller handles it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value is missing or unparsable.
+    pub fn try_parse(
+        &mut self,
+        flag: &str,
+        mut next: impl FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--metrics" => {
+                self.metrics = true;
+                Ok(true)
+            }
+            "--metrics-out" => {
+                self.metrics_out = Some(next().ok_or("--metrics-out needs a file path")?);
+                Ok(true)
+            }
+            "--log-level" => {
+                let value = next().ok_or("--log-level needs a level")?;
+                self.log_level = softwatt_obs::Level::parse(&value).ok_or_else(|| {
+                    format!("unknown log level {value} (off|error|warn|info|debug|trace)")
+                })?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Applies the parsed flags to the global observability state. The
+    /// registry is enabled by any observability flag — `--log-level` too,
+    /// since timing-derived events read their spans — but stays off (and
+    /// ~free) when none are given.
+    pub fn activate(&self) {
+        softwatt_obs::set_log_level(self.log_level);
+        if self.wants_metrics() || self.log_level.is_some() {
+            softwatt_obs::set_enabled(true);
+            softwatt_obs::reset_metrics();
+        }
+    }
+
+    /// Whether any flag requested metric collection.
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics || self.metrics_out.is_some()
+    }
+
+    /// Emits the requested outputs: the human table to stderr and/or the
+    /// JSON document to `--metrics-out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the output file cannot be written.
+    pub fn finish(&self) -> Result<(), String> {
+        if !self.wants_metrics() {
+            return Ok(());
+        }
+        if self.metrics {
+            eprint!("{}", softwatt_obs::summary_table());
+        }
+        if let Some(path) = &self.metrics_out {
+            let json = softwatt_obs::to_json();
+            std::fs::File::create(path)
+                .and_then(|mut f| f.write_all(json.as_bytes()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        Ok(())
+    }
+}

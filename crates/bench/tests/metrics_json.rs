@@ -1,0 +1,75 @@
+//! End-to-end checks of the observability CLI surface on the `simulate`
+//! binary: `--metrics-out` writes a parseable `softwatt-obs-v1` document
+//! with the expected top-level keys, and the CLI boundary rejects the
+//! inputs the library now refuses to guess about (empty benchmark
+//! selections, bad log levels).
+
+use std::process::Command;
+
+fn simulate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simulate"))
+}
+
+#[test]
+fn metrics_out_writes_schema_v1_json() {
+    let out = std::env::temp_dir().join(format!("softwatt-metrics-{}.json", std::process::id()));
+    let status = simulate()
+        .args(["run", "jess", "--scale", "200000", "--metrics"])
+        .args(["--metrics-out", out.to_str().unwrap()])
+        .output()
+        .expect("run simulate");
+    assert!(
+        status.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    let json = std::fs::read_to_string(&out).expect("metrics file written");
+    std::fs::remove_file(&out).ok();
+    for key in [
+        "\"schema\": \"softwatt-obs-v1\"",
+        "\"enabled\": true",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // A real run landed real metrics: one full simulation, disk activity.
+    assert!(json.contains("\"sim.full_runs\": 1"), "{json}");
+    assert!(json.contains("\"disk.requests\""), "{json}");
+    assert!(json.contains("\"stats.samples_emitted\""), "{json}");
+
+    // --metrics printed the human table to stderr, not stdout.
+    let stderr = String::from_utf8_lossy(&status.stderr);
+    assert!(stderr.contains("sim.full_runs"), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(!stdout.contains("sim.full_runs"), "stdout: {stdout}");
+}
+
+#[test]
+fn empty_benchmark_selection_is_rejected_at_the_cli() {
+    for spec in [",", ",,"] {
+        let out = simulate()
+            .args(["run", spec])
+            .output()
+            .expect("run simulate");
+        assert!(!out.status.success(), "{spec:?} should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("empty benchmark selection"),
+            "{spec:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_log_level_is_rejected() {
+    let out = simulate()
+        .args(["run", "jess", "--log-level", "loud"])
+        .output()
+        .expect("run simulate");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown log level"), "{stderr}");
+}

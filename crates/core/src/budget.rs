@@ -23,19 +23,34 @@ impl SystemBudget {
     }
 
     /// The disk's share of the budget, in percent (the paper's headline:
-    /// 34% conventional, 23% with the IDLE-capable disk).
+    /// 34% conventional, 23% with the IDLE-capable disk). A zero-power
+    /// budget (empty trace, degenerate config) has no shares: every
+    /// percentage is 0, never NaN.
     pub fn disk_pct(&self) -> f64 {
-        100.0 * self.disk_w / self.total_w()
+        Self::share_pct(self.disk_w, self.total_w())
     }
 
-    /// One group's share of the budget, in percent.
+    /// One group's share of the budget, in percent (0 when the budget
+    /// itself is zero).
     pub fn group_pct(&self, group: UnitGroup) -> f64 {
-        100.0 * self.groups.get(group) / self.total_w()
+        Self::share_pct(self.groups.get(group), self.total_w())
+    }
+
+    fn share_pct(part: f64, total: f64) -> f64 {
+        if total > 0.0 {
+            100.0 * part / total
+        } else {
+            0.0
+        }
     }
 
     /// Averages several budgets (the paper averages over all benchmarks).
-    pub fn mean_of(budgets: &[SystemBudget]) -> SystemBudget {
-        assert!(!budgets.is_empty(), "need at least one budget");
+    /// Returns `None` for an empty slice — an empty benchmark selection is
+    /// a caller error to surface, not a panic.
+    pub fn mean_of(budgets: &[SystemBudget]) -> Option<SystemBudget> {
+        if budgets.is_empty() {
+            return None;
+        }
         let n = budgets.len() as f64;
         let mut groups = GroupPower::new();
         let mut disk_w = 0.0;
@@ -43,10 +58,10 @@ impl SystemBudget {
             groups.merge(&b.groups);
             disk_w += b.disk_w;
         }
-        SystemBudget {
+        Some(SystemBudget {
             groups: groups.scaled(1.0 / n),
             disk_w: disk_w / n,
-        }
+        })
     }
 }
 
@@ -109,14 +124,26 @@ mod tests {
 
     #[test]
     fn mean_averages_componentwise() {
-        let m = SystemBudget::mean_of(&[budget(2.0, 4.0), budget(4.0, 2.0)]);
+        let m = SystemBudget::mean_of(&[budget(2.0, 4.0), budget(4.0, 2.0)]).unwrap();
         assert!((m.groups.get(UnitGroup::L1I) - 3.0).abs() < 1e-12);
         assert!((m.disk_w - 3.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "need at least one budget")]
-    fn mean_of_empty_panics() {
-        let _ = SystemBudget::mean_of(&[]);
+    fn mean_of_empty_is_none() {
+        assert!(SystemBudget::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn zero_power_budget_has_zero_percentages_not_nan() {
+        let b = budget(0.0, 0.0);
+        assert_eq!(b.total_w(), 0.0);
+        assert_eq!(b.disk_pct(), 0.0);
+        for g in UnitGroup::ALL {
+            assert_eq!(b.group_pct(g), 0.0, "{}", g.label());
+        }
+        // The Display impl must render without NaN poisoning the report.
+        let rendered = format!("{b}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
     }
 }

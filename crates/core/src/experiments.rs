@@ -121,17 +121,47 @@ impl<T> Default for InFlight<T> {
     }
 }
 
+/// Counter names one memo map reports under (cache outcome telemetry for
+/// the `softwatt-obs` registry).
+struct MemoMetrics {
+    hit: &'static str,
+    miss: &'static str,
+    wait: &'static str,
+}
+
+/// The (benchmark, CPU, policy) → bundle memo.
+const BUNDLE_MEMO: MemoMetrics = MemoMetrics {
+    hit: "suite.bundle.cache_hits",
+    miss: "suite.bundle.cache_misses",
+    wait: "suite.bundle.inflight_waits",
+};
+
+/// The (benchmark, CPU) → captured-trace memo.
+const TRACE_MEMO: MemoMetrics = MemoMetrics {
+    hit: "suite.trace.cache_hits",
+    miss: "suite.trace.cache_misses",
+    wait: "suite.trace.inflight_waits",
+};
+
 /// Claims `key` in `map` and computes it with `build`, or waits for (and
 /// shares) the result another thread is already computing. `build` runs
 /// outside the map lock, so distinct keys proceed in parallel.
-fn memoize<K, T>(map: &Mutex<HashMap<K, Slot<T>>>, key: K, build: impl FnOnce() -> T) -> Arc<T>
+fn memoize<K, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: K,
+    metrics: &MemoMetrics,
+    build: impl FnOnce() -> T,
+) -> Arc<T>
 where
     K: Eq + Hash + Copy,
 {
     let ticket = {
         let mut slots = map.lock().expect("memo lock");
         match slots.get(&key) {
-            Some(Slot::Ready(value)) => return Arc::clone(value),
+            Some(Slot::Ready(value)) => {
+                softwatt_obs::count(metrics.hit, 1);
+                return Arc::clone(value);
+            }
             Some(Slot::Pending(inflight)) => Some(Arc::clone(inflight)),
             None => {
                 slots.insert(key, Slot::Pending(Arc::new(InFlight::default())));
@@ -142,12 +172,15 @@ where
 
     if let Some(inflight) = ticket {
         // Another thread is computing this key; wait for its result.
+        softwatt_obs::count(metrics.wait, 1);
+        let _wait_span = softwatt_obs::span("suite.inflight_wait_ns");
         let mut done = inflight.done.lock().expect("inflight lock");
         while done.is_none() {
             done = inflight.cv.wait(done).expect("inflight wait");
         }
         return Arc::clone(done.as_ref().expect("completed value"));
     }
+    softwatt_obs::count(metrics.miss, 1);
 
     let value = Arc::new(build());
     let mut slots = map.lock().expect("memo lock");
@@ -257,13 +290,13 @@ impl ExperimentSuite {
 
     /// [`ExperimentSuite::run`] addressed by key.
     pub fn run_key(&self, key: RunKey) -> Arc<RunBundle> {
-        memoize(&self.runs, key, || self.execute(key))
+        memoize(&self.runs, key, &BUNDLE_MEMO, || self.execute(key))
     }
 
     /// The captured trace for one (benchmark, CPU) pair, simulating it if
     /// this is the first request.
     fn trace_for(&self, benchmark: Benchmark, cpu: CpuModel) -> Arc<PerfTrace> {
-        memoize(&self.traces, (benchmark, cpu), || {
+        memoize(&self.traces, (benchmark, cpu), &TRACE_MEMO, || {
             let mut config = self.config.clone();
             config.cpu = cpu;
             config.idle = IdleHandling::Analytic;
@@ -271,7 +304,17 @@ impl ExperimentSuite {
             // it produces is disk-policy-independent.
             let sim = Simulator::new(config).expect("validated config");
             self.executed.fetch_add(1, Ordering::AcqRel);
-            sim.run_benchmark_traced(benchmark).1
+            let span = softwatt_obs::span("suite.trace_capture_ns");
+            let trace = sim.run_benchmark_traced(benchmark).1;
+            if let Some(ns) = span.finish() {
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Debug,
+                    "suite",
+                    "captured trace for {benchmark} on {cpu:?} in {:.1}ms",
+                    ns as f64 / 1e6
+                );
+            }
+            trace
         })
     }
 
@@ -289,11 +332,15 @@ impl ExperimentSuite {
         let run = if self.replay_enabled {
             let trace = self.trace_for(key.benchmark, key.cpu);
             self.replays.fetch_add(1, Ordering::AcqRel);
+            softwatt_obs::count("suite.replays", 1);
+            let _span = softwatt_obs::span("suite.replay_ns");
             let mut run = sim.replay_trace(&trace);
             run.benchmark = Some(key.benchmark);
             run
         } else {
             self.executed.fetch_add(1, Ordering::AcqRel);
+            softwatt_obs::count("suite.full_sims", 1);
+            let _span = softwatt_obs::span("suite.full_sim_ns");
             sim.run_benchmark(key.benchmark)
         };
         RunBundle {
@@ -438,7 +485,7 @@ impl ExperimentSuite {
                 system_budget(&bundle.model, &bundle.run)
             })
             .collect();
-        SystemBudget::mean_of(&budgets)
+        SystemBudget::mean_of(&budgets).expect("Benchmark::ALL is non-empty")
     }
 
     // ----- F6: average power per mode -------------------------------------

@@ -133,6 +133,15 @@ impl Simulator {
             capture,
         );
         result.benchmark = Some(benchmark);
+        softwatt_obs::obs_event!(
+            softwatt_obs::Level::Debug,
+            "sim",
+            "{benchmark} on {:?} finished: {} cycles, {} disk requests{}",
+            self.config.cpu,
+            result.cycles,
+            result.disk.requests,
+            if capture { " (trace captured)" } else { "" }
+        );
         (result, trace)
     }
 
@@ -156,6 +165,19 @@ impl Simulator {
         os_config: OsConfig,
         capture: bool,
     ) -> (RunResult, Option<PerfTrace>) {
+        softwatt_obs::count(
+            if capture {
+                "sim.capture_runs"
+            } else {
+                "sim.full_runs"
+            },
+            1,
+        );
+        let _span = softwatt_obs::span(if capture {
+            "sim.capture_ns"
+        } else {
+            "sim.full_sim_ns"
+        });
         let clocking = self.config.clocking();
         let model = PowerModel::new(&self.config.power_params());
         let mut stats = StatsCollector::with_weights(
@@ -306,6 +328,8 @@ impl Simulator {
     /// Only the disk configuration may differ from the capture run; the
     /// CPU, memory, clocking, and workload are baked into the trace.
     pub fn replay_trace(&self, trace: &PerfTrace) -> RunResult {
+        softwatt_obs::count("sim.replay_runs", 1);
+        let _span = softwatt_obs::span("sim.replay_ns");
         trace.validate().expect("valid trace");
         let clocking = self.config.clocking();
         let model = PowerModel::new(&self.config.power_params());
@@ -351,6 +375,7 @@ impl Simulator {
     /// Measures the idle loop's per-cycle event rates with a short
     /// standalone simulation (warm caches, steady state).
     fn measure_idle_rates(&self) -> IdleRates {
+        let _span = softwatt_obs::span("sim.idle_rate_measure_ns");
         let mut cpu = self.make_cpu();
         let mut mem = MemHierarchy::new(self.config.mem);
         let mut stats = StatsCollector::new(self.config.clocking(), 1_000_000);

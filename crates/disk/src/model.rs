@@ -204,6 +204,7 @@ impl Disk {
                 self.segments.pop_front();
                 if mode == DiskMode::SpinDown {
                     self.spindowns += 1;
+                    softwatt_obs::count("disk.spindowns", 1);
                 }
             } else {
                 self.accrue(mode, now);
@@ -218,6 +219,9 @@ impl Disk {
 
     fn accrue(&mut self, mode: DiskMode, until: u64) {
         debug_assert!(until >= self.now);
+        if mode != self.mode {
+            softwatt_obs::count("disk.transitions", 1);
+        }
         let secs = self.clocking.cycles_to_paper_secs(until - self.now);
         self.energy_j += self.config.power.watts(mode) * secs;
         self.mode_secs[mode.index()] += secs;
@@ -258,6 +262,7 @@ impl Disk {
     pub fn submit_at(&mut self, now: u64, byte_offset: u64, bytes: u64) -> u64 {
         self.sync_to(now);
         self.requests += 1;
+        softwatt_obs::count("disk.requests", 1);
 
         // Decide when service can start and prune the stale plan tail.
         let start = if now < self.busy_until {
@@ -334,6 +339,7 @@ impl Disk {
         let end = at + self.secs_to_cycles(self.config.timings.spin_up_s);
         self.segments.push_back((end, DiskMode::SpinUp));
         self.spinups += 1;
+        softwatt_obs::count("disk.spinups", 1);
         end
     }
 

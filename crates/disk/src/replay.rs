@@ -41,6 +41,7 @@ pub fn replay_requests(
     requests: &[TraceRequest],
     work_cycles: u64,
 ) -> ReplayTimeline {
+    softwatt_obs::count("disk.replays", 1);
     let mut disk = Disk::new(config, clocking);
     let mut gaps = Vec::with_capacity(requests.len());
     let mut cumulative_gap = 0u64;

@@ -1,0 +1,145 @@
+//! The structured event log: leveled, monotonic-clock timestamped lines on
+//! stderr, plus per-level counters in the metric registry.
+//!
+//! Events carry a global sequence number, so with a single worker
+//! (`--jobs 1`) the emitted stream is deterministic up to timestamps; the
+//! timestamps themselves come from a process-wide monotonic clock and are
+//! for humans, never for control flow.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failed operation the run cannot recover from.
+    Error = 1,
+    /// A suspicious condition the run survives.
+    Warn = 2,
+    /// Run-level milestones (phase starts, cache outcomes).
+    Info = 3,
+    /// Per-key details (individual simulations, replays).
+    Debug = 4,
+    /// Everything, including per-window noise.
+    Trace = 5,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Parses a CLI spelling (`error|warn|info|debug|trace`, or `off` as
+    /// `None`).
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s {
+            "off" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    /// Fixed-width display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn counter_name(self) -> &'static str {
+        match self {
+            Level::Error => "log.events.error",
+            Level::Warn => "log.events.warn",
+            Level::Info => "log.events.info",
+            Level::Debug => "log.events.debug",
+            Level::Trace => "log.events.trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label().trim_end())
+    }
+}
+
+// 0 encodes "logging off"; otherwise the numeric value of the threshold.
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(0);
+static SEQUENCE: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Sets the stderr log threshold; `None` silences the event log.
+pub fn set_log_level(level: Option<Level>) {
+    // Pin the monotonic epoch no later than the moment logging turns on.
+    epoch();
+    LOG_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// The current stderr log threshold.
+pub fn log_level() -> Option<Level> {
+    match LOG_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Whether an event at `level` would currently be emitted. Callers should
+/// check this before building an expensive message (the [`crate::obs_event!`]
+/// macro does).
+#[inline]
+pub fn event_enabled(level: Level) -> bool {
+    let threshold = LOG_LEVEL.load(Ordering::Relaxed);
+    threshold != 0 && level as u8 <= threshold
+}
+
+/// Emits one structured event line to stderr (when `level` passes the
+/// threshold) and counts it in the registry (when metrics are enabled).
+pub fn event(level: Level, target: &str, message: &str) {
+    if crate::enabled() {
+        crate::registry::counter(level.counter_name()).add(1);
+    }
+    if !event_enabled(level) {
+        return;
+    }
+    let seq = SEQUENCE.fetch_add(1, Ordering::Relaxed);
+    let t = epoch().elapsed();
+    eprintln!(
+        "[{seq:>6} {:>10.3}ms] {} {target}: {message}",
+        t.as_secs_f64() * 1e3,
+        level.label()
+    );
+}
+
+/// Formats and emits an event, building the message only if either the
+/// stderr threshold or the metric registry would observe it.
+#[macro_export]
+macro_rules! obs_event {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::event_enabled($level) || $crate::enabled() {
+            $crate::event($level, $target, &format!($($arg)*));
+        }
+    };
+}

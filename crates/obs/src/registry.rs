@@ -1,0 +1,261 @@
+//! The global metric registry: counters, gauges, and histograms, addressed
+//! by `&'static str` names.
+//!
+//! Registration takes a lock on a sorted map; recording is a handful of
+//! atomic operations on the metric itself. Every recording entry point
+//! checks [`crate::enabled`] first, so with observability disabled (the
+//! default) the cost of an instrumentation point is one relaxed atomic
+//! load and a predictable branch — cheap enough to leave in hot paths
+//! permanently.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point level (stored as bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Number of fixed log-2 buckets: bucket `i` counts values `v` with
+/// `floor(log2(v)) == i` (value 0 lands in bucket 0), so the top bucket
+/// covers the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A histogram over `u64` observations (typically nanoseconds) with fixed
+/// log-2 buckets plus running count, sum, min, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (63 - value.max(1).leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest observation, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, in index order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One registry per metric kind; `BTreeMap` keeps export order (and thus
+/// the JSON schema snapshot) deterministic.
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+    });
+    &REGISTRY
+}
+
+fn intern<T: Default>(
+    map: &mut BTreeMap<&'static str, &'static T>,
+    name: &'static str,
+) -> &'static T {
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The counter registered under `name`, creating it on first use.
+pub fn counter(name: &'static str) -> &'static Counter {
+    intern(&mut registry().lock().expect("obs registry").counters, name)
+}
+
+/// The gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    intern(&mut registry().lock().expect("obs registry").gauges, name)
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    intern(
+        &mut registry().lock().expect("obs registry").histograms,
+        name,
+    )
+}
+
+/// Zeroes every registered metric (registrations are kept, so metric
+/// identity and export order survive a reset). Used by the bins between
+/// measurement phases and by tests.
+pub fn reset_metrics() {
+    let reg = registry().lock().expect("obs registry");
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for g in reg.gauges.values() {
+        g.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+/// Calls `f` with every registered metric, in name order per kind.
+pub(crate) fn visit<F>(mut f: F)
+where
+    F: FnMut(Snapshot<'_>),
+{
+    let reg = registry().lock().expect("obs registry");
+    for (&name, c) in &reg.counters {
+        f(Snapshot::Counter(name, c));
+    }
+    for (&name, g) in &reg.gauges {
+        f(Snapshot::Gauge(name, g));
+    }
+    for (&name, h) in &reg.histograms {
+        f(Snapshot::Histogram(name, h));
+    }
+}
+
+/// A visited metric during export.
+pub(crate) enum Snapshot<'a> {
+    Counter(&'static str, &'a Counter),
+    Gauge(&'static str, &'a Gauge),
+    Histogram(&'static str, &'a Histogram),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        h.observe(0); // bucket 0 (clamped)
+        h.observe(1); // bucket 0
+        h.observe(2); // bucket 1
+        h.observe(3); // bucket 1
+        h.observe(1024); // bucket 10
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! RAII timing spans: measure a scope's wall-clock and record it into a
+//! log-2 histogram of nanoseconds.
+
+use std::time::Instant;
+
+/// A timing span. Created by [`crate::span`]; on drop it records the
+/// elapsed wall-clock nanoseconds into the histogram named at creation.
+/// When observability is disabled at creation time the span holds no
+/// clock and drop is free.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    inner: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    pub(crate) fn start(name: &'static str) -> Span {
+        Span {
+            inner: crate::enabled().then(|| (name, Instant::now())),
+        }
+    }
+
+    pub(crate) fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Ends the span early, returning the elapsed nanoseconds it recorded
+    /// (`None` when observability was disabled at creation).
+    pub fn finish(mut self) -> Option<u64> {
+        self.record()
+    }
+
+    fn record(&mut self) -> Option<u64> {
+        let (name, start) = self.inner.take()?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::registry::histogram(name).observe(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}

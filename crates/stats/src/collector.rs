@@ -46,6 +46,11 @@ pub struct StatsCollector {
     // [`StatsCollector::skip_idle_gap`]); `cycle - idle_skipped` is the
     // policy-independent work clock.
     idle_skipped: u64,
+    // Fractional idle events left over from previous skipped gaps, per
+    // event. Carrying the residual across gaps keeps the synthesized
+    // totals within one event of `rate * total_gap` no matter how the
+    // idle time is split into gaps.
+    idle_residual: [f64; crate::UnitEvent::COUNT],
     log: SimLog,
     profiler: ServiceProfiler,
 }
@@ -84,6 +89,7 @@ impl StatsCollector {
             window_start_cycle: 0,
             sample_interval,
             idle_skipped: 0,
+            idle_residual: [0.0; crate::UnitEvent::COUNT],
             log: SimLog::new(clocking, sample_interval),
             profiler: ServiceProfiler::new(weights),
         }
@@ -175,6 +181,7 @@ impl StatsCollector {
     /// could not be split when a different policy puts a gap there.
     pub fn flush_window(&mut self) {
         if self.cycle > self.window_start_cycle {
+            softwatt_obs::count("stats.window_flushes", 1);
             self.emit_sample();
         }
     }
@@ -189,6 +196,13 @@ impl StatsCollector {
     /// [`Mode::Idle`] inside an `idle_service` frame, and idle-loop events
     /// are synthesized from the measured per-cycle `rates`. A zero-length
     /// gap only flushes the window (the boundary is still policy-relevant).
+    ///
+    /// The fractional part of `rate * gap` is carried to the next gap
+    /// instead of being truncated, so however the run's idle time is cut
+    /// into gaps, the synthesized event totals stay within one event of
+    /// `rate * total_gap` — deterministically, since the residual depends
+    /// only on the sequence of `(gap, rates)` calls (which is identical
+    /// between a direct simulation and a trace replay of the same policy).
     pub fn skip_idle_gap(
         &mut self,
         gap: u64,
@@ -199,11 +213,16 @@ impl StatsCollector {
         if gap == 0 {
             return;
         }
+        softwatt_obs::count("stats.idle_gaps_skipped", 1);
+        softwatt_obs::count("stats.idle_cycles_skipped", gap);
         let prev_mode = self.mode;
         self.enter_service(idle_service);
         self.set_mode(Mode::Idle);
         for &(event, rate) in rates {
-            self.record_n(event, (rate * gap as f64) as u64);
+            let exact = rate * gap as f64 + self.idle_residual[event.index()];
+            let whole = exact as u64;
+            self.idle_residual[event.index()] = (exact - whole as f64).clamp(0.0, 1.0);
+            self.record_n(event, whole);
         }
         self.tick_n(gap);
         self.idle_skipped += gap;
@@ -280,6 +299,7 @@ impl StatsCollector {
     }
 
     fn emit_sample(&mut self) {
+        softwatt_obs::count("stats.samples_emitted", 1);
         let events = self.totals.delta_since(&self.window_start_totals);
         let mut mode_cycles = [0; Mode::COUNT];
         for (out, (now, start)) in mode_cycles

@@ -125,6 +125,49 @@ proptest! {
         prop_assert_eq!(bulk_log, single_log);
     }
 
+    /// Residual-carrying idle-event synthesis: however an idle stretch is
+    /// split into gaps, the synthesized event totals stay within one event
+    /// of `rate * total_gap` — per-gap truncation must not compound.
+    #[test]
+    fn idle_gap_totals_are_split_invariant(
+        gaps in prop::collection::vec(1u64..5_000, 1..50),
+        rate_milli in 0u64..2_000,
+    ) {
+        let rate = rate_milli as f64 / 1000.0;
+        let rates = [(UnitEvent::IcacheAccess, rate)];
+        let total_gap: u64 = gaps.iter().sum();
+
+        let mut split = StatsCollector::new(Clocking::default(), 1_000_000);
+        for &gap in &gaps {
+            split.skip_idle_gap(gap, &rates, ServiceId(12));
+        }
+        let split_total = split
+            .finish()
+            .total_events()
+            .mode(Mode::Idle)
+            .get(UnitEvent::IcacheAccess);
+
+        let exact = rate * total_gap as f64;
+        prop_assert!(
+            (split_total as f64 - exact).abs() <= 1.0,
+            "split into {} gaps: {} events vs exact {}",
+            gaps.len(), split_total, exact
+        );
+
+        // And therefore within one event of the single-gap synthesis.
+        let mut whole = StatsCollector::new(Clocking::default(), 1_000_000);
+        whole.skip_idle_gap(total_gap, &rates, ServiceId(12));
+        let whole_total = whole
+            .finish()
+            .total_events()
+            .mode(Mode::Idle)
+            .get(UnitEvent::IcacheAccess);
+        prop_assert!(
+            split_total.abs_diff(whole_total) <= 1,
+            "split {} vs whole {}", split_total, whole_total
+        );
+    }
+
     /// Paper-time round trips through cycles are accurate to one cycle.
     #[test]
     fn clocking_round_trips(

@@ -1,0 +1,247 @@
+//! Observability-layer integration tests: the metric registry must stay
+//! consistent with the suite's own tallies under a parallel prewarm, and
+//! the `softwatt-obs-v1` JSON export must stay well-formed and stable.
+//!
+//! The obs registry and enabled flag are process-global, so every test in
+//! this binary serializes on one lock (other test binaries are separate
+//! processes and unaffected).
+
+use std::sync::Mutex;
+
+use softwatt::experiments::ExperimentSuite;
+use softwatt::SystemConfig;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn fast_config() -> SystemConfig {
+    SystemConfig {
+        time_scale: 50_000.0,
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn registry_agrees_with_suite_tallies_under_parallel_prewarm() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    softwatt_obs::set_enabled(true);
+    softwatt_obs::reset_metrics();
+
+    let suite = ExperimentSuite::new(fast_config()).expect("valid config");
+    let grid_len = suite.paper_grid().len() as u64;
+    suite.run_all(4);
+
+    let counter = |name| softwatt_obs::registry::counter(name).get();
+    let hist = |name| softwatt_obs::registry::histogram(name);
+
+    // The obs counters sit on the same code paths as the suite's own
+    // atomics; with 4 racing workers they must still agree exactly.
+    assert_eq!(counter("suite.replays"), suite.replays_derived() as u64);
+    assert_eq!(
+        counter("suite.trace.cache_misses"),
+        suite.runs_executed() as u64,
+        "each trace-memo miss runs exactly one full capture simulation"
+    );
+    assert_eq!(counter("sim.capture_runs"), suite.runs_executed() as u64);
+    assert_eq!(counter("sim.replay_runs"), suite.replays_derived() as u64);
+
+    // Every distinct grid key misses the bundle memo exactly once, and
+    // every bundle execution is one replay.
+    assert_eq!(counter("suite.bundle.cache_misses"), grid_len);
+    assert_eq!(counter("suite.replays"), grid_len);
+
+    // Conservation: every trace request either hit, missed, or waited.
+    let trace_requests = counter("suite.trace.cache_hits")
+        + counter("suite.trace.cache_misses")
+        + counter("suite.trace.inflight_waits");
+    assert_eq!(trace_requests, counter("suite.replays"));
+
+    // Timing histograms record one observation per counted operation.
+    assert_eq!(hist("suite.replay_ns").count(), counter("suite.replays"));
+    assert_eq!(
+        hist("suite.trace_capture_ns").count(),
+        counter("suite.trace.cache_misses")
+    );
+    assert!(
+        hist("suite.replay_ns").sum() > 0,
+        "replays take nonzero time"
+    );
+
+    softwatt_obs::set_enabled(false);
+    softwatt_obs::reset_metrics();
+}
+
+#[test]
+fn json_export_is_well_formed_and_stable() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    softwatt_obs::set_enabled(true);
+    softwatt_obs::reset_metrics();
+
+    let suite = ExperimentSuite::new(fast_config()).expect("valid config");
+    suite.run(
+        softwatt::Benchmark::Jess,
+        softwatt::CpuModel::Mxs,
+        softwatt::experiments::DiskSetup::Conventional,
+    );
+    softwatt_obs::gauge_set("test.snapshot.gauge", -2.5);
+
+    let json = softwatt_obs::to_json();
+    softwatt_obs::set_enabled(false);
+
+    // Top-level shape: the five keys of the v1 schema, in order.
+    assert!(
+        json.starts_with("{\n  \"schema\": \"softwatt-obs-v1\""),
+        "{json}"
+    );
+    for key in [
+        "\"enabled\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let pos = |key: &str| json.find(key).unwrap();
+    assert!(pos("\"schema\"") < pos("\"enabled\""));
+    assert!(pos("\"enabled\"") < pos("\"counters\""));
+    assert!(pos("\"counters\"") < pos("\"gauges\""));
+    assert!(pos("\"gauges\"") < pos("\"histograms\""));
+
+    // The run's metrics are present with real values.
+    assert!(json.contains("\"suite.bundle.cache_misses\": 1"), "{json}");
+    assert!(json.contains("\"test.snapshot.gauge\": -2.5"), "{json}");
+    assert!(json.contains("\"suite.replay_ns\""), "{json}");
+
+    // The whole document parses as JSON.
+    let mut p = JsonParser {
+        bytes: json.as_bytes(),
+        at: 0,
+    };
+    p.value()
+        .unwrap_or_else(|e| panic!("invalid JSON at byte {}: {e}\n{json}", p.at));
+    p.skip_ws();
+    assert_eq!(p.at, p.bytes.len(), "trailing garbage in {json}");
+
+    // Export is a pure read: a second snapshot is byte-identical.
+    softwatt_obs::set_enabled(true);
+    let again = softwatt_obs::to_json();
+    assert_eq!(json, again);
+
+    softwatt_obs::set_enabled(false);
+    softwatt_obs::reset_metrics();
+}
+
+/// Minimal recursive-descent JSON well-formedness checker — just enough
+/// to prove the export is valid JSON without pulling in a parser crate.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b" \t\n\r".contains(b))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or("unexpected end")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected {:?}", other as char)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        if self.peek() == Some(b'}') {
+            return self.eat(b'}');
+        }
+        loop {
+            self.string()?;
+            self.eat(b':')?;
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.eat(b',')?,
+                _ => return self.eat(b'}'),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        if self.peek() == Some(b']') {
+            return self.eat(b']');
+        }
+        loop {
+            self.value()?;
+            match self.peek() {
+                Some(b',') => self.eat(b',')?,
+                _ => return self.eat(b']'),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(&b) = self.bytes.get(self.at) {
+            self.at += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => self.at += 1,
+                0x00..=0x1F => return Err("unescaped control char".into()),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).unwrap();
+        text.parse::<f64>()
+            .map(drop)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word}"))
+        }
+    }
+}
