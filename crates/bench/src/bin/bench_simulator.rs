@@ -42,10 +42,14 @@ fn main() {
                 Ok(v) if v > 0.0 => scale = v,
                 _ => usage_exit("--scale needs a positive number"),
             },
-            "--jobs" => match value("--jobs").parse() {
-                Ok(n) if n > 0 => jobs = n,
-                _ => usage_exit("--jobs needs a positive thread count"),
-            },
+            "--jobs" => {
+                jobs = softwatt_bench::parse_positive_count(
+                    "--jobs",
+                    Some(value("--jobs")),
+                    "thread count",
+                )
+                .unwrap_or_else(|e| usage_exit(&e));
+            }
             "--out" => out = value("--out"),
             other => match obs.try_parse(other, || Some(value(other))) {
                 Ok(true) => {}

@@ -22,13 +22,15 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => jobs = n,
-                _ => {
-                    eprintln!("--jobs needs a positive thread count");
-                    std::process::exit(2);
+            "--jobs" => {
+                match softwatt_bench::parse_positive_count("--jobs", args.next(), "thread count") {
+                    Ok(n) => jobs = n,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
                 }
-            },
+            }
             other => match obs.try_parse(other, || args.next()) {
                 Ok(true) => {}
                 Ok(false) => match other.parse() {

@@ -1,0 +1,244 @@
+//! Load generator for the softwatt-serve service.
+//!
+//! Hammers a server with a deterministic mixed workload — single runs
+//! rotating over every benchmark/disk pair, figure renders, health and
+//! metrics probes — from N concurrent keep-alive connections, and writes
+//! throughput, latency percentiles, and status counts as JSON.
+//!
+//! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
+//! [--requests N] [--workers N] [--out FILE]`
+//! (defaults: no addr — spawn an in-process server over real TCP —
+//! scale 50000 for fast simulations, 8 connections x 40 requests,
+//! workers = available parallelism, out `BENCH_server.json`).
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use softwatt::experiments::DiskSetup;
+use softwatt::{Benchmark, ExperimentSuite, SystemConfig};
+use softwatt_bench::parse_positive_count;
+use softwatt_serve::client::Client;
+use softwatt_serve::{ServeConfig, Server};
+
+/// One worker's tally.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ok_2xx: u64,
+    client_4xx: u64,
+    backpressure_503: u64,
+    server_5xx: u64,
+    transport_errors: u64,
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut scale = 50_000.0f64;
+    let mut connections = 8usize;
+    let mut requests = 40usize;
+    let mut workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut out = String::from("BENCH_server.json");
+    fn usage_exit(msg: &str) -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
+             [--requests N] [--workers N] [--out FILE]"
+        );
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        let mut count = |flag: &str, what: &str| {
+            parse_positive_count(flag, Some(value(flag)), what).unwrap_or_else(|e| usage_exit(&e))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--scale" => match value("--scale").parse() {
+                Ok(v) if v > 0.0 => scale = v,
+                _ => usage_exit("--scale needs a positive number"),
+            },
+            "--connections" => connections = count("--connections", "connection count"),
+            "--requests" => requests = count("--requests", "request count"),
+            "--workers" => workers = count("--workers", "thread count"),
+            "--out" => out = value("--out"),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+
+    // Target: an external server, or an in-process one over real TCP.
+    let (target, local_server) = match addr {
+        Some(addr) => {
+            let target: SocketAddr = addr
+                .parse()
+                .unwrap_or_else(|_| usage_exit("--addr needs HOST:PORT"));
+            (target, None)
+        }
+        None => {
+            let system = SystemConfig {
+                time_scale: scale,
+                ..SystemConfig::default()
+            };
+            let suite = Arc::new(ExperimentSuite::new(system).unwrap_or_else(|e| usage_exit(&e)));
+            let config = ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::bind("127.0.0.1:0", suite, config).unwrap_or_else(|e| usage_exit(&e));
+            let target = server.local_addr().unwrap_or_else(|e| usage_exit(&e));
+            let handle = server.shutdown_handle();
+            let thread = std::thread::spawn(move || server.run());
+            (target, Some((handle, thread)))
+        }
+    };
+    eprintln!(
+        "loadgen: {connections} connection(s) x {requests} request(s) against {target} \
+         (scale {scale}x)"
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|conn| {
+            std::thread::Builder::new()
+                .name(format!("loadgen-{conn}"))
+                .spawn(move || run_connection(target, conn, requests))
+                .expect("spawn loadgen connection")
+        })
+        .collect();
+    let mut total = Tally::default();
+    for handle in handles {
+        let tally = handle.join().expect("loadgen connection panicked");
+        total.latencies_us.extend(tally.latencies_us);
+        total.ok_2xx += tally.ok_2xx;
+        total.client_4xx += tally.client_4xx;
+        total.backpressure_503 += tally.backpressure_503;
+        total.server_5xx += tally.server_5xx;
+        total.transport_errors += tally.transport_errors;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    if let Some((handle, thread)) = local_server {
+        handle.trigger();
+        thread.join().expect("server thread panicked");
+    }
+
+    total.latencies_us.sort_unstable();
+    let sent = (connections * requests) as u64;
+    let answered = total.latencies_us.len() as u64;
+    let pct = |p: f64| -> u64 {
+        if total.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (p * (total.latencies_us.len() - 1) as f64).round() as usize;
+        total.latencies_us[rank]
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"softwatt-bench-server-v1\",\n  \"time_scale\": {scale},\n  \
+         \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
+         \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
+         \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
+         \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
+         \"status\": {{\"2xx\": {}, \"4xx\": {}, \"503\": {}, \"5xx\": {}, \
+         \"transport_errors\": {}}}\n}}\n",
+        answered as f64 / wall_s.max(1e-9),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        total.latencies_us.last().copied().unwrap_or(0),
+        total.ok_2xx,
+        total.client_4xx,
+        total.backpressure_503,
+        total.server_5xx,
+        total.transport_errors,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::File::create(&out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}
+
+/// The deterministic request mix for request `i` on connection `conn`:
+/// mostly single runs rotating over the benchmark/disk grid, with figure,
+/// health, and metrics probes folded in. No randomness — reruns are
+/// reproducible and the memo hit pattern is stable.
+fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
+    let n = conn * 7919 + i; // offset per connection so mixes interleave
+    match n % 10 {
+        0 => ("GET", "/healthz".into(), String::new()),
+        5 => {
+            let figures = ["fig6", "fig9", "table4", "validation"];
+            let name = figures[(n / 10) % figures.len()];
+            ("GET", format!("/v1/figures/{name}"), String::new())
+        }
+        9 => ("GET", "/metrics".into(), String::new()),
+        _ => {
+            let benchmark = Benchmark::ALL[n % Benchmark::ALL.len()];
+            let disk = [DiskSetup::Conventional, DiskSetup::IdleOnly][(n / 6) % 2];
+            let body = format!(
+                "{{\"benchmark\": \"{}\", \"disk\": \"{}\"}}",
+                benchmark.name(),
+                disk.name()
+            );
+            ("POST", "/v1/run".into(), body)
+        }
+    }
+}
+
+fn run_connection(target: SocketAddr, conn: usize, requests: usize) -> Tally {
+    let mut tally = Tally::default();
+    // Generous timeout: the first run on a cold key simulates for real.
+    let mut client = match Client::connect(target, Duration::from_secs(300)) {
+        Ok(client) => client,
+        Err(_) => {
+            tally.transport_errors += requests as u64;
+            return tally;
+        }
+    };
+    for i in 0..requests {
+        let (method, path, body) = request_for(conn, i);
+        let started = Instant::now();
+        match client.request(method, &path, &body) {
+            Ok(resp) => {
+                tally
+                    .latencies_us
+                    .push(started.elapsed().as_micros() as u64);
+                match resp.status {
+                    200..=299 => tally.ok_2xx += 1,
+                    503 => tally.backpressure_503 += 1,
+                    400..=499 => tally.client_4xx += 1,
+                    _ => tally.server_5xx += 1,
+                }
+                // A 503 closes nothing, but the server may close on
+                // errors it wrote with Connection: close; reconnect then.
+                if resp.header("connection") == Some("close") {
+                    match Client::connect(target, Duration::from_secs(300)) {
+                        Ok(fresh) => client = fresh,
+                        Err(_) => {
+                            tally.transport_errors += (requests - i - 1) as u64;
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                tally.transport_errors += 1;
+                match Client::connect(target, Duration::from_secs(300)) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => {
+                        tally.transport_errors += (requests - i - 1) as u64;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    tally
+}

@@ -129,11 +129,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--seed needs an integer".to_string())?
             }
             "--jobs" => {
-                jobs = value()?
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| "--jobs needs a positive thread count".to_string())?
+                jobs =
+                    softwatt_bench::parse_positive_count("--jobs", Some(value()?), "thread count")?
             }
             "--log" => log_path = Some(value()?),
             "--record" => record_path = Some(value()?),

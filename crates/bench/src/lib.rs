@@ -19,6 +19,28 @@
 
 use std::io::Write as _;
 
+/// Parses the value of a positive-count flag (`--jobs N`, `--workers N`,
+/// `--queue-depth N`, ...): a strictly positive integer.
+///
+/// Shared by every binary so the flags behave — and complain —
+/// identically; `what` names the quantity in the error message
+/// (e.g. `"thread count"`).
+///
+/// # Errors
+///
+/// Returns `"{flag} needs a positive {what}"` when the value is absent,
+/// unparsable, or zero.
+pub fn parse_positive_count(
+    flag: &str,
+    value: Option<String>,
+    what: &str,
+) -> Result<usize, String> {
+    value
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive {what}"))
+}
+
 /// The observability flags shared by `experiments`, `simulate`, and
 /// `bench_simulator`.
 ///

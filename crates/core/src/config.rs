@@ -27,6 +27,27 @@ impl CpuModel {
             CpuModel::MxsSingleIssue => "mxs-1wide",
         }
     }
+
+    /// Stable short name used by CLIs and the serving API (the inverse of
+    /// [`CpuModel::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuModel::Mipsy => "mipsy",
+            CpuModel::Mxs => "mxs",
+            CpuModel::MxsSingleIssue => "mxs1",
+        }
+    }
+
+    /// Parses a model name as used by `simulate --cpu` and the serving
+    /// API; the display label `mxs-1wide` is accepted as an alias.
+    pub fn from_name(name: &str) -> Option<CpuModel> {
+        match name {
+            "mipsy" => Some(CpuModel::Mipsy),
+            "mxs" => Some(CpuModel::Mxs),
+            "mxs1" | "mxs-1wide" => Some(CpuModel::MxsSingleIssue),
+            _ => None,
+        }
+    }
 }
 
 /// How disk-blocked idle stretches are handled by the driver.

@@ -65,6 +65,30 @@ impl DiskSetup {
         }
     }
 
+    /// Stable short name used by CLIs and the serving API (the inverse of
+    /// [`DiskSetup::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskSetup::Conventional => "conv",
+            DiskSetup::IdleOnly => "idle",
+            DiskSetup::Standby2s => "standby2",
+            DiskSetup::Standby4s => "standby4",
+            DiskSetup::SleepExt => "sleep",
+        }
+    }
+
+    /// Parses a [`DiskSetup::name`]; `None` for an unknown name.
+    pub fn from_name(name: &str) -> Option<DiskSetup> {
+        match name {
+            "conv" => Some(DiskSetup::Conventional),
+            "idle" => Some(DiskSetup::IdleOnly),
+            "standby2" => Some(DiskSetup::Standby2s),
+            "standby4" => Some(DiskSetup::Standby4s),
+            "sleep" => Some(DiskSetup::SleepExt),
+            _ => None,
+        }
+    }
+
     /// Display label (paper legend).
     pub fn label(self) -> &'static str {
         match self {

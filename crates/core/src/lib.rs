@@ -37,6 +37,7 @@
 pub mod budget;
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod sim;
 

@@ -1,0 +1,126 @@
+//! A minimal blocking HTTP/1.1 client for tests and the load generator.
+//!
+//! Speaks exactly the dialect the server emits: JSON bodies with
+//! `Content-Length`, keep-alive by default. Not a general-purpose client.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response as read off the wire.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A persistent connection to the service.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with the given I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one request; `body = ""` omits the payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: softwatt\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.stream.flush()
+    }
+
+    /// Reads one response (headers + `Content-Length` body).
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeouts, early EOF, or an unparsable status line.
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF in headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad("missing content-length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Request + response in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates either half's failure.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.send_request(method, path, body)?;
+        self.read_response()
+    }
+}

@@ -1,0 +1,357 @@
+//! Hand-rolled HTTP/1.1: request parsing and response writing.
+//!
+//! Deliberately small: request line + headers + `Content-Length` bodies,
+//! keep-alive, and the handful of status codes the service emits. No
+//! chunked transfer encoding, no multipart — the API is JSON-in/JSON-out.
+//! Every read goes through the caller's socket timeouts; byte budgets on
+//! the head and body bound memory per connection.
+
+use std::io::{self, BufRead, ErrorKind, Write};
+
+/// Per-request byte budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers together.
+    pub max_head_bytes: usize,
+    /// Maximum body bytes (larger declared bodies are refused with `413`).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path, no authority).
+    pub target: String,
+    /// Whether the request declared HTTP/1.1 (governs keep-alive default).
+    pub http11: bool,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection must close after this request: explicit
+    /// `Connection: close`, or HTTP/1.0 without `keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request byte (peer closed an idle connection).
+    Closed,
+    /// The socket read timed out.
+    Timeout,
+    /// The declared body exceeds [`Limits::max_body_bytes`] (send `413`).
+    BodyTooLarge,
+    /// Anything else unparsable (send `400`).
+    Malformed(&'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => ReadError::Timeout,
+            ErrorKind::UnexpectedEof => ReadError::Malformed("truncated request"),
+            _ => ReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing the remaining head
+/// budget. Returns `None` on clean EOF at a line boundary.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, ReadError> {
+    let mut raw = Vec::new();
+    // Cap the read: take() guards against a header line that never ends.
+    let mut limited = io::Read::take(&mut *r, *budget as u64 + 1);
+    let n = limited.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > *budget {
+        return Err(ReadError::Malformed("request head too large"));
+    }
+    *budget -= n;
+    if raw.last() != Some(&b'\n') {
+        return Err(ReadError::Malformed("truncated request"));
+    }
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| ReadError::Malformed("non-UTF-8 request head"))
+}
+
+/// Reads one request off the wire. Blocks (subject to the stream's read
+/// timeout) until a full request arrives.
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, ReadError> {
+    let mut budget = limits.max_head_bytes;
+    // Tolerate optional blank lines before the request line (RFC 9112 §2.2).
+    let request_line = loop {
+        match read_line(r, &mut budget)? {
+            None => return Err(ReadError::Closed),
+            Some(line) if line.is_empty() => continue,
+            Some(line) => break line,
+        }
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(ReadError::Malformed("bad request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ReadError::Malformed("unsupported HTTP version")),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?.ok_or(ReadError::Malformed("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("bad header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        target,
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(ReadError::Malformed("chunked bodies are not supported"));
+    }
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| ReadError::Malformed("bad content-length"))?;
+        if len > limits.max_body_bytes {
+            return Err(ReadError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// One response: status, JSON body, and the optional `Retry-After` the
+/// backpressure path sets on `503`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Seconds for a `Retry-After` header, if any.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A structured JSON error: `{"error": {"code", "message"}}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
+        let mut body = String::from("{\"error\": {\"code\": ");
+        push_json_string(&mut body, code);
+        body.push_str(", \"message\": ");
+        push_json_string(&mut body, message);
+        body.push_str("}}");
+        Response::json(status, body)
+    }
+
+    /// The overload response: `503` with a `Retry-After`.
+    pub fn overloaded(retry_after_s: u32) -> Response {
+        let mut r = Response::error(503, "overloaded", "request queue is full; retry shortly");
+        r.retry_after = Some(retry_after_s);
+        r
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                write!(out, "\\u{:04x}", c as u32).expect("write to string");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp`, flagging the connection `close` or `keep-alive`.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len()
+    )?;
+    if let Some(secs) = resp.retry_after {
+        write!(w, "Retry-After: {secs}\r\n")?;
+    }
+    write!(
+        w,
+        "Connection: {}\r\n\r\n",
+        if close { "close" } else { "keep-alive" }
+    )?;
+    w.write_all(resp.body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: Close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_lf_lines() {
+        let req = parse("POST /v1/run HTTP/1.1\nContent-Length: 4\n\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("garbage\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn body_over_limit_is_too_large() {
+        let limits = Limits {
+            max_body_bytes: 3,
+            ..Limits::default()
+        };
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let err = read_request(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, ReadError::BodyTooLarge));
+    }
+
+    #[test]
+    fn head_over_limit_is_malformed() {
+        let limits = Limits {
+            max_head_bytes: 32,
+            ..Limits::default()
+        };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
+        let err = read_request(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::overloaded(1), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("\"code\": \"overloaded\""));
+    }
+}

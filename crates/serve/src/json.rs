@@ -1,0 +1,316 @@
+//! A minimal JSON parser for request bodies.
+//!
+//! The emission side lives in `softwatt::json` (the simulator never needs
+//! to *read* JSON); this is the inverse for the service's small request
+//! schemas. Recursive descent with a depth limit; numbers land in `f64`,
+//! which covers every field the API accepts.
+
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth accepted before the parser bails.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (sorted keys; duplicates keep the last value).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse(bytes: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if let Some((i, _)) = p.chars.peek() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected '{want}' at byte {i}, found '{c}'")),
+            None => Err(format!("expected '{want}', found end of input")),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, value: Value) -> Result<Value, String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("document nests too deeply".into());
+        }
+        match self.chars.next() {
+            Some((_, 'n')) => self.literal("ull", Value::Null),
+            Some((_, 't')) => self.literal("rue", Value::Bool(true)),
+            Some((_, 'f')) => self.literal("alse", Value::Bool(false)),
+            Some((_, '"')) => self.string().map(Value::Str),
+            Some((_, '[')) => self.array(depth),
+            Some((_, '{')) => self.object(depth),
+            Some((i, c)) if c == '-' || c.is_ascii_digit() => self.number(i),
+            Some((i, c)) => Err(format!("unexpected '{c}' at byte {i}")),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<Value, String> {
+        let mut end = self.text.len();
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-') {
+                self.chars.next();
+            } else {
+                end = i;
+                break;
+            }
+        }
+        let raw = &self.text[start..end];
+        raw.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number '{raw}' at byte {start}"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let mut n = 0u16;
+        for _ in 0..4 {
+            let (i, c) = self.chars.next().ok_or("truncated \\u escape")?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit '{c}' at byte {i}"))?;
+            n = (n << 4) | digit as u16;
+        }
+        Ok(n)
+    }
+
+    /// Parses the rest of a string (the opening quote is already consumed).
+    fn string(&mut self) -> Result<String, String> {
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'b')) => out.push('\u{0008}'),
+                    Some((_, 'f')) => out.push('\u{000c}'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a \uXXXX low half must follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("bad low surrogate".into());
+                            }
+                            let code =
+                                0x10000 + (((hi as u32 - 0xD800) << 10) | (lo as u32 - 0xDC00));
+                            char::from_u32(code).ok_or("bad surrogate pair")?
+                        } else {
+                            char::from_u32(hi as u32).ok_or("lone surrogate")?
+                        };
+                        out.push(c);
+                    }
+                    Some((i, c)) => return Err(format!("bad escape '\\{c}' at byte {i}")),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some((i, c)) if (c as u32) < 0x20 => {
+                    return Err(format!("raw control character at byte {i}"));
+                }
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, ']'))) {
+            self.chars.next();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => self.skip_ws(),
+                Some((_, ']')) => return Ok(Value::Arr(items)),
+                Some((i, c)) => {
+                    return Err(format!("expected ',' or ']' at byte {i}, found '{c}'"))
+                }
+                None => return Err("unterminated array".into()),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, '}'))) {
+            self.chars.next();
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.expect('"')?;
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => self.skip_ws(),
+                Some((_, '}')) => return Ok(Value::Obj(map)),
+                Some((i, c)) => {
+                    return Err(format!("expected ',' or '}}' at byte {i}, found '{c}'"))
+                }
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse(b"null").unwrap(), Value::Null);
+        assert_eq!(parse(b"true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(b"false").unwrap(), Value::Bool(false));
+        assert_eq!(parse(b"-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse(b"\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc =
+            parse(br#" {"queries": [{"benchmark": "jess", "jobs": 2}], "x": null} "#).unwrap();
+        let queries = doc.get("queries").and_then(Value::as_arr).unwrap();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(
+            queries[0].get("benchmark").and_then(Value::as_str),
+            Some("jess")
+        );
+        assert_eq!(queries[0].get("jobs").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(doc.get("x"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse(br#""a\"b\\c\n\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\nA\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"\"unterminated",
+            b"nul",
+            b"1 2",
+            b"{\"a\": \x01}",
+            b"\"\\ud800x\"",
+        ] {
+            assert!(parse(bad).is_err(), "{:?} should fail", bad);
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let mut doc = String::new();
+        for _ in 0..64 {
+            doc.push('[');
+        }
+        for _ in 0..64 {
+            doc.push(']');
+        }
+        assert!(parse(doc.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let doc = parse(br#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Value::as_f64), Some(2.0));
+    }
+}

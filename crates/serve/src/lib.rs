@@ -1,0 +1,372 @@
+//! # softwatt-serve — the power-estimation query service
+//!
+//! Wraps a shared, memoizing [`ExperimentSuite`] in a small HTTP/1.1 API
+//! so repeated queries against one machine configuration pay for each
+//! simulation exactly once, no matter how many clients ask:
+//!
+//! - `POST /v1/run` — one `{benchmark, cpu?, disk?}` query → a
+//!   `softwatt-run-v1` bundle (cycles, IPC, power budget, disk energy);
+//! - `POST /v1/batch` — many queries, deduplicated and prewarmed in
+//!   parallel, with `runs_executed` / `replays_derived` accounting;
+//! - `GET /v1/figures/{name}` — rendered paper figures/tables
+//!   (`softwatt::json::FIGURES` lists the names);
+//! - `GET /healthz`, `GET /metrics` (the `softwatt-obs-v1` export), and
+//!   `POST /admin/shutdown`.
+//!
+//! Production-shaped on purpose, with no dependencies beyond `std` and
+//! the workspace crates: a fixed worker pool over a bounded queue
+//! (overload → immediate `503` + `Retry-After`, never an unbounded
+//! backlog), per-connection read/write timeouts and body-size limits,
+//! keep-alive, and graceful shutdown that drains in-flight work. See
+//! `DESIGN.md` §server for the threading model.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod pool;
+pub mod routes;
+
+use std::collections::HashMap;
+use std::io::{BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use softwatt::ExperimentSuite;
+
+use http::{Limits, ReadError, Response};
+use pool::Pool;
+use routes::{Ctx, Route};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Compute-pool threads (simulations run here).
+    pub workers: usize,
+    /// Bounded compute-queue capacity; beyond it, requests get `503`.
+    pub queue_depth: usize,
+    /// Maximum concurrent connections; beyond it, accepts get `503`.
+    pub max_connections: usize,
+    /// Request-body cap (larger bodies get `413`).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_depth: 64,
+            max_connections: 256,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Clonable trigger that asks the server to drain and stop. Flipping it is
+/// async-signal-safe (a single atomic store), which is exactly what the
+/// binary's SIGTERM handler needs.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown (idempotent).
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Live-connection registry: stream clones (for waking blocked readers at
+/// shutdown) plus a count the drain phase waits on.
+#[derive(Default)]
+struct ConnState {
+    streams: HashMap<u64, TcpStream>,
+}
+
+struct Connections {
+    state: Mutex<ConnState>,
+    all_closed: Condvar,
+}
+
+impl Connections {
+    fn register(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            self.state
+                .lock()
+                .expect("conn lock")
+                .streams
+                .insert(id, clone);
+        }
+        softwatt_obs::count("serve.connections.accepted", 1);
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut state = self.state.lock().expect("conn lock");
+        state.streams.remove(&id);
+        if state.streams.is_empty() {
+            self.all_closed.notify_all();
+        }
+    }
+
+    /// Wakes every blocked reader: idle keep-alive connections sit in a
+    /// socket read, and shutting down the read half makes that return EOF.
+    fn shutdown_reads(&self) {
+        let state = self.state.lock().expect("conn lock");
+        for stream in state.streams.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
+
+    fn wait_all_closed(&self) {
+        let mut state = self.state.lock().expect("conn lock");
+        while !state.streams.is_empty() {
+            state = self.all_closed.wait(state).expect("conn lock");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("conn lock").streams.len()
+    }
+}
+
+/// The HTTP server. [`Server::run`] owns the calling thread until
+/// shutdown completes.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    ctx: Arc<Ctx>,
+    connections: Arc<Connections>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over a
+    /// shared suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure failure as a string.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        suite: Arc<ExperimentSuite>,
+        config: ServeConfig,
+    ) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind failed: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking failed: {e}"))?;
+        let pool = Arc::new(Pool::new(config.workers, config.queue_depth));
+        let ctx = Arc::new(Ctx {
+            suite,
+            pool,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        Ok(Server {
+            listener,
+            config,
+            ctx,
+            connections: Arc::new(Connections {
+                state: Mutex::new(ConnState::default()),
+                all_closed: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure as a string.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("local_addr failed: {e}"))
+    }
+
+    /// The compute pool. Embedders (and tests) can co-schedule their own
+    /// jobs on it; anything submitted competes with HTTP requests for the
+    /// same bounded queue.
+    pub fn pool(&self) -> Arc<Pool> {
+        Arc::clone(&self.ctx.pool)
+    }
+
+    /// A handle that stops the server from another thread or a signal
+    /// handler.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.ctx.shutdown),
+        }
+    }
+
+    /// Accepts connections until shutdown is triggered, then drains:
+    /// stops accepting, wakes idle readers, finishes queued + in-flight
+    /// compute, waits for every connection to write its last response.
+    pub fn run(self) {
+        let next_id = AtomicU64::new(0);
+        while !self.ctx.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    if self.connections.len() >= self.config.max_connections {
+                        // Over the connection cap: one-shot 503 and close.
+                        softwatt_obs::count("serve.connections.refused", 1);
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                        let _ = http::write_response(
+                            &mut stream,
+                            &Response::overloaded(routes::RETRY_AFTER_S),
+                            true,
+                        );
+                        continue;
+                    }
+                    self.connections.register(id, &stream);
+                    let ctx = Arc::clone(&self.ctx);
+                    let connections = Arc::clone(&self.connections);
+                    let config = self.config.clone();
+                    let spawned = thread::Builder::new()
+                        .name(format!("serve-conn-{id}"))
+                        .spawn(move || {
+                            serve_connection(&ctx, &config, stream);
+                            connections.deregister(id);
+                        });
+                    if spawned.is_err() {
+                        self.connections.deregister(id);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // Nonblocking accept doubles as the shutdown poll.
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        drop(self.listener);
+        softwatt_obs::count("serve.shutdown.triggered", 1);
+        self.connections.shutdown_reads();
+        self.ctx.pool.shutdown();
+        self.connections.wait_all_closed();
+    }
+}
+
+/// Serves one connection: read → dispatch → write, keep-alive until the
+/// peer closes, errors, asks to close, or shutdown begins.
+fn serve_connection(ctx: &Ctx, config: &ServeConfig, stream: TcpStream) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let limits = Limits {
+        max_body_bytes: config.max_body_bytes,
+        ..Limits::default()
+    };
+
+    loop {
+        let req = match http::read_request(&mut reader, &limits) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Timeout) => {
+                let resp = Response::error(408, "timeout", "request not received in time");
+                let _ = http::write_response(&mut writer, &resp, true);
+                return;
+            }
+            Err(ReadError::BodyTooLarge) => {
+                let resp = Response::error(413, "body_too_large", "request body exceeds limit");
+                let _ = http::write_response(&mut writer, &resp, true);
+                return;
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let resp = Response::error(400, "malformed_request", msg);
+                let _ = http::write_response(&mut writer, &resp, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+
+        let route = Route::of(&req.target);
+        let start = Instant::now();
+        let resp = routes::dispatch(ctx, route, &req);
+        softwatt_obs::observe(route.latency(), start.elapsed().as_micros() as u64);
+        softwatt_obs::count(route.counter(), 1);
+        softwatt_obs::count(status_counter(resp.status), 1);
+
+        // Draining? Tell the peer this is the last response on the wire.
+        let close = req.wants_close() || ctx.shutdown.load(Ordering::SeqCst);
+        if http::write_response(&mut writer, &resp, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Static counter name for a status class (static names keep the obs
+/// registry allocation-free).
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200..=299 => "serve.responses.2xx",
+        400..=499 => "serve.responses.4xx",
+        503 => "serve.responses.503",
+        _ => "serve.responses.5xx",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= 1);
+        assert!(c.max_connections >= 1);
+        assert_eq!(c.max_body_bytes, 1024 * 1024);
+    }
+
+    #[test]
+    fn status_counters_are_static() {
+        assert_eq!(status_counter(200), "serve.responses.2xx");
+        assert_eq!(status_counter(404), "serve.responses.4xx");
+        assert_eq!(status_counter(503), "serve.responses.503");
+        assert_eq!(status_counter(500), "serve.responses.5xx");
+    }
+
+    #[test]
+    fn shutdown_handle_round_trips() {
+        let suite = Arc::new(
+            ExperimentSuite::new(softwatt::SystemConfig {
+                time_scale: 500_000.0,
+                ..softwatt::SystemConfig::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::bind("127.0.0.1:0", suite, ServeConfig::default()).unwrap();
+        assert!(server.local_addr().unwrap().port() > 0);
+        let handle = server.shutdown_handle();
+        assert!(!handle.is_triggered());
+        handle.trigger();
+        assert!(handle.is_triggered());
+        // run() must return promptly with the flag already set.
+        server.run();
+    }
+}

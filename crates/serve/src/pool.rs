@@ -1,0 +1,183 @@
+//! The fixed worker pool with a bounded queue.
+//!
+//! Connection threads do I/O; compute lands here. The queue has a hard
+//! capacity, and [`Pool::try_submit`] refuses work instead of blocking —
+//! that refusal is the backpressure signal the HTTP layer turns into a
+//! `503` + `Retry-After`. Shutdown is graceful by construction: workers
+//! drain everything already accepted, then exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// A unit of queued work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Returned by [`Pool::try_submit`] when the bounded queue is full or the
+/// pool is draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct State {
+    queue: VecDeque<Job>,
+    capacity: usize,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size worker pool over a bounded FIFO queue.
+pub struct Pool {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// pending jobs (both clamped to at least 1).
+    pub fn new(workers: usize, capacity: usize) -> Pool {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                draining: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `job` if there is room, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue is at capacity or the pool is draining;
+    /// the job is returned unexecuted inside the error path (dropped).
+    pub fn try_submit(&self, job: Job) -> Result<(), QueueFull> {
+        let mut state = self.inner.state.lock().expect("pool lock");
+        if state.draining || state.queue.len() >= state.capacity {
+            softwatt_obs::count("serve.queue.rejected", 1);
+            return Err(QueueFull);
+        }
+        state.queue.push_back(job);
+        softwatt_obs::gauge_set("serve.queue.depth", state.queue.len() as f64);
+        drop(state);
+        self.inner.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting work, runs everything already queued, and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.draining = true;
+        }
+        self.inner.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut state = inner.state.lock().expect("pool lock");
+    loop {
+        if let Some(job) = state.queue.pop_front() {
+            softwatt_obs::gauge_set("serve.queue.depth", state.queue.len() as f64);
+            drop(state);
+            job();
+            state = inner.state.lock().expect("pool lock");
+            continue;
+        }
+        if state.draining {
+            return;
+        }
+        state = inner.work_ready.wait(state).expect("pool lock");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = Pool::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.try_submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let pool = Pool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker picks up the blocking job");
+        // ...fill the queue's single slot...
+        pool.try_submit(Box::new(|| {})).unwrap();
+        // ...and the next submit must bounce immediately.
+        assert_eq!(pool.try_submit(Box::new(|| {})), Err(QueueFull));
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_refuses_new_ones() {
+        let pool = Pool::new(1, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 4, "queued jobs drain");
+        assert_eq!(pool.try_submit(Box::new(|| {})), Err(QueueFull));
+        pool.shutdown(); // idempotent
+    }
+}

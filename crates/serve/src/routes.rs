@@ -1,0 +1,384 @@
+//! Request routing and handlers.
+//!
+//! Cheap routes (`/healthz`, `/metrics`, `/admin/shutdown`) run inline on
+//! the connection thread so they stay responsive when the compute pool is
+//! saturated. Simulation-backed routes (`/v1/run`, `/v1/batch`,
+//! `/v1/figures/*`) are submitted to the bounded pool; a full queue turns
+//! into `503` + `Retry-After` before any simulation work starts.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use softwatt::experiments::{DiskSetup, RunKey};
+use softwatt::{Benchmark, CpuModel, ExperimentSuite};
+
+use crate::http::{Request, Response};
+use crate::json::{self, Value};
+use crate::pool::Pool;
+
+/// Seconds suggested to clients bounced by backpressure.
+pub const RETRY_AFTER_S: u32 = 1;
+
+/// The route a request resolved to, used for metrics labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/run`
+    Run,
+    /// `POST /v1/batch`
+    Batch,
+    /// `GET /v1/figures/{name}`
+    Figure,
+    /// `POST /admin/shutdown`
+    Shutdown,
+    /// Anything else.
+    Unknown,
+}
+
+impl Route {
+    /// Classifies a request target (method checks come later: a wrong
+    /// method on a known path is `405`, not `404`).
+    pub fn of(target: &str) -> Route {
+        let path = target.split('?').next().unwrap_or(target);
+        match path {
+            "/healthz" => Route::Healthz,
+            "/metrics" => Route::Metrics,
+            "/v1/run" => Route::Run,
+            "/v1/batch" => Route::Batch,
+            "/admin/shutdown" => Route::Shutdown,
+            _ if path.starts_with("/v1/figures/") => Route::Figure,
+            _ => Route::Unknown,
+        }
+    }
+
+    /// Static counter name for requests on this route.
+    pub fn counter(self) -> &'static str {
+        match self {
+            Route::Healthz => "serve.requests.healthz",
+            Route::Metrics => "serve.requests.metrics",
+            Route::Run => "serve.requests.run",
+            Route::Batch => "serve.requests.batch",
+            Route::Figure => "serve.requests.figure",
+            Route::Shutdown => "serve.requests.shutdown",
+            Route::Unknown => "serve.requests.unknown",
+        }
+    }
+
+    /// Static histogram name for this route's latency (µs, log-2 binned).
+    pub fn latency(self) -> &'static str {
+        match self {
+            Route::Healthz => "serve.latency_us.healthz",
+            Route::Metrics => "serve.latency_us.metrics",
+            Route::Run => "serve.latency_us.run",
+            Route::Batch => "serve.latency_us.batch",
+            Route::Figure => "serve.latency_us.figure",
+            Route::Shutdown => "serve.latency_us.shutdown",
+            Route::Unknown => "serve.latency_us.unknown",
+        }
+    }
+
+    /// The only method this route answers (`None` for unknown paths).
+    fn method(self) -> Option<&'static str> {
+        match self {
+            Route::Healthz | Route::Metrics | Route::Figure => Some("GET"),
+            Route::Run | Route::Batch | Route::Shutdown => Some("POST"),
+            Route::Unknown => None,
+        }
+    }
+}
+
+/// Everything a handler needs.
+pub struct Ctx {
+    /// The shared memoizing experiment suite.
+    pub suite: Arc<ExperimentSuite>,
+    /// The compute pool.
+    pub pool: Arc<Pool>,
+    /// Set by `/admin/shutdown` (and signals); the accept loop polls it.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+/// A one-shot rendezvous: the connection thread parks on it while the
+/// pooled job computes the response.
+struct Oneshot<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Oneshot<T> {
+    fn new() -> Arc<Oneshot<T>> {
+        Arc::new(Oneshot {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn put(&self, value: T) {
+        *self.slot.lock().expect("oneshot lock") = Some(value);
+        self.ready.notify_one();
+    }
+
+    fn take(&self) -> T {
+        let mut slot = self.slot.lock().expect("oneshot lock");
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            slot = self.ready.wait(slot).expect("oneshot lock");
+        }
+    }
+}
+
+/// Runs `work` on the pool and waits for its response; `503` on a full
+/// queue. The connection thread blocks here, but the pool always drains
+/// accepted jobs (even during shutdown), so the wait terminates.
+fn pooled<F>(ctx: &Ctx, work: F) -> Response
+where
+    F: FnOnce() -> Response + Send + 'static,
+{
+    let oneshot = Oneshot::new();
+    let tx = Arc::clone(&oneshot);
+    match ctx.pool.try_submit(Box::new(move || tx.put(work()))) {
+        Ok(()) => oneshot.take(),
+        Err(_) => Response::overloaded(RETRY_AFTER_S),
+    }
+}
+
+/// Dispatches one parsed request to its handler.
+pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Response {
+    if let Some(method) = route.method() {
+        if req.method != method {
+            return Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} only answers {method}", req.target),
+            );
+        }
+    }
+    match route {
+        Route::Healthz => Response::json(200, "{\"status\": \"ok\"}"),
+        Route::Metrics => Response::json(200, softwatt_obs::to_json()),
+        Route::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"status\": \"shutting down\"}")
+        }
+        Route::Run => match parse_run_key(&req.body, true) {
+            Ok(key) => {
+                let suite = Arc::clone(&ctx.suite);
+                pooled(ctx, move || {
+                    let bundle = suite.run_key(key);
+                    Response::json(200, softwatt::json::run_bundle(key, &bundle))
+                })
+            }
+            Err(resp) => *resp,
+        },
+        Route::Batch => match parse_batch(&req.body) {
+            Ok((keys, jobs)) => {
+                let suite = Arc::clone(&ctx.suite);
+                pooled(ctx, move || {
+                    suite.prewarm(&keys, jobs);
+                    Response::json(200, render_batch(&suite, &keys))
+                })
+            }
+            Err(resp) => *resp,
+        },
+        Route::Figure => {
+            let path = req.target.split('?').next().unwrap_or(&req.target);
+            let name = path["/v1/figures/".len()..].to_string();
+            if !softwatt::json::FIGURES.contains(&name.as_str()) {
+                return Response::error(
+                    404,
+                    "unknown_figure",
+                    &format!("no figure '{name}'; see /v1/figures index in README"),
+                );
+            }
+            let suite = Arc::clone(&ctx.suite);
+            pooled(ctx, move || match softwatt::json::figure(&suite, &name) {
+                Some(body) => Response::json(200, body),
+                None => Response::error(500, "internal", "figure rendering failed"),
+            })
+        }
+        Route::Unknown => Response::error(404, "not_found", "unknown path"),
+    }
+}
+
+fn bad_request(code: &str, message: &str) -> Box<Response> {
+    Box::new(Response::error(400, code, message))
+}
+
+/// Parses one `{"benchmark", "cpu"?, "disk"?}` query object into a
+/// [`RunKey`]. `benchmark` is required iff `require_benchmark` (the batch
+/// route reports position-specific errors itself).
+fn key_from_value(value: &Value, require_benchmark: bool) -> Result<RunKey, Box<Response>> {
+    if !matches!(value, Value::Obj(_)) {
+        return Err(bad_request("bad_query", "each query must be a JSON object"));
+    }
+    let benchmark = match value.get("benchmark") {
+        Some(v) => match v.as_str() {
+            Some(name) => Benchmark::from_name(name).ok_or_else(|| {
+                bad_request("unknown_benchmark", &format!("no benchmark '{name}'"))
+            })?,
+            None => return Err(bad_request("bad_query", "'benchmark' must be a string")),
+        },
+        None if require_benchmark => {
+            return Err(bad_request("missing_field", "'benchmark' is required"));
+        }
+        None => return Err(bad_request("missing_field", "'benchmark' is required")),
+    };
+    let cpu = match value.get("cpu") {
+        None => CpuModel::Mxs,
+        Some(v) => match v.as_str() {
+            Some(name) => CpuModel::from_name(name)
+                .ok_or_else(|| bad_request("unknown_cpu", &format!("no CPU model '{name}'")))?,
+            None => return Err(bad_request("bad_query", "'cpu' must be a string")),
+        },
+    };
+    let disk = match value.get("disk") {
+        None => DiskSetup::Conventional,
+        Some(v) => match v.as_str() {
+            Some(name) => DiskSetup::from_name(name)
+                .ok_or_else(|| bad_request("unknown_disk", &format!("no disk setup '{name}'")))?,
+            None => return Err(bad_request("bad_query", "'disk' must be a string")),
+        },
+    };
+    Ok(RunKey {
+        benchmark,
+        cpu,
+        disk,
+    })
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, Box<Response>> {
+    json::parse(body).map_err(|e| bad_request("bad_json", &e))
+}
+
+fn parse_run_key(body: &[u8], require_benchmark: bool) -> Result<RunKey, Box<Response>> {
+    key_from_value(&parse_body(body)?, require_benchmark)
+}
+
+/// Parses a batch body: `{"queries": [query...], "jobs"?: N}`. Returns the
+/// queries in order (duplicates included — the suite memoizes) plus the
+/// parallelism to prewarm with.
+fn parse_batch(body: &[u8]) -> Result<(Vec<RunKey>, usize), Box<Response>> {
+    let doc = parse_body(body)?;
+    let queries = match doc.get("queries") {
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| bad_request("bad_query", "'queries' must be an array"))?,
+        None => return Err(bad_request("missing_field", "'queries' is required")),
+    };
+    if queries.is_empty() {
+        return Err(bad_request("bad_query", "'queries' must not be empty"));
+    }
+    let keys = queries
+        .iter()
+        .map(|q| key_from_value(q, true))
+        .collect::<Result<Vec<_>, _>>()?;
+    let jobs = match doc.get("jobs") {
+        None => 1,
+        Some(v) => match v.as_f64() {
+            Some(n) if (1.0..=64.0).contains(&n) && n.fract() == 0.0 => n as usize,
+            _ => {
+                return Err(bad_request(
+                    "bad_query",
+                    "'jobs' must be an integer between 1 and 64",
+                ));
+            }
+        },
+    };
+    Ok((keys, jobs))
+}
+
+/// Renders the batch response after the prewarm: one bundle per query (in
+/// request order) plus the suite's dedup accounting.
+fn render_batch(suite: &ExperimentSuite, keys: &[RunKey]) -> String {
+    let unique: HashSet<RunKey> = keys.iter().copied().collect();
+    let mut out = String::with_capacity(keys.len() * 512);
+    out.push_str("{\"schema\": \"softwatt-batch-v1\", \"results\": [");
+    for (i, &key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let bundle = suite.run_key(key);
+        out.push_str(&softwatt::json::run_bundle(key, &bundle));
+    }
+    out.push_str(&format!(
+        "], \"unique_keys\": {}, \"runs_executed\": {}, \"replays_derived\": {}}}",
+        unique.len(),
+        suite.runs_executed(),
+        suite.replays_derived()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_classification() {
+        assert_eq!(Route::of("/healthz"), Route::Healthz);
+        assert_eq!(Route::of("/metrics"), Route::Metrics);
+        assert_eq!(Route::of("/v1/run"), Route::Run);
+        assert_eq!(Route::of("/v1/batch"), Route::Batch);
+        assert_eq!(Route::of("/v1/figures/fig6"), Route::Figure);
+        assert_eq!(Route::of("/v1/figures/fig6?x=1"), Route::Figure);
+        assert_eq!(Route::of("/admin/shutdown"), Route::Shutdown);
+        assert_eq!(Route::of("/nope"), Route::Unknown);
+        assert_eq!(Route::of("/v1/run?scale=2"), Route::Run);
+    }
+
+    #[test]
+    fn run_key_parsing_defaults_and_errors() {
+        let key = parse_run_key(br#"{"benchmark": "jess"}"#, true).unwrap();
+        assert_eq!(key.benchmark, Benchmark::Jess);
+        assert_eq!(key.cpu, CpuModel::Mxs);
+        assert_eq!(key.disk, DiskSetup::Conventional);
+
+        let key = parse_run_key(
+            br#"{"benchmark": "db", "cpu": "mipsy", "disk": "sleep"}"#,
+            true,
+        )
+        .unwrap();
+        assert_eq!(key.benchmark, Benchmark::Db);
+        assert_eq!(key.cpu, CpuModel::Mipsy);
+        assert_eq!(key.disk, DiskSetup::SleepExt);
+
+        for (body, code) in [
+            (&br#"not json"#[..], "bad_json"),
+            (br#"{}"#, "missing_field"),
+            (br#"{"benchmark": "quake"}"#, "unknown_benchmark"),
+            (br#"{"benchmark": "jess", "cpu": "arm"}"#, "unknown_cpu"),
+            (br#"{"benchmark": "jess", "disk": "ssd"}"#, "unknown_disk"),
+            (br#"{"benchmark": 7}"#, "bad_query"),
+        ] {
+            let resp = parse_run_key(body, true).unwrap_err();
+            assert_eq!(resp.status, 400);
+            assert!(resp.body.contains(code), "{} for {:?}", resp.body, body);
+        }
+    }
+
+    #[test]
+    fn batch_parsing() {
+        let (keys, jobs) = parse_batch(
+            br#"{"queries": [{"benchmark": "jess"}, {"benchmark": "jess"}], "jobs": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(keys.len(), 2, "duplicates preserved for the response");
+        assert_eq!(jobs, 2);
+
+        for body in [
+            &br#"{"queries": []}"#[..],
+            br#"{"jobs": 2}"#,
+            br#"{"queries": [{}]}"#,
+            br#"{"queries": [{"benchmark": "jess"}], "jobs": 0}"#,
+            br#"{"queries": [{"benchmark": "jess"}], "jobs": 1.5}"#,
+            br#"{"queries": "jess"}"#,
+        ] {
+            assert!(parse_batch(body).is_err(), "{:?} should fail", body);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end tests over real TCP: response fidelity against in-process
+//! results, batch deduplication, backpressure, graceful shutdown, and the
+//! structured error surface.
+
+use std::net::SocketAddr;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use softwatt::experiments::{DiskSetup, RunKey};
+use softwatt::{Benchmark, CpuModel, ExperimentSuite, SystemConfig};
+use softwatt_serve::client::Client;
+use softwatt_serve::{ServeConfig, Server, ShutdownHandle};
+
+/// Big time-scale factor = short, fast simulated runs (test fidelity).
+const FAST_SCALE: f64 = 500_000.0;
+
+struct TestServer {
+    suite: Arc<ExperimentSuite>,
+    addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    thread: JoinHandle<()>,
+    pool: Arc<softwatt_serve::pool::Pool>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> TestServer {
+        let system = SystemConfig {
+            time_scale: FAST_SCALE,
+            ..SystemConfig::default()
+        };
+        let suite = Arc::new(ExperimentSuite::new(system).expect("valid config"));
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&suite), config).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let shutdown = server.shutdown_handle();
+        let pool = server.pool();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            suite,
+            addr,
+            shutdown,
+            thread,
+            pool,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr, Duration::from_secs(300)).expect("connect")
+    }
+
+    fn stop(self) {
+        self.shutdown.trigger();
+        self.thread.join().expect("server thread");
+    }
+
+    /// Parks the compute pool's only worker on a job that blocks until the
+    /// returned sender fires; returns once the worker has picked it up.
+    /// Requires a `workers: 1` config to be meaningful.
+    fn park_worker(&self) -> mpsc::Sender<()> {
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        self.pool
+            .try_submit(Box::new(move || {
+                started_tx.send(()).expect("report parked");
+                release_rx.recv().expect("await release");
+            }))
+            .expect("park job accepted");
+        started_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("worker picks up the parking job");
+        release_tx
+    }
+}
+
+#[test]
+fn run_response_is_byte_identical_to_in_process() {
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+
+    let resp = client
+        .request(
+            "POST",
+            "/v1/run",
+            r#"{"benchmark": "jess", "disk": "idle"}"#,
+        )
+        .expect("run request");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // The same query answered in-process, through the same shared suite,
+    // must render to exactly the same bytes.
+    let key = RunKey {
+        benchmark: Benchmark::Jess,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::IdleOnly,
+    };
+    let bundle = server.suite.run_key(key);
+    assert_eq!(resp.body, softwatt::json::run_bundle(key, &bundle));
+
+    // Keep-alive: the same connection serves a second request, and the
+    // memo makes it instant and identical.
+    let again = client
+        .request(
+            "POST",
+            "/v1/run",
+            r#"{"benchmark": "jess", "disk": "idle"}"#,
+        )
+        .expect("second request on the same connection");
+    assert_eq!(again.body, resp.body);
+
+    // Figures render through the same suite too.
+    let fig = client
+        .request("GET", "/v1/figures/validation", "")
+        .expect("figure request");
+    assert_eq!(fig.status, 200);
+    assert_eq!(
+        fig.body,
+        softwatt::json::figure(&server.suite, "validation").expect("known figure")
+    );
+
+    server.stop();
+}
+
+#[test]
+fn batch_of_paper_grid_simulates_each_cpu_pair_once() {
+    let server = TestServer::start(ServeConfig::default());
+    let grid = server.suite.paper_grid();
+    assert_eq!(grid.len(), 37, "the paper grid");
+
+    let queries: Vec<String> = grid
+        .iter()
+        .map(|k| {
+            format!(
+                r#"{{"benchmark": "{}", "cpu": "{}", "disk": "{}"}}"#,
+                k.benchmark.name(),
+                k.cpu.name(),
+                k.disk.name()
+            )
+        })
+        .collect();
+    let body = format!(r#"{{"queries": [{}], "jobs": 2}}"#, queries.join(", "));
+
+    let mut client = server.client();
+    let resp = client.request("POST", "/v1/batch", &body).expect("batch");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // 37 keys collapse to 13 full simulations (one per benchmark/CPU
+    // pair); the rest are replay-derived. The shared handle proves the
+    // server hit the same memo.
+    assert_eq!(server.suite.runs_executed(), 13);
+    assert!(resp.body.contains("\"schema\": \"softwatt-batch-v1\""));
+    assert!(resp.body.contains("\"unique_keys\": 37"), "{}", resp.body);
+    assert!(resp.body.contains("\"runs_executed\": 13"), "{}", resp.body);
+    // Every bundle (including the 13 captured keys' own) is derived by
+    // replaying a trace, so the replay count covers the whole grid.
+    assert!(
+        resp.body.contains("\"replays_derived\": 37"),
+        "{}",
+        resp.body
+    );
+    // All 37 result bundles made it into the response, in request order.
+    assert_eq!(
+        resp.body.matches("\"schema\": \"softwatt-run-v1\"").count(),
+        37
+    );
+
+    server.stop();
+}
+
+#[test]
+fn saturated_queue_bounces_with_503_without_wedging_workers() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let release = server.park_worker();
+
+    // Fill the queue's single slot with a real request (sent, not yet
+    // answered — it sits queued behind the parked worker).
+    let mut queued = server.client();
+    queued
+        .send_request("POST", "/v1/run", r#"{"benchmark": "jess"}"#)
+        .expect("send queued request");
+    // Give its connection thread time to parse and enqueue.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The next compute request must bounce immediately with Retry-After.
+    let mut bounced = server.client();
+    let resp = bounced
+        .request("POST", "/v1/run", r#"{"benchmark": "db"}"#)
+        .expect("bounced request");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("\"code\": \"overloaded\""));
+
+    // Inline routes stay responsive under saturation.
+    let health = bounced.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!(health.status, 200);
+
+    // Releasing the worker drains the queued request successfully...
+    release.send(()).expect("release worker");
+    let drained = queued.read_response().expect("queued response");
+    assert_eq!(drained.status, 200, "{}", drained.body);
+
+    // ...and the pool is fully recovered, not wedged.
+    let after = bounced
+        .request("POST", "/v1/run", r#"{"benchmark": "db"}"#)
+        .expect("post-recovery request");
+    assert_eq!(after.status, 200, "{}", after.body);
+
+    server.stop();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let release = server.park_worker();
+
+    // An in-flight request, queued behind the parked worker.
+    let mut inflight = server.client();
+    inflight
+        .send_request("POST", "/v1/run", r#"{"benchmark": "jess"}"#)
+        .expect("send in-flight request");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Shutdown arrives while that request is still queued.
+    server.shutdown.trigger();
+    std::thread::sleep(Duration::from_millis(100));
+    release.send(()).expect("release worker");
+
+    // The drain completes the request — a full 200, flagged as the last
+    // response on the connection — before the server exits.
+    let resp = inflight.read_response().expect("drained response");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"schema\": \"softwatt-run-v1\""));
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    server.thread.join().expect("server thread exits");
+}
+
+#[test]
+fn admin_shutdown_endpoint_stops_the_server() {
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+    let resp = client
+        .request("POST", "/admin/shutdown", "")
+        .expect("shutdown request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    server.thread.join().expect("server thread exits");
+}
+
+#[test]
+fn structured_errors_cover_the_4xx_surface() {
+    let server = TestServer::start(ServeConfig {
+        max_body_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+
+    let cases: [(&str, &str, &str, u16, &str); 7] = [
+        ("POST", "/v1/run", "not json", 400, "bad_json"),
+        ("POST", "/v1/run", "{}", 400, "missing_field"),
+        (
+            "POST",
+            "/v1/run",
+            r#"{"benchmark": "quake"}"#,
+            400,
+            "unknown_benchmark",
+        ),
+        (
+            "POST",
+            "/v1/run",
+            r#"{"benchmark": "jess", "cpu": "arm"}"#,
+            400,
+            "unknown_cpu",
+        ),
+        ("GET", "/v1/figures/fig99", "", 404, "unknown_figure"),
+        ("GET", "/v1/run", "", 405, "method_not_allowed"),
+        ("GET", "/nope", "", 404, "not_found"),
+    ];
+    for (method, path, body, status, code) in cases {
+        let resp = client.request(method, path, body).expect(path);
+        assert_eq!(resp.status, status, "{method} {path}: {}", resp.body);
+        assert!(
+            resp.body.contains(&format!("\"code\": \"{code}\"")),
+            "{method} {path}: {}",
+            resp.body
+        );
+    }
+
+    // Oversized body: 413, and the server closes the connection (it will
+    // not read the rest of the payload).
+    let big = "x".repeat(512);
+    let resp = client
+        .request("POST", "/v1/run", &big)
+        .expect("oversized request");
+    assert_eq!(resp.status, 413, "{}", resp.body);
+    assert!(resp.body.contains("\"code\": \"body_too_large\""));
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    server.stop();
+}
