@@ -1,15 +1,20 @@
 //! Simulator-throughput measurement mode: times the core simulator per
 //! CPU model, the full experiment grid serial vs parallel (with the
-//! trace-replay engine), and the same grid with replay disabled (every key
-//! fully simulated) for the replay speedup headline. Writes the results as
-//! machine-readable JSON (`BENCH_simulator.json`).
+//! trace-replay engine), the same grid with replay disabled (every key
+//! fully simulated) for the replay speedup headline, and the grid against
+//! a cold vs a warm persistent trace store (the warm pass must execute 0
+//! full simulations). Writes the results as machine-readable JSON
+//! (`BENCH_simulator.json`).
 //!
-//! Usage: `bench_simulator [--scale S] [--jobs N] [--out FILE]
-//! [--metrics] [--metrics-out FILE] [--log-level LEVEL]`
-//! (defaults: scale 2000 — the experiment harness's fidelity setting —
-//! `--jobs` = available parallelism, out `BENCH_simulator.json`).
-//! Note that enabling metrics perturbs the very wall-clocks this tool
-//! measures; leave them off for regression comparisons.
+//! Usage: `bench_simulator [--scale S] [--jobs N|auto] [--out FILE]
+//! [--trace-cache DIR] [--metrics] [--metrics-out FILE]
+//! [--log-level LEVEL]` (defaults: scale 2000 — the experiment harness's
+//! fidelity setting — `--jobs` = available parallelism, out
+//! `BENCH_simulator.json`). The store timings use a scratch directory
+//! under `--trace-cache`/`SOFTWATT_TRACE_CACHE` (or the system temp dir),
+//! removed afterwards, so a real cache is never cleared. Note that
+//! enabling metrics perturbs the very wall-clocks this tool measures;
+//! leave them off for regression comparisons.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -20,13 +25,14 @@ use softwatt_bench::ObsFlags;
 
 fn main() {
     let mut scale = 2000.0f64;
-    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs = softwatt_bench::auto_parallelism();
     let mut out = String::from("BENCH_simulator.json");
+    let mut trace_cache = None;
     let mut obs = ObsFlags::default();
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: bench_simulator [--scale S] [--jobs N] [--out FILE] {}",
+            "usage: bench_simulator [--scale S] [--jobs N|auto] [--out FILE] [--trace-cache DIR] {}",
             ObsFlags::USAGE
         );
         std::process::exit(2);
@@ -43,7 +49,7 @@ fn main() {
                 _ => usage_exit("--scale needs a positive number"),
             },
             "--jobs" => {
-                jobs = softwatt_bench::parse_positive_count(
+                jobs = softwatt_bench::parse_count_or_auto(
                     "--jobs",
                     Some(value("--jobs")),
                     "thread count",
@@ -51,6 +57,7 @@ fn main() {
                 .unwrap_or_else(|e| usage_exit(&e));
             }
             "--out" => out = value("--out"),
+            "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             other => match obs.try_parse(other, || Some(value(other))) {
                 Ok(true) => {}
                 Ok(false) => usage_exit(&format!("unknown flag {other}")),
@@ -64,7 +71,7 @@ fn main() {
         time_scale: scale,
         ..SystemConfig::default()
     };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = softwatt_bench::auto_parallelism();
     eprintln!("simulator throughput (scale {scale}x, {cores} core(s), --jobs {jobs})");
 
     // Core simulator throughput: simulated cycles per wall-clock second,
@@ -109,20 +116,24 @@ fn main() {
         grid.len()
     );
 
+    // The speedup is bounded by min(jobs, cores, grid size): on a 1-core
+    // machine a parallel grid cannot beat the serial one, which the JSON
+    // now says outright via `jobs_effective`.
+    let jobs_effective = jobs.min(cores).clamp(1, grid.len());
     let suite_par = ExperimentSuite::new(config.clone()).expect("valid config");
     let start = Instant::now();
     suite_par.run_all(jobs);
     let parallel_s = start.elapsed().as_secs_f64();
     let speedup = serial_s / parallel_s;
     eprintln!(
-        "  grid x{} --jobs {jobs}    {parallel_s:7.3} s  ({speedup:.2}x)",
+        "  grid x{} --jobs {jobs}    {parallel_s:7.3} s  ({speedup:.2}x, {jobs_effective} effective)",
         grid.len()
     );
 
     // The same grid with replay disabled: every key is a full simulation.
     // The ratio against the replaying grid at the same jobs count is the
     // headline win of the log-once/replay-many engine.
-    let suite_full = ExperimentSuite::with_full_simulation(config).expect("valid config");
+    let suite_full = ExperimentSuite::with_full_simulation(config.clone()).expect("valid config");
     let start = Instant::now();
     suite_full.run_all(jobs);
     let full_sim_s = start.elapsed().as_secs_f64();
@@ -132,8 +143,43 @@ fn main() {
         grid.len()
     );
 
+    // Cold vs warm persistent trace store, in a scratch directory so a
+    // real cache the user pointed us at is never cleared.
+    let store_base = softwatt_bench::trace_cache_dir(trace_cache)
+        .map_or_else(std::env::temp_dir, std::path::PathBuf::from);
+    let store_dir = store_base.join(format!("swtrace-bench-{}", std::process::id()));
+    let store = softwatt::TraceStore::open(&store_dir).expect("create scratch trace store");
+
+    let suite_cold = ExperimentSuite::new(config.clone())
+        .expect("valid config")
+        .with_trace_store(store.clone());
+    let start = Instant::now();
+    suite_cold.run_all(jobs);
+    let cold_s = start.elapsed().as_secs_f64();
+    let cold_sims = suite_cold.runs_executed();
+    eprintln!(
+        "  grid x{} cold store  {cold_s:7.3} s  ({cold_sims} full sims captured + persisted)",
+        grid.len()
+    );
+
+    let suite_warm = ExperimentSuite::new(config)
+        .expect("valid config")
+        .with_trace_store(store);
+    let start = Instant::now();
+    suite_warm.run_all(jobs);
+    let warm_s = start.elapsed().as_secs_f64();
+    let warm_sims = suite_warm.runs_executed();
+    let warm_loads = suite_warm.store_loads();
+    let warm_speedup = cold_s / warm_s;
+    assert_eq!(warm_sims, 0, "a warm store must satisfy the whole grid");
+    eprintln!(
+        "  grid x{} warm store  {warm_s:7.3} s  ({warm_loads} store loads, {warm_sims} full sims, {warm_speedup:.2}x vs cold)",
+        grid.len()
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let json = format!(
-        "{{\n  \"schema\": \"softwatt-bench-simulator-v2\",\n  \"time_scale\": {scale},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \"cpu_models\": [\n{cpu_rows}\n  ],\n  \"grid\": {{\"runs\": {}, \"full_sims\": {full_sims}, \"replays\": {replays}, \"serial_wall_s\": {serial_s:.6}, \"parallel_wall_s\": {parallel_s:.6}, \"speedup\": {speedup:.4}, \"full_sim_wall_s\": {full_sim_s:.6}, \"replay_speedup\": {replay_speedup:.4}}}\n}}\n",
+        "{{\n  \"schema\": \"softwatt-bench-simulator-v3\",\n  \"time_scale\": {scale},\n  \"cores\": {cores},\n  \"jobs\": {jobs},\n  \"jobs_effective\": {jobs_effective},\n  \"cpu_models\": [\n{cpu_rows}\n  ],\n  \"grid\": {{\"runs\": {}, \"full_sims\": {full_sims}, \"replays\": {replays}, \"serial_wall_s\": {serial_s:.6}, \"parallel_wall_s\": {parallel_s:.6}, \"speedup\": {speedup:.4}, \"full_sim_wall_s\": {full_sim_s:.6}, \"replay_speedup\": {replay_speedup:.4}}},\n  \"trace_store\": {{\"cold_wall_s\": {cold_s:.6}, \"cold_full_sims\": {cold_sims}, \"warm_wall_s\": {warm_s:.6}, \"warm_full_sims\": {warm_sims}, \"warm_store_loads\": {warm_loads}, \"warm_speedup\": {warm_speedup:.4}}}\n}}\n",
         grid.len()
     );
     std::fs::write(&out, &json).expect("write benchmark JSON");

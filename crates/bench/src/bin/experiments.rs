@@ -2,12 +2,16 @@
 //! measured values next to the paper's (see `EXPERIMENTS.md`).
 //!
 //! Usage: `cargo run --release -p softwatt-bench --bin experiments
-//! [time_scale] [--jobs N] [--metrics] [--metrics-out FILE]
-//! [--log-level LEVEL]` — the optional time-scale factor (default
-//! 2000) trades fidelity for speed; `--jobs N` prewarms the whole run
-//! grid on N worker threads before the (serial, deterministic) printing
-//! pass, so stdout is byte-identical whatever N is. The observability
-//! flags go to stderr/file only, never stdout.
+//! [time_scale] [--jobs N|auto] [--trace-cache DIR] [--metrics]
+//! [--metrics-out FILE] [--log-level LEVEL]` — the optional time-scale
+//! factor (default 2000) trades fidelity for speed; `--jobs N` prewarms
+//! the whole run grid on N worker threads before the (serial,
+//! deterministic) printing pass, so stdout is byte-identical whatever N
+//! is. `--trace-cache DIR` (or the `SOFTWATT_TRACE_CACHE` environment
+//! variable) attaches the persistent trace store: captured traces persist
+//! across processes, and a warm run derives every bundle by replay — same
+//! stdout, no full simulations. The observability flags and the
+//! trace-cache tally go to stderr/file only, never stdout.
 
 use softwatt::experiments::{DiskSetup, ExperimentSuite};
 use softwatt::report::paper;
@@ -18,12 +22,13 @@ use softwatt_obs::obs_event;
 fn main() {
     let mut time_scale = 2000.0f64;
     let mut jobs = 1usize;
+    let mut trace_cache = None;
     let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--jobs" => {
-                match softwatt_bench::parse_positive_count("--jobs", args.next(), "thread count") {
+                match softwatt_bench::parse_count_or_auto("--jobs", args.next(), "thread count") {
                     Ok(n) => jobs = n,
                     Err(e) => {
                         eprintln!("{e}");
@@ -31,6 +36,13 @@ fn main() {
                     }
                 }
             }
+            "--trace-cache" => match args.next() {
+                Some(dir) => trace_cache = Some(dir),
+                None => {
+                    eprintln!("--trace-cache needs a directory");
+                    std::process::exit(2);
+                }
+            },
             other => match obs.try_parse(other, || args.next()) {
                 Ok(true) => {}
                 Ok(false) => match other.parse() {
@@ -38,7 +50,7 @@ fn main() {
                     Err(_) => {
                         eprintln!("unknown argument: {other}");
                         eprintln!(
-                            "usage: experiments [time_scale] [--jobs N] {}",
+                            "usage: experiments [time_scale] [--jobs N|auto] [--trace-cache DIR] {}",
                             ObsFlags::USAGE
                         );
                         std::process::exit(2);
@@ -52,12 +64,20 @@ fn main() {
         }
     }
     obs.activate();
+    let store = softwatt_bench::open_trace_store(trace_cache).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let config = SystemConfig {
         time_scale,
         ..SystemConfig::default()
     };
     println!("SoftWatt experiment harness (time scale {time_scale}x)\n");
-    let suite = ExperimentSuite::new(config).expect("valid config");
+    let mut suite = ExperimentSuite::new(config).expect("valid config");
+    let caching = store.is_some();
+    if let Some(store) = store {
+        suite = suite.with_trace_store(store);
+    }
     if jobs > 1 {
         // Fill the memo in parallel; every table below is then a lookup.
         let phase = softwatt_obs::span("phase.prewarm_ns");
@@ -234,6 +254,18 @@ fn main() {
     let phase = softwatt_obs::span("phase.extensions_ns");
     print_extensions(&suite);
     phase.finish();
+
+    if caching {
+        // The warm-run contract (`tests/trace_store.rs`, CI) is "0 full
+        // simulations": every trace comes from the store, every bundle
+        // from replay. Stdout stays byte-identical either way.
+        eprintln!(
+            "trace cache: {} full simulations, {} traces loaded from store, {} replays",
+            suite.runs_executed(),
+            suite.store_loads(),
+            suite.replays_derived()
+        );
+    }
 
     if let Err(e) = obs.finish() {
         eprintln!("{e}");

@@ -6,26 +6,43 @@
 //! throughput, latency percentiles, and status counts as JSON.
 //!
 //! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
-//! [--requests N] [--workers N] [--out FILE]`
+//! [--requests N] [--warmup N] [--workers N|auto] [--trace-cache DIR]
+//! [--out FILE]`
 //! (defaults: no addr — spawn an in-process server over real TCP —
 //! scale 50000 for fast simulations, 8 connections x 40 requests,
-//! workers = available parallelism, out `BENCH_server.json`).
+//! 0 warm-up requests, workers = available parallelism, out
+//! `BENCH_server.json`).
+//!
+//! `--warmup N` sends N unrecorded requests per connection (the same
+//! deterministic mix, same indices) before the measured phase; their
+//! latencies are reported separately so cold-start and steady-state tails
+//! can be told apart. A barrier between the phases keeps warm-up traffic
+//! out of the measured wall-clock. `--trace-cache DIR` hands the
+//! in-process server a persistent trace store and warm-starts it from
+//! disk, exactly like `softwatt-serve --trace-cache`; with `--addr` the
+//! flag is ignored (the external server owns its cache).
 
 use std::io::Write as _;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use softwatt::experiments::DiskSetup;
 use softwatt::{Benchmark, ExperimentSuite, SystemConfig};
-use softwatt_bench::parse_positive_count;
+use softwatt_bench::parse_count_or_auto;
 use softwatt_serve::client::Client;
 use softwatt_serve::{ServeConfig, Server};
 
-/// One worker's tally.
+/// Generous request timeout: the first run on a cold key simulates for
+/// real.
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+/// One worker's tally. Warm-up latencies are kept apart from the measured
+/// ones; warm-up statuses are not counted at all.
 #[derive(Default)]
 struct Tally {
     latencies_us: Vec<u64>,
+    warmup_latencies_us: Vec<u64>,
     ok_2xx: u64,
     client_4xx: u64,
     backpressure_503: u64,
@@ -38,13 +55,15 @@ fn main() {
     let mut scale = 50_000.0f64;
     let mut connections = 8usize;
     let mut requests = 40usize;
-    let mut workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut warmup = 0usize;
+    let mut workers = softwatt_bench::auto_parallelism();
+    let mut trace_cache: Option<String> = None;
     let mut out = String::from("BENCH_server.json");
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
-             [--requests N] [--workers N] [--out FILE]"
+             [--requests N] [--warmup N] [--workers N|auto] [--trace-cache DIR] [--out FILE]"
         );
         std::process::exit(2);
     }
@@ -55,7 +74,7 @@ fn main() {
                 .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
         };
         let mut count = |flag: &str, what: &str| {
-            parse_positive_count(flag, Some(value(flag)), what).unwrap_or_else(|e| usage_exit(&e))
+            parse_count_or_auto(flag, Some(value(flag)), what).unwrap_or_else(|e| usage_exit(&e))
         };
         match arg.as_str() {
             "--addr" => addr = Some(value("--addr")),
@@ -65,15 +84,25 @@ fn main() {
             },
             "--connections" => connections = count("--connections", "connection count"),
             "--requests" => requests = count("--requests", "request count"),
+            "--warmup" => match value("--warmup").parse() {
+                // 0 is fine: it just means "no warm-up phase".
+                Ok(v) => warmup = v,
+                Err(_) => usage_exit("--warmup needs a request count"),
+            },
             "--workers" => workers = count("--workers", "thread count"),
+            "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             "--out" => out = value("--out"),
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
 
     // Target: an external server, or an in-process one over real TCP.
+    let mut caching = false;
     let (target, local_server) = match addr {
         Some(addr) => {
+            if trace_cache.is_some() {
+                eprintln!("loadgen: --trace-cache ignored with --addr (the server owns its cache)");
+            }
             let target: SocketAddr = addr
                 .parse()
                 .unwrap_or_else(|_| usage_exit("--addr needs HOST:PORT"));
@@ -84,7 +113,19 @@ fn main() {
                 time_scale: scale,
                 ..SystemConfig::default()
             };
-            let suite = Arc::new(ExperimentSuite::new(system).unwrap_or_else(|e| usage_exit(&e)));
+            let mut suite = ExperimentSuite::new(system).unwrap_or_else(|e| usage_exit(&e));
+            match softwatt_bench::open_trace_store(trace_cache.take()) {
+                Ok(Some(store)) => {
+                    caching = true;
+                    let dir = store.dir().display().to_string();
+                    suite = suite.with_trace_store(store);
+                    let loaded = suite.prewarm_from_store(&suite.paper_grid());
+                    eprintln!("loadgen: warm start, {loaded} trace(s) loaded from {dir}");
+                }
+                Ok(None) => {}
+                Err(e) => usage_exit(&e),
+            }
+            let suite = Arc::new(suite);
             let config = ServeConfig {
                 workers,
                 ..ServeConfig::default()
@@ -98,23 +139,29 @@ fn main() {
         }
     };
     eprintln!(
-        "loadgen: {connections} connection(s) x {requests} request(s) against {target} \
-         (scale {scale}x)"
+        "loadgen: {connections} connection(s) x {requests} request(s) \
+         (+{warmup} warm-up) against {target} (scale {scale}x)"
     );
 
-    let started = Instant::now();
+    // One extra party for the main thread: the measured clock starts only
+    // once every connection has finished its warm-up requests.
+    let barrier = Arc::new(Barrier::new(connections + 1));
     let handles: Vec<_> = (0..connections)
         .map(|conn| {
+            let barrier = Arc::clone(&barrier);
             std::thread::Builder::new()
                 .name(format!("loadgen-{conn}"))
-                .spawn(move || run_connection(target, conn, requests))
+                .spawn(move || run_connection(target, conn, requests, warmup, &barrier))
                 .expect("spawn loadgen connection")
         })
         .collect();
+    barrier.wait();
+    let started = Instant::now();
     let mut total = Tally::default();
     for handle in handles {
         let tally = handle.join().expect("loadgen connection panicked");
         total.latencies_us.extend(tally.latencies_us);
+        total.warmup_latencies_us.extend(tally.warmup_latencies_us);
         total.ok_2xx += tally.ok_2xx;
         total.client_4xx += tally.client_4xx;
         total.backpressure_503 += tally.backpressure_503;
@@ -129,28 +176,30 @@ fn main() {
     }
 
     total.latencies_us.sort_unstable();
+    total.warmup_latencies_us.sort_unstable();
     let sent = (connections * requests) as u64;
     let answered = total.latencies_us.len() as u64;
-    let pct = |p: f64| -> u64 {
-        if total.latencies_us.is_empty() {
-            return 0;
-        }
-        let rank = (p * (total.latencies_us.len() - 1) as f64).round() as usize;
-        total.latencies_us[rank]
-    };
+    let warmed = total.warmup_latencies_us.len() as u64;
     let json = format!(
-        "{{\n  \"schema\": \"softwatt-bench-server-v1\",\n  \"time_scale\": {scale},\n  \
+        "{{\n  \"schema\": \"softwatt-bench-server-v2\",\n  \"time_scale\": {scale},\n  \
          \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
+         \"warmup_per_connection\": {warmup},\n  \"trace_cache\": {caching},\n  \
          \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
          \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
+         \"warmup\": {{\"responses\": {warmed}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
+         \"p99\": {}, \"max\": {}}}}},\n  \
          \"status\": {{\"2xx\": {}, \"4xx\": {}, \"503\": {}, \"5xx\": {}, \
          \"transport_errors\": {}}}\n}}\n",
         answered as f64 / wall_s.max(1e-9),
-        pct(0.50),
-        pct(0.90),
-        pct(0.99),
+        pct(&total.latencies_us, 0.50),
+        pct(&total.latencies_us, 0.90),
+        pct(&total.latencies_us, 0.99),
         total.latencies_us.last().copied().unwrap_or(0),
+        pct(&total.warmup_latencies_us, 0.50),
+        pct(&total.warmup_latencies_us, 0.90),
+        pct(&total.warmup_latencies_us, 0.99),
+        total.warmup_latencies_us.last().copied().unwrap_or(0),
         total.ok_2xx,
         total.client_4xx,
         total.backpressure_503,
@@ -163,6 +212,15 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out}");
+}
+
+/// Nearest-rank percentile of an already-sorted latency list.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
 }
 
 /// The deterministic request mix for request `i` on connection `conn`:
@@ -192,12 +250,51 @@ fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
     }
 }
 
-fn run_connection(target: SocketAddr, conn: usize, requests: usize) -> Tally {
+fn run_connection(
+    target: SocketAddr,
+    conn: usize,
+    requests: usize,
+    warmup: usize,
+    barrier: &Barrier,
+) -> Tally {
     let mut tally = Tally::default();
-    // Generous timeout: the first run on a cold key simulates for real.
-    let mut client = match Client::connect(target, Duration::from_secs(300)) {
-        Ok(client) => client,
-        Err(_) => {
+    let mut client = Client::connect(target, TIMEOUT).ok();
+
+    // Warm-up phase: the same deterministic mix with the same indices, so
+    // `--warmup N` with N >= requests guarantees a fully warm measured
+    // phase. Latencies land in the separate warm-up tally; statuses and
+    // transport errors are not counted — a broken connection here just
+    // ends the warm-up, and the measured loop reconnects below.
+    if let Some(c) = client.as_mut() {
+        for i in 0..warmup {
+            let (method, path, body) = request_for(conn, i);
+            let started = Instant::now();
+            match c.request(method, &path, &body) {
+                Ok(resp) => {
+                    tally
+                        .warmup_latencies_us
+                        .push(started.elapsed().as_micros() as u64);
+                    if resp.header("connection") == Some("close") {
+                        match Client::connect(target, TIMEOUT) {
+                            Ok(fresh) => *c = fresh,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(_) => match Client::connect(target, TIMEOUT) {
+                    Ok(fresh) => *c = fresh,
+                    Err(_) => break,
+                },
+            }
+        }
+    }
+
+    // Every connection reaches here before anyone's measured request goes
+    // out (the main thread holds the last barrier slot and the clock).
+    barrier.wait();
+    let mut client = match client.or_else(|| Client::connect(target, TIMEOUT).ok()) {
+        Some(client) => client,
+        None => {
             tally.transport_errors += requests as u64;
             return tally;
         }
@@ -219,7 +316,7 @@ fn run_connection(target: SocketAddr, conn: usize, requests: usize) -> Tally {
                 // A 503 closes nothing, but the server may close on
                 // errors it wrote with Connection: close; reconnect then.
                 if resp.header("connection") == Some("close") {
-                    match Client::connect(target, Duration::from_secs(300)) {
+                    match Client::connect(target, TIMEOUT) {
                         Ok(fresh) => client = fresh,
                         Err(_) => {
                             tally.transport_errors += (requests - i - 1) as u64;
@@ -230,7 +327,7 @@ fn run_connection(target: SocketAddr, conn: usize, requests: usize) -> Tally {
             }
             Err(_) => {
                 tally.transport_errors += 1;
-                match Client::connect(target, Duration::from_secs(300)) {
+                match Client::connect(target, TIMEOUT) {
                     Ok(fresh) => client = fresh,
                     Err(_) => {
                         tally.transport_errors += (requests - i - 1) as u64;

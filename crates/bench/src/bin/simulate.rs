@@ -46,14 +46,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   simulate run <benchmark>[,<benchmark>...] [--cpu mxs|mxs1|mipsy]
                 [--disk conv|idle|standby2|standby4|sleep] [--scale N] [--seed N]
-                [--jobs N] [--log FILE] [--record FILE] [--replay FILE]
+                [--jobs N|auto] [--trace-cache DIR] [--log FILE]
+                [--record FILE] [--replay FILE]
                 [--metrics] [--metrics-out FILE] [--log-level LEVEL]
   simulate post <logfile> [--metrics] [--metrics-out FILE] [--log-level LEVEL]
 
 benchmarks: compress jess db javac mtrt jack (or 'all');
 --jobs N simulates a multi-benchmark list on N threads (results print
-in list order either way); --metrics/--metrics-out/--log-level report
-observability data on stderr / to a JSON file";
+in list order either way); --trace-cache DIR (or SOFTWATT_TRACE_CACHE)
+reuses full simulations across processes via the persistent trace store
+and forces analytic idle handling (the mode traces are captured under);
+--metrics/--metrics-out/--log-level report observability data on
+stderr / to a JSON file";
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = args
@@ -84,6 +88,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut log_path: Option<String> = None;
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut trace_cache: Option<String> = None;
     let mut jobs = 1usize;
     let mut obs = ObsFlags::default();
     let mut it = args[1..].iter();
@@ -130,8 +135,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--jobs" => {
                 jobs =
-                    softwatt_bench::parse_positive_count("--jobs", Some(value()?), "thread count")?
+                    softwatt_bench::parse_count_or_auto("--jobs", Some(value()?), "thread count")?
             }
+            "--trace-cache" => trace_cache = Some(value()?),
             "--log" => log_path = Some(value()?),
             "--record" => record_path = Some(value()?),
             "--replay" => replay_path = Some(value()?),
@@ -143,12 +149,26 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     obs.activate();
+    let store = softwatt_bench::open_trace_store(trace_cache)?;
+    if let Some(store) = &store {
+        if record_path.is_some() || replay_path.is_some() {
+            return Err("--trace-cache applies to benchmark runs, not --record/--replay".into());
+        }
+        // Stored traces are captured under analytic idle handling; forcing
+        // it here makes a cold (capturing) and a warm (replaying) run of
+        // the same command agree bit for bit.
+        config.idle = softwatt::IdleHandling::Analytic;
+        eprintln!(
+            "trace cache {}: idle handling forced to analytic",
+            store.dir().display()
+        );
+    }
 
     if benchmarks.len() > 1 {
         if record_path.is_some() || replay_path.is_some() || log_path.is_some() {
             return Err("--log/--record/--replay need a single benchmark".into());
         }
-        run_many(&benchmarks, &config, jobs)?;
+        run_many(&benchmarks, &config, jobs, store.as_ref())?;
         return obs.finish();
     }
 
@@ -187,7 +207,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             eprintln!("replaying user trace from {path}");
             sim.run_source(Box::new(reader), &warm, &premap, os_config)
         }
-        (None, None) => sim.run_benchmark(benchmark),
+        (None, None) => match &store {
+            Some(store) => sim.run_benchmark_stored(benchmark, store),
+            None => sim.run_benchmark(benchmark),
+        },
     };
 
     print_run(benchmark, &config, &run);
@@ -230,7 +253,12 @@ fn print_run(benchmark: Benchmark, config: &SystemConfig, run: &RunResult) {
 /// Simulates several benchmarks on up to `jobs` threads. Runs are seeded
 /// per-configuration and independent, so results (printed in list order)
 /// are identical whatever `jobs` is.
-fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Result<(), String> {
+fn run_many(
+    benchmarks: &[Benchmark],
+    config: &SystemConfig,
+    jobs: usize,
+    store: Option<&softwatt::TraceStore>,
+) -> Result<(), String> {
     Simulator::new(config.clone())?; // surface config errors before spawning
     let workers = jobs.min(benchmarks.len());
     eprintln!(
@@ -251,7 +279,11 @@ fn run_many(benchmarks: &[Benchmark], config: &SystemConfig, jobs: usize) -> Res
                     break;
                 };
                 let sim = Simulator::new(config.clone()).expect("validated config");
-                *results[i].lock().expect("result slot") = Some(sim.run_benchmark(bench));
+                let run = match store {
+                    Some(store) => sim.run_benchmark_stored(bench, store),
+                    None => sim.run_benchmark(bench),
+                };
+                *results[i].lock().expect("result slot") = Some(run);
             });
         }
     });

@@ -41,6 +41,51 @@ pub fn parse_positive_count(
         .ok_or_else(|| format!("{flag} needs a positive {what}"))
 }
 
+/// Like [`parse_positive_count`], but also accepts the literal `auto`,
+/// which maps to the machine's available parallelism (so `--jobs auto`
+/// means "use every core" on every binary uniformly).
+///
+/// # Errors
+///
+/// Returns `"{flag} needs a positive {what} or \"auto\""` when the value
+/// is absent, unparsable, or zero.
+pub fn parse_count_or_auto(flag: &str, value: Option<String>, what: &str) -> Result<usize, String> {
+    if value.as_deref() == Some("auto") {
+        return Ok(auto_parallelism());
+    }
+    parse_positive_count(flag, value, what)
+        .map_err(|_| format!("{flag} needs a positive {what} or \"auto\""))
+}
+
+/// The parallelism `auto` resolves to: `std::thread::available_parallelism`,
+/// falling back to 1 when the platform cannot report it.
+pub fn auto_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves the persistent trace-cache directory: an explicit
+/// `--trace-cache DIR` beats the `SOFTWATT_TRACE_CACHE` environment
+/// variable; an empty value for either means "no cache".
+pub fn trace_cache_dir(flag: Option<String>) -> Option<String> {
+    flag.or_else(|| std::env::var("SOFTWATT_TRACE_CACHE").ok())
+        .filter(|v| !v.is_empty())
+}
+
+/// Opens the [`softwatt::TraceStore`] for [`trace_cache_dir`]'s resolution,
+/// if any.
+///
+/// # Errors
+///
+/// Returns a message when the directory cannot be created or opened.
+pub fn open_trace_store(flag: Option<String>) -> Result<Option<softwatt::TraceStore>, String> {
+    trace_cache_dir(flag)
+        .map(|dir| {
+            softwatt::TraceStore::open(&dir)
+                .map_err(|e| format!("cannot open trace cache {dir}: {e}"))
+        })
+        .transpose()
+}
+
 /// The observability flags shared by `experiments`, `simulate`, and
 /// `bench_simulator`.
 ///

@@ -25,6 +25,7 @@ use crate::budget::{system_budget, SystemBudget};
 use crate::config::{CpuModel, IdleHandling, SystemConfig};
 use crate::report::{joules, pct};
 use crate::sim::{RunResult, Simulator};
+use crate::store::{TraceKey, TraceStore};
 
 /// Discrete disk configurations of the Section 4 study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -240,8 +241,10 @@ pub struct ExperimentSuite {
     runs: Mutex<HashMap<RunKey, Slot<RunBundle>>>,
     traces: Mutex<HashMap<(Benchmark, CpuModel), Slot<PerfTrace>>>,
     replay_enabled: bool,
+    store: Option<TraceStore>,
     executed: AtomicUsize,
     replays: AtomicUsize,
+    store_loads: AtomicUsize,
 }
 
 impl ExperimentSuite {
@@ -279,9 +282,36 @@ impl ExperimentSuite {
             runs: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
             replay_enabled,
+            store: None,
             executed: AtomicUsize::new(0),
             replays: AtomicUsize::new(0),
+            store_loads: AtomicUsize::new(0),
         })
+    }
+
+    /// Attaches a persistent [`TraceStore`], adding a third tier to trace
+    /// lookup: memory memo → disk store → full simulation. Traces captured
+    /// by this suite are persisted to the store; traces found in the store
+    /// are replayed instead of simulated, which is bit-identical (see
+    /// `tests/trace_store.rs`).
+    ///
+    /// Has no effect on a [`ExperimentSuite::with_full_simulation`] suite,
+    /// which by definition never touches traces.
+    #[must_use]
+    pub fn with_trace_store(mut self, store: TraceStore) -> ExperimentSuite {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent trace store, if any.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.store.as_ref()
+    }
+
+    /// How many traces were loaded from the persistent store instead of
+    /// being captured by a full simulation.
+    pub fn store_loads(&self) -> usize {
+        self.store_loads.load(Ordering::Acquire)
     }
 
     /// The base configuration.
@@ -317,29 +347,88 @@ impl ExperimentSuite {
         memoize(&self.runs, key, &BUNDLE_MEMO, || self.execute(key))
     }
 
-    /// The captured trace for one (benchmark, CPU) pair, simulating it if
-    /// this is the first request.
+    /// The captured trace for one (benchmark, CPU) pair: from the memory
+    /// memo, else the persistent store (when attached), else a full
+    /// simulation (persisted to the store afterwards).
     fn trace_for(&self, benchmark: Benchmark, cpu: CpuModel) -> Arc<PerfTrace> {
         memoize(&self.traces, (benchmark, cpu), &TRACE_MEMO, || {
-            let mut config = self.config.clone();
-            config.cpu = cpu;
-            config.idle = IdleHandling::Analytic;
-            // The capture run uses the suite's base disk config; the trace
-            // it produces is disk-policy-independent.
-            let sim = Simulator::new(config).expect("validated config");
-            self.executed.fetch_add(1, Ordering::AcqRel);
-            let span = softwatt_obs::span("suite.trace_capture_ns");
-            let trace = sim.run_benchmark_traced(benchmark).1;
-            if let Some(ns) = span.finish() {
-                softwatt_obs::obs_event!(
-                    softwatt_obs::Level::Debug,
-                    "suite",
-                    "captured trace for {benchmark} on {cpu:?} in {:.1}ms",
-                    ns as f64 / 1e6
-                );
+            if let Some(store) = &self.store {
+                let key = TraceKey::derive(&self.config, benchmark, cpu);
+                if let Some(trace) = store.load(&key) {
+                    self.store_loads.fetch_add(1, Ordering::AcqRel);
+                    return trace;
+                }
+                let trace = self.capture_trace(benchmark, cpu);
+                store.store(&key, &trace);
+                return trace;
             }
-            trace
+            self.capture_trace(benchmark, cpu)
         })
+    }
+
+    /// Captures a trace by full simulation (the bottom tier).
+    fn capture_trace(&self, benchmark: Benchmark, cpu: CpuModel) -> PerfTrace {
+        let mut config = self.config.clone();
+        config.cpu = cpu;
+        config.idle = IdleHandling::Analytic;
+        // The capture run uses the suite's base disk config; the trace
+        // it produces is disk-policy-independent.
+        let sim = Simulator::new(config).expect("validated config");
+        self.executed.fetch_add(1, Ordering::AcqRel);
+        let span = softwatt_obs::span("suite.trace_capture_ns");
+        let trace = sim.run_benchmark_traced(benchmark).1;
+        if let Some(ns) = span.finish() {
+            softwatt_obs::obs_event!(
+                softwatt_obs::Level::Debug,
+                "suite",
+                "captured trace for {benchmark} on {cpu:?} in {:.1}ms",
+                ns as f64 / 1e6
+            );
+        }
+        trace
+    }
+
+    /// Loads whatever traces the persistent store already has for the
+    /// distinct (benchmark, CPU) pairs of `keys` into the memory memo,
+    /// *without ever simulating*. Returns how many traces were loaded.
+    ///
+    /// This is the cheap half of a warm start (`softwatt-serve` runs it
+    /// before accepting connections): entries the store has make every
+    /// later request for that pair a replay; entries it lacks are left to
+    /// be simulated on first demand.
+    pub fn prewarm_from_store(&self, keys: &[RunKey]) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let mut pairs: Vec<(Benchmark, CpuModel)> = Vec::new();
+        for key in keys {
+            if !pairs.contains(&(key.benchmark, key.cpu)) {
+                pairs.push((key.benchmark, key.cpu));
+            }
+        }
+        let mut loaded = 0;
+        for (benchmark, cpu) in pairs {
+            if self
+                .traces
+                .lock()
+                .expect("memo lock")
+                .contains_key(&(benchmark, cpu))
+            {
+                continue;
+            }
+            let key = TraceKey::derive(&self.config, benchmark, cpu);
+            let Some(trace) = store.load(&key) else {
+                continue;
+            };
+            // Only fill a still-vacant slot: a concurrent caller may have
+            // claimed the pair between the peek above and this insert, and
+            // its result (simulated or loaded) is just as good.
+            let mut slots = self.traces.lock().expect("memo lock");
+            if let std::collections::hash_map::Entry::Vacant(slot) = slots.entry((benchmark, cpu)) {
+                slot.insert(Slot::Ready(Arc::new(trace)));
+                self.store_loads.fetch_add(1, Ordering::AcqRel);
+                loaded += 1;
+            }
+        }
+        loaded
     }
 
     /// Produces one bundle (always a memo miss): by trace replay when
@@ -727,10 +816,13 @@ impl ExperimentSuite {
     /// (obtained from a *different* run) with roughly 10% error, without
     /// detailed simulation of the services.
     pub fn ext_kernel_energy_estimate(&self) -> Vec<KernelEstimateRow> {
-        // Reference means come from a run with a different seed.
+        // Reference means come from a run with a different seed. The nested
+        // suite inherits the persistent store so the reference runs are
+        // also paid for only once per machine.
         let mut reference = self.config.clone();
         reference.seed ^= 0xDEAD_BEEF;
-        let ref_suite = ExperimentSuite::new(reference).expect("valid config");
+        let mut ref_suite = ExperimentSuite::new(reference).expect("valid config");
+        ref_suite.store.clone_from(&self.store);
         Benchmark::ALL
             .iter()
             .map(|&b| {

@@ -40,11 +40,13 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod sim;
+pub mod store;
 
 pub use budget::{system_budget, SystemBudget};
 pub use config::{CpuModel, IdleHandling, SystemConfig};
 pub use experiments::ExperimentSuite;
 pub use sim::{RunResult, Simulator};
+pub use store::{TraceKey, TraceStore};
 
 // The public API surface re-exports the pieces users need.
 pub use softwatt_disk::{DiskConfig, DiskPolicy};

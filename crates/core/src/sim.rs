@@ -111,6 +111,29 @@ impl Simulator {
         (result, trace.expect("capture mode always yields a trace"))
     }
 
+    /// Runs a benchmark through the persistent trace store: a stored trace
+    /// is replayed through this simulator's disk configuration; on a miss
+    /// the run is captured and persisted for every later process. Either
+    /// way the result is exactly what [`Simulator::run_benchmark`] produces
+    /// under [`IdleHandling::Analytic`] — callers forcing results through
+    /// the store should set that idle handling so a cold and a warm run
+    /// agree bit for bit.
+    pub fn run_benchmark_stored(
+        &self,
+        benchmark: Benchmark,
+        store: &crate::store::TraceStore,
+    ) -> RunResult {
+        let key = crate::store::TraceKey::derive(&self.config, benchmark, self.config.cpu);
+        if let Some(trace) = store.load(&key) {
+            let mut run = self.replay_trace(&trace);
+            run.benchmark = Some(benchmark);
+            return run;
+        }
+        let (run, trace) = self.run_benchmark_traced(benchmark);
+        store.store(&key, &trace);
+        run
+    }
+
     fn run_benchmark_inner(
         &self,
         benchmark: Benchmark,

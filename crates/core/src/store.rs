@@ -1,0 +1,352 @@
+//! The persistent trace store: pay for each full simulation once per
+//! machine, not once per process.
+//!
+//! A [`TraceStore`] is a content-addressed cache directory of `swtrace-v1`
+//! files (see `softwatt_stats::swtrace`). Entries are keyed by a
+//! [`TraceKey`]: a stable 64-bit hash of the *policy-independent* run
+//! identity — benchmark, CPU model, and every [`SystemConfig`] field that
+//! can change the captured work stream (time scale, seed, memory geometry,
+//! core widths, OS parameters, sampling interval, ...). Disk policy and
+//! idle handling are deliberately normalized out: a captured trace replays
+//! through any disk policy, so one entry serves every policy variant.
+//!
+//! The store is a *cache*, never a source of truth, so every failure mode
+//! degrades to "simulate it again":
+//!
+//! - lookups that find nothing are misses;
+//! - entries that fail to parse (bad magic, truncation, checksum or
+//!   key-descriptor mismatch, stale format version) are counted as corrupt,
+//!   logged, deleted, and treated as misses;
+//! - writes are crash-safe (temp file in the same directory, fsync, atomic
+//!   rename) and best-effort — a full disk loses the cache entry, not the
+//!   run.
+//!
+//! Atomic renames also make concurrent use by multiple processes safe: a
+//! reader sees either the complete old entry or the complete new one, and
+//! two writers racing on the same key both produce identical bytes (runs
+//! are deterministic), so either winner is correct.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use softwatt_stats::swtrace::SWTRACE_VERSION;
+use softwatt_stats::PerfTrace;
+use softwatt_workloads::Benchmark;
+
+use crate::config::{CpuModel, IdleHandling, SystemConfig};
+
+/// FNV-1a 64-bit over the descriptor. Stable across processes and
+/// platforms — the standard library's hashers are randomly keyed and
+/// would defeat a persistent cache.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content address of one stored trace.
+///
+/// The descriptor string is the full human-readable identity (it rides
+/// along inside the entry as the annotation, so a hash collision or a
+/// config drift is detected on load); the hash names the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceKey {
+    descriptor: String,
+    hash: u64,
+}
+
+impl TraceKey {
+    /// Derives the key for one (config, benchmark, CPU) run.
+    ///
+    /// Policy-dependent fields are normalized before hashing: the CPU field
+    /// is set to `cpu`, idle handling to [`IdleHandling::Analytic`] (the
+    /// only mode traces are captured under), and the disk *policy* to
+    /// conventional — the captured work stream does not depend on it. Every
+    /// other field participates via the config's `Debug` rendering, whose
+    /// f64 formatting is shortest-round-trip and therefore exact. The
+    /// `swtrace` format version is folded in so a codec change invalidates
+    /// every old entry at once.
+    pub fn derive(config: &SystemConfig, benchmark: Benchmark, cpu: CpuModel) -> TraceKey {
+        let mut canonical = config.clone();
+        canonical.cpu = cpu;
+        canonical.idle = IdleHandling::Analytic;
+        canonical.disk.policy = softwatt_disk::DiskPolicy::Conventional;
+        let descriptor = format!("swtrace-v{SWTRACE_VERSION}|{benchmark}|{canonical:?}");
+        let hash = fnv1a(descriptor.as_bytes());
+        TraceKey { descriptor, hash }
+    }
+
+    /// The full identity string (stored inside the entry as its
+    /// annotation).
+    pub fn descriptor(&self) -> &str {
+        &self.descriptor
+    }
+
+    /// The stable 64-bit content hash (names the cache file).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A content-addressed on-disk cache of captured [`PerfTrace`]s. See the
+/// module docs for the failure-mode contract.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<TraceStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TraceStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry for `key` lives at.
+    pub fn entry_path(&self, key: &TraceKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.swtrace", key.hash))
+    }
+
+    /// Looks `key` up, returning the stored trace on a hit.
+    ///
+    /// Never errors: a missing entry is a miss; an unreadable or corrupt
+    /// entry (bad magic, truncation, checksum mismatch, stale format
+    /// version, annotation that does not match the key descriptor) is
+    /// counted, logged, *deleted*, and reported as a miss. The caller's
+    /// only fallback is a fresh simulation either way.
+    pub fn load(&self, key: &TraceKey) -> Option<PerfTrace> {
+        let path = self.entry_path(key);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    softwatt_obs::obs_event!(
+                        softwatt_obs::Level::Warn,
+                        "store",
+                        "cannot open trace cache entry {}: {e}",
+                        path.display()
+                    );
+                }
+                softwatt_obs::count("trace_store.misses", 1);
+                return None;
+            }
+        };
+        let _span = softwatt_obs::span("store.load_ns");
+        let parsed = PerfTrace::from_binary(io::BufReader::new(file)).and_then(|(trace, note)| {
+            if note == key.descriptor.as_bytes() {
+                Ok(trace)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "entry annotation does not match the key descriptor \
+                     (hash collision or config drift)",
+                ))
+            }
+        });
+        match parsed {
+            Ok(trace) => {
+                softwatt_obs::count("trace_store.hits", 1);
+                trace
+            }
+            Err(e) => {
+                softwatt_obs::count("trace_store.corrupt", 1);
+                softwatt_obs::count("trace_store.misses", 1);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "store",
+                    "corrupt trace cache entry {} ({e}); deleting and re-simulating",
+                    path.display()
+                );
+                self.evict(&path);
+                return None;
+            }
+        }
+        .into()
+    }
+
+    /// Persists `trace` under `key`, crash-safely: the bytes land in a
+    /// temp file in the store directory, are fsynced, and are renamed over
+    /// the final name, so concurrent readers and a crash mid-write can
+    /// never observe a partial entry.
+    ///
+    /// Best-effort: failures are logged as obs events and swallowed — the
+    /// caller already has the trace, and the store is only a cache.
+    pub fn store(&self, key: &TraceKey, trace: &PerfTrace) {
+        let _span = softwatt_obs::span("store.write_ns");
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{:016x}-{}", key.hash, std::process::id()));
+        match self.write_entry(key, trace, &tmp) {
+            Ok(()) => softwatt_obs::count("trace_store.writes", 1),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "store",
+                    "cannot persist trace cache entry {} ({e}); continuing without it",
+                    self.entry_path(key).display()
+                );
+            }
+        }
+    }
+
+    fn write_entry(&self, key: &TraceKey, trace: &PerfTrace, tmp: &Path) -> io::Result<()> {
+        let mut file = fs::File::create(tmp)?;
+        trace.to_binary(&mut file, key.descriptor.as_bytes())?;
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(tmp, self.entry_path(key))
+    }
+
+    /// Deletes every `.swtrace` entry in the store, returning how many
+    /// were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first directory-listing or deletion error.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "swtrace") {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn evict(&self, path: &Path) {
+        match fs::remove_file(path) {
+            Ok(()) => softwatt_obs::count("trace_store.evictions", 1),
+            // Already gone is fine — another process may have evicted it.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => softwatt_obs::obs_event!(
+                softwatt_obs::Level::Warn,
+                "store",
+                "cannot delete corrupt trace cache entry {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swstore-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_config() -> SystemConfig {
+        SystemConfig {
+            time_scale: 50_000.0,
+            idle: IdleHandling::Analytic,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn key_ignores_policy_dependent_fields() {
+        let config = quick_config();
+        let base = TraceKey::derive(&config, Benchmark::Jess, CpuModel::Mxs);
+
+        let mut policy = config.clone();
+        policy.disk.policy = softwatt_disk::DiskPolicy::Standby { threshold_s: 2.0 };
+        policy.idle = IdleHandling::Simulate;
+        assert_eq!(
+            TraceKey::derive(&policy, Benchmark::Jess, CpuModel::Mxs),
+            base,
+            "disk policy and idle handling must not change the key"
+        );
+
+        let mut scaled = config.clone();
+        scaled.time_scale = 60_000.0;
+        let mut seeded = config.clone();
+        seeded.seed ^= 1;
+        for (what, other) in [
+            (
+                "benchmark",
+                TraceKey::derive(&config, Benchmark::Db, CpuModel::Mxs),
+            ),
+            (
+                "cpu model",
+                TraceKey::derive(&config, Benchmark::Jess, CpuModel::Mipsy),
+            ),
+            (
+                "time scale",
+                TraceKey::derive(&scaled, Benchmark::Jess, CpuModel::Mxs),
+            ),
+            (
+                "seed",
+                TraceKey::derive(&seeded, Benchmark::Jess, CpuModel::Mxs),
+            ),
+        ] {
+            assert_ne!(other, base, "{what} must change the key");
+            assert_ne!(other.hash(), base.hash(), "{what} must change the hash");
+        }
+    }
+
+    #[test]
+    fn store_round_trips_a_captured_trace() {
+        let dir = test_dir("roundtrip");
+        let store = TraceStore::open(&dir).unwrap();
+        let config = quick_config();
+        let sim = Simulator::new(config.clone()).unwrap();
+        let trace = sim.run_benchmark_traced(Benchmark::Jess).1;
+        let key = TraceKey::derive(&config, Benchmark::Jess, config.cpu);
+
+        assert!(store.load(&key).is_none(), "store starts empty");
+        store.store(&key, &trace);
+        assert_eq!(store.load(&key).as_ref(), Some(&trace));
+
+        // A different key misses even though the file for `key` exists.
+        let other = TraceKey::derive(&config, Benchmark::Db, config.cpu);
+        assert!(store.load(&other).is_none());
+
+        assert_eq!(store.clear().unwrap(), 1);
+        assert!(store.load(&key).is_none(), "clear removed the entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_deleted_and_misses() {
+        let dir = test_dir("corrupt");
+        let store = TraceStore::open(&dir).unwrap();
+        let config = quick_config();
+        let sim = Simulator::new(config.clone()).unwrap();
+        let trace = sim.run_benchmark_traced(Benchmark::Jess).1;
+        let key = TraceKey::derive(&config, Benchmark::Jess, config.cpu);
+        store.store(&key, &trace);
+
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load(&key).is_none(), "corrupt entry must miss");
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert!(store.load(&key).is_none(), "second lookup is a plain miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

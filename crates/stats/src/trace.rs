@@ -66,7 +66,11 @@ pub struct PerfTrace {
 }
 
 impl PerfTrace {
-    /// Checks structural invariants (segment/request correspondence).
+    /// Checks cross-section invariants (segment/request correspondence,
+    /// monotone work offsets). Both deserializers — [`PerfTrace::from_csv`]
+    /// and the binary [`PerfTrace::from_binary`] — run this same check, so
+    /// a hand-edited CSV can never construct a trace the binary codec
+    /// would reject, and vice versa.
     ///
     /// # Errors
     ///
@@ -85,6 +89,24 @@ impl PerfTrace {
                 "segment samples cover {sampled} cycles but the trace claims {} work cycles",
                 self.work_cycles
             ));
+        }
+        let mut prev_submit = 0u64;
+        for (i, r) in self.requests.iter().enumerate() {
+            if r.work_submit < prev_submit {
+                return Err(format!(
+                    "request {i} submitted at work cycle {} before request {}'s {prev_submit} \
+                     (work offsets must be monotone)",
+                    r.work_submit,
+                    i.wrapping_sub(1)
+                ));
+            }
+            if r.work_submit > self.work_cycles {
+                return Err(format!(
+                    "request {i} submitted at work cycle {} beyond the trace's {} work cycles",
+                    r.work_submit, self.work_cycles
+                ));
+            }
+            prev_submit = r.work_submit;
         }
         Ok(())
     }
@@ -268,6 +290,11 @@ impl PerfTrace {
                 _ => return Err(bad("unknown row tag")),
             }
         }
+        // Same cross-section validation as the binary reader (swtrace.rs):
+        // the two formats accept exactly the same set of traces.
+        trace
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(trace)
     }
 }

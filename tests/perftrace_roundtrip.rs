@@ -37,17 +37,12 @@ fn samples(interval: u64, steps: &[(Mode, UnitEvent, u64)]) -> Vec<Sample> {
     stats.finish().samples().to_vec()
 }
 
-fn requests() -> impl Strategy<Value = Vec<TraceRequest>> {
-    prop::collection::vec(
-        (0u64..1 << 40, 0u64..1 << 40, 1u64..1 << 20).prop_map(
-            |(work_submit, disk_offset, bytes)| TraceRequest {
-                work_submit,
-                disk_offset,
-                bytes,
-            },
-        ),
-        0..8,
-    )
+/// Raw request material: (submit-time delta, disk offset, bytes). The test
+/// body prefix-sums the deltas and clamps them to the trace's work cycles,
+/// because `validate()` (shared by the CSV and binary readers) demands
+/// monotone, in-range submission offsets.
+fn request_parts() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    prop::collection::vec((0u64..1 << 16, 0u64..1 << 40, 1u64..1 << 20), 0..8)
 }
 
 fn idle_rates() -> impl Strategy<Value = Vec<(UnitEvent, f64)>> {
@@ -89,7 +84,7 @@ proptest! {
         interval in 1u64..32,
         scale in 1.0f64..500_000.0,
         steps in prop::collection::vec((modes(), events(), 0u64..9), 1..120),
-        requests in requests(),
+        request_parts in request_parts(),
         idle_rates in idle_rates(),
         work_services in work_services(),
         committed in 0u64..1 << 50,
@@ -97,6 +92,15 @@ proptest! {
     ) {
         let samples = samples(interval, &steps);
         let work_cycles: u64 = samples.iter().map(Sample::cycles).sum();
+
+        let mut submit = 0u64;
+        let requests: Vec<TraceRequest> = request_parts
+            .into_iter()
+            .map(|(delta, disk_offset, bytes)| {
+                submit = (submit + delta).min(work_cycles);
+                TraceRequest { work_submit: submit, disk_offset, bytes }
+            })
+            .collect();
 
         // Deal the samples into requests.len() + 1 segments round-robin,
         // so some segments are empty whenever samples run short — the
@@ -123,7 +127,15 @@ proptest! {
         let mut buf = Vec::new();
         trace.to_csv(&mut buf).unwrap();
         let back = PerfTrace::from_csv(std::io::BufReader::new(&buf[..])).unwrap();
+        prop_assert_eq!(&back, &trace);
+
+        // The swtrace-v1 binary codec is the identity on the same traces,
+        // annotation included.
+        let mut bin = Vec::new();
+        trace.to_binary(&mut bin, b"prop annotation").unwrap();
+        let (back, annotation) = PerfTrace::from_binary(&bin[..]).unwrap();
         prop_assert_eq!(back, trace);
+        prop_assert_eq!(annotation.as_slice(), b"prop annotation".as_slice());
     }
 
     /// The header's decimal floats (hz, scale) survive the round trip
