@@ -3,11 +3,19 @@
 //! Hammers a server with a deterministic mixed workload — single runs
 //! rotating over every benchmark/disk pair, figure renders, health and
 //! metrics probes — from N concurrent keep-alive connections, and writes
-//! throughput, latency percentiles, and status counts as JSON.
+//! throughput, latency percentiles (overall and per admission lane), and
+//! status counts as JSON.
+//!
+//! The driver is epoll-multiplexed: one thread owns every connection
+//! (closed loop, one outstanding request each), so hundreds of
+//! connections cost hundreds of sockets, not hundreds of OS threads.
+//! That is what makes 200+ connections honest on a small box — with
+//! thread-per-connection the scheduler noise of the clients themselves
+//! dominates the tail latencies being measured.
 //!
 //! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
-//! [--requests N] [--warmup N] [--workers N|auto] [--trace-cache DIR]
-//! [--out FILE]`
+//! [--requests N] [--warmup N] [--workers N|auto] [--cold-grid]
+//! [--trace-cache DIR] [--out FILE]`
 //! (defaults: no addr — spawn an in-process server over real TCP —
 //! scale 50000 for fast simulations, 8 connections x 40 requests,
 //! 0 warm-up requests, workers = available parallelism, out
@@ -17,37 +25,72 @@
 //! deterministic mix, same indices) before the measured phase; their
 //! latencies are reported separately so cold-start and steady-state tails
 //! can be told apart. A barrier between the phases keeps warm-up traffic
-//! out of the measured wall-clock. `--trace-cache DIR` hands the
-//! in-process server a persistent trace store and warm-starts it from
-//! disk, exactly like `softwatt-serve --trace-cache`; with `--addr` the
-//! flag is ignored (the external server owns its cache).
+//! out of the measured wall-clock.
+//!
+//! `--cold-grid` stresses the tiered admission: while the measured mix
+//! runs, one extra connection submits the full paper grid as a cold
+//! `POST /v1/batch`, and three more ask for the same cold key at once —
+//! the duplicate-run probe behind the `serve.dedup_attached` metric. The
+//! point the report makes is that warm (inline-lane) percentiles stay
+//! flat while all of that churns on the cold lane.
+//!
+//! `--trace-cache DIR` hands the in-process server a persistent trace
+//! store and warm-starts it from disk, exactly like `softwatt-serve
+//! --trace-cache`; with `--addr` the flag is ignored (the external server
+//! owns its cache). Lane attribution reads each response's
+//! `X-Softwatt-Lane` header; the queue high-water marks and dedup count
+//! come from one `GET /metrics` probe after the measured phase.
 
-use std::io::Write as _;
-use std::net::SocketAddr;
-use std::sync::{Arc, Barrier};
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use softwatt::experiments::DiskSetup;
-use softwatt::{Benchmark, ExperimentSuite, SystemConfig};
+use softwatt::{Benchmark, CpuModel, ExperimentSuite, SystemConfig};
 use softwatt_bench::parse_count_or_auto;
 use softwatt_serve::client::Client;
+use softwatt_serve::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use softwatt_serve::{ServeConfig, Server};
 
 /// Generous request timeout: the first run on a cold key simulates for
-/// real.
+/// real, and a cold-grid batch is many of those back to back.
 const TIMEOUT: Duration = Duration::from_secs(300);
 
+/// The cold key three `--cold-grid` connections request simultaneously.
+/// Last in the paper grid, so the concurrent batch computes it last and
+/// the dedup window stays wide open.
+const DEDUP_BODY: &str = r#"{"benchmark": "jess", "cpu": "mipsy"}"#;
+/// How many connections send [`DEDUP_BODY`] at once.
+const DEDUP_CONNS: usize = 3;
+
 /// One worker's tally. Warm-up latencies are kept apart from the measured
-/// ones; warm-up statuses are not counted at all.
+/// ones; warm-up statuses are not counted at all. Measured latencies are
+/// additionally attributed to the admission lane the server reported.
 #[derive(Default)]
 struct Tally {
     latencies_us: Vec<u64>,
     warmup_latencies_us: Vec<u64>,
+    inline_us: Vec<u64>,
+    replay_us: Vec<u64>,
+    cold_us: Vec<u64>,
     ok_2xx: u64,
     client_4xx: u64,
     backpressure_503: u64,
     server_5xx: u64,
     transport_errors: u64,
+}
+
+/// What the `--cold-grid` side traffic observed.
+struct ColdGridStats {
+    batch_status: u16,
+    batch_wall_s: f64,
+    /// `503` bounces absorbed before the batch was admitted.
+    batch_retries: u32,
+    /// (status, lane) per duplicate-key run, in completion order.
+    dedup: Vec<(u16, String)>,
 }
 
 fn main() {
@@ -57,13 +100,15 @@ fn main() {
     let mut requests = 40usize;
     let mut warmup = 0usize;
     let mut workers = softwatt_bench::auto_parallelism();
+    let mut cold_grid = false;
     let mut trace_cache: Option<String> = None;
     let mut out = String::from("BENCH_server.json");
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
-             [--requests N] [--warmup N] [--workers N|auto] [--trace-cache DIR] [--out FILE]"
+             [--requests N] [--warmup N] [--workers N|auto] [--cold-grid] \
+             [--trace-cache DIR] [--out FILE]"
         );
         std::process::exit(2);
     }
@@ -90,6 +135,7 @@ fn main() {
                 Err(_) => usage_exit("--warmup needs a request count"),
             },
             "--workers" => workers = count("--workers", "thread count"),
+            "--cold-grid" => cold_grid = true,
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             "--out" => out = value("--out"),
             other => usage_exit(&format!("unknown flag {other}")),
@@ -109,6 +155,8 @@ fn main() {
             (target, None)
         }
         None => {
+            // The in-process server's lane/queue metrics feed the report.
+            softwatt_obs::set_enabled(true);
             let system = SystemConfig {
                 time_scale: scale,
                 ..SystemConfig::default()
@@ -128,83 +176,110 @@ fn main() {
             let suite = Arc::new(suite);
             let config = ServeConfig {
                 workers,
+                max_connections: (connections + DEDUP_CONNS + 16).max(1024),
                 ..ServeConfig::default()
             };
-            let server =
-                Server::bind("127.0.0.1:0", suite, config).unwrap_or_else(|e| usage_exit(&e));
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&suite), config)
+                .unwrap_or_else(|e| usage_exit(&e));
             let target = server.local_addr().unwrap_or_else(|e| usage_exit(&e));
             let handle = server.shutdown_handle();
             let thread = std::thread::spawn(move || server.run());
-            (target, Some((handle, thread)))
+            (target, Some((suite, handle, thread)))
         }
     };
     eprintln!(
         "loadgen: {connections} connection(s) x {requests} request(s) \
-         (+{warmup} warm-up) against {target} (scale {scale}x)"
+         (+{warmup} warm-up{}) against {target} (scale {scale}x)",
+        if cold_grid {
+            ", cold grid in flight"
+        } else {
+            ""
+        }
     );
 
-    // One extra party for the main thread: the measured clock starts only
-    // once every connection has finished its warm-up requests.
-    let barrier = Arc::new(Barrier::new(connections + 1));
-    let handles: Vec<_> = (0..connections)
-        .map(|conn| {
-            let barrier = Arc::clone(&barrier);
-            std::thread::Builder::new()
-                .name(format!("loadgen-{conn}"))
-                .spawn(move || run_connection(target, conn, requests, warmup, &barrier))
-                .expect("spawn loadgen connection")
-        })
-        .collect();
-    barrier.wait();
-    let started = Instant::now();
-    let mut total = Tally::default();
-    for handle in handles {
-        let tally = handle.join().expect("loadgen connection panicked");
-        total.latencies_us.extend(tally.latencies_us);
-        total.warmup_latencies_us.extend(tally.warmup_latencies_us);
-        total.ok_2xx += tally.ok_2xx;
-        total.client_4xx += tally.client_4xx;
-        total.backpressure_503 += tally.backpressure_503;
-        total.server_5xx += tally.server_5xx;
-        total.transport_errors += tally.transport_errors;
-    }
-    let wall_s = started.elapsed().as_secs_f64();
+    let (mut total, wall_s, cold_stats) = run_mux(target, connections, requests, warmup, cold_grid);
 
-    if let Some((handle, thread)) = local_server {
+    // One metrics probe before shutdown: queue high-water marks, dedup.
+    let metrics_body = Client::connect(target, TIMEOUT)
+        .ok()
+        .and_then(|mut c| c.request("GET", "/metrics", "").ok())
+        .map(|resp| resp.body);
+
+    let mut server_stats: Option<(u64, u64)> = None;
+    if let Some((suite, handle, thread)) = local_server {
         handle.trigger();
         thread.join().expect("server thread panicked");
+        server_stats = Some((suite.runs_executed() as u64, suite.replays_derived() as u64));
     }
 
     total.latencies_us.sort_unstable();
     total.warmup_latencies_us.sort_unstable();
+    total.inline_us.sort_unstable();
+    total.replay_us.sort_unstable();
+    total.cold_us.sort_unstable();
     let sent = (connections * requests) as u64;
     let answered = total.latencies_us.len() as u64;
     let warmed = total.warmup_latencies_us.len() as u64;
-    let json = format!(
-        "{{\n  \"schema\": \"softwatt-bench-server-v2\",\n  \"time_scale\": {scale},\n  \
+
+    let mut json = String::with_capacity(4096);
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"softwatt-bench-server-v3\",\n  \"time_scale\": {scale},\n  \
          \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
          \"warmup_per_connection\": {warmup},\n  \"trace_cache\": {caching},\n  \
+         \"cold_grid\": {cold_grid},\n  \
          \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
          \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
-         \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
-         \"warmup\": {{\"responses\": {warmed}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
-         \"p99\": {}, \"max\": {}}}}},\n  \
+         \"latency_us\": {},\n  \
+         \"lanes\": {{\"inline\": {}, \"replay\": {}, \"cold\": {}}},\n  \
+         \"warmup\": {{\"responses\": {warmed}, \"latency_us\": {}}},\n  \
          \"status\": {{\"2xx\": {}, \"4xx\": {}, \"503\": {}, \"5xx\": {}, \
-         \"transport_errors\": {}}}\n}}\n",
+         \"transport_errors\": {}}}",
         answered as f64 / wall_s.max(1e-9),
-        pct(&total.latencies_us, 0.50),
-        pct(&total.latencies_us, 0.90),
-        pct(&total.latencies_us, 0.99),
-        total.latencies_us.last().copied().unwrap_or(0),
-        pct(&total.warmup_latencies_us, 0.50),
-        pct(&total.warmup_latencies_us, 0.90),
-        pct(&total.warmup_latencies_us, 0.99),
-        total.warmup_latencies_us.last().copied().unwrap_or(0),
+        latency_json(&total.latencies_us),
+        lane_json(&total.inline_us),
+        lane_json(&total.replay_us),
+        lane_json(&total.cold_us),
+        latency_json(&total.warmup_latencies_us),
         total.ok_2xx,
         total.client_4xx,
         total.backpressure_503,
         total.server_5xx,
         total.transport_errors,
+    );
+    if let Some(stats) = &cold_stats {
+        let dedup: Vec<String> = stats
+            .dedup
+            .iter()
+            .map(|(status, lane)| format!("{{\"status\": {status}, \"lane\": \"{lane}\"}}"))
+            .collect();
+        let _ = write!(
+            json,
+            ",\n  \"cold_grid_traffic\": {{\"batch_status\": {}, \"batch_wall_s\": {:.6}, \
+             \"batch_retries\": {}, \"dedup_runs\": [{}]}}",
+            stats.batch_status,
+            stats.batch_wall_s,
+            stats.batch_retries,
+            dedup.join(", "),
+        );
+    }
+    let metric = |name: &str| -> String {
+        metrics_body
+            .as_deref()
+            .and_then(|body| metric_value(body, name))
+            .map_or_else(|| "null".into(), |v| format!("{v}"))
+    };
+    let _ = write!(
+        json,
+        ",\n  \"server\": {{\"dedup_attached\": {}, \"queue_depth_max\": \
+         {{\"replay\": {}, \"cold\": {}}}, \"connections_open_max\": {}, \
+         \"runs_executed\": {}, \"replays_derived\": {}}}\n}}\n",
+        metric("serve.dedup_attached"),
+        metric("serve.lane.replay.queue_depth_max"),
+        metric("serve.lane.cold.queue_depth_max"),
+        metric("serve.connections.open_max"),
+        server_stats.map_or_else(|| "null".into(), |(r, _)| r.to_string()),
+        server_stats.map_or_else(|| "null".into(), |(_, d)| d.to_string()),
     );
     print!("{json}");
     if let Err(e) = std::fs::File::create(&out).and_then(|mut f| f.write_all(json.as_bytes())) {
@@ -221,6 +296,38 @@ fn pct(sorted: &[u64], p: f64) -> u64 {
     }
     let rank = (p * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank]
+}
+
+/// `{"p50": …, "p90": …, "p99": …, "max": …}` for a sorted list.
+fn latency_json(sorted: &[u64]) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        pct(sorted, 0.50),
+        pct(sorted, 0.90),
+        pct(sorted, 0.99),
+        sorted.last().copied().unwrap_or(0),
+    )
+}
+
+/// One lane's report entry: response count plus its percentiles.
+fn lane_json(sorted: &[u64]) -> String {
+    format!(
+        "{{\"responses\": {}, \"latency_us\": {}}}",
+        sorted.len(),
+        latency_json(sorted)
+    )
+}
+
+/// Pulls one `"name": value` number out of the `/metrics` JSON body
+/// (integer counters and `1.0`-style gauges both normalize to `u64`).
+fn metric_value(body: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\": ");
+    let at = body.find(&needle)? + needle.len();
+    let raw: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    raw.parse::<f64>().ok().map(|v| v as u64)
 }
 
 /// The deterministic request mix for request `i` on connection `conn`:
@@ -250,92 +357,492 @@ fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
     }
 }
 
-fn run_connection(
+/// A parsed response head (the mux driver's incremental HTTP/1.1 client
+/// side; the blocking [`Client`] keeps its own parser).
+struct RespHead {
+    status: u16,
+    /// Bytes up to and including the blank line.
+    head_len: usize,
+    /// `Content-Length` (0 when absent).
+    body_len: usize,
+    /// `X-Softwatt-Lane` value, when present.
+    lane: Option<String>,
+    /// `Connection: close` was sent.
+    close: bool,
+}
+
+/// Parses a response head out of `buf`, or `None` while incomplete.
+fn parse_head(buf: &[u8]) -> Option<RespHead> {
+    let head_len = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_len]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let mut body_len = 0;
+    let mut lane = None;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            body_len = value.parse().ok()?;
+        } else if name.eq_ignore_ascii_case("x-softwatt-lane") {
+            lane = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    Some(RespHead {
+        status,
+        head_len,
+        body_len,
+        lane,
+        close,
+    })
+}
+
+/// Where a multiplexed connection is in the run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Sending its unrecorded warm-up mix.
+    Warmup,
+    /// Warm-up finished; idle until every connection gets here (the
+    /// epoll-loop equivalent of the old thread barrier).
+    Ready,
+    /// Sending the measured mix.
+    Measured,
+    /// All requests answered (or the connection gave up).
+    Done,
+}
+
+/// One closed-loop connection owned by the mux driver: at most one
+/// request outstanding, reconnecting whenever the server closes on it.
+struct MuxConn {
+    stream: Option<TcpStream>,
+    id: usize,
+    phase: Phase,
+    /// Next request index within the current phase.
+    index: usize,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    read_buf: Vec<u8>,
+    sent_at: Instant,
+    /// A request is in flight (written or being written).
+    awaiting: bool,
+    interest: u32,
+}
+
+/// The request `Client` would send, as one preformatted buffer.
+fn format_request(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+impl MuxConn {
+    fn connect(target: SocketAddr, id: usize, phase: Phase, epoll: &Epoll) -> MuxConn {
+        let stream = TcpStream::connect(target).ok().and_then(|s| {
+            s.set_nodelay(true).ok()?;
+            s.set_nonblocking(true).ok()?;
+            epoll
+                .add(s.as_raw_fd(), EPOLLIN | EPOLLRDHUP, id as u64)
+                .ok()?;
+            Some(s)
+        });
+        MuxConn {
+            stream,
+            id,
+            phase,
+            index: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            read_buf: Vec::new(),
+            sent_at: Instant::now(),
+            awaiting: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+        }
+    }
+
+    /// Drops the current stream and dials a fresh one (the server closed
+    /// on us, or the old socket broke).
+    fn reconnect(&mut self, target: SocketAddr, epoll: &Epoll) -> bool {
+        if let Some(old) = self.stream.take() {
+            epoll.delete(old.as_raw_fd());
+        }
+        self.read_buf.clear();
+        self.write_buf.clear();
+        self.write_pos = 0;
+        self.awaiting = false;
+        *self = MuxConn {
+            id: self.id,
+            phase: self.phase,
+            index: self.index,
+            ..MuxConn::connect(target, self.id, self.phase, epoll)
+        };
+        self.stream.is_some()
+    }
+
+    /// Loads the next request of the current phase into the write buffer
+    /// and pushes as much of it as the socket takes right now.
+    fn issue(&mut self, epoll: &Epoll) {
+        let (method, path, body) = request_for(self.id, self.index);
+        self.write_buf = format_request(method, &path, &body);
+        self.write_pos = 0;
+        self.sent_at = Instant::now();
+        self.awaiting = true;
+        self.flush(epoll);
+    }
+
+    /// Writes pending request bytes; adjusts `EPOLLOUT` interest to match
+    /// whether any remain.
+    fn flush(&mut self, epoll: &Epoll) {
+        let Some(stream) = self.stream.as_mut() else {
+            return;
+        };
+        while self.write_pos < self.write_buf.len() {
+            match stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => break,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // the read side will surface the failure
+            }
+        }
+        let want = if self.write_pos < self.write_buf.len() {
+            EPOLLIN | EPOLLOUT | EPOLLRDHUP
+        } else {
+            EPOLLIN | EPOLLRDHUP
+        };
+        if want != self.interest {
+            self.interest = want;
+            let _ = epoll.modify(stream.as_raw_fd(), want, self.id as u64);
+        }
+    }
+
+    /// Reads whatever the socket has. `Ok(true)` means the peer closed.
+    fn fill(&mut self, scratch: &mut [u8]) -> io::Result<bool> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Ok(true);
+        };
+        loop {
+            match stream.read(scratch) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.read_buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Drives every connection through warm-up and the measured phase off one
+/// epoll loop. Returns the tally, the measured wall-clock seconds, and —
+/// with `--cold-grid` — what the cold side traffic saw.
+fn run_mux(
     target: SocketAddr,
-    conn: usize,
+    connections: usize,
     requests: usize,
     warmup: usize,
-    barrier: &Barrier,
-) -> Tally {
+    cold_grid: bool,
+) -> (Tally, f64, Option<ColdGridStats>) {
+    let epoll = Epoll::new().expect("epoll");
+    let start_phase = if warmup > 0 {
+        Phase::Warmup
+    } else {
+        Phase::Ready
+    };
+    let mut conns: Vec<MuxConn> = (0..connections)
+        .map(|id| MuxConn::connect(target, id, start_phase, &epoll))
+        .collect();
     let mut tally = Tally::default();
-    let mut client = Client::connect(target, TIMEOUT).ok();
-
-    // Warm-up phase: the same deterministic mix with the same indices, so
-    // `--warmup N` with N >= requests guarantees a fully warm measured
-    // phase. Latencies land in the separate warm-up tally; statuses and
-    // transport errors are not counted — a broken connection here just
-    // ends the warm-up, and the measured loop reconnects below.
-    if let Some(c) = client.as_mut() {
-        for i in 0..warmup {
-            let (method, path, body) = request_for(conn, i);
-            let started = Instant::now();
-            match c.request(method, &path, &body) {
-                Ok(resp) => {
-                    tally
-                        .warmup_latencies_us
-                        .push(started.elapsed().as_micros() as u64);
-                    if resp.header("connection") == Some("close") {
-                        match Client::connect(target, TIMEOUT) {
-                            Ok(fresh) => *c = fresh,
-                            Err(_) => break,
-                        }
-                    }
-                }
-                Err(_) => match Client::connect(target, TIMEOUT) {
-                    Ok(fresh) => *c = fresh,
-                    Err(_) => break,
-                },
-            }
+    for conn in &mut conns {
+        if conn.stream.is_none() {
+            // Could not even dial: everything it would have sent is lost.
+            tally.transport_errors += requests as u64;
+            conn.phase = Phase::Done;
+        } else if conn.phase == Phase::Warmup {
+            conn.issue(&epoll);
         }
     }
 
-    // Every connection reaches here before anyone's measured request goes
-    // out (the main thread holds the last barrier slot and the clock).
-    barrier.wait();
-    let mut client = match client.or_else(|| Client::connect(target, TIMEOUT).ok()) {
-        Some(client) => client,
-        None => {
-            tally.transport_errors += requests as u64;
-            return tally;
+    let mut measured_started: Option<Instant> = None;
+    let mut cold_handle = None;
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
+    let wall_s = loop {
+        // The "barrier": once no connection is still warming up, start the
+        // clock, launch the cold side traffic inside the measured window,
+        // and release the measured mix everywhere at once.
+        if measured_started.is_none() && conns.iter().all(|c| c.phase != Phase::Warmup) {
+            measured_started = Some(Instant::now());
+            if cold_grid {
+                cold_handle = Some(
+                    std::thread::Builder::new()
+                        .name("loadgen-cold-grid".into())
+                        .spawn(move || run_cold_grid(target))
+                        .expect("spawn cold grid"),
+                );
+            }
+            for conn in &mut conns {
+                if conn.phase == Phase::Ready {
+                    conn.phase = Phase::Measured;
+                    conn.index = 0;
+                    if conn.stream.is_some() || conn.reconnect(target, &epoll) {
+                        conn.issue(&epoll);
+                    } else {
+                        tally.transport_errors += requests as u64;
+                        conn.phase = Phase::Done;
+                    }
+                }
+            }
+        }
+        if conns.iter().all(|c| c.phase == Phase::Done) {
+            break measured_started.map_or(0.0, |s| s.elapsed().as_secs_f64());
+        }
+
+        let n = epoll.wait(&mut events, 100);
+        for ev in events.iter().take(n) {
+            let ev = *ev;
+            let (token, ready) = (ev.data as usize, ev.events);
+            let Some(conn) = conns.get_mut(token) else {
+                continue;
+            };
+            if conn.phase == Phase::Done || !conn.awaiting {
+                continue;
+            }
+            if ready & EPOLLOUT != 0 {
+                conn.flush(&epoll);
+            }
+            let mut broken = ready & (EPOLLERR | EPOLLHUP) != 0;
+            if ready & (EPOLLIN | EPOLLRDHUP) != 0 {
+                match conn.fill(&mut scratch) {
+                    Ok(eof) => broken |= eof,
+                    Err(_) => broken = true,
+                }
+            }
+            step(conn, &mut tally, broken, target, warmup, requests, &epoll);
+        }
+
+        // Stuck-request guard: a response overdue past the client timeout
+        // counts as a transport error and the connection is replaced.
+        let now = Instant::now();
+        for conn in &mut conns {
+            if conn.phase != Phase::Done
+                && conn.awaiting
+                && now.duration_since(conn.sent_at) > TIMEOUT
+            {
+                fail_request(conn, &mut tally, target, warmup, requests, &epoll);
+            }
         }
     };
-    for i in 0..requests {
-        let (method, path, body) = request_for(conn, i);
-        let started = Instant::now();
-        match client.request(method, &path, &body) {
-            Ok(resp) => {
-                tally
-                    .latencies_us
-                    .push(started.elapsed().as_micros() as u64);
-                match resp.status {
-                    200..=299 => tally.ok_2xx += 1,
-                    503 => tally.backpressure_503 += 1,
-                    400..=499 => tally.client_4xx += 1,
-                    _ => tally.server_5xx += 1,
-                }
-                // A 503 closes nothing, but the server may close on
-                // errors it wrote with Connection: close; reconnect then.
-                if resp.header("connection") == Some("close") {
-                    match Client::connect(target, TIMEOUT) {
-                        Ok(fresh) => client = fresh,
-                        Err(_) => {
-                            tally.transport_errors += (requests - i - 1) as u64;
-                            break;
-                        }
-                    }
-                }
+    let cold_stats = cold_handle.map(|h| h.join().expect("cold grid panicked"));
+    (tally, wall_s, cold_stats)
+}
+
+/// Consumes any complete response on `conn` (recording it), then issues
+/// the next request or advances the phase; `broken` routes through the
+/// transport-error path when no full response arrived first.
+fn step(
+    conn: &mut MuxConn,
+    tally: &mut Tally,
+    broken: bool,
+    target: SocketAddr,
+    warmup: usize,
+    requests: usize,
+    epoll: &Epoll,
+) {
+    let complete =
+        parse_head(&conn.read_buf).filter(|h| conn.read_buf.len() >= h.head_len + h.body_len);
+    let Some(head) = complete else {
+        if broken {
+            fail_request(conn, tally, target, warmup, requests, epoll);
+        }
+        return;
+    };
+    conn.read_buf.drain(..head.head_len + head.body_len);
+    conn.awaiting = false;
+    let us = conn.sent_at.elapsed().as_micros() as u64;
+    match conn.phase {
+        Phase::Warmup => tally.warmup_latencies_us.push(us),
+        Phase::Measured => {
+            tally.latencies_us.push(us);
+            match head.lane.as_deref() {
+                Some("inline") => tally.inline_us.push(us),
+                Some("replay") => tally.replay_us.push(us),
+                Some("cold") => tally.cold_us.push(us),
+                _ => {} // health/metrics probes and errors carry no lane
             }
-            Err(_) => {
-                tally.transport_errors += 1;
-                match Client::connect(target, TIMEOUT) {
-                    Ok(fresh) => client = fresh,
-                    Err(_) => {
-                        tally.transport_errors += (requests - i - 1) as u64;
-                        break;
-                    }
-                }
+            match head.status {
+                200..=299 => tally.ok_2xx += 1,
+                503 => tally.backpressure_503 += 1,
+                400..=499 => tally.client_4xx += 1,
+                _ => tally.server_5xx += 1,
             }
         }
+        Phase::Ready | Phase::Done => {}
     }
-    tally
+    advance(conn, tally, head.close, target, warmup, requests, epoll);
+}
+
+/// Moves `conn` to its next request (or next phase) after a response.
+/// `closed` means the server sent `Connection: close`, so the socket is
+/// spent regardless of what comes next.
+fn advance(
+    conn: &mut MuxConn,
+    tally: &mut Tally,
+    closed: bool,
+    target: SocketAddr,
+    warmup: usize,
+    requests: usize,
+    epoll: &Epoll,
+) {
+    conn.index += 1;
+    let phase_len = if conn.phase == Phase::Warmup {
+        warmup
+    } else {
+        requests
+    };
+    if closed {
+        // Drop the spent socket now; whoever needs one next redials.
+        if let Some(old) = conn.stream.take() {
+            epoll.delete(old.as_raw_fd());
+        }
+        conn.read_buf.clear();
+    }
+    if conn.index >= phase_len {
+        conn.phase = if conn.phase == Phase::Warmup {
+            Phase::Ready
+        } else {
+            Phase::Done
+        };
+        return;
+    }
+    if conn.stream.is_some() || conn.reconnect(target, epoll) {
+        conn.issue(epoll);
+    } else if conn.phase == Phase::Measured {
+        tally.transport_errors += (requests - conn.index) as u64;
+        conn.phase = Phase::Done;
+    } else {
+        // Warm-up casualties are not counted; sit out until the barrier.
+        conn.phase = Phase::Ready;
+    }
+}
+
+/// The transport-error path: the socket broke (or the response timed
+/// out) under an in-flight request. Warm-up losses are uncounted, like
+/// the thread driver before; measured losses count one error and the
+/// connection redials for the next request.
+fn fail_request(
+    conn: &mut MuxConn,
+    tally: &mut Tally,
+    target: SocketAddr,
+    warmup: usize,
+    requests: usize,
+    epoll: &Epoll,
+) {
+    if conn.phase == Phase::Measured {
+        tally.transport_errors += 1;
+    }
+    if let Some(old) = conn.stream.take() {
+        epoll.delete(old.as_raw_fd());
+    }
+    conn.read_buf.clear();
+    conn.awaiting = false;
+    advance(conn, tally, false, target, warmup, requests, epoll);
+}
+
+/// The paper grid as a `/v1/batch` body, mirroring
+/// `ExperimentSuite::paper_grid` (which needs a suite handle this side of
+/// the wire does not have).
+fn paper_grid_body() -> String {
+    let mut queries = Vec::new();
+    let mut push = |benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup| {
+        queries.push(format!(
+            "{{\"benchmark\": \"{}\", \"cpu\": \"{}\", \"disk\": \"{}\"}}",
+            benchmark.name(),
+            cpu.name(),
+            disk.name()
+        ));
+    };
+    for &benchmark in Benchmark::ALL.iter() {
+        for disk in DiskSetup::ALL {
+            push(benchmark, CpuModel::Mxs, disk);
+        }
+        push(benchmark, CpuModel::Mxs, DiskSetup::SleepExt);
+        push(benchmark, CpuModel::MxsSingleIssue, DiskSetup::Conventional);
+    }
+    push(Benchmark::Jess, CpuModel::Mipsy, DiskSetup::Conventional);
+    format!("{{\"queries\": [{}], \"jobs\": 2}}", queries.join(", "))
+}
+
+/// Retries a request through `503` backpressure bounces (the honest
+/// client response to `Retry-After`), up to a bounded attempt count.
+/// Returns the final response plus how many bounces were absorbed.
+fn request_with_retries(
+    client: &mut Client,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, u32) {
+    let mut retries = 0u32;
+    loop {
+        let resp = client.request(method, path, body).expect("request");
+        if resp.status == 503 && retries < 2000 {
+            retries += 1;
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let lane = resp.header("x-softwatt-lane").unwrap_or("").to_string();
+        return (resp.status, lane, retries);
+    }
+}
+
+/// The `--cold-grid` side traffic: one full-grid cold batch, plus three
+/// simultaneous runs of the same cold key that should collapse into one
+/// in-flight job (`serve.dedup_attached`). Both retry through the `503`s
+/// a saturated cold queue hands out, so the batch is genuinely admitted
+/// and in flight even when the mix's own cold traffic got there first.
+fn run_cold_grid(target: SocketAddr) -> ColdGridStats {
+    let batch = std::thread::Builder::new()
+        .name("loadgen-batch".into())
+        .spawn(move || {
+            let mut client = Client::connect(target, TIMEOUT).expect("batch connect");
+            let started = Instant::now();
+            let (status, _lane, retries) =
+                request_with_retries(&mut client, "POST", "/v1/batch", &paper_grid_body());
+            (status, started.elapsed().as_secs_f64(), retries)
+        })
+        .expect("spawn batch");
+    // Let the batch contend for the cold worker first: the duplicate runs
+    // then queue (one) and attach (the rest), maximizing the dedup window.
+    std::thread::sleep(Duration::from_millis(100));
+    let dedup_handles: Vec<_> = (0..DEDUP_CONNS)
+        .map(|i| {
+            std::thread::Builder::new()
+                .name(format!("loadgen-dedup-{i}"))
+                .spawn(move || {
+                    let mut client = Client::connect(target, TIMEOUT).expect("dedup connect");
+                    let (status, lane, _) =
+                        request_with_retries(&mut client, "POST", "/v1/run", DEDUP_BODY);
+                    (status, lane)
+                })
+                .expect("spawn dedup run")
+        })
+        .collect();
+    let (batch_status, batch_wall_s, batch_retries) = batch.join().expect("batch panicked");
+    let dedup = dedup_handles
+        .into_iter()
+        .map(|h| h.join().expect("dedup run panicked"))
+        .collect();
+    ColdGridStats {
+        batch_status,
+        batch_wall_s,
+        batch_retries,
+        dedup,
+    }
 }

@@ -6,7 +6,8 @@
 //! `GET /healthz`, `GET /metrics`, `POST /admin/shutdown`.
 //!
 //! Usage: `softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto]
-//! [--queue-depth N] [--max-connections N] [--trace-cache DIR] [--metrics]
+//! [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N]
+//! [--max-connections N] [--trace-cache DIR] [--metrics]
 //! [--metrics-out FILE] [--log-level LEVEL]`
 //! (defaults: addr `127.0.0.1:0` — an ephemeral port — scale 2000, the
 //! committed-fidelity setting; pass e.g. `--scale 50000` for a fast
@@ -68,7 +69,8 @@ fn main() {
         eprintln!("{msg}");
         eprintln!(
             "usage: softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto] \
-             [--queue-depth N] [--max-connections N] [--trace-cache DIR] {}",
+             [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N] \
+             [--max-connections N] [--trace-cache DIR] {}",
             ObsFlags::USAGE
         );
         std::process::exit(2);
@@ -91,6 +93,10 @@ fn main() {
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             "--workers" => config.workers = count("--workers", "thread count"),
             "--queue-depth" => config.queue_depth = count("--queue-depth", "queue capacity"),
+            "--cold-workers" => config.cold_workers = count("--cold-workers", "thread count"),
+            "--cold-queue-depth" => {
+                config.cold_queue_depth = count("--cold-queue-depth", "queue capacity");
+            }
             "--max-connections" => {
                 config.max_connections = count("--max-connections", "connection count");
             }

@@ -347,6 +347,50 @@ impl ExperimentSuite {
         memoize(&self.runs, key, &BUNDLE_MEMO, || self.execute(key))
     }
 
+    /// The memoized bundle for `key`, if one is already finished — a
+    /// non-blocking peek that never simulates and never waits on an
+    /// in-flight computation. This is what lets a serving layer answer
+    /// warm hits inline (microseconds) and route everything else to a
+    /// worker by cost.
+    pub fn bundle_if_ready(&self, key: RunKey) -> Option<Arc<RunBundle>> {
+        let slots = self.runs.lock().expect("memo lock");
+        match slots.get(&key) {
+            Some(Slot::Ready(bundle)) => {
+                softwatt_obs::count(BUNDLE_MEMO.hit, 1);
+                Some(Arc::clone(bundle))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether deriving `key`'s bundle would be a cheap replay rather
+    /// than a full simulation: the (benchmark, CPU) trace is already in
+    /// the memory memo (finished *or* being captured by another thread —
+    /// either way this key will not start a second simulation), or the
+    /// persistent store has an entry for it. A suite without replay
+    /// always answers `false` (every miss is a full simulation).
+    ///
+    /// The store probe is an existence check only; a corrupt entry later
+    /// turns the predicted replay into a simulation. Misclassification is
+    /// a latency blip, not an error.
+    pub fn trace_ready(&self, benchmark: Benchmark, cpu: CpuModel) -> bool {
+        if !self.replay_enabled {
+            return false;
+        }
+        if self
+            .traces
+            .lock()
+            .expect("memo lock")
+            .contains_key(&(benchmark, cpu))
+        {
+            return true;
+        }
+        match &self.store {
+            Some(store) => store.contains(&TraceKey::derive(&self.config, benchmark, cpu)),
+            None => false,
+        }
+    }
+
     /// The captured trace for one (benchmark, CPU) pair: from the memory
     /// memo, else the persistent store (when attached), else a full
     /// simulation (persisted to the store afterwards).

@@ -121,6 +121,16 @@ impl TraceStore {
         self.dir.join(format!("{:016x}.swtrace", key.hash))
     }
 
+    /// Whether an entry file exists for `key`, without reading it.
+    ///
+    /// A cheap existence probe for admission decisions: a `true` here can
+    /// still turn into a load-time miss if the entry is corrupt (the
+    /// loader deletes it and the caller simulates), so treat the answer
+    /// as a cost hint, not a guarantee.
+    pub fn contains(&self, key: &TraceKey) -> bool {
+        self.entry_path(key).exists()
+    }
+
     /// Looks `key` up, returning the stored trace on a hit.
     ///
     /// Never errors: a missing entry is a miss; an unreadable or corrupt

@@ -75,6 +75,16 @@ pub fn gauge_set(name: &'static str, value: f64) {
     }
 }
 
+/// Raises the gauge `name` to `value` if above its current reading — a
+/// high-water mark (peak queue depth, max in-flight). No-op while
+/// disabled.
+#[inline]
+pub fn gauge_raise(name: &'static str, value: f64) {
+    if enabled() {
+        registry::gauge(name).raise(value);
+    }
+}
+
 /// Records one observation in the histogram `name`. No-op while disabled.
 #[inline]
 pub fn observe(name: &'static str, value: u64) {

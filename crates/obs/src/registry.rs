@@ -61,6 +61,23 @@ impl Gauge {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
+    /// Raises the gauge to `value` if it is above the current reading
+    /// (a lock-free high-water mark; concurrent raisers never lower it).
+    pub fn raise(&self, value: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        while value > f64::from_bits(current) {
+            match self.bits.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     fn reset(&self) {
         self.set(0.0);
     }

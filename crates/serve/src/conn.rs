@@ -1,0 +1,392 @@
+//! Per-connection state machine for the reactor.
+//!
+//! Each accepted socket becomes one [`Conn`]: a nonblocking stream plus
+//! a read buffer the incremental parser works off, a write buffer the
+//! responses drain from, and the flags that sequence them. The state is
+//! explicit so the reactor can multiplex thousands of these over one
+//! thread:
+//!
+//! - bytes arrive in any segmentation; [`Conn::next_request`] yields
+//!   complete requests off the front of the buffer (pipelined requests
+//!   simply queue up behind one another in it);
+//! - while a compute response is pending (`busy`), parsing pauses — the
+//!   reactor drops read interest, so HTTP/1.1 response ordering holds
+//!   without any reordering machinery;
+//! - responses serialize into the write buffer and drain on writability;
+//!   `close_after_flush` sequences `Connection: close` teardown behind
+//!   the last byte actually leaving.
+//!
+//! Deadlines are data, not blocked threads: [`Conn::deadline`] derives
+//! the next timeout from the state (idle keep-alive, partial request
+//! head, stalled write), and the reactor reaps whatever expires — this
+//! is what makes a byte-at-a-time slow-loris sender cost one buffer, not
+//! a worker thread.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::routes::{Lane, Route};
+
+/// Per-event read cap: one connection can pull at most this many bytes
+/// per readiness event, so a firehose peer cannot starve its neighbors
+/// on the shared reactor thread.
+const READ_CAP_PER_EVENT: usize = 64 * 1024;
+
+/// What one readiness-driven read pass produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Bytes were appended (or the socket simply had none left).
+    Progress,
+    /// Clean EOF: the peer finished sending.
+    PeerClosed,
+    /// Transport error; the connection is dead.
+    Broken,
+}
+
+/// One live connection owned by the reactor.
+pub struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// A compute job's response is pending; parsing is paused.
+    pub busy: bool,
+    /// Close once the write buffer fully drains.
+    pub close_after_flush: bool,
+    /// The peer sent EOF; deliver what is owed, accept nothing new.
+    pub peer_closed: bool,
+    /// When the pending compute job was admitted (lane latency anchor).
+    pub pending_since: Option<Instant>,
+    /// Route of the pending compute job (metrics label).
+    pub pending_route: Option<Route>,
+    /// Lane of the pending compute job.
+    pub pending_lane: Option<Lane>,
+    /// Whether the pending request asked to close after its response.
+    pub pending_close: bool,
+    /// Last moment bytes moved in either direction (deadline anchor).
+    pub last_progress: Instant,
+    /// When the current partial request started arriving. The read
+    /// deadline anchors *here*, not at `last_progress` — a slow-loris
+    /// sender dribbling one byte per interval keeps making "progress"
+    /// but can never push the head's total budget forward.
+    pub partial_since: Option<Instant>,
+}
+
+impl Conn {
+    /// The raw fd, for epoll registration.
+    pub fn fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd as _;
+        self.stream.as_raw_fd()
+    }
+
+    /// Wraps an accepted stream (already set nonblocking by the caller).
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            busy: false,
+            close_after_flush: false,
+            peer_closed: false,
+            pending_since: None,
+            pending_route: None,
+            pending_lane: None,
+            pending_close: false,
+            last_progress: now,
+            partial_since: None,
+        }
+    }
+
+    /// Pulls whatever the socket has ready (up to the per-event cap)
+    /// into the read buffer.
+    pub fn try_read(&mut self, scratch: &mut [u8], now: Instant) -> ReadOutcome {
+        let mut total = 0;
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return ReadOutcome::PeerClosed;
+                }
+                Ok(n) => {
+                    if self.read_buf.is_empty() {
+                        self.partial_since = Some(now);
+                    }
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.last_progress = now;
+                    total += n;
+                    if total >= READ_CAP_PER_EVENT {
+                        return ReadOutcome::Progress;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Progress,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Broken,
+            }
+        }
+    }
+
+    /// Parses the next complete request off the front of the read
+    /// buffer, consuming its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parser's verdict; the stream cannot recover after
+    /// one.
+    pub fn next_request(&mut self, limits: &Limits) -> Result<Option<Request>, ParseError> {
+        if self.read_buf.is_empty() {
+            return Ok(None);
+        }
+        match http::parse_request(&self.read_buf, limits)? {
+            None => Ok(None),
+            Some((req, consumed)) => {
+                self.read_buf.drain(..consumed);
+                // A pipelined follow-up already buffered counts as a new
+                // partial head starting now.
+                self.partial_since = if self.read_buf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                Ok(Some(req))
+            }
+        }
+    }
+
+    /// Serializes `resp` into the write buffer (and records the close
+    /// decision it was written with).
+    pub fn push_response(&mut self, resp: &Response, close: bool) {
+        http::write_response(&mut self.write_buf, resp, close).expect("write to Vec");
+        if close {
+            self.close_after_flush = true;
+        }
+    }
+
+    /// Flushes as much of the write buffer as the socket accepts now.
+    /// Returns `Ok(true)` when the buffer is empty afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (the connection is dead).
+    pub fn try_write(&mut self, now: Instant) -> io::Result<bool> {
+        let mut written = 0;
+        while written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[written..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    written += n;
+                    self.last_progress = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.drain(..written);
+        Ok(self.write_buf.is_empty())
+    }
+
+    /// Whether the write buffer still holds bytes to send.
+    pub fn has_pending_write(&self) -> bool {
+        !self.write_buf.is_empty()
+    }
+
+    /// Whether the read buffer holds a partial (not yet complete)
+    /// request head or body.
+    pub fn has_partial_request(&self) -> bool {
+        !self.read_buf.is_empty()
+    }
+
+    /// The epoll interest mask this state wants: read while parsing is
+    /// allowed, write while bytes are owed.
+    pub fn interest(&self) -> u32 {
+        let mut events = 0;
+        if !self.busy && !self.close_after_flush && !self.peer_closed {
+            events |= crate::sys::EPOLLIN;
+        }
+        if self.has_pending_write() {
+            events |= crate::sys::EPOLLOUT;
+        }
+        events
+    }
+
+    /// When this connection must be reaped, given the configured
+    /// timeouts, and how (see [`Expiry`]). Busy connections have no
+    /// deadline of their own: they are waiting on a bounded compute
+    /// queue, which drains by construction.
+    pub fn deadline(&self, timeouts: &Timeouts) -> Option<(Instant, Expiry)> {
+        if self.has_pending_write() {
+            return Some((self.last_progress + timeouts.write, Expiry::WriteStalled));
+        }
+        if self.busy {
+            return None;
+        }
+        if self.has_partial_request() {
+            let anchor = self.partial_since.unwrap_or(self.last_progress);
+            return Some((anchor + timeouts.read, Expiry::PartialRequest));
+        }
+        Some((self.last_progress + timeouts.idle, Expiry::Idle))
+    }
+}
+
+/// The reactor's deadline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// Budget for a started request to arrive completely.
+    pub read: Duration,
+    /// Budget for a pending write to make progress.
+    pub write: Duration,
+    /// Budget for a connection with no request in progress.
+    pub idle: Duration,
+}
+
+/// Why a deadline fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expiry {
+    /// Idle keep-alive connection: close silently.
+    Idle,
+    /// Partial request that stopped arriving (slow-loris): `408`, close.
+    PartialRequest,
+    /// The peer stopped draining its responses: close.
+    WriteStalled,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, Conn::new(server, Instant::now()))
+    }
+
+    #[test]
+    fn parses_requests_across_arbitrary_boundaries() {
+        let (mut client, mut conn) = pair();
+        let raw = b"POST /v1/run HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut scratch = [0u8; 4096];
+        let limits = Limits::default();
+        // Dribble one byte at a time; only the final byte completes it.
+        for (i, b) in raw.iter().enumerate() {
+            client.write_all(&[*b]).expect("dribble");
+            client.flush().expect("flush");
+            // Wait for the byte to land server-side.
+            loop {
+                conn.try_read(&mut scratch, Instant::now());
+                if conn.read_buf.len() == i + 1 {
+                    break;
+                }
+            }
+            let parsed = conn.next_request(&limits).expect("valid prefix");
+            if i + 1 < raw.len() {
+                assert!(parsed.is_none(), "byte {i} must not complete the request");
+            } else {
+                let req = parsed.expect("complete");
+                assert_eq!(req.target, "/v1/run");
+                assert_eq!(req.body, b"ok");
+            }
+        }
+        assert!(!conn.has_partial_request(), "buffer fully consumed");
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let (mut client, mut conn) = pair();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n")
+            .expect("write both");
+        let mut scratch = [0u8; 4096];
+        let limits = Limits::default();
+        while conn.read_buf.len() < 49 {
+            conn.try_read(&mut scratch, Instant::now());
+        }
+        let first = conn.next_request(&limits).unwrap().expect("first");
+        assert_eq!(first.target, "/healthz");
+        let second = conn.next_request(&limits).unwrap().expect("second");
+        assert_eq!(second.target, "/metrics");
+        assert!(conn.next_request(&limits).unwrap().is_none());
+    }
+
+    #[test]
+    fn deadlines_follow_state() {
+        let (_client, mut conn) = pair();
+        let timeouts = Timeouts {
+            read: Duration::from_secs(5),
+            write: Duration::from_secs(7),
+            idle: Duration::from_secs(60),
+        };
+        let (_, why) = conn.deadline(&timeouts).expect("idle deadline");
+        assert_eq!(why, Expiry::Idle);
+
+        conn.read_buf.extend_from_slice(b"GET /par");
+        let (_, why) = conn.deadline(&timeouts).expect("read deadline");
+        assert_eq!(why, Expiry::PartialRequest);
+
+        conn.busy = true;
+        assert!(
+            conn.deadline(&timeouts).is_none(),
+            "busy conns wait on the queue"
+        );
+
+        conn.push_response(&Response::json(200, "{}"), false);
+        let (_, why) = conn.deadline(&timeouts).expect("write deadline");
+        assert_eq!(why, Expiry::WriteStalled);
+    }
+
+    #[test]
+    fn partial_deadline_anchors_at_head_start_not_last_byte() {
+        let (mut client, mut conn) = pair();
+        let timeouts = Timeouts {
+            read: Duration::from_millis(200),
+            write: Duration::from_secs(5),
+            idle: Duration::from_secs(60),
+        };
+        let mut scratch = [0u8; 64];
+        client.write_all(b"G").expect("first byte");
+        while conn.read_buf.is_empty() {
+            conn.try_read(&mut scratch, Instant::now());
+        }
+        let (first, why) = conn.deadline(&timeouts).expect("partial deadline");
+        assert_eq!(why, Expiry::PartialRequest);
+
+        // A dribbled second byte is "progress" but must not extend the
+        // head's total budget — that is the slow-loris guard.
+        std::thread::sleep(Duration::from_millis(30));
+        client.write_all(b"E").expect("second byte");
+        while conn.read_buf.len() < 2 {
+            conn.try_read(&mut scratch, Instant::now());
+        }
+        let (second, _) = conn.deadline(&timeouts).expect("still partial");
+        assert_eq!(first, second, "deadline slid forward on a dribbled byte");
+    }
+
+    #[test]
+    fn interest_tracks_state() {
+        let (_client, mut conn) = pair();
+        assert_eq!(conn.interest(), crate::sys::EPOLLIN);
+        conn.busy = true;
+        assert_eq!(conn.interest(), 0);
+        conn.push_response(&Response::json(200, "{}"), false);
+        assert_eq!(conn.interest(), crate::sys::EPOLLOUT);
+        conn.busy = false;
+        assert_eq!(conn.interest(), crate::sys::EPOLLIN | crate::sys::EPOLLOUT);
+    }
+
+    #[test]
+    fn write_drains_into_the_socket() {
+        let (mut client, mut conn) = pair();
+        conn.push_response(&Response::json(200, "{\"x\": 1}"), true);
+        assert!(conn.close_after_flush);
+        assert!(conn.try_write(Instant::now()).expect("write"));
+        let mut buf = [0u8; 512];
+        let n = client.read(&mut buf).expect("read response");
+        let text = std::str::from_utf8(&buf[..n]).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

@@ -1,12 +1,21 @@
-//! Hand-rolled HTTP/1.1: request parsing and response writing.
+//! Hand-rolled HTTP/1.1: incremental request parsing and response
+//! writing.
 //!
 //! Deliberately small: request line + headers + `Content-Length` bodies,
 //! keep-alive, and the handful of status codes the service emits. No
 //! chunked transfer encoding, no multipart — the API is JSON-in/JSON-out.
-//! Every read goes through the caller's socket timeouts; byte budgets on
-//! the head and body bound memory per connection.
+//!
+//! Parsing is *incremental by construction*: [`parse_request`] takes
+//! whatever bytes have arrived so far and either produces a complete
+//! request (plus how many bytes it consumed, so pipelined requests queue
+//! up behind it in the same buffer), asks for more bytes, or rejects the
+//! stream. The reactor's connection state machine calls it after every
+//! nonblocking read, so a request split across arbitrary TCP segment
+//! boundaries — or dribbled in one byte at a time — parses identically
+//! to one delivered whole. Byte budgets on the head and body bound
+//! memory per connection.
 
-use std::io::{self, BufRead, ErrorKind, Write};
+use std::io::{self, Write};
 
 /// Per-request byte budgets.
 #[derive(Debug, Clone, Copy)]
@@ -61,91 +70,95 @@ impl Request {
     }
 }
 
-/// Why a request could not be read.
-#[derive(Debug)]
-pub enum ReadError {
-    /// Clean EOF before any request byte (peer closed an idle connection).
-    Closed,
-    /// The socket read timed out.
-    Timeout,
+/// Why a byte stream cannot become a request. Fatal for the connection:
+/// after any of these the stream cannot be re-synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
     /// The declared body exceeds [`Limits::max_body_bytes`] (send `413`).
     BodyTooLarge,
-    /// Anything else unparsable (send `400`).
+    /// Anything else unparsable, including a head that outgrows
+    /// [`Limits::max_head_bytes`] without terminating (send `400`).
     Malformed(&'static str),
-    /// Transport error.
-    Io(io::Error),
 }
 
-impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        match e.kind() {
-            ErrorKind::WouldBlock | ErrorKind::TimedOut => ReadError::Timeout,
-            ErrorKind::UnexpectedEof => ReadError::Malformed("truncated request"),
-            _ => ReadError::Io(e),
+/// Tries to parse one request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete request is
+/// available (`consumed` bytes of `buf` belong to it, leading blank
+/// lines included — RFC 9112 §2.2 tolerates them); `Ok(None)` when the
+/// bytes so far are a valid *prefix* and more must arrive; an error when
+/// the stream can never become a request.
+///
+/// # Errors
+///
+/// [`ParseError`] as above; the connection must be closed after
+/// reporting it.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, ParseError> {
+    // Skip optional blank lines before the request line.
+    let mut start = 0;
+    loop {
+        if buf[start..].starts_with(b"\r\n") {
+            start += 2;
+        } else if buf[start..].starts_with(b"\n") {
+            start += 1;
+        } else {
+            break;
         }
     }
-}
 
-/// Reads one CRLF- (or LF-) terminated line, enforcing the remaining head
-/// budget. Returns `None` on clean EOF at a line boundary.
-fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, ReadError> {
-    let mut raw = Vec::new();
-    // Cap the read: take() guards against a header line that never ends.
-    let mut limited = io::Read::take(&mut *r, *budget as u64 + 1);
-    let n = limited.read_until(b'\n', &mut raw)?;
-    if n == 0 {
+    // Find the empty line terminating the head: scan line by line.
+    let head = &buf[start..];
+    let mut head_end = None; // offset past the terminating empty line
+    let mut line_start = 0;
+    for (i, &b) in head.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &head[line_start..i];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            head_end = Some(i + 1);
+            break;
+        }
+        line_start = i + 1;
+    }
+    let Some(head_end) = head_end else {
+        if head.len() > limits.max_head_bytes {
+            return Err(ParseError::Malformed("request head too large"));
+        }
         return Ok(None);
-    }
-    if n > *budget {
-        return Err(ReadError::Malformed("request head too large"));
-    }
-    *budget -= n;
-    if raw.last() != Some(&b'\n') {
-        return Err(ReadError::Malformed("truncated request"));
-    }
-    raw.pop();
-    if raw.last() == Some(&b'\r') {
-        raw.pop();
-    }
-    String::from_utf8(raw)
-        .map(Some)
-        .map_err(|_| ReadError::Malformed("non-UTF-8 request head"))
-}
-
-/// Reads one request off the wire. Blocks (subject to the stream's read
-/// timeout) until a full request arrives.
-pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, ReadError> {
-    let mut budget = limits.max_head_bytes;
-    // Tolerate optional blank lines before the request line (RFC 9112 §2.2).
-    let request_line = loop {
-        match read_line(r, &mut budget)? {
-            None => return Err(ReadError::Closed),
-            Some(line) if line.is_empty() => continue,
-            Some(line) => break line,
-        }
     };
+    if head_end > limits.max_head_bytes {
+        return Err(ParseError::Malformed("request head too large"));
+    }
+
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| ParseError::Malformed("non-UTF-8 request head"))?;
+    let mut lines = head_text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("").to_string();
     let version = parts.next().unwrap_or("");
     if method.is_empty() || !target.starts_with('/') {
-        return Err(ReadError::Malformed("bad request line"));
+        return Err(ParseError::Malformed("bad request line"));
     }
     let http11 = match version {
         "HTTP/1.1" => true,
         "HTTP/1.0" => false,
-        _ => return Err(ReadError::Malformed("unsupported HTTP version")),
+        _ => return Err(ParseError::Malformed("unsupported HTTP version")),
     };
 
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(r, &mut budget)?.ok_or(ReadError::Malformed("truncated headers"))?;
+    for line in lines {
         if line.is_empty() {
             break;
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or(ReadError::Malformed("bad header line"))?;
+            .ok_or(ParseError::Malformed("bad header line"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
@@ -157,24 +170,32 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, R
         body: Vec::new(),
     };
     if req.header("transfer-encoding").is_some() {
-        return Err(ReadError::Malformed("chunked bodies are not supported"));
+        return Err(ParseError::Malformed("chunked bodies are not supported"));
     }
-    if let Some(len) = req.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| ReadError::Malformed("bad content-length"))?;
-        if len > limits.max_body_bytes {
-            return Err(ReadError::BodyTooLarge);
+    let body_len = match req.header("content-length") {
+        None => 0,
+        Some(len) => {
+            let len: usize = len
+                .parse()
+                .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            if len > limits.max_body_bytes {
+                return Err(ParseError::BodyTooLarge);
+            }
+            len
         }
-        let mut body = vec![0u8; len];
-        r.read_exact(&mut body)?;
-        req.body = body;
+    };
+    let body_start = start + head_end;
+    if buf.len() < body_start + body_len {
+        return Ok(None);
     }
-    Ok(req)
+    req.body = buf[body_start..body_start + body_len].to_vec();
+    Ok(Some((req, body_start + body_len)))
 }
 
-/// One response: status, JSON body, and the optional `Retry-After` the
-/// backpressure path sets on `503`s.
+/// One response: status, JSON body, the optional `Retry-After` the
+/// backpressure path sets on `503`s, and the admission lane that served
+/// it (surfaced as `X-Softwatt-Lane` so clients — and `loadgen`'s
+/// per-class tallies — can tell a warm hit from a cold simulation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
@@ -183,6 +204,8 @@ pub struct Response {
     pub body: String,
     /// Seconds for a `Retry-After` header, if any.
     pub retry_after: Option<u32>,
+    /// Lane label for the `X-Softwatt-Lane` header, if any.
+    pub lane: Option<&'static str>,
 }
 
 impl Response {
@@ -192,6 +215,7 @@ impl Response {
             status,
             body: body.into(),
             retry_after: None,
+            lane: None,
         }
     }
 
@@ -210,6 +234,13 @@ impl Response {
         let mut r = Response::error(503, "overloaded", "request queue is full; retry shortly");
         r.retry_after = Some(retry_after_s);
         r
+    }
+
+    /// Tags the response with the lane that produced it.
+    #[must_use]
+    pub fn with_lane(mut self, lane: &'static str) -> Response {
+        self.lane = Some(lane);
+        self
     }
 }
 
@@ -244,7 +275,9 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `resp`, flagging the connection `close` or `keep-alive`.
+/// Writes `resp`, flagging the connection `close` or `keep-alive`. The
+/// reactor writes into a `Vec<u8>` connection buffer (infallible); tests
+/// write into sockets directly.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
     write!(
         w,
@@ -255,6 +288,9 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::
     )?;
     if let Some(secs) = resp.retry_after {
         write!(w, "Retry-After: {secs}\r\n")?;
+    }
+    if let Some(lane) = resp.lane {
+        write!(w, "X-Softwatt-Lane: {lane}\r\n")?;
     }
     write!(
         w,
@@ -268,15 +304,20 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(raw: &str) -> Result<Request, ReadError> {
-        read_request(&mut BufReader::new(raw.as_bytes()), &Limits::default())
+    fn parse(raw: &str) -> Result<Option<(Request, usize)>, ParseError> {
+        parse_request(raw.as_bytes(), &Limits::default())
+    }
+
+    fn parse_complete(raw: &str) -> Request {
+        let (req, consumed) = parse(raw).expect("parses").expect("complete");
+        assert_eq!(consumed, raw.len(), "whole input consumed");
+        req
     }
 
     #[test]
     fn parses_get_with_headers() {
-        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: Close\r\n\r\n").unwrap();
+        let req = parse_complete("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: Close\r\n\r\n");
         assert_eq!(req.method, "GET");
         assert_eq!(req.target, "/healthz");
         assert!(req.http11);
@@ -286,54 +327,92 @@ mod tests {
 
     #[test]
     fn parses_post_with_body_and_lf_lines() {
-        let req = parse("POST /v1/run HTTP/1.1\nContent-Length: 4\n\nabcd").unwrap();
+        let req = parse_complete("POST /v1/run HTTP/1.1\nContent-Length: 4\n\nabcd");
         assert_eq!(req.body, b"abcd");
         assert!(!req.wants_close(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn http10_defaults_to_close() {
-        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        let req = parse_complete("GET / HTTP/1.0\r\n\r\n");
         assert!(req.wants_close());
     }
 
     #[test]
-    fn rejects_garbage_and_eof() {
-        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    fn every_prefix_is_incomplete_never_an_error() {
+        let raw = "POST /v1/run HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse(&raw[..cut]), Ok(None)),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        assert!(parse(raw).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse(raw).unwrap().unwrap();
+        assert_eq!(first.target, "/healthz");
+        let rest = &raw[consumed..];
+        let (second, consumed2) = parse(rest).unwrap().unwrap();
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn leading_blank_lines_are_consumed() {
+        let raw = "\r\n\nGET / HTTP/1.1\r\n\r\n";
+        let (req, consumed) = parse(raw).unwrap().unwrap();
+        assert_eq!(req.target, "/");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
         assert!(matches!(
             parse("garbage\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             parse("GET / HTTP/2.0\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
         ));
         assert!(matches!(
             parse("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
-            Err(ReadError::Malformed(_))
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::Malformed(_))
         ));
     }
 
     #[test]
-    fn body_over_limit_is_too_large() {
+    fn body_over_limit_is_too_large_before_the_body_arrives() {
         let limits = Limits {
             max_body_bytes: 3,
             ..Limits::default()
         };
-        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
-        let err = read_request(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
-        assert!(matches!(err, ReadError::BodyTooLarge));
+        // The verdict lands as soon as the head declares the length —
+        // no need to buffer (or even receive) the oversized payload.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n";
+        let err = parse_request(raw, &limits).unwrap_err();
+        assert_eq!(err, ParseError::BodyTooLarge);
     }
 
     #[test]
-    fn head_over_limit_is_malformed() {
+    fn unterminated_head_over_limit_is_malformed() {
         let limits = Limits {
             max_head_bytes: 32,
             ..Limits::default()
         };
-        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
-        let err = read_request(&mut BufReader::new(raw.as_bytes()), &limits).unwrap_err();
-        assert!(matches!(err, ReadError::Malformed(_)));
+        let raw = format!("GET /{} HTTP/1.1\r\n", "x".repeat(64));
+        let err = parse_request(raw.as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(_)));
+        // Under the budget and unterminated: still just incomplete.
+        assert!(matches!(parse_request(b"GET / HT", &limits), Ok(None)));
     }
 
     #[test]
@@ -347,10 +426,11 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();
-        write_response(&mut out, &Response::overloaded(1), true).unwrap();
+        write_response(&mut out, &Response::overloaded(1).with_lane("cold"), true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("X-Softwatt-Lane: cold\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("\"code\": \"overloaded\""));
     }

@@ -14,47 +14,62 @@
 //!   `POST /admin/shutdown`.
 //!
 //! Production-shaped on purpose, with no dependencies beyond `std` and
-//! the workspace crates: a fixed worker pool over a bounded queue
-//! (overload → immediate `503` + `Retry-After`, never an unbounded
-//! backlog), per-connection read/write timeouts and body-size limits,
-//! keep-alive, and graceful shutdown that drains in-flight work. See
-//! `DESIGN.md` §server for the threading model.
+//! the workspace crates. The core is an epoll reactor (`reactor`): one
+//! thread owns every socket, parses requests incrementally, and answers
+//! warm memo hits inline in microseconds. Everything else is classified
+//! by cost *before* it queues — trace replays onto the replay worker
+//! pool, full simulations onto the cold lane's own bounded pool — so a
+//! multi-second cold grid saturates its queue (`503` + `Retry-After`)
+//! without warm traffic ever waiting behind it. Concurrent `/v1/run`
+//! misses for the same key dedup into one in-flight job. Graceful
+//! shutdown drains in-flight work before `run` returns. See `DESIGN.md`
+//! §11 for the reactor architecture.
 
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod pool;
+mod reactor;
 pub mod routes;
+pub mod sys;
 
-use std::collections::HashMap;
-use std::io::{BufReader, ErrorKind};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use softwatt::ExperimentSuite;
 
-use http::{Limits, ReadError, Response};
-use pool::Pool;
-use routes::{Ctx, Route};
+use pool::{Pool, COLD_LANE, REPLAY_LANE};
+use reactor::{Completions, Reactor};
+use routes::Ctx;
+use sys::WakeFd;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Compute-pool threads (simulations run here).
+    /// Replay-lane worker threads (trace replays run here).
     pub workers: usize,
-    /// Bounded compute-queue capacity; beyond it, requests get `503`.
+    /// Replay-lane queue capacity; beyond it, requests get `503`.
     pub queue_depth: usize,
+    /// Cold-lane worker threads (full simulations run here).
+    pub cold_workers: usize,
+    /// Cold-lane queue capacity; beyond it, requests get `503`.
+    pub cold_queue_depth: usize,
     /// Maximum concurrent connections; beyond it, accepts get `503`.
     pub max_connections: usize,
     /// Request-body cap (larger bodies get `413`).
     pub max_body_bytes: usize,
-    /// Per-connection socket read timeout.
+    /// Budget for a started request head/body to finish arriving;
+    /// expiry is the slow-loris guard (`408`, close).
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// Budget for a pending response write to make progress.
     pub write_timeout: Duration,
+    /// Budget for a keep-alive connection with no request in progress;
+    /// expiry closes it silently.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -62,26 +77,32 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: thread::available_parallelism().map_or(2, |n| n.get()),
             queue_depth: 64,
-            max_connections: 256,
+            cold_workers: 1,
+            cold_queue_depth: 8,
+            max_connections: 1024,
             max_body_bytes: 1024 * 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
 
-/// Clonable trigger that asks the server to drain and stop. Flipping it is
-/// async-signal-safe (a single atomic store), which is exactly what the
-/// binary's SIGTERM handler needs.
+/// Clonable trigger that asks the server to drain and stop. Flipping it
+/// is async-signal-safe — an atomic store plus an eventfd `write(2)` to
+/// wake the reactor — which is exactly what the binary's SIGTERM handler
+/// needs.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
+    wake: Arc<WakeFd>,
 }
 
 impl ShutdownHandle {
     /// Requests shutdown (idempotent).
     pub fn trigger(&self) {
         self.flag.store(true, Ordering::SeqCst);
+        self.wake.ring();
     }
 
     /// Whether shutdown has been requested.
@@ -90,66 +111,15 @@ impl ShutdownHandle {
     }
 }
 
-/// Live-connection registry: stream clones (for waking blocked readers at
-/// shutdown) plus a count the drain phase waits on.
-#[derive(Default)]
-struct ConnState {
-    streams: HashMap<u64, TcpStream>,
-}
-
-struct Connections {
-    state: Mutex<ConnState>,
-    all_closed: Condvar,
-}
-
-impl Connections {
-    fn register(&self, id: u64, stream: &TcpStream) {
-        if let Ok(clone) = stream.try_clone() {
-            self.state
-                .lock()
-                .expect("conn lock")
-                .streams
-                .insert(id, clone);
-        }
-        softwatt_obs::count("serve.connections.accepted", 1);
-    }
-
-    fn deregister(&self, id: u64) {
-        let mut state = self.state.lock().expect("conn lock");
-        state.streams.remove(&id);
-        if state.streams.is_empty() {
-            self.all_closed.notify_all();
-        }
-    }
-
-    /// Wakes every blocked reader: idle keep-alive connections sit in a
-    /// socket read, and shutting down the read half makes that return EOF.
-    fn shutdown_reads(&self) {
-        let state = self.state.lock().expect("conn lock");
-        for stream in state.streams.values() {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-    }
-
-    fn wait_all_closed(&self) {
-        let mut state = self.state.lock().expect("conn lock");
-        while !state.streams.is_empty() {
-            state = self.all_closed.wait(state).expect("conn lock");
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.state.lock().expect("conn lock").streams.len()
-    }
-}
-
-/// The HTTP server. [`Server::run`] owns the calling thread until
-/// shutdown completes.
+/// The HTTP server. [`Server::run`] owns the calling thread (it becomes
+/// the reactor) until shutdown completes.
 pub struct Server {
     listener: TcpListener,
     config: ServeConfig,
     ctx: Arc<Ctx>,
-    connections: Arc<Connections>,
+    replay: Arc<Pool>,
+    cold: Arc<Pool>,
+    wake: Arc<WakeFd>,
 }
 
 impl Server {
@@ -168,20 +138,21 @@ impl Server {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking failed: {e}"))?;
-        let pool = Arc::new(Pool::new(config.workers, config.queue_depth));
-        let ctx = Arc::new(Ctx {
-            suite,
-            pool,
-            shutdown: Arc::new(AtomicBool::new(false)),
-        });
+        let replay = Arc::new(Pool::new(&REPLAY_LANE, config.workers, config.queue_depth));
+        let cold = Arc::new(Pool::new(
+            &COLD_LANE,
+            config.cold_workers,
+            config.cold_queue_depth,
+        ));
+        let wake = Arc::new(WakeFd::new().map_err(|e| format!("eventfd failed: {e}"))?);
+        let ctx = Arc::new(Ctx::new(suite, Arc::new(AtomicBool::new(false))));
         Ok(Server {
             listener,
             config,
             ctx,
-            connections: Arc::new(Connections {
-                state: Mutex::new(ConnState::default()),
-                all_closed: Condvar::new(),
-            }),
+            replay,
+            cold,
+            wake,
         })
     }
 
@@ -196,11 +167,16 @@ impl Server {
             .map_err(|e| format!("local_addr failed: {e}"))
     }
 
-    /// The compute pool. Embedders (and tests) can co-schedule their own
-    /// jobs on it; anything submitted competes with HTTP requests for the
-    /// same bounded queue.
+    /// The replay-lane pool. Embedders (and tests) can co-schedule their
+    /// own jobs on it; anything submitted competes with replay traffic
+    /// for the same bounded queue.
     pub fn pool(&self) -> Arc<Pool> {
-        Arc::clone(&self.ctx.pool)
+        Arc::clone(&self.replay)
+    }
+
+    /// The cold-lane pool (full simulations).
+    pub fn cold_pool(&self) -> Arc<Pool> {
+        Arc::clone(&self.cold)
     }
 
     /// A handle that stops the server from another thread or a signal
@@ -208,125 +184,26 @@ impl Server {
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             flag: Arc::clone(&self.ctx.shutdown),
+            wake: Arc::clone(&self.wake),
         }
     }
 
-    /// Accepts connections until shutdown is triggered, then drains:
-    /// stops accepting, wakes idle readers, finishes queued + in-flight
-    /// compute, waits for every connection to write its last response.
+    /// Runs the reactor on the calling thread until shutdown is
+    /// triggered, then drains: the listener closes, idle connections
+    /// drop, in-flight compute finishes and its responses flush, and the
+    /// worker pools join.
     pub fn run(self) {
-        let next_id = AtomicU64::new(0);
-        while !self.ctx.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let id = next_id.fetch_add(1, Ordering::Relaxed);
-                    if self.connections.len() >= self.config.max_connections {
-                        // Over the connection cap: one-shot 503 and close.
-                        softwatt_obs::count("serve.connections.refused", 1);
-                        let mut stream = stream;
-                        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                        let _ = http::write_response(
-                            &mut stream,
-                            &Response::overloaded(routes::RETRY_AFTER_S),
-                            true,
-                        );
-                        continue;
-                    }
-                    self.connections.register(id, &stream);
-                    let ctx = Arc::clone(&self.ctx);
-                    let connections = Arc::clone(&self.connections);
-                    let config = self.config.clone();
-                    let spawned = thread::Builder::new()
-                        .name(format!("serve-conn-{id}"))
-                        .spawn(move || {
-                            serve_connection(&ctx, &config, stream);
-                            connections.deregister(id);
-                        });
-                    if spawned.is_err() {
-                        self.connections.deregister(id);
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    // Nonblocking accept doubles as the shutdown poll.
-                    thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => thread::sleep(Duration::from_millis(10)),
-            }
-        }
-        drop(self.listener);
-        softwatt_obs::count("serve.shutdown.triggered", 1);
-        self.connections.shutdown_reads();
-        self.ctx.pool.shutdown();
-        self.connections.wait_all_closed();
-    }
-}
-
-/// Serves one connection: read → dispatch → write, keep-alive until the
-/// peer closes, errors, asks to close, or shutdown begins.
-fn serve_connection(ctx: &Ctx, config: &ServeConfig, stream: TcpStream) {
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
-        || stream
-            .set_write_timeout(Some(config.write_timeout))
-            .is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    let mut writer = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let limits = Limits {
-        max_body_bytes: config.max_body_bytes,
-        ..Limits::default()
-    };
-
-    loop {
-        let req = match http::read_request(&mut reader, &limits) {
-            Ok(req) => req,
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Timeout) => {
-                let resp = Response::error(408, "timeout", "request not received in time");
-                let _ = http::write_response(&mut writer, &resp, true);
-                return;
-            }
-            Err(ReadError::BodyTooLarge) => {
-                let resp = Response::error(413, "body_too_large", "request body exceeds limit");
-                let _ = http::write_response(&mut writer, &resp, true);
-                return;
-            }
-            Err(ReadError::Malformed(msg)) => {
-                let resp = Response::error(400, "malformed_request", msg);
-                let _ = http::write_response(&mut writer, &resp, true);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-
-        let route = Route::of(&req.target);
-        let start = Instant::now();
-        let resp = routes::dispatch(ctx, route, &req);
-        softwatt_obs::observe(route.latency(), start.elapsed().as_micros() as u64);
-        softwatt_obs::count(route.counter(), 1);
-        softwatt_obs::count(status_counter(resp.status), 1);
-
-        // Draining? Tell the peer this is the last response on the wire.
-        let close = req.wants_close() || ctx.shutdown.load(Ordering::SeqCst);
-        if http::write_response(&mut writer, &resp, close).is_err() || close {
-            return;
-        }
-    }
-}
-
-/// Static counter name for a status class (static names keep the obs
-/// registry allocation-free).
-fn status_counter(status: u16) -> &'static str {
-    match status {
-        200..=299 => "serve.responses.2xx",
-        400..=499 => "serve.responses.4xx",
-        503 => "serve.responses.503",
-        _ => "serve.responses.5xx",
+        let completions = Arc::new(Completions::new(Arc::clone(&self.wake)));
+        let reactor = Reactor::new(
+            self.listener,
+            Arc::clone(&self.ctx),
+            &self.config,
+            self.replay,
+            self.cold,
+            completions,
+        )
+        .expect("epoll setup");
+        reactor.run();
     }
 }
 
@@ -339,16 +216,11 @@ mod tests {
         let c = ServeConfig::default();
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= 1);
+        assert_eq!(c.cold_workers, 1, "one cold worker by default");
+        assert!(c.cold_queue_depth >= 1);
         assert!(c.max_connections >= 1);
         assert_eq!(c.max_body_bytes, 1024 * 1024);
-    }
-
-    #[test]
-    fn status_counters_are_static() {
-        assert_eq!(status_counter(200), "serve.responses.2xx");
-        assert_eq!(status_counter(404), "serve.responses.4xx");
-        assert_eq!(status_counter(503), "serve.responses.503");
-        assert_eq!(status_counter(500), "serve.responses.5xx");
+        assert!(c.idle_timeout > c.read_timeout, "idle outlives partials");
     }
 
     #[test]

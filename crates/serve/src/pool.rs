@@ -1,6 +1,8 @@
-//! The fixed worker pool with a bounded queue.
+//! Fixed worker pools with bounded queues, one per admission lane.
 //!
-//! Connection threads do I/O; compute lands here. The queue has a hard
+//! The reactor thread does all socket I/O; compute lands here. Each lane
+//! (replay, cold) owns its own pool, so a multi-second cold simulation
+//! queue can saturate without delaying cheap replays. A queue has a hard
 //! capacity, and [`Pool::try_submit`] refuses work instead of blocking —
 //! that refusal is the backpressure signal the HTTP layer turns into a
 //! `503` + `Retry-After`. Shutdown is graceful by construction: workers
@@ -12,6 +14,42 @@ use std::thread::{self, JoinHandle};
 
 /// A unit of queued work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One lane's static identity: metric names (static names keep the obs
+/// registry allocation-free) plus its workers' scheduling niceness.
+#[derive(Debug)]
+pub struct LaneMetrics {
+    /// Worker-thread name prefix.
+    pub thread_prefix: &'static str,
+    /// Gauge: current queue depth.
+    pub depth: &'static str,
+    /// Gauge: maximum queue depth ever observed (high-water mark).
+    pub depth_max: &'static str,
+    /// Counter: jobs refused by a full (or draining) queue.
+    pub rejected: &'static str,
+    /// How many `nice` steps the lane's workers drop below the reactor.
+    pub nice: i32,
+}
+
+/// The replay lane: cheap trace replays and memoized figure renders.
+pub static REPLAY_LANE: LaneMetrics = LaneMetrics {
+    thread_prefix: "serve-replay",
+    depth: "serve.lane.replay.queue_depth",
+    depth_max: "serve.lane.replay.queue_depth_max",
+    rejected: "serve.lane.replay.rejected",
+    nice: 0,
+};
+
+/// The cold lane: full multi-second simulations. Its workers run niced
+/// so a saturated core still schedules the reactor (and the replay
+/// lane) promptly — cold work is throughput, not latency.
+pub static COLD_LANE: LaneMetrics = LaneMetrics {
+    thread_prefix: "serve-cold",
+    depth: "serve.lane.cold.queue_depth",
+    depth_max: "serve.lane.cold.queue_depth_max",
+    rejected: "serve.lane.cold.rejected",
+    nice: 10,
+};
 
 /// Returned by [`Pool::try_submit`] when the bounded queue is full or the
 /// pool is draining.
@@ -27,6 +65,7 @@ struct State {
 struct Inner {
     state: Mutex<State>,
     work_ready: Condvar,
+    metrics: &'static LaneMetrics,
 }
 
 /// A fixed-size worker pool over a bounded FIFO queue.
@@ -37,8 +76,9 @@ pub struct Pool {
 
 impl Pool {
     /// Spawns `workers` threads sharing a queue of at most `capacity`
-    /// pending jobs (both clamped to at least 1).
-    pub fn new(workers: usize, capacity: usize) -> Pool {
+    /// pending jobs (both clamped to at least 1), reporting under the
+    /// lane's metric names.
+    pub fn new(metrics: &'static LaneMetrics, workers: usize, capacity: usize) -> Pool {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -46,12 +86,13 @@ impl Pool {
                 draining: false,
             }),
             work_ready: Condvar::new(),
+            metrics,
         });
         let handles = (0..workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
+                    .name(format!("{}-{i}", metrics.thread_prefix))
                     .spawn(move || worker_loop(&inner))
                     .expect("spawn worker thread")
             })
@@ -69,13 +110,16 @@ impl Pool {
     /// [`QueueFull`] when the queue is at capacity or the pool is draining;
     /// the job is returned unexecuted inside the error path (dropped).
     pub fn try_submit(&self, job: Job) -> Result<(), QueueFull> {
+        let metrics = self.inner.metrics;
         let mut state = self.inner.state.lock().expect("pool lock");
         if state.draining || state.queue.len() >= state.capacity {
-            softwatt_obs::count("serve.queue.rejected", 1);
+            softwatt_obs::count(metrics.rejected, 1);
             return Err(QueueFull);
         }
         state.queue.push_back(job);
-        softwatt_obs::gauge_set("serve.queue.depth", state.queue.len() as f64);
+        let depth = state.queue.len() as f64;
+        softwatt_obs::gauge_set(metrics.depth, depth);
+        softwatt_obs::gauge_raise(metrics.depth_max, depth);
         drop(state);
         self.inner.work_ready.notify_one();
         Ok(())
@@ -103,10 +147,11 @@ impl Drop for Pool {
 }
 
 fn worker_loop(inner: &Inner) {
+    crate::sys::lower_thread_priority(inner.metrics.nice);
     let mut state = inner.state.lock().expect("pool lock");
     loop {
         if let Some(job) = state.queue.pop_front() {
-            softwatt_obs::gauge_set("serve.queue.depth", state.queue.len() as f64);
+            softwatt_obs::gauge_set(inner.metrics.depth, state.queue.len() as f64);
             drop(state);
             job();
             state = inner.state.lock().expect("pool lock");
@@ -128,7 +173,7 @@ mod tests {
 
     #[test]
     fn runs_submitted_jobs() {
-        let pool = Pool::new(2, 16);
+        let pool = Pool::new(&REPLAY_LANE, 2, 16);
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..8 {
             let done = Arc::clone(&done);
@@ -143,7 +188,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_without_blocking() {
-        let pool = Pool::new(1, 1);
+        let pool = Pool::new(&COLD_LANE, 1, 1);
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
         // Occupy the single worker...
@@ -165,7 +210,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_jobs_and_refuses_new_ones() {
-        let pool = Pool::new(1, 16);
+        let pool = Pool::new(&REPLAY_LANE, 1, 16);
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..4 {
             let done = Arc::clone(&done);

@@ -1,24 +1,75 @@
-//! Request routing and handlers.
+//! Request routing, handlers, and cost-aware admission classification.
 //!
-//! Cheap routes (`/healthz`, `/metrics`, `/admin/shutdown`) run inline on
-//! the connection thread so they stay responsive when the compute pool is
-//! saturated. Simulation-backed routes (`/v1/run`, `/v1/batch`,
-//! `/v1/figures/*`) are submitted to the bounded pool; a full queue turns
-//! into `503` + `Retry-After` before any simulation work starts.
+//! Every request is classified *before* any queue is involved, using
+//! what the suite's three-tier lookup (memo → trace store → full sim)
+//! already knows about its cost:
+//!
+//! - **inline** — the answer is already memoized (or is trivially cheap:
+//!   `/healthz`, `/metrics`, `/admin/shutdown`, parse errors). Rendered
+//!   on the reactor thread in microseconds; no queue, no worker.
+//! - **replay** — the (benchmark, CPU) trace exists, so the bundle is a
+//!   cheap trace replay. Routed to the replay worker pool.
+//! - **cold** — no trace anywhere: a full multi-second simulation.
+//!   Routed to the cold lane's own bounded pool, so a cold grid can
+//!   saturate *its* queue (`503` + `Retry-After`) without warm or replay
+//!   traffic ever queuing behind it.
+//!
+//! `/v1/run` misses additionally dedup at the HTTP layer: concurrent
+//! requests for the same key attach to one in-flight job (see
+//! `reactor.rs`) and all receive the same rendered response.
 
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
 
 use softwatt::experiments::{DiskSetup, RunKey};
 use softwatt::{Benchmark, CpuModel, ExperimentSuite};
 
 use crate::http::{Request, Response};
 use crate::json::{self, Value};
-use crate::pool::Pool;
 
 /// Seconds suggested to clients bounced by backpressure.
 pub const RETRY_AFTER_S: u32 = 1;
+
+/// The admission lane a request is classified into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Answered on the reactor thread (memo hit or trivial route).
+    Inline,
+    /// Trace replay on the replay worker pool.
+    Replay,
+    /// Full simulation on the cold worker pool.
+    Cold,
+}
+
+impl Lane {
+    /// The label used in metrics and the `X-Softwatt-Lane` header.
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Inline => "inline",
+            Lane::Replay => "replay",
+            Lane::Cold => "cold",
+        }
+    }
+
+    /// Counter: requests served on this lane.
+    pub fn served(self) -> &'static str {
+        match self {
+            Lane::Inline => "serve.lane.inline.served",
+            Lane::Replay => "serve.lane.replay.served",
+            Lane::Cold => "serve.lane.cold.served",
+        }
+    }
+
+    /// Histogram: admission-to-response latency (µs) on this lane.
+    pub fn latency(self) -> &'static str {
+        match self {
+            Lane::Inline => "serve.lane.inline.latency_us",
+            Lane::Replay => "serve.lane.replay.latency_us",
+            Lane::Cold => "serve.lane.cold.latency_us",
+        }
+    }
+}
 
 /// The route a request resolved to, used for metrics labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,113 +146,159 @@ impl Route {
 pub struct Ctx {
     /// The shared memoizing experiment suite.
     pub suite: Arc<ExperimentSuite>,
-    /// The compute pool.
-    pub pool: Arc<Pool>,
-    /// Set by `/admin/shutdown` (and signals); the accept loop polls it.
+    /// Set by `/admin/shutdown` (and signals); the reactor polls it.
     pub shutdown: Arc<AtomicBool>,
+    /// Rendered `/v1/run` bodies by key. Bundles are immutable once
+    /// memoized, so the rendered JSON never invalidates — and a warm hit
+    /// on the reactor thread becomes a lock + memcpy instead of
+    /// re-formatting dozens of floats per request.
+    rendered: Mutex<HashMap<RunKey, Arc<String>>>,
 }
 
-/// A one-shot rendezvous: the connection thread parks on it while the
-/// pooled job computes the response.
-struct Oneshot<T> {
-    slot: Mutex<Option<T>>,
-    ready: Condvar,
-}
-
-impl<T> Oneshot<T> {
-    fn new() -> Arc<Oneshot<T>> {
-        Arc::new(Oneshot {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        })
-    }
-
-    fn put(&self, value: T) {
-        *self.slot.lock().expect("oneshot lock") = Some(value);
-        self.ready.notify_one();
-    }
-
-    fn take(&self) -> T {
-        let mut slot = self.slot.lock().expect("oneshot lock");
-        loop {
-            if let Some(value) = slot.take() {
-                return value;
-            }
-            slot = self.ready.wait(slot).expect("oneshot lock");
+impl Ctx {
+    /// Wraps the shared suite and shutdown flag.
+    pub fn new(suite: Arc<ExperimentSuite>, shutdown: Arc<AtomicBool>) -> Ctx {
+        Ctx {
+            suite,
+            shutdown,
+            rendered: Mutex::new(HashMap::new()),
         }
     }
-}
 
-/// Runs `work` on the pool and waits for its response; `503` on a full
-/// queue. The connection thread blocks here, but the pool always drains
-/// accepted jobs (even during shutdown), so the wait terminates.
-fn pooled<F>(ctx: &Ctx, work: F) -> Response
-where
-    F: FnOnce() -> Response + Send + 'static,
-{
-    let oneshot = Oneshot::new();
-    let tx = Arc::clone(&oneshot);
-    match ctx.pool.try_submit(Box::new(move || tx.put(work()))) {
-        Ok(()) => oneshot.take(),
-        Err(_) => Response::overloaded(RETRY_AFTER_S),
+    /// The cached rendered body for `key`, rendering (and caching) it
+    /// from `bundle` on first touch.
+    fn run_body(&self, key: RunKey, bundle: &softwatt::experiments::RunBundle) -> Arc<String> {
+        let mut cache = self.rendered.lock().expect("render cache lock");
+        if let Some(body) = cache.get(&key) {
+            return Arc::clone(body);
+        }
+        let body = Arc::new(softwatt::json::run_bundle(key, bundle));
+        cache.insert(key, Arc::clone(&body));
+        body
     }
 }
 
-/// Dispatches one parsed request to its handler.
-pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Response {
+/// What admission decided for one request.
+pub enum Outcome {
+    /// Answered now, on the reactor thread.
+    Ready(Response),
+    /// A `/v1/run` memo miss: compute `key` on `lane`, deduplicating
+    /// concurrent requests for the same key into one job.
+    Shared {
+        /// The lane the job runs on.
+        lane: Lane,
+        /// The run key; doubles as the dedup identity.
+        key: RunKey,
+    },
+    /// Keyless compute (batch, figures): run `work` on `lane`.
+    Work {
+        /// The lane the job runs on.
+        lane: Lane,
+        /// Produces the response on a worker thread.
+        work: Box<dyn FnOnce() -> Response + Send + 'static>,
+    },
+}
+
+/// Renders one `/v1/run` answer; workers call this for deduped jobs,
+/// admission calls it inline for memo hits. Both go through the render
+/// cache, so a worker's first render pre-pays every later inline hit.
+pub fn run_response(ctx: &Ctx, key: RunKey, lane: Lane) -> Response {
+    let bundle = ctx.suite.run_key(key);
+    Response::json(200, ctx.run_body(key, &bundle).as_str()).with_lane(lane.label())
+}
+
+/// Whether every (benchmark, CPU) pair in `keys` already has a trace —
+/// i.e. the whole set derives by replay without one full simulation.
+fn all_traces_ready(suite: &ExperimentSuite, keys: &[RunKey]) -> bool {
+    let pairs: HashSet<(Benchmark, CpuModel)> = keys.iter().map(|k| (k.benchmark, k.cpu)).collect();
+    pairs.iter().all(|&(b, c)| suite.trace_ready(b, c))
+}
+
+/// Dispatches one parsed request: answers it inline or classifies it
+/// onto a compute lane.
+pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
     if let Some(method) = route.method() {
         if req.method != method {
-            return Response::error(
+            return Outcome::Ready(Response::error(
                 405,
                 "method_not_allowed",
                 &format!("{} only answers {method}", req.target),
-            );
+            ));
         }
     }
     match route {
-        Route::Healthz => Response::json(200, "{\"status\": \"ok\"}"),
-        Route::Metrics => Response::json(200, softwatt_obs::to_json()),
+        Route::Healthz => Outcome::Ready(Response::json(200, "{\"status\": \"ok\"}")),
+        Route::Metrics => Outcome::Ready(Response::json(200, softwatt_obs::to_json())),
         Route::Shutdown => {
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, "{\"status\": \"shutting down\"}")
+            ctx.shutdown
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            Outcome::Ready(Response::json(200, "{\"status\": \"shutting down\"}"))
         }
-        Route::Run => match parse_run_key(&req.body, true) {
+        Route::Run => match parse_run_key(&req.body) {
             Ok(key) => {
-                let suite = Arc::clone(&ctx.suite);
-                pooled(ctx, move || {
-                    let bundle = suite.run_key(key);
-                    Response::json(200, softwatt::json::run_bundle(key, &bundle))
-                })
+                // Warm hit: the bundle is memoized, render it right here
+                // on the reactor thread — no queue, no worker, no lock
+                // beyond the memo peek and the render-cache lookup.
+                if let Some(bundle) = ctx.suite.bundle_if_ready(key) {
+                    return Outcome::Ready(
+                        Response::json(200, ctx.run_body(key, &bundle).as_str())
+                            .with_lane(Lane::Inline.label()),
+                    );
+                }
+                let lane = if ctx.suite.trace_ready(key.benchmark, key.cpu) {
+                    Lane::Replay
+                } else {
+                    Lane::Cold
+                };
+                Outcome::Shared { lane, key }
             }
-            Err(resp) => *resp,
+            Err(resp) => Outcome::Ready(*resp),
         },
         Route::Batch => match parse_batch(&req.body) {
             Ok((keys, jobs)) => {
+                let lane = if all_traces_ready(&ctx.suite, &keys) {
+                    Lane::Replay
+                } else {
+                    Lane::Cold
+                };
                 let suite = Arc::clone(&ctx.suite);
-                pooled(ctx, move || {
-                    suite.prewarm(&keys, jobs);
-                    Response::json(200, render_batch(&suite, &keys))
-                })
+                Outcome::Work {
+                    lane,
+                    work: Box::new(move || {
+                        suite.prewarm(&keys, jobs);
+                        Response::json(200, render_batch(&suite, &keys)).with_lane(lane.label())
+                    }),
+                }
             }
-            Err(resp) => *resp,
+            Err(resp) => Outcome::Ready(*resp),
         },
         Route::Figure => {
             let path = req.target.split('?').next().unwrap_or(&req.target);
             let name = path["/v1/figures/".len()..].to_string();
             if !softwatt::json::FIGURES.contains(&name.as_str()) {
-                return Response::error(
+                return Outcome::Ready(Response::error(
                     404,
                     "unknown_figure",
                     &format!("no figure '{name}'; see /v1/figures index in README"),
-                );
+                ));
             }
+            // Figures read across the paper grid; they are replay-cheap
+            // exactly when the whole grid's traces are.
+            let lane = if all_traces_ready(&ctx.suite, &ctx.suite.paper_grid()) {
+                Lane::Replay
+            } else {
+                Lane::Cold
+            };
             let suite = Arc::clone(&ctx.suite);
-            pooled(ctx, move || match softwatt::json::figure(&suite, &name) {
-                Some(body) => Response::json(200, body),
-                None => Response::error(500, "internal", "figure rendering failed"),
-            })
+            Outcome::Work {
+                lane,
+                work: Box::new(move || match softwatt::json::figure(&suite, &name) {
+                    Some(body) => Response::json(200, body).with_lane(lane.label()),
+                    None => Response::error(500, "internal", "figure rendering failed"),
+                }),
+            }
         }
-        Route::Unknown => Response::error(404, "not_found", "unknown path"),
+        Route::Unknown => Outcome::Ready(Response::error(404, "not_found", "unknown path")),
     }
 }
 
@@ -210,9 +307,8 @@ fn bad_request(code: &str, message: &str) -> Box<Response> {
 }
 
 /// Parses one `{"benchmark", "cpu"?, "disk"?}` query object into a
-/// [`RunKey`]. `benchmark` is required iff `require_benchmark` (the batch
-/// route reports position-specific errors itself).
-fn key_from_value(value: &Value, require_benchmark: bool) -> Result<RunKey, Box<Response>> {
+/// [`RunKey`].
+fn key_from_value(value: &Value) -> Result<RunKey, Box<Response>> {
     if !matches!(value, Value::Obj(_)) {
         return Err(bad_request("bad_query", "each query must be a JSON object"));
     }
@@ -223,9 +319,6 @@ fn key_from_value(value: &Value, require_benchmark: bool) -> Result<RunKey, Box<
             })?,
             None => return Err(bad_request("bad_query", "'benchmark' must be a string")),
         },
-        None if require_benchmark => {
-            return Err(bad_request("missing_field", "'benchmark' is required"));
-        }
         None => return Err(bad_request("missing_field", "'benchmark' is required")),
     };
     let cpu = match value.get("cpu") {
@@ -255,8 +348,8 @@ fn parse_body(body: &[u8]) -> Result<Value, Box<Response>> {
     json::parse(body).map_err(|e| bad_request("bad_json", &e))
 }
 
-fn parse_run_key(body: &[u8], require_benchmark: bool) -> Result<RunKey, Box<Response>> {
-    key_from_value(&parse_body(body)?, require_benchmark)
+fn parse_run_key(body: &[u8]) -> Result<RunKey, Box<Response>> {
+    key_from_value(&parse_body(body)?)
 }
 
 /// Parses a batch body: `{"queries": [query...], "jobs"?: N}`. Returns the
@@ -275,7 +368,7 @@ fn parse_batch(body: &[u8]) -> Result<(Vec<RunKey>, usize), Box<Response>> {
     }
     let keys = queries
         .iter()
-        .map(|q| key_from_value(q, true))
+        .map(key_from_value)
         .collect::<Result<Vec<_>, _>>()?;
     let jobs = match doc.get("jobs") {
         None => 1,
@@ -317,6 +410,7 @@ fn render_batch(suite: &ExperimentSuite, keys: &[RunKey]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use softwatt::SystemConfig;
 
     #[test]
     fn route_classification() {
@@ -333,16 +427,13 @@ mod tests {
 
     #[test]
     fn run_key_parsing_defaults_and_errors() {
-        let key = parse_run_key(br#"{"benchmark": "jess"}"#, true).unwrap();
+        let key = parse_run_key(br#"{"benchmark": "jess"}"#).unwrap();
         assert_eq!(key.benchmark, Benchmark::Jess);
         assert_eq!(key.cpu, CpuModel::Mxs);
         assert_eq!(key.disk, DiskSetup::Conventional);
 
-        let key = parse_run_key(
-            br#"{"benchmark": "db", "cpu": "mipsy", "disk": "sleep"}"#,
-            true,
-        )
-        .unwrap();
+        let key =
+            parse_run_key(br#"{"benchmark": "db", "cpu": "mipsy", "disk": "sleep"}"#).unwrap();
         assert_eq!(key.benchmark, Benchmark::Db);
         assert_eq!(key.cpu, CpuModel::Mipsy);
         assert_eq!(key.disk, DiskSetup::SleepExt);
@@ -355,7 +446,7 @@ mod tests {
             (br#"{"benchmark": "jess", "disk": "ssd"}"#, "unknown_disk"),
             (br#"{"benchmark": 7}"#, "bad_query"),
         ] {
-            let resp = parse_run_key(body, true).unwrap_err();
+            let resp = parse_run_key(body).unwrap_err();
             assert_eq!(resp.status, 400);
             assert!(resp.body.contains(code), "{} for {:?}", resp.body, body);
         }
@@ -380,5 +471,64 @@ mod tests {
         ] {
             assert!(parse_batch(body).is_err(), "{:?} should fail", body);
         }
+    }
+
+    #[test]
+    fn admission_classifies_by_suite_knowledge() {
+        let suite = Arc::new(
+            ExperimentSuite::new(SystemConfig {
+                time_scale: 500_000.0,
+                ..SystemConfig::default()
+            })
+            .unwrap(),
+        );
+        let ctx = Ctx::new(Arc::clone(&suite), Arc::new(AtomicBool::new(false)));
+        let req = |body: &str| Request {
+            method: "POST".into(),
+            target: "/v1/run".into(),
+            http11: true,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+
+        // Nothing computed yet: a run is a cold full simulation.
+        let outcome = dispatch(&ctx, Route::Run, &req(r#"{"benchmark": "jess"}"#));
+        assert!(matches!(
+            outcome,
+            Outcome::Shared {
+                lane: Lane::Cold,
+                ..
+            }
+        ));
+
+        // Simulate it: the exact key is now a warm inline hit...
+        let key = RunKey {
+            benchmark: Benchmark::Jess,
+            cpu: CpuModel::Mxs,
+            disk: DiskSetup::Conventional,
+        };
+        suite.run_key(key);
+        match dispatch(&ctx, Route::Run, &req(r#"{"benchmark": "jess"}"#)) {
+            Outcome::Ready(resp) => {
+                assert_eq!(resp.status, 200);
+                assert_eq!(resp.lane, Some("inline"));
+            }
+            _ => panic!("memoized key must be served inline"),
+        }
+
+        // ...and a sibling disk policy of the same (benchmark, CPU) pair
+        // is a replay (the trace exists, the bundle does not).
+        let outcome = dispatch(
+            &ctx,
+            Route::Run,
+            &req(r#"{"benchmark": "jess", "disk": "idle"}"#),
+        );
+        assert!(matches!(
+            outcome,
+            Outcome::Shared {
+                lane: Lane::Replay,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,251 @@
+//! Raw epoll and eventfd bindings.
+//!
+//! The reactor needs exactly four kernel facilities: create an epoll
+//! instance, (de)register file descriptors, wait for readiness, and a
+//! cross-thread wakeup fd. `std` already links libc, so declaring the
+//! symbols directly keeps the workspace's zero-registry-deps rule — the
+//! same pattern the binaries use for `signal(2)`. Linux-only, like
+//! epoll itself; everything above this module speaks in safe wrappers.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readiness: data to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: socket writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Peer closed its write half (reported even without `EPOLLIN` interest).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `struct epoll_event` with the kernel's layout: packed on x86-64
+/// (where the kernel ABI really is unaligned), natural alignment
+/// elsewhere. The `u64` data field carries the connection token.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event mask.
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+extern "C" {
+    fn nice(incr: i32) -> i32;
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Lowers the calling thread's CPU priority by `incr` steps (Linux
+/// applies `nice` per thread, not per process). Best-effort and
+/// one-way: the cold lane's simulation workers call this so a saturated
+/// core still schedules the reactor promptly.
+pub fn lower_thread_priority(incr: i32) {
+    if incr > 0 {
+        unsafe { nice(incr) };
+    }
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates the instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_create1` failure.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the interest `events`, tagged `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes `fd`'s interest set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`. Best-effort: deregistering an already-closed fd
+    /// is not an error worth surfacing.
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) for readiness, filling
+    /// `events` from the front. Returns how many entries are valid.
+    /// `EINTR` is reported as zero events, not an error: the caller's
+    /// loop re-evaluates deadlines and shutdown flags either way.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            return 0;
+        }
+        n as usize
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A wakeup channel into an epoll loop: any thread (or signal handler —
+/// `write(2)` is async-signal-safe) rings it, and the reactor sees the
+/// eventfd become readable.
+#[derive(Debug)]
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Creates the eventfd (non-blocking, cloexec).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `eventfd` failure.
+    pub fn new() -> io::Result<WakeFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    /// The fd to register with the epoll instance.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Rings the wakeup. Lock-free and async-signal-safe; an already-rung
+    /// eventfd just accumulates, so this never blocks or fails loudly.
+    pub fn ring(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Drains the pending wakeups so a level-triggered epoll stops
+    /// reporting the fd until the next ring.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wakefd_rings_through_epoll() {
+        let epoll = Epoll::new().expect("epoll");
+        let wake = WakeFd::new().expect("eventfd");
+        epoll.add(wake.fd(), EPOLLIN, 7).expect("register");
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll.wait(&mut events, 0), 0, "nothing rung yet");
+
+        wake.ring();
+        wake.ring();
+        let n = epoll.wait(&mut events, 1000);
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 7);
+
+        // Draining clears the level-triggered readiness.
+        wake.drain();
+        assert_eq!(epoll.wait(&mut events, 0), 0);
+    }
+
+    #[test]
+    fn socket_readiness_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(listener.as_raw_fd(), EPOLLIN, 1)
+            .expect("register listener");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let n = epoll.wait(&mut events, 1000);
+        assert_eq!(n, 1, "pending accept is EPOLLIN on the listener");
+        let data = events[0].data;
+        assert_eq!(data, 1);
+
+        let (mut accepted, _) = listener.accept().expect("accept");
+        epoll
+            .add(accepted.as_raw_fd(), EPOLLIN, 2)
+            .expect("register conn");
+        client.write_all(b"ping").expect("write");
+        let n = epoll.wait(&mut events, 1000);
+        assert!(n >= 1);
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+        epoll.delete(accepted.as_raw_fd());
+    }
+}

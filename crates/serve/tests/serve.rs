@@ -1,15 +1,23 @@
 //! End-to-end tests over real TCP: response fidelity against in-process
-//! results, batch deduplication, backpressure, graceful shutdown, and the
-//! structured error surface.
+//! results, lane classification, HTTP-layer dedup, backpressure,
+//! pipelining, slow-loris reaping, graceful shutdown, and the structured
+//! error surface.
+//!
+//! The obs registry is process-global and the test harness runs these in
+//! parallel, so cross-suite metric assertions use `>=` on counters only
+//! this test increments; exact counts come from each test's own suite
+//! handle.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use softwatt::experiments::{DiskSetup, RunKey};
 use softwatt::{Benchmark, CpuModel, ExperimentSuite, SystemConfig};
 use softwatt_serve::client::Client;
+use softwatt_serve::pool::Pool;
 use softwatt_serve::{ServeConfig, Server, ShutdownHandle};
 
 /// Big time-scale factor = short, fast simulated runs (test fidelity).
@@ -20,11 +28,14 @@ struct TestServer {
     addr: SocketAddr,
     shutdown: ShutdownHandle,
     thread: JoinHandle<()>,
-    pool: Arc<softwatt_serve::pool::Pool>,
+    replay_pool: Arc<Pool>,
+    cold_pool: Arc<Pool>,
 }
 
 impl TestServer {
     fn start(config: ServeConfig) -> TestServer {
+        // Process-wide; tests asserting on /metrics need recording on.
+        softwatt_obs::set_enabled(true);
         let system = SystemConfig {
             time_scale: FAST_SCALE,
             ..SystemConfig::default()
@@ -33,14 +44,16 @@ impl TestServer {
         let server = Server::bind("127.0.0.1:0", Arc::clone(&suite), config).expect("bind");
         let addr = server.local_addr().expect("local addr");
         let shutdown = server.shutdown_handle();
-        let pool = server.pool();
+        let replay_pool = server.pool();
+        let cold_pool = server.cold_pool();
         let thread = std::thread::spawn(move || server.run());
         TestServer {
             suite,
             addr,
             shutdown,
             thread,
-            pool,
+            replay_pool,
+            cold_pool,
         }
     }
 
@@ -52,24 +65,37 @@ impl TestServer {
         self.shutdown.trigger();
         self.thread.join().expect("server thread");
     }
+}
 
-    /// Parks the compute pool's only worker on a job that blocks until the
-    /// returned sender fires; returns once the worker has picked it up.
-    /// Requires a `workers: 1` config to be meaningful.
-    fn park_worker(&self) -> mpsc::Sender<()> {
-        let (release_tx, release_rx) = mpsc::channel::<()>();
-        let (started_tx, started_rx) = mpsc::channel::<()>();
-        self.pool
-            .try_submit(Box::new(move || {
-                started_tx.send(()).expect("report parked");
-                release_rx.recv().expect("await release");
-            }))
-            .expect("park job accepted");
-        started_rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("worker picks up the parking job");
-        release_tx
-    }
+/// Parks a pool's only worker on a job that blocks until the returned
+/// sender fires; returns once the worker has picked it up. Requires a
+/// one-worker pool to be meaningful.
+fn park_worker(pool: &Pool) -> mpsc::Sender<()> {
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    pool.try_submit(Box::new(move || {
+        started_tx.send(()).expect("report parked");
+        release_rx.recv().expect("await release");
+    }))
+    .expect("park job accepted");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker picks up the parking job");
+    release_tx
+}
+
+/// Reads the integer value of one counter out of a `/metrics` body.
+fn counter(metrics_body: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = metrics_body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("counter {name} missing from {metrics_body}"));
+    metrics_body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
 }
 
 #[test]
@@ -85,6 +111,8 @@ fn run_response_is_byte_identical_to_in_process() {
         )
         .expect("run request");
     assert_eq!(resp.status, 200, "{}", resp.body);
+    // A fresh suite knows nothing about this key: full simulation.
+    assert_eq!(resp.header("x-softwatt-lane"), Some("cold"));
 
     // The same query answered in-process, through the same shared suite,
     // must render to exactly the same bytes.
@@ -97,7 +125,7 @@ fn run_response_is_byte_identical_to_in_process() {
     assert_eq!(resp.body, softwatt::json::run_bundle(key, &bundle));
 
     // Keep-alive: the same connection serves a second request, and the
-    // memo makes it instant and identical.
+    // memo makes it an inline hit with identical bytes.
     let again = client
         .request(
             "POST",
@@ -106,6 +134,18 @@ fn run_response_is_byte_identical_to_in_process() {
         )
         .expect("second request on the same connection");
     assert_eq!(again.body, resp.body);
+    assert_eq!(again.header("x-softwatt-lane"), Some("inline"));
+
+    // A sibling disk policy of a simulated pair replays the trace.
+    let sibling = client
+        .request(
+            "POST",
+            "/v1/run",
+            r#"{"benchmark": "jess", "disk": "sleep"}"#,
+        )
+        .expect("sibling disk request");
+    assert_eq!(sibling.status, 200, "{}", sibling.body);
+    assert_eq!(sibling.header("x-softwatt-lane"), Some("replay"));
 
     // Figures render through the same suite too.
     let fig = client
@@ -142,6 +182,9 @@ fn batch_of_paper_grid_simulates_each_cpu_pair_once() {
     let mut client = server.client();
     let resp = client.request("POST", "/v1/batch", &body).expect("batch");
     assert_eq!(resp.status, 200, "{}", resp.body);
+    // A fresh grid needs full simulations: the batch rode the cold lane
+    // (one cold worker; the prewarm's own `jobs` threading parallelizes).
+    assert_eq!(resp.header("x-softwatt-lane"), Some("cold"));
 
     // 37 keys collapse to 13 full simulations (one per benchmark/CPU
     // pair); the rest are replay-derived. The shared handle proves the
@@ -163,28 +206,101 @@ fn batch_of_paper_grid_simulates_each_cpu_pair_once() {
         37
     );
 
+    // Now that every trace exists, the same batch is replay-class.
+    let again = client.request("POST", "/v1/batch", &body).expect("rerun");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.header("x-softwatt-lane"), Some("replay"));
+    assert_eq!(server.suite.runs_executed(), 13, "no re-simulation");
+
     server.stop();
 }
 
 #[test]
-fn saturated_queue_bounces_with_503_without_wedging_workers() {
+fn concurrent_identical_cold_runs_dedup_into_one_job() {
     let server = TestServer::start(ServeConfig {
-        workers: 1,
-        queue_depth: 1,
+        cold_workers: 1,
+        cold_queue_depth: 4,
         ..ServeConfig::default()
     });
-    let release = server.park_worker();
+    let release = park_worker(&server.cold_pool);
 
-    // Fill the queue's single slot with a real request (sent, not yet
-    // answered — it sits queued behind the parked worker).
+    // Three connections ask for the same cold key while the cold worker
+    // is parked: the first creates the in-flight job, the rest attach.
+    let mut clients: Vec<Client> = (0..3).map(|_| server.client()).collect();
+    for c in &mut clients {
+        c.send_request("POST", "/v1/run", r#"{"benchmark": "javac"}"#)
+            .expect("send identical run");
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    release.send(()).expect("release cold worker");
+
+    let bodies: Vec<String> = clients
+        .iter_mut()
+        .map(|c| {
+            let resp = c.read_response().expect("deduped response");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            assert_eq!(resp.header("x-softwatt-lane"), Some("cold"));
+            resp.body.clone()
+        })
+        .collect();
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+    assert_eq!(
+        server.suite.runs_executed(),
+        1,
+        "one simulation served all three requests"
+    );
+
+    // The dedup shows up on /metrics: two requests attached to the first
+    // one's job (>= because the registry is process-global).
+    let metrics = clients[0]
+        .request("GET", "/metrics", "")
+        .expect("metrics")
+        .body;
+    assert!(counter(&metrics, "serve.dedup_attached") >= 2, "{metrics}");
+    assert!(
+        counter(&metrics, "serve.lane.cold.served") >= 3,
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\"serve.lane.cold.queue_depth_max\""),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\"serve.lane.cold.latency_us\""),
+        "{metrics}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn saturated_cold_lane_bounces_503_while_warm_stays_inline() {
+    let server = TestServer::start(ServeConfig {
+        cold_workers: 1,
+        cold_queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    // Warm one key up front through the shared suite handle.
+    let warm_key = RunKey {
+        benchmark: Benchmark::Compress,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    server.suite.run_key(warm_key);
+
+    let release = park_worker(&server.cold_pool);
+
+    // Fill the cold queue's single slot with a real request (sent, not
+    // yet answered — it sits queued behind the parked worker).
     let mut queued = server.client();
     queued
         .send_request("POST", "/v1/run", r#"{"benchmark": "jess"}"#)
         .expect("send queued request");
-    // Give its connection thread time to parse and enqueue.
     std::thread::sleep(Duration::from_millis(300));
 
-    // The next compute request must bounce immediately with Retry-After.
+    // The next *distinct* cold request must bounce immediately with
+    // Retry-After (an identical one would dedup-attach instead).
     let mut bounced = server.client();
     let resp = bounced
         .request("POST", "/v1/run", r#"{"benchmark": "db"}"#)
@@ -193,7 +309,14 @@ fn saturated_queue_bounces_with_503_without_wedging_workers() {
     assert_eq!(resp.header("retry-after"), Some("1"));
     assert!(resp.body.contains("\"code\": \"overloaded\""));
 
-    // Inline routes stay responsive under saturation.
+    // Warm traffic never queues behind the saturated cold lane: the
+    // memoized key answers inline, on the same connection the 503 came
+    // back on, while the cold worker is still parked.
+    let warm = bounced
+        .request("POST", "/v1/run", r#"{"benchmark": "compress"}"#)
+        .expect("warm request under cold saturation");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    assert_eq!(warm.header("x-softwatt-lane"), Some("inline"));
     let health = bounced.request("GET", "/healthz", "").expect("healthz");
     assert_eq!(health.status, 200);
 
@@ -202,7 +325,7 @@ fn saturated_queue_bounces_with_503_without_wedging_workers() {
     let drained = queued.read_response().expect("queued response");
     assert_eq!(drained.status, 200, "{}", drained.body);
 
-    // ...and the pool is fully recovered, not wedged.
+    // ...and the lane is fully recovered, not wedged.
     let after = bounced
         .request("POST", "/v1/run", r#"{"benchmark": "db"}"#)
         .expect("post-recovery request");
@@ -212,15 +335,166 @@ fn saturated_queue_bounces_with_503_without_wedging_workers() {
 }
 
 #[test]
-fn graceful_shutdown_drains_inflight_requests() {
+fn pipelined_requests_are_answered_in_order() {
+    let server = TestServer::start(ServeConfig::default());
+    // Warm a key so the pipelined run resolves inline.
+    let key = RunKey {
+        benchmark: Benchmark::Mtrt,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    server.suite.run_key(key);
+
+    // All three requests hit the wire before any response is read.
+    let mut client = server.client();
+    client
+        .send_request("GET", "/healthz", "")
+        .expect("pipeline healthz");
+    client
+        .send_request("POST", "/v1/run", r#"{"benchmark": "mtrt"}"#)
+        .expect("pipeline run");
+    client
+        .send_request("GET", "/v1/figures/validation", "")
+        .expect("pipeline figure");
+
+    let first = client.read_response().expect("first response");
+    assert_eq!(first.status, 200);
+    assert!(first.body.contains("\"status\": \"ok\""), "{}", first.body);
+    let second = client.read_response().expect("second response");
+    assert_eq!(second.status, 200);
+    assert!(
+        second.body.contains("\"schema\": \"softwatt-run-v1\""),
+        "{}",
+        second.body
+    );
+    let third = client.read_response().expect("third response");
+    assert_eq!(third.status, 200);
+    assert_eq!(
+        third.body,
+        softwatt::json::figure(&server.suite, "validation").expect("known figure")
+    );
+
+    server.stop();
+}
+
+#[test]
+fn requests_split_across_arbitrary_byte_boundaries_parse() {
+    let server = TestServer::start(ServeConfig::default());
+    server.suite.run_key(RunKey {
+        benchmark: Benchmark::Jack,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    });
+
+    let raw = b"POST /v1/run HTTP/1.1\r\nContent-Length: 21\r\n\r\n{\"benchmark\": \"jack\"}";
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    // One byte per write, each flushed: the server sees the request in
+    // as many fragments as the kernel delivers.
+    for b in raw {
+        stream.write_all(&[*b]).expect("dribble byte");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed before the response head arrived");
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("X-Softwatt-Lane: inline\r\n"), "{text}");
+
+    server.stop();
+}
+
+#[test]
+fn slow_loris_is_reaped_without_consuming_a_worker() {
     let server = TestServer::start(ServeConfig {
         workers: 1,
-        queue_depth: 4,
+        cold_workers: 1,
+        read_timeout: Duration::from_millis(400),
         ..ServeConfig::default()
     });
-    let release = server.park_worker();
+    // Park BOTH lanes: if the loris connection needed any worker, the
+    // 408 below could never be written.
+    let release_replay = park_worker(&server.replay_pool);
+    let release_cold = park_worker(&server.cold_pool);
 
-    // An in-flight request, queued behind the parked worker.
+    let mut loris = TcpStream::connect(server.addr).expect("connect");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let started = Instant::now();
+    // Dribble a partial head one byte at a time, forever (from the
+    // sender's point of view). Each byte is "progress", but the head's
+    // total budget is fixed — the reactor must reap the connection.
+    let mut reply = Vec::new();
+    let mut partial = b"GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow: ".iter();
+    loop {
+        if let Some(b) = partial.next() {
+            if loris.write_all(&[*b]).is_err() {
+                break; // server already closed on us: also a pass
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "loris was never reaped"
+        );
+        // Poll for the server's verdict without blocking the dribble.
+        loris
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .expect("short timeout");
+        let mut chunk = [0u8; 1024];
+        match loris.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&chunk[..n]),
+            Err(_) => {}
+        }
+    }
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "reap took too long"
+    );
+
+    // Both workers are still parked — the loris never touched a pool.
+    release_replay.send(()).expect("replay worker still parked");
+    release_cold.send(()).expect("cold worker still parked");
+
+    // The reap is visible on /metrics.
+    let metrics = server
+        .client()
+        .request("GET", "/metrics", "")
+        .expect("metrics")
+        .body;
+    assert!(
+        counter(&metrics, "serve.conns.reaped_partial") >= 1,
+        "{metrics}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_requests() {
+    let server = TestServer::start(ServeConfig {
+        cold_workers: 1,
+        cold_queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let release = park_worker(&server.cold_pool);
+
+    // An in-flight request, queued behind the parked cold worker.
     let mut inflight = server.client();
     inflight
         .send_request("POST", "/v1/run", r#"{"benchmark": "jess"}"#)
