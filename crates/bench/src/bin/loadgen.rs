@@ -15,11 +15,18 @@
 //!
 //! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
 //! [--requests N] [--warmup N] [--workers N|auto] [--cold-grid]
-//! [--trace-cache DIR] [--out FILE]`
+//! [--surrogate] [--trace-cache DIR] [--out FILE]`
 //! (defaults: no addr — spawn an in-process server over real TCP —
 //! scale 50000 for fast simulations, 8 connections x 40 requests,
 //! 0 warm-up requests, workers = available parallelism, out
 //! `BENCH_server.json`).
+//!
+//! One slot in ten of the request mix asks for `"fidelity": "surrogate"`.
+//! With `--surrogate` the in-process server calibrates the surrogate
+//! model before serving, so those land on the reactor-thread surrogate
+//! lane (the report's `fidelity` section pins their sub-millisecond
+//! percentiles); without it they fall through to the exact tiers, which
+//! answer them identically minus the speed.
 //!
 //! `--warmup N` sends N unrecorded requests per connection (the same
 //! deterministic mix, same indices) before the measured phase; their
@@ -73,6 +80,7 @@ const DEDUP_CONNS: usize = 3;
 struct Tally {
     latencies_us: Vec<u64>,
     warmup_latencies_us: Vec<u64>,
+    surrogate_us: Vec<u64>,
     inline_us: Vec<u64>,
     replay_us: Vec<u64>,
     cold_us: Vec<u64>,
@@ -81,6 +89,10 @@ struct Tally {
     backpressure_503: u64,
     server_5xx: u64,
     transport_errors: u64,
+    /// Responses that carried an `X-Softwatt-Fidelity` header.
+    fidelity_tagged: u64,
+    /// Largest `X-Softwatt-Error-Bound-Pct` seen (`None` if never sent).
+    error_bound_pct: Option<f64>,
 }
 
 /// What the `--cold-grid` side traffic observed.
@@ -101,6 +113,7 @@ fn main() {
     let mut warmup = 0usize;
     let mut workers = softwatt_bench::auto_parallelism();
     let mut cold_grid = false;
+    let mut surrogate = false;
     let mut trace_cache: Option<String> = None;
     let mut out = String::from("BENCH_server.json");
     fn usage_exit(msg: &str) -> ! {
@@ -108,7 +121,7 @@ fn main() {
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
              [--requests N] [--warmup N] [--workers N|auto] [--cold-grid] \
-             [--trace-cache DIR] [--out FILE]"
+             [--surrogate] [--trace-cache DIR] [--out FILE]"
         );
         std::process::exit(2);
     }
@@ -136,6 +149,7 @@ fn main() {
             },
             "--workers" => workers = count("--workers", "thread count"),
             "--cold-grid" => cold_grid = true,
+            "--surrogate" => surrogate = true,
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             "--out" => out = value("--out"),
             other => usage_exit(&format!("unknown flag {other}")),
@@ -148,6 +162,11 @@ fn main() {
         Some(addr) => {
             if trace_cache.is_some() {
                 eprintln!("loadgen: --trace-cache ignored with --addr (the server owns its cache)");
+            }
+            if surrogate {
+                eprintln!(
+                    "loadgen: --surrogate ignored with --addr (start the server with --surrogate)"
+                );
             }
             let target: SocketAddr = addr
                 .parse()
@@ -172,6 +191,13 @@ fn main() {
                 }
                 Ok(None) => {}
                 Err(e) => usage_exit(&e),
+            }
+            if surrogate {
+                let model = suite.calibrate_surrogate(workers);
+                eprintln!(
+                    "loadgen: surrogate calibrated ({} windows, bound {:.2}%)",
+                    model.trained_windows, model.error_bound_pct
+                );
             }
             let suite = Arc::new(suite);
             let config = ServeConfig {
@@ -199,21 +225,35 @@ fn main() {
 
     let (mut total, wall_s, cold_stats) = run_mux(target, connections, requests, warmup, cold_grid);
 
+    // Unloaded surrogate probe: with the measured closed loop finished,
+    // one idle keep-alive connection sends sequential surrogate queries.
+    // Their RTT is the surrogate lane's service latency without the
+    // saturation queueing the per-lane numbers above include — this is
+    // the "answered inline on the reactor" figure.
+    let unloaded_surrogate_us = probe_unloaded_surrogate(target);
+
     // One metrics probe before shutdown: queue high-water marks, dedup.
     let metrics_body = Client::connect(target, TIMEOUT)
         .ok()
         .and_then(|mut c| c.request("GET", "/metrics", "").ok())
         .map(|resp| resp.body);
 
-    let mut server_stats: Option<(u64, u64)> = None;
+    // (runs_executed, replays_derived, surrogate_served, store_loads)
+    let mut server_stats: Option<(u64, u64, u64, u64)> = None;
     if let Some((suite, handle, thread)) = local_server {
         handle.trigger();
         thread.join().expect("server thread panicked");
-        server_stats = Some((suite.runs_executed() as u64, suite.replays_derived() as u64));
+        server_stats = Some((
+            suite.runs_executed() as u64,
+            suite.replays_derived() as u64,
+            suite.surrogate_served() as u64,
+            suite.store_loads() as u64,
+        ));
     }
 
     total.latencies_us.sort_unstable();
     total.warmup_latencies_us.sort_unstable();
+    total.surrogate_us.sort_unstable();
     total.inline_us.sort_unstable();
     total.replay_us.sort_unstable();
     total.cold_us.sort_unstable();
@@ -224,22 +264,34 @@ fn main() {
     let mut json = String::with_capacity(4096);
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"softwatt-bench-server-v3\",\n  \"time_scale\": {scale},\n  \
+        "{{\n  \"schema\": \"softwatt-bench-server-v4\",\n  \"time_scale\": {scale},\n  \
          \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
          \"warmup_per_connection\": {warmup},\n  \"trace_cache\": {caching},\n  \
-         \"cold_grid\": {cold_grid},\n  \
+         \"cold_grid\": {cold_grid},\n  \"surrogate\": {surrogate},\n  \
          \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
          \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us\": {},\n  \
-         \"lanes\": {{\"inline\": {}, \"replay\": {}, \"cold\": {}}},\n  \
+         \"lanes\": {{\"surrogate\": {}, \"inline\": {}, \"replay\": {}, \"cold\": {}}},\n  \
+         \"fidelity\": {{\"surrogate_enabled\": {surrogate}, \"tagged_responses\": {}, \
+         \"error_bound_pct\": {}, \"unloaded_rtt_us\": {}}},\n  \
          \"warmup\": {{\"responses\": {warmed}, \"latency_us\": {}}},\n  \
          \"status\": {{\"2xx\": {}, \"4xx\": {}, \"503\": {}, \"5xx\": {}, \
          \"transport_errors\": {}}}",
         answered as f64 / wall_s.max(1e-9),
         latency_json(&total.latencies_us),
+        lane_json(&total.surrogate_us),
         lane_json(&total.inline_us),
         lane_json(&total.replay_us),
         lane_json(&total.cold_us),
+        total.fidelity_tagged,
+        total
+            .error_bound_pct
+            .map_or_else(|| "null".into(), |b| format!("{b:?}")),
+        if unloaded_surrogate_us.is_empty() {
+            "null".into()
+        } else {
+            latency_json(&unloaded_surrogate_us)
+        },
         latency_json(&total.warmup_latencies_us),
         total.ok_2xx,
         total.client_4xx,
@@ -273,20 +325,59 @@ fn main() {
         json,
         ",\n  \"server\": {{\"dedup_attached\": {}, \"queue_depth_max\": \
          {{\"replay\": {}, \"cold\": {}}}, \"connections_open_max\": {}, \
-         \"runs_executed\": {}, \"replays_derived\": {}}}\n}}\n",
+         \"runs_executed\": {}, \"replays_derived\": {}, \
+         \"surrogate_served\": {}, \"store_loads\": {}}}\n}}\n",
         metric("serve.dedup_attached"),
         metric("serve.lane.replay.queue_depth_max"),
         metric("serve.lane.cold.queue_depth_max"),
         metric("serve.connections.open_max"),
-        server_stats.map_or_else(|| "null".into(), |(r, _)| r.to_string()),
-        server_stats.map_or_else(|| "null".into(), |(_, d)| d.to_string()),
+        server_stats.map_or_else(|| "null".into(), |(r, ..)| r.to_string()),
+        server_stats.map_or_else(|| "null".into(), |(_, d, ..)| d.to_string()),
+        server_stats.map_or_else(|| "null".into(), |(_, _, s, _)| s.to_string()),
+        server_stats.map_or_else(|| "null".into(), |(.., l)| l.to_string()),
     );
     print!("{json}");
     if let Err(e) = std::fs::File::create(&out).and_then(|mut f| f.write_all(json.as_bytes())) {
         eprintln!("cannot write {out}: {e}");
         std::process::exit(1);
     }
+    if let Some((runs, replays, surro, loads)) = server_stats {
+        eprintln!(
+            "loadgen: suite tallies — {runs} full simulation(s), {replays} replay(s), \
+             {surro} surrogate estimate(s), {loads} store load(s)"
+        );
+    }
     eprintln!("wrote {out}");
+}
+
+/// Sequential surrogate queries on one otherwise-idle connection: the
+/// round trips of responses the server actually tagged
+/// `X-Softwatt-Fidelity: surrogate`, sorted. Empty when the server has
+/// no model installed (the requests fall through to the exact tiers) or
+/// the connection fails — the report then shows `null`.
+fn probe_unloaded_surrogate(target: std::net::SocketAddr) -> Vec<u64> {
+    const PROBE_WARMUP: usize = 16;
+    const PROBES: usize = 200;
+    let body = "{\"benchmark\": \"jess\", \"cpu\": \"mxs\", \"fidelity\": \"surrogate\"}";
+    let Ok(mut client) = Client::connect(target, TIMEOUT) else {
+        return Vec::new();
+    };
+    let mut rtts = Vec::with_capacity(PROBES);
+    for i in 0..PROBE_WARMUP + PROBES {
+        let start = Instant::now();
+        let Ok(resp) = client.request("POST", "/v1/run", body) else {
+            return Vec::new();
+        };
+        let us = start.elapsed().as_micros() as u64;
+        if resp.status != 200 || resp.header("x-softwatt-fidelity") != Some("surrogate") {
+            return Vec::new();
+        }
+        if i >= PROBE_WARMUP {
+            rtts.push(us);
+        }
+    }
+    rtts.sort_unstable();
+    rtts
 }
 
 /// Nearest-rank percentile of an already-sorted latency list.
@@ -331,9 +422,10 @@ fn metric_value(body: &str, name: &str) -> Option<u64> {
 }
 
 /// The deterministic request mix for request `i` on connection `conn`:
-/// mostly single runs rotating over the benchmark/disk grid, with figure,
-/// health, and metrics probes folded in. No randomness — reruns are
-/// reproducible and the memo hit pattern is stable.
+/// mostly single runs rotating over the benchmark/disk grid, with one
+/// surrogate-tier slot in ten, and figure, health, and metrics probes
+/// folded in. No randomness — reruns are reproducible and the memo hit
+/// pattern is stable.
 fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
     let n = conn * 7919 + i; // offset per connection so mixes interleave
     match n % 10 {
@@ -344,11 +436,19 @@ fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
             ("GET", format!("/v1/figures/{name}"), String::new())
         }
         9 => ("GET", "/metrics".into(), String::new()),
-        _ => {
+        slot => {
             let benchmark = Benchmark::ALL[n % Benchmark::ALL.len()];
             let disk = [DiskSetup::Conventional, DiskSetup::IdleOnly][(n / 6) % 2];
+            // Slot 3 opts into the surrogate tier. Against a calibrated
+            // server it lands on the surrogate lane; otherwise it falls
+            // through to the exact tiers and answers identically.
+            let fidelity = if slot == 3 {
+                ", \"fidelity\": \"surrogate\""
+            } else {
+                ""
+            };
             let body = format!(
-                "{{\"benchmark\": \"{}\", \"disk\": \"{}\"}}",
+                "{{\"benchmark\": \"{}\", \"disk\": \"{}\"{fidelity}}}",
                 benchmark.name(),
                 disk.name()
             );
@@ -367,6 +467,10 @@ struct RespHead {
     body_len: usize,
     /// `X-Softwatt-Lane` value, when present.
     lane: Option<String>,
+    /// `X-Softwatt-Fidelity` value, when present.
+    fidelity: Option<String>,
+    /// `X-Softwatt-Error-Bound-Pct` value, when present.
+    error_bound_pct: Option<f64>,
     /// `Connection: close` was sent.
     close: bool,
 }
@@ -379,6 +483,8 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
     let status = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
     let mut body_len = 0;
     let mut lane = None;
+    let mut fidelity = None;
+    let mut error_bound_pct = None;
     let mut close = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -389,6 +495,10 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
             body_len = value.parse().ok()?;
         } else if name.eq_ignore_ascii_case("x-softwatt-lane") {
             lane = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-softwatt-fidelity") {
+            fidelity = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-softwatt-error-bound-pct") {
+            error_bound_pct = value.parse().ok();
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
         }
@@ -398,6 +508,8 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
         head_len,
         body_len,
         lane,
+        fidelity,
+        error_bound_pct,
         close,
     })
 }
@@ -672,10 +784,18 @@ fn step(
         Phase::Measured => {
             tally.latencies_us.push(us);
             match head.lane.as_deref() {
+                Some("surrogate") => tally.surrogate_us.push(us),
                 Some("inline") => tally.inline_us.push(us),
                 Some("replay") => tally.replay_us.push(us),
                 Some("cold") => tally.cold_us.push(us),
                 _ => {} // health/metrics probes and errors carry no lane
+            }
+            if head.fidelity.is_some() {
+                tally.fidelity_tagged += 1;
+            }
+            if let Some(bound) = head.error_bound_pct {
+                tally.error_bound_pct =
+                    Some(tally.error_bound_pct.map_or(bound, |b: f64| b.max(bound)));
             }
             match head.status {
                 200..=299 => tally.ok_2xx += 1,

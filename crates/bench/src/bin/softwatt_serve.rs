@@ -7,7 +7,7 @@
 //!
 //! Usage: `softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto]
 //! [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N]
-//! [--max-connections N] [--trace-cache DIR] [--metrics]
+//! [--max-connections N] [--trace-cache DIR] [--surrogate] [--metrics]
 //! [--metrics-out FILE] [--log-level LEVEL]`
 //! (defaults: addr `127.0.0.1:0` — an ephemeral port — scale 2000, the
 //! committed-fidelity setting; pass e.g. `--scale 50000` for a fast
@@ -18,6 +18,13 @@
 //! trace the store already has is loaded *before* the `listening on` line
 //! is printed, so first-touch requests replay instead of simulating —
 //! this is what turns the cold-start p99 tail into a warm one.
+//!
+//! `--surrogate` calibrates the counter-driven surrogate model before the
+//! `listening on` line (loading a persisted model from the trace-cache
+//! directory when one matches, else prewarming the paper grid and
+//! fitting), so `/v1/run` queries carrying `"fidelity": "surrogate"` are
+//! answered on the reactor thread in microseconds. The model then refits
+//! in the background as new full simulations land.
 //!
 //! The one stdout line is `listening on HOST:PORT`, printed once the
 //! socket is bound, so scripts can discover the ephemeral port. SIGINT /
@@ -65,12 +72,13 @@ fn main() {
     let mut config = ServeConfig::default();
     let mut obs = ObsFlags::default();
     let mut trace_cache = None;
+    let mut surrogate = false;
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto] \
              [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N] \
-             [--max-connections N] [--trace-cache DIR] {}",
+             [--max-connections N] [--trace-cache DIR] [--surrogate] {}",
             ObsFlags::USAGE
         );
         std::process::exit(2);
@@ -91,6 +99,7 @@ fn main() {
                 _ => usage_exit("--scale needs a positive number"),
             },
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
+            "--surrogate" => surrogate = true,
             "--workers" => config.workers = count("--workers", "thread count"),
             "--queue-depth" => config.queue_depth = count("--queue-depth", "queue capacity"),
             "--cold-workers" => config.cold_workers = count("--cold-workers", "thread count"),
@@ -136,6 +145,17 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    }
+    if surrogate {
+        // Calibrate before binding: a persisted model loads in
+        // milliseconds; a cold calibration prewarms the paper grid (also
+        // warming the exact tiers) and fits. Either way the surrogate
+        // lane is live before the first request can arrive.
+        let model = suite.calibrate_surrogate(softwatt_bench::auto_parallelism());
+        eprintln!(
+            "surrogate: calibrated over {} window(s), error bound {:.2}%",
+            model.trained_windows, model.error_bound_pct
+        );
     }
     let suite = Arc::new(suite);
     let server = match Server::bind(addr.as_str(), suite, config) {

@@ -1,0 +1,348 @@
+//! The persistent surrogate-model store: pay for a calibration once per
+//! machine, not once per process.
+//!
+//! A [`ModelStore`] is a content-addressed cache directory of `swmodel-v1`
+//! files (see `softwatt_power::surrogate`) colocated with the trace store.
+//! Entries are keyed by a [`ModelKey`]: a stable 64-bit hash of the
+//! *grid-independent* configuration identity — every [`SystemConfig`]
+//! field that can change training data or predictions (time scale, seed,
+//! memory geometry, core widths, OS parameters, sampling interval, ...).
+//! The CPU field, idle handling, and disk policy are normalized out: one
+//! model covers every CPU (it carries per-CPU weights) and every disk
+//! policy (cells are keyed by disk setup inside the model).
+//!
+//! The store inherits the [`crate::store::TraceStore`] failure-mode
+//! contract verbatim — it is a cache, never a source of truth:
+//!
+//! - lookups that find nothing are misses (the caller refits);
+//! - entries that fail to parse (bad magic, truncation, checksum or
+//!   key-descriptor mismatch, stale format version) are counted as
+//!   corrupt, logged, deleted, and treated as misses;
+//! - writes are crash-safe (temp file in the same directory, fsync,
+//!   atomic rename) and best-effort.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use softwatt_power::surrogate::SWMODEL_VERSION;
+use softwatt_power::SurrogateModel;
+use softwatt_stats::hash::fnv1a;
+
+use crate::config::{IdleHandling, SystemConfig};
+
+/// The content address of one stored surrogate model.
+///
+/// The descriptor string is the full human-readable identity (it rides
+/// along inside the entry as the annotation, so a hash collision or a
+/// config drift is detected on load); the hash names the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelKey {
+    descriptor: String,
+    hash: u64,
+}
+
+impl ModelKey {
+    /// Derives the key for a configuration's surrogate model.
+    ///
+    /// Grid-dimension fields are normalized before hashing: the CPU field
+    /// to its default (weights are per-CPU inside the model), idle
+    /// handling to [`IdleHandling::Analytic`] (the mode training runs are
+    /// captured under), and the disk *policy* to conventional (cells are
+    /// keyed by disk setup inside the model). Every other field
+    /// participates via the config's `Debug` rendering, whose f64
+    /// formatting is shortest-round-trip and therefore exact. The
+    /// `swmodel` format version is folded in so a codec change
+    /// invalidates every old entry at once.
+    pub fn derive(config: &SystemConfig) -> ModelKey {
+        let mut canonical = config.clone();
+        canonical.cpu = SystemConfig::default().cpu;
+        canonical.idle = IdleHandling::Analytic;
+        canonical.disk.policy = softwatt_disk::DiskPolicy::Conventional;
+        let descriptor = format!("swmodel-v{SWMODEL_VERSION}|{canonical:?}");
+        let hash = fnv1a(descriptor.as_bytes());
+        ModelKey { descriptor, hash }
+    }
+
+    /// The full identity string (stored inside the entry as its
+    /// annotation).
+    pub fn descriptor(&self) -> &str {
+        &self.descriptor
+    }
+
+    /// The stable 64-bit content hash (names the cache file).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A content-addressed on-disk cache of fitted [`SurrogateModel`]s. See
+/// the module docs for the failure-mode contract.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ModelStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ModelStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an entry for `key` lives at.
+    pub fn entry_path(&self, key: &ModelKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.swmodel", key.hash))
+    }
+
+    /// Whether an entry file exists for `key`, without reading it.
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        self.entry_path(key).exists()
+    }
+
+    /// Looks `key` up, returning the stored model on a hit.
+    ///
+    /// Never errors: a missing entry is a miss; an unreadable or corrupt
+    /// entry (bad magic, truncation, checksum mismatch, stale format
+    /// version, annotation that does not match the key descriptor) is
+    /// counted, logged, *deleted*, and reported as a miss. The caller's
+    /// only fallback is a fresh calibration either way.
+    pub fn load(&self, key: &ModelKey) -> Option<SurrogateModel> {
+        let path = self.entry_path(key);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    softwatt_obs::obs_event!(
+                        softwatt_obs::Level::Warn,
+                        "store",
+                        "cannot open model cache entry {}: {e}",
+                        path.display()
+                    );
+                }
+                softwatt_obs::count("model_store.misses", 1);
+                return None;
+            }
+        };
+        let _span = softwatt_obs::span("model_store.load_ns");
+        let parsed =
+            SurrogateModel::from_binary(io::BufReader::new(file)).and_then(|(model, note)| {
+                if note == key.descriptor.as_bytes() {
+                    Ok(model)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "entry annotation does not match the key descriptor \
+                         (hash collision or config drift)",
+                    ))
+                }
+            });
+        match parsed {
+            Ok(model) => {
+                softwatt_obs::count("model_store.hits", 1);
+                model
+            }
+            Err(e) => {
+                softwatt_obs::count("model_store.corrupt", 1);
+                softwatt_obs::count("model_store.misses", 1);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "store",
+                    "corrupt model cache entry {} ({e}); deleting and refitting",
+                    path.display()
+                );
+                self.evict(&path);
+                return None;
+            }
+        }
+        .into()
+    }
+
+    /// Persists `model` under `key`, crash-safely: the bytes land in a
+    /// temp file in the store directory, are fsynced, and are renamed
+    /// over the final name, so concurrent readers and a crash mid-write
+    /// can never observe a partial entry.
+    ///
+    /// Best-effort: failures are logged as obs events and swallowed — the
+    /// caller already has the model, and the store is only a cache.
+    pub fn store(&self, key: &ModelKey, model: &SurrogateModel) {
+        let _span = softwatt_obs::span("model_store.write_ns");
+        let tmp = self.dir.join(format!(
+            ".tmp-model-{:016x}-{}",
+            key.hash,
+            std::process::id()
+        ));
+        match self.write_entry(key, model, &tmp) {
+            Ok(()) => softwatt_obs::count("model_store.writes", 1),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "store",
+                    "cannot persist model cache entry {} ({e}); continuing without it",
+                    self.entry_path(key).display()
+                );
+            }
+        }
+    }
+
+    fn write_entry(&self, key: &ModelKey, model: &SurrogateModel, tmp: &Path) -> io::Result<()> {
+        let mut file = fs::File::create(tmp)?;
+        model.to_binary(&mut file, key.descriptor.as_bytes())?;
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(tmp, self.entry_path(key))
+    }
+
+    /// Deletes every `.swmodel` entry in the store, returning how many
+    /// were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first directory-listing or deletion error.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "swmodel") {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn evict(&self, path: &Path) {
+        match fs::remove_file(path) {
+            Ok(()) => softwatt_obs::count("model_store.evictions", 1),
+            // Already gone is fine — another process may have evicted it.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => softwatt_obs::obs_event!(
+                softwatt_obs::Level::Warn,
+                "store",
+                "cannot delete corrupt model cache entry {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuModel;
+    use softwatt_power::SurrogateTrainer;
+    use softwatt_power::{PowerModel, PowerParams};
+    use softwatt_workloads::Benchmark;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swmodelstore-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_config() -> SystemConfig {
+        SystemConfig {
+            time_scale: 50_000.0,
+            idle: IdleHandling::Analytic,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn fitted_model(config: &SystemConfig) -> SurrogateModel {
+        let sim = crate::sim::Simulator::new(config.clone()).unwrap();
+        let run = sim.run_benchmark(Benchmark::Jess);
+        let model = PowerModel::new(&PowerParams::default());
+        let mut trainer = SurrogateTrainer::new();
+        trainer.add_run(
+            "jess",
+            "mxs",
+            "conv",
+            &run.log,
+            &model,
+            run.duration_s,
+            run.committed,
+            run.user_instrs,
+            run.disk.energy_j,
+            model.mode_table(&run.log).total_energy_j(),
+        );
+        trainer.fit().unwrap()
+    }
+
+    #[test]
+    fn key_ignores_grid_dimension_fields() {
+        let config = quick_config();
+        let base = ModelKey::derive(&config);
+
+        let mut variant = config.clone();
+        variant.cpu = CpuModel::Mipsy;
+        variant.idle = IdleHandling::Simulate;
+        variant.disk.policy = softwatt_disk::DiskPolicy::Standby { threshold_s: 2.0 };
+        assert_eq!(
+            ModelKey::derive(&variant),
+            base,
+            "cpu, idle handling, and disk policy must not change the key"
+        );
+
+        let mut scaled = config.clone();
+        scaled.time_scale = 60_000.0;
+        assert_ne!(ModelKey::derive(&scaled), base);
+        let mut seeded = config.clone();
+        seeded.seed ^= 1;
+        assert_ne!(ModelKey::derive(&seeded), base);
+    }
+
+    #[test]
+    fn store_round_trips_a_fitted_model() {
+        let dir = test_dir("roundtrip");
+        let store = ModelStore::open(&dir).unwrap();
+        let config = quick_config();
+        let model = fitted_model(&config);
+        let key = ModelKey::derive(&config);
+
+        assert!(store.load(&key).is_none(), "store starts empty");
+        store.store(&key, &model);
+        assert_eq!(store.load(&key).as_ref(), Some(&model));
+
+        // A different key misses even though the file for `key` exists.
+        let mut other_config = config.clone();
+        other_config.seed ^= 1;
+        assert!(store.load(&ModelKey::derive(&other_config)).is_none());
+
+        assert_eq!(store.clear().unwrap(), 1);
+        assert!(store.load(&key).is_none(), "clear removed the entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_deleted_and_misses() {
+        let dir = test_dir("corrupt");
+        let store = ModelStore::open(&dir).unwrap();
+        let config = quick_config();
+        let model = fitted_model(&config);
+        let key = ModelKey::derive(&config);
+        store.store(&key, &model);
+
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load(&key).is_none(), "corrupt entry must miss");
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert!(store.load(&key).is_none(), "second lookup is a plain miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

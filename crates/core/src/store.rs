@@ -30,23 +30,12 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use softwatt_stats::hash::fnv1a;
 use softwatt_stats::swtrace::SWTRACE_VERSION;
 use softwatt_stats::PerfTrace;
 use softwatt_workloads::Benchmark;
 
 use crate::config::{CpuModel, IdleHandling, SystemConfig};
-
-/// FNV-1a 64-bit over the descriptor. Stable across processes and
-/// platforms — the standard library's hashers are randomly keyed and
-/// would defeat a persistent cache.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// The content address of one stored trace.
 ///

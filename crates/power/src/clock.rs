@@ -89,6 +89,23 @@ impl ClockModel {
         }
     }
 
+    /// Raw per-domain event sums — the numerators of [`ClockModel::activity`].
+    /// Shared with the counter surrogate (`crate::surrogate`), whose gating
+    /// features are these sums clamped to the window's cycle count.
+    pub fn domain_event_sums(events: &CounterSet) -> [u64; ClockDomain::COUNT] {
+        [
+            events.get(UnitEvent::FetchCycle) + events.get(UnitEvent::DecodeOp),
+            events.get(UnitEvent::IcacheAccess),
+            events.get(UnitEvent::DcacheRead) + events.get(UnitEvent::DcacheWrite),
+            events.get(UnitEvent::L2AccessI) + events.get(UnitEvent::L2AccessD),
+            events.get(UnitEvent::WindowIssue)
+                + events.get(UnitEvent::CommitInstr)
+                + events.get(UnitEvent::AluOp),
+            events.get(UnitEvent::FpAluOp) + events.get(UnitEvent::FpMulOp),
+            events.get(UnitEvent::BhtLookup) + events.get(UnitEvent::BtbLookup),
+        ]
+    }
+
     /// Fraction of cycles each domain was active, derived from event
     /// counts over `cycles` cycles.
     pub fn activity(events: &CounterSet, cycles: u64) -> [f64; ClockDomain::COUNT] {
@@ -96,20 +113,7 @@ impl ClockModel {
             return [0.0; ClockDomain::COUNT];
         }
         let c = cycles as f64;
-        let rate = |n: u64| (n as f64 / c).min(1.0);
-        [
-            rate(events.get(UnitEvent::FetchCycle) + events.get(UnitEvent::DecodeOp)),
-            rate(events.get(UnitEvent::IcacheAccess)),
-            rate(events.get(UnitEvent::DcacheRead) + events.get(UnitEvent::DcacheWrite)),
-            rate(events.get(UnitEvent::L2AccessI) + events.get(UnitEvent::L2AccessD)),
-            rate(
-                events.get(UnitEvent::WindowIssue)
-                    + events.get(UnitEvent::CommitInstr)
-                    + events.get(UnitEvent::AluOp),
-            ),
-            rate(events.get(UnitEvent::FpAluOp) + events.get(UnitEvent::FpMulOp)),
-            rate(events.get(UnitEvent::BhtLookup) + events.get(UnitEvent::BtbLookup)),
-        ]
+        ClockModel::domain_event_sums(events).map(|n| (n as f64 / c).min(1.0))
     }
 
     /// Average clock power over a window of `cycles` cycles with the given

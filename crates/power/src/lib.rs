@@ -48,6 +48,7 @@ pub mod datapath;
 pub mod group;
 pub mod model;
 pub mod post;
+pub mod surrogate;
 pub mod tech;
 pub mod units;
 
@@ -56,4 +57,5 @@ pub use datapath::{DatapathBreakdown, DatapathComponent};
 pub use group::{GroupPower, UnitGroup};
 pub use model::{ClockGating, PowerModel, PowerParams};
 pub use post::{ModePowerTable, PowerProfile, ProfilePoint};
+pub use surrogate::{SurrogateEstimate, SurrogateModel, SurrogateTrainer};
 pub use tech::TechParams;

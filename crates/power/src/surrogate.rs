@@ -1,0 +1,1059 @@
+//! Counter-driven power surrogate — microsecond estimates behind an
+//! explicit fidelity tier.
+//!
+//! Full simulation produces exact answers at ~seconds per run; trace
+//! replay at ~milliseconds. This module adds the third point on that
+//! curve: a deterministic linear model over *hardware counter aggregates*
+//! that answers in microseconds, in the spirit of
+//! performance-counter-based power models (Mazzola et al.). It is honest
+//! about being an approximation: every model carries a measured error
+//! bound, and the serving layer labels surrogate answers explicitly so
+//! they can never be mistaken for (or poison) the exact tiers.
+//!
+//! # How it works
+//!
+//! SoftWatt's exact post-processor walks every sampled window of a run's
+//! log and charges per-event energies plus a conditionally-gated clock
+//! term ([`PowerModel::window_energy_j`]). That model is *linear* in a
+//! small integer feature vector per (window, software mode):
+//!
+//! - the per-event counts (per-component energy is `Σ count × e_j`), and
+//! - the clock features: the window's cycle count (the always-on tree)
+//!   and, per clock domain, the domain's event sum clamped to the cycle
+//!   count (the gated loads; the clamp is the activity saturation in
+//!   [`ClockModel::activity`]).
+//!
+//! Training therefore harvests `(features, per-group energy)` pairs from
+//! captured full-sim logs and solves one least-squares system per CPU
+//! model (event energies differ per CPU width) — exact integer normal
+//! equations accumulated in `u128`, solved by deterministic Gaussian
+//! elimination with a tiny relative ridge. Because the truth is linear in
+//! the features, the fit recovers it to rounding error, and a model
+//! trained on *other* benchmarks transfers (the held-one-out test in
+//! `tests/surrogate.rs` pins this).
+//!
+//! Per run cell (benchmark × CPU × disk setup), the trainer also stores
+//! the *aggregate* feature vector per software mode — pure counters, no
+//! energies. An estimate is then a handful of dot products over those
+//! aggregates: O(events) arithmetic instead of an O(windows × modes) log
+//! walk, which is what turns a milliseconds replay into a microseconds
+//! lookup.
+//!
+//! # Persistence: `swmodel-v1`
+//!
+//! [`SurrogateModel::to_binary`] / [`SurrogateModel::from_binary`] speak a
+//! compact checksummed format mirroring `swtrace-v1` (magic, varint
+//! version, tagged length-prefixed sections, trailing FNV-1a-64): any
+//! reader-side failure — truncation, bad magic, stale version, checksum
+//! mismatch — surfaces as [`io::ErrorKind::InvalidData`] /
+//! [`io::ErrorKind::UnexpectedEof`], so the model store treats every
+//! error uniformly as a corrupt entry to evict and refit.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read, Write};
+
+use softwatt_stats::hash::fnv1a;
+use softwatt_stats::{CounterSet, Mode, SimLog, UnitEvent};
+
+use crate::clock::ClockDomain;
+use crate::{ClockModel, GroupPower, PowerModel, UnitGroup};
+
+/// File magic: identifies a `swmodel` file of any version.
+pub const SWMODEL_MAGIC: [u8; 8] = *b"SWMODEL\0";
+
+/// Current format version. Bump on any layout change; readers reject
+/// other versions, which the model store treats as a stale entry.
+pub const SWMODEL_VERSION: u64 = 1;
+
+const SEC_META: u8 = 0x01;
+const SEC_ANNOTATION: u8 = 0x02;
+const SEC_WEIGHTS: u8 = 0x03;
+const SEC_CELLS: u8 = 0x04;
+const SEC_END: u8 = 0x00;
+
+/// Aggregate integer features of one software mode of one run: the exact
+/// sums, over every sampled window, of the quantities the linear model is
+/// linear in. Pure counters — no energies are stored, so a cell is a
+/// measurement, not a memoized answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeFeatures {
+    /// Per-event counts summed over windows.
+    pub counts: [u64; UnitEvent::COUNT],
+    /// Mode cycles summed over windows (the clock-tree feature).
+    pub cycles: u64,
+    /// Per clock domain: `Σ_w min(domain events in w, cycles in w)` — the
+    /// gated-clock feature. The per-window clamp is what makes this a sum
+    /// over windows rather than a function of the totals.
+    pub gated: [u64; ClockDomain::COUNT],
+}
+
+impl ModeFeatures {
+    /// All-zero features.
+    pub fn zero() -> ModeFeatures {
+        ModeFeatures {
+            counts: [0; UnitEvent::COUNT],
+            cycles: 0,
+            gated: [0; ClockDomain::COUNT],
+        }
+    }
+
+    /// Features of a single window (`events` over `cycles` cycles).
+    pub fn window(events: &CounterSet, cycles: u64) -> ModeFeatures {
+        let mut counts = [0u64; UnitEvent::COUNT];
+        for e in UnitEvent::ALL {
+            counts[e.index()] = events.get(e);
+        }
+        let gated = ClockModel::domain_event_sums(events).map(|n| n.min(cycles));
+        ModeFeatures {
+            counts,
+            cycles,
+            gated,
+        }
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &ModeFeatures) {
+        for i in 0..UnitEvent::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+        self.cycles += other.cycles;
+        for i in 0..ClockDomain::COUNT {
+            self.gated[i] += other.gated[i];
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.cycles == 0 && self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+/// Harvests the per-mode aggregate features of a full run log.
+pub fn harvest_features(log: &SimLog) -> [ModeFeatures; Mode::COUNT] {
+    let mut agg = [(); Mode::COUNT].map(|()| ModeFeatures::zero());
+    for s in log.samples() {
+        for m in Mode::ALL {
+            let cycles = s.mode_cycles[m.index()];
+            let w = ModeFeatures::window(s.events.mode(m), cycles);
+            if !w.is_zero() {
+                agg[m.index()].merge(&w);
+            }
+        }
+    }
+    agg
+}
+
+/// One training pair: window features and the exact per-group energy the
+/// full post-processor assigns them.
+#[derive(Debug, Clone)]
+pub struct TrainingWindow {
+    /// Integer features of the window.
+    pub features: ModeFeatures,
+    /// Exact energy per group (J), from [`PowerModel::window_energy_j`].
+    pub energy: GroupPower,
+}
+
+/// Harvests window-level training pairs from a full run log.
+pub fn harvest_training(log: &SimLog, model: &PowerModel) -> Vec<TrainingWindow> {
+    let mut out = Vec::new();
+    for s in log.samples() {
+        for m in Mode::ALL {
+            let cycles = s.mode_cycles[m.index()];
+            let events = s.events.mode(m);
+            let features = ModeFeatures::window(events, cycles);
+            if features.is_zero() {
+                continue;
+            }
+            out.push(TrainingWindow {
+                features,
+                energy: model.window_energy_j(events, cycles),
+            });
+        }
+    }
+    out
+}
+
+/// Fitted linear weights for one CPU model: an energy per event plus the
+/// clock terms. The layout mirrors the exact model's parameterization, so
+/// a perfect fit reproduces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuWeights {
+    /// Fitted energy per event occurrence (J).
+    pub event_j: [f64; UnitEvent::COUNT],
+    /// Fitted clock energy per cycle (J) — the always-on tree.
+    pub clock_cycle_j: f64,
+    /// Fitted clock energy per clamped domain-event (J) — the gated loads.
+    pub clock_gated_j: [f64; ClockDomain::COUNT],
+}
+
+impl CpuWeights {
+    /// Predicted per-group energy (J) for aggregate features.
+    pub fn predict(&self, agg: &ModeFeatures) -> GroupPower {
+        let mut gp = GroupPower::new();
+        for e in UnitEvent::ALL {
+            if let Some(g) = UnitGroup::of_event(e) {
+                gp.add(g, self.event_j[e.index()] * agg.counts[e.index()] as f64);
+            }
+        }
+        let mut clock = self.clock_cycle_j * agg.cycles as f64;
+        for d in 0..ClockDomain::COUNT {
+            clock += self.clock_gated_j[d] * agg.gated[d] as f64;
+        }
+        gp.add(UnitGroup::Clock, clock);
+        gp
+    }
+}
+
+/// One calibrated run cell: the counter aggregates of a (benchmark, CPU,
+/// disk setup) run, plus the policy-dependent run-shape scalars a
+/// response needs (cycles, duration, disk energy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateCell {
+    /// Benchmark short name.
+    pub benchmark: String,
+    /// CPU model short name.
+    pub cpu: String,
+    /// Disk setup short name.
+    pub disk: String,
+    /// Aggregate features per software mode.
+    pub modes: [ModeFeatures; Mode::COUNT],
+    /// Total run cycles.
+    pub total_cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// User-mode instructions.
+    pub user_instrs: u64,
+    /// Run duration in (scaled) seconds.
+    pub duration_s: f64,
+    /// Exact disk energy of the run (J) — the disk is outside the CPU
+    /// power model, so this is a harvested measurement, not a prediction.
+    pub disk_energy_j: f64,
+}
+
+/// A microsecond estimate for one run cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateEstimate {
+    /// Predicted CPU energy per group (J).
+    pub groups: GroupPower,
+    /// Predicted total CPU energy (J) — the quantity the accuracy gate
+    /// compares against `ModePowerTable::total_energy_j`.
+    pub total_energy_j: f64,
+    /// Predicted average CPU power (W).
+    pub avg_power_w: f64,
+    /// Run cycles (harvested).
+    pub cycles: u64,
+    /// Run duration in seconds (harvested).
+    pub duration_s: f64,
+    /// Disk energy (J) (harvested).
+    pub disk_energy_j: f64,
+    /// The model's declared relative error bound, in percent.
+    pub error_bound_pct: f64,
+}
+
+/// A fitted, persistable surrogate model: per-CPU weights, calibrated
+/// cells, and the measured error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    /// Fitted weights per CPU short name, sorted by name.
+    pub weights: Vec<(String, CpuWeights)>,
+    /// Calibrated cells, sorted by (benchmark, cpu, disk).
+    pub cells: Vec<SurrogateCell>,
+    /// Declared relative error bound (percent): a safety factor over the
+    /// maximum relative total-energy error measured on the training
+    /// cells at fit time.
+    pub error_bound_pct: f64,
+    /// Number of (window, mode) training pairs behind the weights.
+    pub trained_windows: u64,
+}
+
+impl SurrogateModel {
+    /// Looks up a calibrated cell.
+    pub fn cell(&self, benchmark: &str, cpu: &str, disk: &str) -> Option<&SurrogateCell> {
+        self.cells
+            .binary_search_by(|c| {
+                (c.benchmark.as_str(), c.cpu.as_str(), c.disk.as_str()).cmp(&(benchmark, cpu, disk))
+            })
+            .ok()
+            .map(|i| &self.cells[i])
+    }
+
+    /// Predicts the energy/power of one calibrated cell, or `None` when
+    /// either the cell or its CPU's weights are missing. This is the
+    /// microsecond path: a few hundred multiply-adds, no log walk.
+    pub fn estimate(&self, benchmark: &str, cpu: &str, disk: &str) -> Option<SurrogateEstimate> {
+        let cell = self.cell(benchmark, cpu, disk)?;
+        let weights = self
+            .weights
+            .binary_search_by(|(name, _)| name.as_str().cmp(cpu))
+            .ok()
+            .map(|i| &self.weights[i].1)?;
+        let mut groups = GroupPower::new();
+        for m in Mode::ALL {
+            groups.merge(&weights.predict(&cell.modes[m.index()]));
+        }
+        let total_energy_j = groups.total();
+        let avg_power_w = if cell.duration_s > 0.0 {
+            total_energy_j / cell.duration_s
+        } else {
+            0.0
+        };
+        Some(SurrogateEstimate {
+            groups,
+            total_energy_j,
+            avg_power_w,
+            cycles: cell.total_cycles,
+            duration_s: cell.duration_s,
+            disk_energy_j: cell.disk_energy_j,
+            error_bound_pct: self.error_bound_pct,
+        })
+    }
+}
+
+/// Accumulates training runs and fits a [`SurrogateModel`].
+///
+/// Determinism contract: the fit depends only on the *set* of added runs,
+/// never on insertion order — everything internal is keyed and iterated
+/// in sorted order, and all floating-point accumulation is sequential in
+/// that order. Refitting from the same runs is bit-identical
+/// (`proptest` in this module pins it).
+#[derive(Debug, Default)]
+pub struct SurrogateTrainer {
+    /// (cpu, benchmark) → training windows, harvested once per pair.
+    windows: BTreeMap<(String, String), Vec<TrainingWindow>>,
+    /// (benchmark, cpu, disk) → (cell, exact total CPU energy for error
+    /// measurement; the energy never leaves the trainer).
+    cells: BTreeMap<(String, String, String), (SurrogateCell, f64)>,
+    trained_pairs: BTreeSet<(String, String)>,
+}
+
+impl SurrogateTrainer {
+    /// An empty trainer.
+    pub fn new() -> SurrogateTrainer {
+        SurrogateTrainer::default()
+    }
+
+    /// Adds one exact run. `exact_energy_j` is the full post-processor's
+    /// total CPU energy for the run, used only to measure the fit error.
+    /// Training windows are harvested once per (benchmark, cpu) pair;
+    /// cell features are harvested for every (benchmark, cpu, disk).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_run(
+        &mut self,
+        benchmark: &str,
+        cpu: &str,
+        disk: &str,
+        log: &SimLog,
+        model: &PowerModel,
+        duration_s: f64,
+        committed: u64,
+        user_instrs: u64,
+        disk_energy_j: f64,
+        exact_energy_j: f64,
+    ) {
+        let pair = (cpu.to_string(), benchmark.to_string());
+        if self.trained_pairs.insert(pair.clone()) {
+            self.windows.insert(pair, harvest_training(log, model));
+        }
+        let cell = SurrogateCell {
+            benchmark: benchmark.to_string(),
+            cpu: cpu.to_string(),
+            disk: disk.to_string(),
+            modes: harvest_features(log),
+            total_cycles: log.total_cycles(),
+            committed,
+            user_instrs,
+            duration_s,
+            disk_energy_j,
+        };
+        self.cells.insert(
+            (benchmark.to_string(), cpu.to_string(), disk.to_string()),
+            (cell, exact_energy_j),
+        );
+    }
+
+    /// Number of distinct (cpu, benchmark) pairs with training windows.
+    pub fn trained_pairs(&self) -> usize {
+        self.trained_pairs.len()
+    }
+
+    /// Fits the model: one least-squares system per CPU and group over
+    /// the harvested windows, then the error bound measured over every
+    /// added cell. Returns `None` when no windows were added.
+    pub fn fit(&self) -> Option<SurrogateModel> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        // Group windows by cpu, in sorted (cpu, benchmark) order.
+        let mut per_cpu: BTreeMap<&str, Vec<&TrainingWindow>> = BTreeMap::new();
+        let mut trained_windows = 0u64;
+        for ((cpu, _benchmark), windows) in &self.windows {
+            trained_windows += windows.len() as u64;
+            per_cpu.entry(cpu).or_default().extend(windows.iter());
+        }
+        let weights: Vec<(String, CpuWeights)> = per_cpu
+            .into_iter()
+            .map(|(cpu, windows)| (cpu.to_string(), fit_cpu(&windows)))
+            .collect();
+
+        let lookup = |cpu: &str| -> Option<&CpuWeights> {
+            weights
+                .binary_search_by(|(name, _)| name.as_str().cmp(cpu))
+                .ok()
+                .map(|i| &weights[i].1)
+        };
+        // Measured error: max relative total-energy error across cells.
+        let mut max_err = 0.0f64;
+        for (cell, exact) in self.cells.values() {
+            let Some(w) = lookup(&cell.cpu) else { continue };
+            let mut predicted = 0.0;
+            for m in Mode::ALL {
+                predicted += w.predict(&cell.modes[m.index()]).total();
+            }
+            if *exact > 0.0 {
+                max_err = max_err.max((predicted - exact).abs() / exact);
+            }
+        }
+        // Declared bound: 4x headroom over the measured maximum, floored
+        // at 0.5% — generalization to held-out benchmarks costs a little,
+        // and a zero bound would be a lie at f64 precision.
+        let error_bound_pct = (4.0 * 100.0 * max_err).max(0.5);
+
+        Some(SurrogateModel {
+            weights,
+            cells: self.cells.values().map(|(c, _)| c.clone()).collect(),
+            error_bound_pct,
+            trained_windows,
+        })
+    }
+}
+
+/// The ordered feature columns of one least-squares system.
+#[derive(Debug, Clone, Copy)]
+enum Column {
+    Event(usize),
+    Cycles,
+    Gated(usize),
+}
+
+fn column_value(features: &ModeFeatures, col: Column) -> u64 {
+    match col {
+        Column::Event(i) => features.counts[i],
+        Column::Cycles => features.cycles,
+        Column::Gated(d) => features.gated[d],
+    }
+}
+
+/// Fits one CPU's weights: an independent system per unit group (its
+/// events only), plus the clock system (cycles + gated domain features).
+/// Exact integer normal equations (`u128`), deterministic elimination.
+fn fit_cpu(windows: &[&TrainingWindow]) -> CpuWeights {
+    let mut out = CpuWeights {
+        event_j: [0.0; UnitEvent::COUNT],
+        clock_cycle_j: 0.0,
+        clock_gated_j: [0.0; ClockDomain::COUNT],
+    };
+    for group in UnitGroup::ALL {
+        let columns: Vec<Column> = if group == UnitGroup::Clock {
+            std::iter::once(Column::Cycles)
+                .chain((0..ClockDomain::COUNT).map(Column::Gated))
+                .collect()
+        } else {
+            UnitEvent::ALL
+                .iter()
+                .filter(|e| UnitGroup::of_event(**e) == Some(group))
+                .map(|e| Column::Event(e.index()))
+                .collect()
+        };
+        let solution = solve_group(windows, &columns, group);
+        for (col, w) in columns.iter().zip(solution) {
+            match col {
+                Column::Event(i) => out.event_j[*i] = w,
+                Column::Cycles => out.clock_cycle_j = w,
+                Column::Gated(d) => out.clock_gated_j[*d] = w,
+            }
+        }
+    }
+    out
+}
+
+/// Solves `min ‖Xw − y‖²` for one group via ridge-stabilized normal
+/// equations. `X^T X` is accumulated exactly in `u128` (features are
+/// integers); `X^T y` sequentially in f64. Columns that never fire are
+/// pinned to zero weight instead of entering the system.
+fn solve_group(windows: &[&TrainingWindow], columns: &[Column], group: UnitGroup) -> Vec<f64> {
+    let k = columns.len();
+    let mut xtx = vec![0u128; k * k];
+    let mut xty = vec![0.0f64; k];
+    for w in windows {
+        let x: Vec<u64> = columns
+            .iter()
+            .map(|c| column_value(&w.features, *c))
+            .collect();
+        let y = w.energy.get(group);
+        for i in 0..k {
+            if x[i] == 0 {
+                continue;
+            }
+            for j in i..k {
+                xtx[i * k + j] += u128::from(x[i]) * u128::from(x[j]);
+            }
+            xty[i] += x[i] as f64 * y;
+        }
+    }
+    // Active columns: anything that ever fired.
+    let active: Vec<usize> = (0..k).filter(|&i| xtx[i * k + i] > 0).collect();
+    let n = active.len();
+    if n == 0 {
+        return vec![0.0; k];
+    }
+    // Dense symmetric system over active columns, with a tiny relative
+    // ridge: collinear counter columns (common inside the datapath) make
+    // the system rank-deficient, and the ridge picks one stable,
+    // deterministic solution out of the exact-fit family.
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n];
+    for (ai, &i) in active.iter().enumerate() {
+        for (aj, &j) in active.iter().enumerate() {
+            let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+            a[ai * n + aj] = xtx[lo * k + hi] as f64;
+        }
+        a[ai * n + ai] *= 1.0 + 1e-9;
+        b[ai] = xty[i];
+    }
+    let solved = solve_linear(&mut a, &mut b, n);
+    let mut out = vec![0.0; k];
+    for (ai, &i) in active.iter().enumerate() {
+        out[i] = solved[ai];
+    }
+    out
+}
+
+/// Gaussian elimination with partial pivoting, in place. Deterministic:
+/// pivot choice breaks ties by lowest row index, and all arithmetic is
+/// sequential. Singular pivots (possible only if the ridge underflowed)
+/// zero the corresponding weight.
+fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best == 0.0 {
+            continue;
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            b.swap(col, pivot);
+        }
+        let d = a[col * n + col];
+        for row in col + 1..n {
+            let f = a[row * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= f * a[col * n + j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let d = a[col * n + col];
+        if d == 0.0 {
+            continue;
+        }
+        let mut sum = b[col];
+        for j in col + 1..n {
+            sum -= a[col * n + j] * x[j];
+        }
+        x[col] = sum / d;
+    }
+    x
+}
+
+// ---------------------------------------------------------------------
+// swmodel-v1 codec
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn short(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, msg.to_string())
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| short("swmodel truncated"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> io::Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(bad("swmodel varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) returns 8 bytes");
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.varint()?;
+        let len = usize::try_from(len).map_err(|_| bad("swmodel string length overflow"))?;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| bad("swmodel string not UTF-8"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+fn put_features(out: &mut Vec<u8>, f: &ModeFeatures) {
+    for c in f.counts {
+        put_varint(out, c);
+    }
+    put_varint(out, f.cycles);
+    for g in f.gated {
+        put_varint(out, g);
+    }
+}
+
+fn read_features(c: &mut Cursor<'_>) -> io::Result<ModeFeatures> {
+    let mut f = ModeFeatures::zero();
+    for i in 0..UnitEvent::COUNT {
+        f.counts[i] = c.varint()?;
+    }
+    f.cycles = c.varint()?;
+    for i in 0..ClockDomain::COUNT {
+        f.gated[i] = c.varint()?;
+    }
+    Ok(f)
+}
+
+impl SurrogateModel {
+    /// Writes the model in the `swmodel-v1` binary format. `annotation`
+    /// is an opaque caller payload returned verbatim by
+    /// [`SurrogateModel::from_binary`]; the model store keeps its
+    /// cache-key descriptor there so hash collisions and config drift
+    /// are detectable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn to_binary<W: Write>(&self, mut w: W, annotation: &[u8]) -> io::Result<()> {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(&SWMODEL_MAGIC);
+        put_varint(&mut out, SWMODEL_VERSION);
+
+        let mut payload = Vec::with_capacity(64);
+        put_f64(&mut payload, self.error_bound_pct);
+        put_varint(&mut payload, self.trained_windows);
+        section(&mut out, SEC_META, &payload);
+
+        section(&mut out, SEC_ANNOTATION, annotation);
+
+        payload.clear();
+        put_varint(&mut payload, self.weights.len() as u64);
+        for (cpu, w) in &self.weights {
+            put_str(&mut payload, cpu);
+            for e in w.event_j {
+                put_f64(&mut payload, e);
+            }
+            put_f64(&mut payload, w.clock_cycle_j);
+            for g in w.clock_gated_j {
+                put_f64(&mut payload, g);
+            }
+        }
+        section(&mut out, SEC_WEIGHTS, &payload);
+
+        payload.clear();
+        put_varint(&mut payload, self.cells.len() as u64);
+        for cell in &self.cells {
+            put_str(&mut payload, &cell.benchmark);
+            put_str(&mut payload, &cell.cpu);
+            put_str(&mut payload, &cell.disk);
+            for m in &cell.modes {
+                put_features(&mut payload, m);
+            }
+            put_varint(&mut payload, cell.total_cycles);
+            put_varint(&mut payload, cell.committed);
+            put_varint(&mut payload, cell.user_instrs);
+            put_f64(&mut payload, cell.duration_s);
+            put_f64(&mut payload, cell.disk_energy_j);
+        }
+        section(&mut out, SEC_CELLS, &payload);
+
+        section(&mut out, SEC_END, &[]);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        w.write_all(&out)
+    }
+
+    /// Reads a model previously written by [`SurrogateModel::to_binary`],
+    /// returning the model and the caller annotation.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] for bad magic, an unsupported
+    /// format version, a checksum mismatch, or malformed sections;
+    /// [`io::ErrorKind::UnexpectedEof`] for truncation; plus any I/O
+    /// error from the reader.
+    pub fn from_binary<R: Read>(mut r: R) -> io::Result<(SurrogateModel, Vec<u8>)> {
+        let mut data = Vec::new();
+        r.read_to_end(&mut data)?;
+        if data.len() < SWMODEL_MAGIC.len() + 8 {
+            return Err(short("swmodel file shorter than magic + checksum"));
+        }
+        if data[..SWMODEL_MAGIC.len()] != SWMODEL_MAGIC {
+            return Err(bad("not a swmodel file (bad magic)"));
+        }
+        let (body, trailer) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if fnv1a(body) != stored {
+            return Err(bad("swmodel checksum mismatch"));
+        }
+
+        let mut c = Cursor {
+            data: body,
+            pos: SWMODEL_MAGIC.len(),
+        };
+        let version = c.varint()?;
+        if version != SWMODEL_VERSION {
+            return Err(bad(format!(
+                "unsupported swmodel format version {version} (this reader speaks {SWMODEL_VERSION})"
+            )));
+        }
+
+        let mut expect = |tag: u8| -> io::Result<Cursor<'_>> {
+            let got = c.byte()?;
+            if got != tag {
+                return Err(bad(format!(
+                    "swmodel section {got:#04x} where {tag:#04x} expected"
+                )));
+            }
+            let len = c.varint()?;
+            let len = usize::try_from(len).map_err(|_| bad("swmodel section length overflow"))?;
+            Ok(Cursor {
+                data: c.take(len)?,
+                pos: 0,
+            })
+        };
+
+        let mut meta = expect(SEC_META)?;
+        let error_bound_pct = meta.f64()?;
+        let trained_windows = meta.varint()?;
+        if !meta.done() {
+            return Err(bad("swmodel meta section has trailing bytes"));
+        }
+        if !error_bound_pct.is_finite() || error_bound_pct < 0.0 {
+            return Err(bad(
+                "swmodel error bound is not a finite non-negative number",
+            ));
+        }
+
+        let annotation = expect(SEC_ANNOTATION)?.data.to_vec();
+
+        let mut sec = expect(SEC_WEIGHTS)?;
+        let count = sec.varint()?;
+        let mut weights = Vec::with_capacity(count.min(1 << 10) as usize);
+        for _ in 0..count {
+            let cpu = sec.string()?;
+            let mut w = CpuWeights {
+                event_j: [0.0; UnitEvent::COUNT],
+                clock_cycle_j: 0.0,
+                clock_gated_j: [0.0; ClockDomain::COUNT],
+            };
+            for e in &mut w.event_j {
+                *e = sec.f64()?;
+            }
+            w.clock_cycle_j = sec.f64()?;
+            for g in &mut w.clock_gated_j {
+                *g = sec.f64()?;
+            }
+            weights.push((cpu, w));
+        }
+        if !sec.done() {
+            return Err(bad("swmodel weight section has trailing bytes"));
+        }
+        if !weights.windows(2).all(|p| p[0].0 < p[1].0) {
+            return Err(bad("swmodel weights not sorted by unique cpu name"));
+        }
+
+        let mut sec = expect(SEC_CELLS)?;
+        let count = sec.varint()?;
+        let mut cells: Vec<SurrogateCell> = Vec::with_capacity(count.min(1 << 16) as usize);
+        for _ in 0..count {
+            let benchmark = sec.string()?;
+            let cpu = sec.string()?;
+            let disk = sec.string()?;
+            let mut modes = [(); Mode::COUNT].map(|()| ModeFeatures::zero());
+            for m in &mut modes {
+                *m = read_features(&mut sec)?;
+            }
+            cells.push(SurrogateCell {
+                benchmark,
+                cpu,
+                disk,
+                modes,
+                total_cycles: sec.varint()?,
+                committed: sec.varint()?,
+                user_instrs: sec.varint()?,
+                duration_s: sec.f64()?,
+                disk_energy_j: sec.f64()?,
+            });
+        }
+        if !sec.done() {
+            return Err(bad("swmodel cell section has trailing bytes"));
+        }
+        let cell_key = |c: &SurrogateCell| (c.benchmark.clone(), c.cpu.clone(), c.disk.clone());
+        if !cells.windows(2).all(|p| cell_key(&p[0]) < cell_key(&p[1])) {
+            return Err(bad(
+                "swmodel cells not sorted by unique (benchmark, cpu, disk)",
+            ));
+        }
+
+        let end = expect(SEC_END)?;
+        if !end.done() {
+            return Err(bad("swmodel end section must be empty"));
+        }
+        if !c.done() {
+            return Err(bad("swmodel has bytes after the end section"));
+        }
+
+        Ok((
+            SurrogateModel {
+                weights,
+                cells,
+                error_bound_pct,
+                trained_windows,
+            },
+            annotation,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softwatt_stats::{Clocking, StatsCollector};
+
+    /// Builds a deterministic, mildly varied log: per seed, a burst of
+    /// cycles in each mode with event counts hashed from (seed, cycle,
+    /// event) so the least-squares system sees independent directions.
+    fn training_log(seeds: std::ops::Range<u64>) -> SimLog {
+        let mut stats = StatsCollector::new(Clocking::full_speed(200.0e6), 64);
+        for s in seeds {
+            for (mi, m) in Mode::ALL.iter().enumerate() {
+                stats.set_mode(*m);
+                let cycles = 10 + (s * 13 + mi as u64 * 7) % 40;
+                for t in 0..cycles {
+                    for (ei, e) in UnitEvent::ALL.iter().enumerate() {
+                        let n = s
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(t * 31)
+                            .wrapping_add(ei as u64 * 17)
+                            % 3;
+                        stats.record_n(*e, n);
+                    }
+                    stats.tick();
+                }
+            }
+        }
+        stats.finish()
+    }
+
+    fn trainer() -> SurrogateTrainer {
+        let model = PowerModel::new(&crate::PowerParams::default());
+        let mut t = SurrogateTrainer::new();
+        for (i, bench) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            let log = training_log(i as u64 * 100..i as u64 * 100 + 40);
+            let exact = model.mode_table(&log).total_energy_j();
+            t.add_run(bench, "mxs", "conv", &log, &model, 1.0, 100, 90, 0.5, exact);
+        }
+        t
+    }
+
+    #[test]
+    fn fit_recovers_the_linear_model() {
+        let model = PowerModel::new(&crate::PowerParams::default());
+        let fitted = trainer().fit().expect("training data present");
+        // Held-out windows: the exact model is linear in the features, so
+        // the fit must transfer to a log it never saw.
+        let holdout = training_log(9000..9030);
+        let exact = model.mode_table(&holdout).total_energy_j();
+        let agg = harvest_features(&holdout);
+        let weights = &fitted.weights[0].1;
+        let mut predicted = 0.0;
+        for m in Mode::ALL {
+            predicted += weights.predict(&agg[m.index()]).total();
+        }
+        let err = (predicted - exact).abs() / exact;
+        assert!(err < 5e-3, "held-out relative error {err}");
+        assert!(fitted.error_bound_pct >= 0.5);
+    }
+
+    #[test]
+    fn estimate_hits_only_calibrated_cells() {
+        let fitted = trainer().fit().unwrap();
+        assert!(fitted.estimate("alpha", "mxs", "conv").is_some());
+        assert!(fitted.estimate("alpha", "mxs", "idle").is_none());
+        assert!(fitted.estimate("delta", "mxs", "conv").is_none());
+        assert!(fitted.estimate("alpha", "mipsy", "conv").is_none());
+        let est = fitted.estimate("beta", "mxs", "conv").unwrap();
+        assert!(est.total_energy_j > 0.0);
+        assert!(est.avg_power_w > 0.0);
+        assert_eq!(est.error_bound_pct, fitted.error_bound_pct);
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let fitted = trainer().fit().unwrap();
+        let mut buf = Vec::new();
+        fitted.to_binary(&mut buf, b"model descriptor").unwrap();
+        let (back, annotation) = SurrogateModel::from_binary(&buf[..]).unwrap();
+        assert_eq!(back, fitted);
+        assert_eq!(annotation, b"model descriptor");
+        assert_eq!(
+            back.error_bound_pct.to_bits(),
+            fitted.error_bound_pct.to_bits()
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_rejected() {
+        let fitted = trainer().fit().unwrap();
+        let mut buf = Vec::new();
+        fitted.to_binary(&mut buf, b"x").unwrap();
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                SurrogateModel::from_binary(&corrupt[..]).is_err(),
+                "flipping byte {i} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_stale_version_are_rejected() {
+        let fitted = trainer().fit().unwrap();
+        let mut buf = Vec::new();
+        fitted.to_binary(&mut buf, b"").unwrap();
+        for cut in [buf.len() - 1, buf.len() / 2, 10, 4] {
+            assert!(
+                SurrogateModel::from_binary(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut stale = buf.clone();
+        stale[SWMODEL_MAGIC.len()] = (SWMODEL_VERSION + 1) as u8;
+        let len = stale.len();
+        let sum = fnv1a(&stale[..len - 8]);
+        stale[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = SurrogateModel::from_binary(&stale[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Refitting from the same training set is bit-deterministic:
+            /// same serialized bytes, same prediction bits — regardless of
+            /// the order runs were added in.
+            #[test]
+            fn refits_are_bit_identical(base in 0u64..500, order in 0usize..6) {
+                let model = PowerModel::new(&crate::PowerParams::default());
+                let benches = ["p", "q", "r"];
+                let perms = [
+                    [0usize, 1, 2], [0, 2, 1], [1, 0, 2],
+                    [1, 2, 0], [2, 0, 1], [2, 1, 0],
+                ];
+                let build = |perm: &[usize; 3]| {
+                    let mut t = SurrogateTrainer::new();
+                    for &i in perm {
+                        let log = training_log(base + i as u64 * 50..base + i as u64 * 50 + 20);
+                        let exact = model.mode_table(&log).total_energy_j();
+                        t.add_run(benches[i], "mxs", "conv", &log, &model,
+                                  1.0, 10, 9, 0.1, exact);
+                    }
+                    t.fit().unwrap()
+                };
+                let a = build(&perms[0]);
+                let b = build(&perms[order]);
+                let mut bytes_a = Vec::new();
+                let mut bytes_b = Vec::new();
+                a.to_binary(&mut bytes_a, b"k").unwrap();
+                b.to_binary(&mut bytes_b, b"k").unwrap();
+                prop_assert_eq!(bytes_a, bytes_b);
+                let ea = a.estimate("q", "mxs", "conv").unwrap();
+                let eb = b.estimate("q", "mxs", "conv").unwrap();
+                prop_assert_eq!(ea.total_energy_j.to_bits(), eb.total_energy_j.to_bits());
+                prop_assert_eq!(ea.error_bound_pct.to_bits(), eb.error_bound_pct.to_bits());
+            }
+        }
+    }
+}

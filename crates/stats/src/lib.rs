@@ -39,6 +39,7 @@
 pub mod clocking;
 pub mod counters;
 pub mod event;
+pub mod hash;
 pub mod log;
 pub mod mode;
 pub mod service;

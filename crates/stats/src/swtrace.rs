@@ -43,6 +43,7 @@
 
 use std::io::{self, Read, Write};
 
+use crate::hash::fnv1a;
 use crate::{
     Mode, ModeCounters, PerfTrace, Sample, ServiceAggregate, ServiceId, TraceRequest, UnitEvent,
 };
@@ -61,17 +62,6 @@ const SEC_IDLERATES: u8 = 0x04;
 const SEC_SERVICES: u8 = 0x05;
 const SEC_SEGMENTS: u8 = 0x06;
 const SEC_END: u8 = 0x00;
-
-/// FNV-1a 64-bit — stable across processes and platforms, unlike the
-/// standard library's keyed hashers.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {

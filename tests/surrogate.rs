@@ -1,0 +1,282 @@
+//! Counter-surrogate integration tests: the whole-grid accuracy gate
+//! (every paper-grid cell within the model's declared error bound), a
+//! held-one-out generalization check (weights fitted without a benchmark
+//! still predict it within the bound), exact-tier non-poisoning
+//! (surrogate traffic leaves the run/replay tiers bit-identical), the
+//! fidelity dispatch contract of `run_at`, and model persistence through
+//! the content-addressed model store.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use softwatt::experiments::{DiskSetup, ExperimentSuite, RunKey};
+use softwatt::{
+    Benchmark, CpuModel, Fidelity, IdleHandling, Mode, RunOutcome, RunResult, SystemConfig,
+    TraceStore,
+};
+use softwatt_power::surrogate::{harvest_features, SurrogateTrainer};
+
+/// A scratch store directory unique to this process and test.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swmodel-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn analytic_config(scale: f64) -> SystemConfig {
+    SystemConfig {
+        time_scale: scale,
+        idle: IdleHandling::Analytic,
+        ..SystemConfig::default()
+    }
+}
+
+/// The exact total CPU energy for a bundle — the quantity every estimate
+/// in this file is graded against.
+fn exact_energy_j(suite: &ExperimentSuite, key: RunKey) -> f64 {
+    let bundle = suite.run_key(key);
+    bundle.model.mode_table(&bundle.run.log).total_energy_j()
+}
+
+fn rel_err_pct(estimate: f64, exact: f64) -> f64 {
+    100.0 * (estimate - exact).abs() / exact.max(1e-12)
+}
+
+/// Bit-for-bit equality of everything a run produces (the same gate
+/// `replay_equivalence.rs` and `trace_store.rs` apply).
+fn assert_exact(a: &RunResult, b: &RunResult, label: &str) {
+    assert_eq!(a.cycles, b.cycles, "{label}: cycles");
+    assert_eq!(a.committed, b.committed, "{label}: committed");
+    assert_eq!(a.log, b.log, "{label}: sampled log");
+    assert_eq!(
+        a.duration_s.to_bits(),
+        b.duration_s.to_bits(),
+        "{label}: duration"
+    );
+    assert_eq!(
+        a.disk.energy_j.to_bits(),
+        b.disk.energy_j.to_bits(),
+        "{label}: disk energy"
+    );
+}
+
+/// The accuracy gate, in miniature: after one calibration every
+/// paper-grid cell's surrogate total energy is within the model's own
+/// declared error bound — and that bound is itself within the 5% the
+/// issue allows.
+#[test]
+fn every_grid_cell_is_within_the_declared_bound() {
+    let suite = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
+    let model = suite.calibrate_surrogate(4);
+    assert!(
+        model.error_bound_pct <= 5.0,
+        "declared bound {} must sit inside the 5% gate",
+        model.error_bound_pct
+    );
+    for key in suite.paper_grid() {
+        let exact = exact_energy_j(&suite, key);
+        let est = suite
+            .surrogate_estimate(key)
+            .expect("calibration covers the whole paper grid");
+        let err = rel_err_pct(est.total_energy_j, exact);
+        assert!(
+            err <= model.error_bound_pct,
+            "{}/{}/{}: {err:.4}% exceeds the declared {:.4}% bound",
+            key.benchmark.name(),
+            key.cpu.name(),
+            key.disk.name(),
+            model.error_bound_pct
+        );
+        assert_eq!(
+            est.error_bound_pct, model.error_bound_pct,
+            "estimates must carry the model's bound"
+        );
+    }
+}
+
+/// Generalization, not memorization: fit the weights on 12 of the 13
+/// (benchmark, CPU) pairs, holding out jack on the out-of-order CPU, then
+/// predict the held-out run from its harvested counters alone. The
+/// prediction must land within the model's declared error bound even
+/// though no jack/mxs window contributed to the fit.
+#[test]
+fn held_out_benchmark_is_predicted_within_the_bound() {
+    let held_out = RunKey {
+        benchmark: Benchmark::Jack,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    let suite = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
+    suite.prewarm(&suite.paper_grid(), 4);
+
+    let mut trainer = SurrogateTrainer::new();
+    for key in suite.paper_grid() {
+        if key.benchmark == held_out.benchmark && key.cpu == held_out.cpu {
+            continue;
+        }
+        let bundle = suite.run_key(key);
+        let exact = bundle.model.mode_table(&bundle.run.log).total_energy_j();
+        trainer.add_run(
+            key.benchmark.name(),
+            key.cpu.name(),
+            key.disk.name(),
+            &bundle.run.log,
+            &bundle.model,
+            bundle.run.duration_s,
+            bundle.run.committed,
+            bundle.run.user_instrs,
+            bundle.run.disk.energy_j,
+            exact,
+        );
+    }
+    assert_eq!(trainer.trained_pairs(), 12, "one pair held out of 13");
+    let model = trainer.fit().expect("12 pairs are plenty of training data");
+
+    let bundle = suite.run_key(held_out);
+    let exact = bundle.model.mode_table(&bundle.run.log).total_energy_j();
+    let features = harvest_features(&bundle.run.log);
+    let weights = model
+        .weights
+        .iter()
+        .find(|(cpu, _)| cpu == held_out.cpu.name())
+        .map(|(_, w)| w)
+        .expect("mxs weights trained from the other five benchmarks");
+    let predicted: f64 = Mode::ALL
+        .iter()
+        .map(|m| weights.predict(&features[m.index()]).total())
+        .sum();
+    let err = rel_err_pct(predicted, exact);
+    assert!(
+        err <= model.error_bound_pct,
+        "held-out jack/mxs: {err:.4}% exceeds the declared {:.4}% bound",
+        model.error_bound_pct
+    );
+}
+
+/// The non-poisoning contract: surrogate answers never enter, advance, or
+/// perturb the exact tiers. Serving estimates moves only the surrogate
+/// tally, and the exact bundle afterwards is bit-identical to one from a
+/// suite that never had a model installed.
+#[test]
+fn surrogate_traffic_leaves_exact_tiers_untouched() {
+    let key = RunKey {
+        benchmark: Benchmark::Jess,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    let with_model = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
+    with_model.run_key(key);
+    with_model.refit_surrogate().expect("one memoized run fits");
+
+    let runs_before = with_model.runs_executed();
+    let replays_before = with_model.replays_derived();
+    for _ in 0..5 {
+        with_model
+            .surrogate_estimate(key)
+            .expect("the memoized cell is calibrated");
+    }
+    assert_eq!(
+        with_model.runs_executed(),
+        runs_before,
+        "estimates must not trigger simulations"
+    );
+    assert_eq!(
+        with_model.replays_derived(),
+        replays_before,
+        "estimates must not trigger replays"
+    );
+    assert_eq!(with_model.surrogate_served(), 5);
+
+    let without_model = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
+    assert_exact(
+        &with_model.run_key(key).run,
+        &without_model.run_key(key).run,
+        "exact answer with a model installed",
+    );
+}
+
+/// `run_at` honors the requested tier — and the answer outranks the
+/// request: surrogate without a model (or for an uncovered cell) falls
+/// through to an exact bundle rather than failing.
+#[test]
+fn run_at_dispatches_by_fidelity() {
+    let key = RunKey {
+        benchmark: Benchmark::Db,
+        cpu: CpuModel::MxsSingleIssue,
+        disk: DiskSetup::IdleOnly,
+    };
+    let suite = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
+
+    // No model installed: surrogate degrades to exact.
+    match suite.run_at(key, Fidelity::Surrogate) {
+        RunOutcome::Exact(_) => {}
+        RunOutcome::Estimate(_) => panic!("no model installed, yet an estimate came back"),
+    }
+    suite.refit_surrogate().expect("the fallback run memoized");
+
+    match suite.run_at(key, Fidelity::Surrogate) {
+        RunOutcome::Estimate(est) => {
+            assert!(est.total_energy_j.is_finite() && est.total_energy_j > 0.0);
+            assert!(est.error_bound_pct > 0.0);
+        }
+        RunOutcome::Exact(_) => panic!("calibrated cell must answer as an estimate"),
+    }
+
+    // An uncovered cell at surrogate fidelity falls through to exact.
+    let uncovered = RunKey {
+        benchmark: Benchmark::Mtrt,
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::Conventional,
+    };
+    match suite.run_at(uncovered, Fidelity::Surrogate) {
+        RunOutcome::Exact(_) => {}
+        RunOutcome::Estimate(_) => panic!("uncovered cell must fall through to exact"),
+    }
+
+    // Replay and full both yield the one memoized bundle.
+    let memoized = suite.run_key(key);
+    for fidelity in [Fidelity::Replay, Fidelity::Full] {
+        match suite.run_at(key, fidelity) {
+            RunOutcome::Exact(bundle) => {
+                assert!(
+                    Arc::ptr_eq(&bundle, &memoized),
+                    "{}: memo hit must return the memoized bundle",
+                    fidelity.name()
+                );
+            }
+            RunOutcome::Estimate(_) => {
+                panic!("{}: exact tier returned an estimate", fidelity.name())
+            }
+        }
+    }
+}
+
+/// Calibration persists: a second suite pointed at the same store loads
+/// the fitted model bit-for-bit instead of re-simulating the grid.
+#[test]
+fn calibration_persists_through_the_model_store() {
+    let dir = scratch_dir("persist");
+    let config = analytic_config(500_000.0);
+
+    let first = ExperimentSuite::new(config.clone())
+        .unwrap()
+        .with_trace_store(TraceStore::open(&dir).expect("open scratch store"));
+    let fitted = first.calibrate_surrogate(4);
+
+    let second = ExperimentSuite::new(config)
+        .unwrap()
+        .with_trace_store(TraceStore::open(&dir).expect("reopen scratch store"));
+    let loaded = second.calibrate_surrogate(4);
+    assert_eq!(
+        fitted.as_ref(),
+        loaded.as_ref(),
+        "the persisted model must round-trip bit-for-bit"
+    );
+    assert_eq!(
+        second.runs_executed(),
+        0,
+        "a stored model must not cost any simulations"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
