@@ -329,40 +329,36 @@ fn run_surrogate_gate(suite: &ExperimentSuite, time_scale: f64, jobs: usize) -> 
     // mean that EXPERIMENTS.md quotes.
     let mut by_benchmark: Vec<(String, f64, usize)> = Vec::new();
     for key in grid {
+        let workload = key.workload.label();
         let bundle = suite.run_key(key);
         let exact = bundle.model.mode_table(&bundle.run.log).total_energy_j();
         let est = model
-            .estimate(key.benchmark.name(), key.cpu.name(), key.disk.name())
+            .estimate(&workload, key.cpu.name(), key.disk.name())
             .expect("calibration covers the whole paper grid");
         let err = 100.0 * (est.total_energy_j - exact).abs() / exact.max(1e-12);
         println!(
             "{:<10} {:<6} {:<9} {:>14.6} {:>14.6} {:>8.4}",
-            key.benchmark.name(),
+            workload,
             key.cpu.name(),
             key.disk.name(),
             exact,
             est.total_energy_j,
             err
         );
-        let cell = format!(
-            "{}/{}/{}",
-            key.benchmark.name(),
-            key.cpu.name(),
-            key.disk.name()
-        );
+        let cell = format!("{}/{}/{}", workload, key.cpu.name(), key.disk.name());
         if err > max_err {
             max_err = err;
             worst = cell;
         }
         match by_benchmark
             .iter_mut()
-            .find(|(name, _, _)| name == key.benchmark.name())
+            .find(|(name, _, _)| name == &workload)
         {
             Some((_, sum, n)) => {
                 *sum += err;
                 *n += 1;
             }
-            None => by_benchmark.push((key.benchmark.name().to_string(), err, 1)),
+            None => by_benchmark.push((workload, err, 1)),
         }
     }
     println!("\nper-benchmark mean error:");

@@ -15,7 +15,7 @@
 //!
 //! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
 //! [--requests N] [--warmup N] [--workers N|auto] [--cold-grid]
-//! [--surrogate] [--trace-cache DIR] [--out FILE]`
+//! [--surrogate] [--inline-spec] [--trace-cache DIR] [--out FILE]`
 //! (defaults: no addr — spawn an in-process server over real TCP —
 //! scale 50000 for fast simulations, 8 connections x 40 requests,
 //! 0 warm-up requests, workers = available parallelism, out
@@ -41,6 +41,14 @@
 //! point the report makes is that warm (inline-lane) percentiles stay
 //! flat while all of that churns on the cold lane.
 //!
+//! `--inline-spec` swaps one run slot in ten for a `POST /v1/run` whose
+//! body carries a full user-defined workload spec (softwatt-spec-v1)
+//! instead of a canned benchmark name. The first such request costs a
+//! full simulation; every later one (including from other connections)
+//! must resolve through the spec's content hash to the memo or replay
+//! tiers, so the lane attribution shows the spec path riding the same
+//! admission machinery as the canned keys.
+//!
 //! `--trace-cache DIR` hands the in-process server a persistent trace
 //! store and warm-starts it from disk, exactly like `softwatt-serve
 //! --trace-cache`; with `--addr` the flag is ignored (the external server
@@ -52,7 +60,8 @@ use std::fmt::Write as _;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use softwatt::experiments::DiskSetup;
@@ -72,6 +81,23 @@ const TIMEOUT: Duration = Duration::from_secs(300);
 const DEDUP_BODY: &str = r#"{"benchmark": "jess", "cpu": "mipsy"}"#;
 /// How many connections send [`DEDUP_BODY`] at once.
 const DEDUP_CONNS: usize = 3;
+
+/// Whether the request mix swaps one run slot in ten for an inline-spec
+/// post (`--inline-spec`). Global because the mix function is pure
+/// per-index; set once before the mux starts.
+static INLINE_SPEC: AtomicBool = AtomicBool::new(false);
+
+/// The spec body those slots post: canned jess content under a custom
+/// name, so the server sees a user-defined workload it has never heard
+/// of and must admit through the spec codec and validation gate.
+fn inline_spec_json() -> &'static str {
+    static SPEC: OnceLock<String> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let mut spec = Benchmark::Jess.spec();
+        spec.name = "loadgen-inline".to_string();
+        softwatt::json::benchmark_spec(&spec)
+    })
+}
 
 /// One worker's tally. Warm-up latencies are kept apart from the measured
 /// ones; warm-up statuses are not counted at all. Measured latencies are
@@ -114,6 +140,7 @@ fn main() {
     let mut workers = softwatt_bench::auto_parallelism();
     let mut cold_grid = false;
     let mut surrogate = false;
+    let mut inline_spec = false;
     let mut trace_cache: Option<String> = None;
     let mut out = String::from("BENCH_server.json");
     fn usage_exit(msg: &str) -> ! {
@@ -121,7 +148,7 @@ fn main() {
         eprintln!(
             "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
              [--requests N] [--warmup N] [--workers N|auto] [--cold-grid] \
-             [--surrogate] [--trace-cache DIR] [--out FILE]"
+             [--surrogate] [--inline-spec] [--trace-cache DIR] [--out FILE]"
         );
         std::process::exit(2);
     }
@@ -150,6 +177,7 @@ fn main() {
             "--workers" => workers = count("--workers", "thread count"),
             "--cold-grid" => cold_grid = true,
             "--surrogate" => surrogate = true,
+            "--inline-spec" => inline_spec = true,
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
             "--out" => out = value("--out"),
             other => usage_exit(&format!("unknown flag {other}")),
@@ -223,6 +251,7 @@ fn main() {
         }
     );
 
+    INLINE_SPEC.store(inline_spec, Ordering::Relaxed);
     let (mut total, wall_s, cold_stats) = run_mux(target, connections, requests, warmup, cold_grid);
 
     // Unloaded surrogate probe: with the measured closed loop finished,
@@ -268,6 +297,7 @@ fn main() {
          \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
          \"warmup_per_connection\": {warmup},\n  \"trace_cache\": {caching},\n  \
          \"cold_grid\": {cold_grid},\n  \"surrogate\": {surrogate},\n  \
+         \"inline_spec\": {inline_spec},\n  \
          \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
          \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us\": {},\n  \
@@ -439,6 +469,17 @@ fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
         slot => {
             let benchmark = Benchmark::ALL[n % Benchmark::ALL.len()];
             let disk = [DiskSetup::Conventional, DiskSetup::IdleOnly][(n / 6) % 2];
+            // Slot 7 posts a full inline spec when `--inline-spec` is on:
+            // identical content every time, so the first request is the
+            // only full simulation and the rest resolve by content hash.
+            if slot == 7 && INLINE_SPEC.load(Ordering::Relaxed) {
+                let body = format!(
+                    "{{\"spec\": {}, \"disk\": \"{}\"}}",
+                    inline_spec_json(),
+                    disk.name()
+                );
+                return ("POST", "/v1/run".into(), body);
+            }
             // Slot 3 opts into the surrogate tier. Against a calibrated
             // server it lands on the surrogate lane; otherwise it falls
             // through to the exact tiers and answers identically.

@@ -49,9 +49,14 @@ const USAGE: &str = "usage:
                 [--jobs N|auto] [--trace-cache DIR] [--log FILE]
                 [--record FILE] [--replay FILE]
                 [--metrics] [--metrics-out FILE] [--log-level LEVEL]
+  simulate run --spec FILE [--cpu ...] [--disk ...] [--scale N] [--seed N]
+                [--trace-cache DIR] [--log FILE] [...]
   simulate post <logfile> [--metrics] [--metrics-out FILE] [--log-level LEVEL]
 
 benchmarks: compress jess db javac mtrt jack (or 'all');
+--spec FILE runs a user-defined workload from a softwatt-spec-v1 JSON
+file instead of a canned benchmark (same validation gate as the HTTP
+surface; see docs/example_spec.json);
 --jobs N simulates a multi-benchmark list on N threads (results print
 in list order either way); --trace-cache DIR (or SOFTWATT_TRACE_CACHE)
 reuses full simulations across processes via the persistent trace store
@@ -60,25 +65,24 @@ and forces analytic idle handling (the mode traces are captured under);
 stderr / to a JSON file";
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let spec = args
-        .first()
-        .ok_or_else(|| format!("missing benchmark\n{USAGE}"))?;
-    let benchmarks: Vec<Benchmark> = if spec == "all" {
-        Benchmark::ALL.to_vec()
-    } else {
-        spec.split(',')
+    // The selection is positional; a leading flag (e.g. `--spec`) means
+    // there is no canned-benchmark selection at all.
+    let (selection, flag_args) = match args.first() {
+        None => return Err(format!("missing benchmark\n{USAGE}")),
+        Some(s) if s.starts_with("--") => (None, args),
+        Some(s) => (Some(s.as_str()), &args[1..]),
+    };
+    let benchmarks: Vec<Benchmark> = match selection {
+        Some("all") => Benchmark::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
             .filter(|name| !name.is_empty())
             .map(|name| {
                 Benchmark::from_name(name)
                     .ok_or_else(|| format!("unknown benchmark {name}\n{USAGE}"))
             })
-            .collect::<Result<_, _>>()?
-    };
-    // Validate here, at the CLI boundary: downstream aggregation
-    // (`SystemBudget::mean_of`) treats an empty selection as a caller
-    // error, so it must never get one.
-    let Some(&benchmark) = benchmarks.first() else {
-        return Err(format!("empty benchmark selection {spec:?}\n{USAGE}"));
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
     };
 
     let mut config = SystemConfig {
@@ -89,9 +93,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut trace_cache: Option<String> = None;
+    let mut spec_path: Option<String> = None;
     let mut jobs = 1usize;
     let mut obs = ObsFlags::default();
-    let mut it = args[1..].iter();
+    let mut it = flag_args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -138,6 +143,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     softwatt_bench::parse_count_or_auto("--jobs", Some(value()?), "thread count")?
             }
             "--trace-cache" => trace_cache = Some(value()?),
+            "--spec" => spec_path = Some(value()?),
             "--log" => log_path = Some(value()?),
             "--record" => record_path = Some(value()?),
             "--replay" => replay_path = Some(value()?),
@@ -163,6 +169,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             store.dir().display()
         );
     }
+
+    if let Some(path) = &spec_path {
+        if selection.is_some() {
+            return Err("give a benchmark selection or --spec, not both".into());
+        }
+        if record_path.is_some() || replay_path.is_some() {
+            return Err("--record/--replay need a canned benchmark".into());
+        }
+        run_spec_file(path, &config, store.as_ref(), log_path.as_deref())?;
+        return obs.finish();
+    }
+    // Validate here, at the CLI boundary: downstream aggregation
+    // (`SystemBudget::mean_of`) treats an empty selection as a caller
+    // error, so it must never get one.
+    let Some(&benchmark) = benchmarks.first() else {
+        return Err(format!("empty benchmark selection\n{USAGE}"));
+    };
 
     if benchmarks.len() > 1 {
         if record_path.is_some() || replay_path.is_some() || log_path.is_some() {
@@ -213,24 +236,65 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
     };
 
-    print_run(benchmark, &config, &run);
+    print_run(benchmark.name(), &config, &run);
 
     if let Some(path) = log_path {
-        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        run.log
-            .to_csv(BufWriter::new(file))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!(
-            "wrote simulation log to {path} ({} samples)",
-            run.log.samples().len()
-        );
+        write_log_csv(&run, &path)?;
     }
     obs.finish()
 }
 
-fn print_run(benchmark: Benchmark, config: &SystemConfig, run: &RunResult) {
+/// Loads, validates, and runs a `softwatt-spec-v1` workload file through
+/// the same admission gate the HTTP surface applies to posted specs.
+fn run_spec_file(
+    path: &str,
+    config: &SystemConfig,
+    store: Option<&softwatt::TraceStore>,
+    log_path: Option<&str>,
+) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = softwatt_serve::json::parse(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let spec = softwatt_serve::json::spec_from_value(&value).map_err(|e| format!("{path}: {e}"))?;
+    spec.validate().map_err(|e| format!("{path}: {e}"))?;
+    spec.user_instr_budget(config.clocking())
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    let sim = Simulator::new(config.clone())?;
+    eprintln!(
+        "running spec {} (hash {:016x}) on {} (disk {}, scale {}x, seed {:#x})...",
+        spec.name,
+        spec.content_hash(),
+        config.cpu.label(),
+        config.disk.policy.label(),
+        config.time_scale,
+        config.seed
+    );
+    let run = match store {
+        Some(store) => sim.run_spec_stored(&spec, store),
+        None => sim.run_spec(&spec),
+    };
+    print_run(&spec.name, config, &run);
+    if let Some(path) = log_path {
+        write_log_csv(&run, path)?;
+    }
+    Ok(())
+}
+
+fn write_log_csv(run: &RunResult, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    run.log
+        .to_csv(BufWriter::new(file))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote simulation log to {path} ({} samples)",
+        run.log.samples().len()
+    );
+    Ok(())
+}
+
+fn print_run(name: &str, config: &SystemConfig, run: &RunResult) {
     println!(
-        "{benchmark}: {} cycles, {:.2} paper-seconds, IPC {:.2}",
+        "{name}: {} cycles, {:.2} paper-seconds, IPC {:.2}",
         run.cycles,
         run.duration_s,
         run.ipc()
@@ -296,7 +360,7 @@ fn run_many(
             .take()
             .expect("completed run");
         budgets.push(system_budget(&model, &run));
-        print_run(bench, config, &run);
+        print_run(bench.name(), config, &run);
     }
     if let Some(mean) = SystemBudget::mean_of(&budgets) {
         println!(

@@ -21,7 +21,7 @@ use softwatt_power::{
     GroupPower, PowerModel, SurrogateEstimate, SurrogateModel, SurrogateTrainer, UnitGroup,
 };
 use softwatt_stats::{Mode, PerfTrace};
-use softwatt_workloads::Benchmark;
+use softwatt_workloads::{Benchmark, BenchmarkSpec};
 
 use crate::budget::{system_budget, SystemBudget};
 use crate::config::{CpuModel, IdleHandling, SystemConfig};
@@ -147,15 +147,83 @@ impl Fidelity {
     }
 }
 
+/// The workload half of a [`RunKey`]: one of the six canned paper
+/// benchmarks, or a user-supplied [`BenchmarkSpec`] addressed by its
+/// [`BenchmarkSpec::content_hash`]. Both variants are `Copy` so the key
+/// stays cheap; the spec body itself lives in the suite's registry
+/// ([`ExperimentSuite::register_spec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKey {
+    /// A canned paper benchmark, addressed by name.
+    Canned(Benchmark),
+    /// A registered user spec, addressed by content hash.
+    Spec(u64),
+}
+
+impl WorkloadKey {
+    /// The canned benchmark, if this is one.
+    pub fn canned(self) -> Option<Benchmark> {
+        match self {
+            WorkloadKey::Canned(b) => Some(b),
+            WorkloadKey::Spec(_) => None,
+        }
+    }
+
+    /// Stable label: the benchmark name for canned workloads,
+    /// `spec:<16-hex-digit content hash>` for registered specs. This is
+    /// the string surrogate models and API clients see.
+    pub fn label(self) -> String {
+        match self {
+            WorkloadKey::Canned(b) => b.name().to_string(),
+            WorkloadKey::Spec(hash) => format!("spec:{hash:016x}"),
+        }
+    }
+
+    /// Parses a [`WorkloadKey::label`]; `None` for an unknown name or a
+    /// malformed `spec:` hash.
+    pub fn from_label(label: &str) -> Option<WorkloadKey> {
+        if let Some(hex) = label.strip_prefix("spec:") {
+            if hex.len() != 16 {
+                return None;
+            }
+            return u64::from_str_radix(hex, 16).ok().map(WorkloadKey::Spec);
+        }
+        Benchmark::from_name(label).map(WorkloadKey::Canned)
+    }
+}
+
+impl From<Benchmark> for WorkloadKey {
+    fn from(b: Benchmark) -> WorkloadKey {
+        WorkloadKey::Canned(b)
+    }
+}
+
+impl fmt::Display for WorkloadKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// One machine setup the suite can simulate: the memoization key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunKey {
-    /// Workload.
-    pub benchmark: Benchmark,
+    /// Workload: canned benchmark or registered spec.
+    pub workload: WorkloadKey,
     /// CPU model.
     pub cpu: CpuModel,
     /// Disk power-management configuration.
     pub disk: DiskSetup,
+}
+
+impl RunKey {
+    /// The key for a canned paper benchmark.
+    pub fn canned(benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup) -> RunKey {
+        RunKey {
+            workload: WorkloadKey::Canned(benchmark),
+            cpu,
+            disk,
+        }
+    }
 }
 
 /// A memoized run plus the power model it should be post-processed with.
@@ -294,7 +362,8 @@ const _: () = {
 pub struct ExperimentSuite {
     config: SystemConfig,
     runs: Mutex<HashMap<RunKey, Slot<RunBundle>>>,
-    traces: Mutex<HashMap<(Benchmark, CpuModel), Slot<PerfTrace>>>,
+    traces: Mutex<HashMap<(WorkloadKey, CpuModel), Slot<PerfTrace>>>,
+    specs: RwLock<HashMap<u64, Arc<BenchmarkSpec>>>,
     replay_enabled: bool,
     store: Option<TraceStore>,
     model_store: Option<ModelStore>,
@@ -339,6 +408,7 @@ impl ExperimentSuite {
             config,
             runs: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
+            specs: RwLock::new(HashMap::new()),
             replay_enabled,
             store: None,
             model_store: None,
@@ -405,11 +475,64 @@ impl ExperimentSuite {
 
     /// Runs (or returns the memoized) simulation for one machine setup.
     pub fn run(&self, benchmark: Benchmark, cpu: CpuModel, disk: DiskSetup) -> Arc<RunBundle> {
-        self.run_key(RunKey {
-            benchmark,
+        self.run_key(RunKey::canned(benchmark, cpu, disk))
+    }
+
+    /// Validates and registers a user-supplied spec, returning the
+    /// [`WorkloadKey`] that addresses it in every later call. Registering
+    /// the same spec twice (by content) is idempotent and returns the same
+    /// key, so concurrent posts of one spec dedup to one simulation.
+    ///
+    /// This is the single gate between untrusted spec data and the
+    /// simulator: a key this returns can always be simulated without
+    /// panicking, because both [`BenchmarkSpec::validate`] and the
+    /// instruction-budget sizing at this suite's clocking have passed.
+    ///
+    /// # Errors
+    ///
+    /// The first validation problem found, suitable for a 400 response.
+    pub fn register_spec(&self, spec: BenchmarkSpec) -> Result<WorkloadKey, String> {
+        spec.validate()?;
+        spec.user_instr_budget(self.config.clocking())?;
+        let hash = spec.content_hash();
+        let mut specs = self.specs.write().expect("spec registry lock");
+        specs.entry(hash).or_insert_with(|| Arc::new(spec));
+        Ok(WorkloadKey::Spec(hash))
+    }
+
+    /// The registered spec behind a [`WorkloadKey::Spec`] key; `None` for
+    /// canned workloads and unregistered hashes.
+    pub fn spec_for(&self, workload: WorkloadKey) -> Option<Arc<BenchmarkSpec>> {
+        match workload {
+            WorkloadKey::Canned(_) => None,
+            WorkloadKey::Spec(hash) => self
+                .specs
+                .read()
+                .expect("spec registry lock")
+                .get(&hash)
+                .cloned(),
+        }
+    }
+
+    /// Registers `spec` and runs it on the given machine setup — the
+    /// inline-spec analogue of [`ExperimentSuite::run`], with the same
+    /// memo → trace-store → full-simulation tiering.
+    ///
+    /// # Errors
+    ///
+    /// The first validation problem found.
+    pub fn run_spec(
+        &self,
+        spec: BenchmarkSpec,
+        cpu: CpuModel,
+        disk: DiskSetup,
+    ) -> Result<Arc<RunBundle>, String> {
+        let workload = self.register_spec(spec)?;
+        Ok(self.run_key(RunKey {
+            workload,
             cpu,
             disk,
-        })
+        }))
     }
 
     /// [`ExperimentSuite::run`] addressed by key.
@@ -433,8 +556,19 @@ impl ExperimentSuite {
         }
     }
 
+    /// The persistent-store key for one (workload, CPU) pair: the canned
+    /// derivation for benchmarks (whose descriptors — and so on-disk
+    /// entries — are unchanged by the spec feature), the content-hash
+    /// derivation for registered specs.
+    fn trace_key(&self, workload: WorkloadKey, cpu: CpuModel) -> TraceKey {
+        match workload {
+            WorkloadKey::Canned(b) => TraceKey::derive(&self.config, b, cpu),
+            WorkloadKey::Spec(hash) => TraceKey::derive_spec(&self.config, hash, cpu),
+        }
+    }
+
     /// Whether deriving `key`'s bundle would be a cheap replay rather
-    /// than a full simulation: the (benchmark, CPU) trace is already in
+    /// than a full simulation: the (workload, CPU) trace is already in
     /// the memory memo (finished *or* being captured by another thread —
     /// either way this key will not start a second simulation), or the
     /// persistent store has an entry for it. A suite without replay
@@ -443,7 +577,7 @@ impl ExperimentSuite {
     /// The store probe is an existence check only; a corrupt entry later
     /// turns the predicted replay into a simulation. Misclassification is
     /// a latency blip, not an error.
-    pub fn trace_ready(&self, benchmark: Benchmark, cpu: CpuModel) -> bool {
+    pub fn trace_ready(&self, workload: WorkloadKey, cpu: CpuModel) -> bool {
         if !self.replay_enabled {
             return false;
         }
@@ -451,37 +585,37 @@ impl ExperimentSuite {
             .traces
             .lock()
             .expect("memo lock")
-            .contains_key(&(benchmark, cpu))
+            .contains_key(&(workload, cpu))
         {
             return true;
         }
         match &self.store {
-            Some(store) => store.contains(&TraceKey::derive(&self.config, benchmark, cpu)),
+            Some(store) => store.contains(&self.trace_key(workload, cpu)),
             None => false,
         }
     }
 
-    /// The captured trace for one (benchmark, CPU) pair: from the memory
+    /// The captured trace for one (workload, CPU) pair: from the memory
     /// memo, else the persistent store (when attached), else a full
     /// simulation (persisted to the store afterwards).
-    fn trace_for(&self, benchmark: Benchmark, cpu: CpuModel) -> Arc<PerfTrace> {
-        memoize(&self.traces, (benchmark, cpu), &TRACE_MEMO, || {
+    fn trace_for(&self, workload: WorkloadKey, cpu: CpuModel) -> Arc<PerfTrace> {
+        memoize(&self.traces, (workload, cpu), &TRACE_MEMO, || {
             if let Some(store) = &self.store {
-                let key = TraceKey::derive(&self.config, benchmark, cpu);
+                let key = self.trace_key(workload, cpu);
                 if let Some(trace) = store.load(&key) {
                     self.store_loads.fetch_add(1, Ordering::AcqRel);
                     return trace;
                 }
-                let trace = self.capture_trace(benchmark, cpu);
+                let trace = self.capture_trace(workload, cpu);
                 store.store(&key, &trace);
                 return trace;
             }
-            self.capture_trace(benchmark, cpu)
+            self.capture_trace(workload, cpu)
         })
     }
 
     /// Captures a trace by full simulation (the bottom tier).
-    fn capture_trace(&self, benchmark: Benchmark, cpu: CpuModel) -> PerfTrace {
+    fn capture_trace(&self, workload: WorkloadKey, cpu: CpuModel) -> PerfTrace {
         let mut config = self.config.clone();
         config.cpu = cpu;
         config.idle = IdleHandling::Analytic;
@@ -490,12 +624,18 @@ impl ExperimentSuite {
         let sim = Simulator::new(config).expect("validated config");
         self.executed.fetch_add(1, Ordering::AcqRel);
         let span = softwatt_obs::span("suite.trace_capture_ns");
-        let trace = sim.run_benchmark_traced(benchmark).1;
+        let trace = match workload {
+            WorkloadKey::Canned(benchmark) => sim.run_benchmark_traced(benchmark).1,
+            WorkloadKey::Spec(_) => {
+                let spec = self.spec_for(workload).expect("registered spec");
+                sim.run_spec_traced(&spec).1
+            }
+        };
         if let Some(ns) = span.finish() {
             softwatt_obs::obs_event!(
                 softwatt_obs::Level::Debug,
                 "suite",
-                "captured trace for {benchmark} on {cpu:?} in {:.1}ms",
+                "captured trace for {workload} on {cpu:?} in {:.1}ms",
                 ns as f64 / 1e6
             );
         }
@@ -503,7 +643,7 @@ impl ExperimentSuite {
     }
 
     /// Loads whatever traces the persistent store already has for the
-    /// distinct (benchmark, CPU) pairs of `keys` into the memory memo,
+    /// distinct (workload, CPU) pairs of `keys` into the memory memo,
     /// *without ever simulating*. Returns how many traces were loaded.
     ///
     /// This is the cheap half of a warm start (`softwatt-serve` runs it
@@ -512,23 +652,23 @@ impl ExperimentSuite {
     /// be simulated on first demand.
     pub fn prewarm_from_store(&self, keys: &[RunKey]) -> usize {
         let Some(store) = &self.store else { return 0 };
-        let mut pairs: Vec<(Benchmark, CpuModel)> = Vec::new();
+        let mut pairs: Vec<(WorkloadKey, CpuModel)> = Vec::new();
         for key in keys {
-            if !pairs.contains(&(key.benchmark, key.cpu)) {
-                pairs.push((key.benchmark, key.cpu));
+            if !pairs.contains(&(key.workload, key.cpu)) {
+                pairs.push((key.workload, key.cpu));
             }
         }
         let mut loaded = 0;
-        for (benchmark, cpu) in pairs {
+        for (workload, cpu) in pairs {
             if self
                 .traces
                 .lock()
                 .expect("memo lock")
-                .contains_key(&(benchmark, cpu))
+                .contains_key(&(workload, cpu))
             {
                 continue;
             }
-            let key = TraceKey::derive(&self.config, benchmark, cpu);
+            let key = self.trace_key(workload, cpu);
             let Some(trace) = store.load(&key) else {
                 continue;
             };
@@ -536,7 +676,7 @@ impl ExperimentSuite {
             // claimed the pair between the peek above and this insert, and
             // its result (simulated or loaded) is just as good.
             let mut slots = self.traces.lock().expect("memo lock");
-            if let std::collections::hash_map::Entry::Vacant(slot) = slots.entry((benchmark, cpu)) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = slots.entry((workload, cpu)) {
                 slot.insert(Slot::Ready(Arc::new(trace)));
                 self.store_loads.fetch_add(1, Ordering::AcqRel);
                 loaded += 1;
@@ -561,18 +701,24 @@ impl ExperimentSuite {
         config.idle = IdleHandling::Analytic;
         let sim = Simulator::new(config.clone()).expect("validated config");
         let run = if use_replay {
-            let trace = self.trace_for(key.benchmark, key.cpu);
+            let trace = self.trace_for(key.workload, key.cpu);
             self.replays.fetch_add(1, Ordering::AcqRel);
             softwatt_obs::count("suite.replays", 1);
             let _span = softwatt_obs::span("suite.replay_ns");
             let mut run = sim.replay_trace(&trace);
-            run.benchmark = Some(key.benchmark);
+            run.benchmark = key.workload.canned();
             run
         } else {
             self.executed.fetch_add(1, Ordering::AcqRel);
             softwatt_obs::count("suite.full_sims", 1);
             let _span = softwatt_obs::span("suite.full_sim_ns");
-            sim.run_benchmark(key.benchmark)
+            match key.workload {
+                WorkloadKey::Canned(benchmark) => sim.run_benchmark(benchmark),
+                WorkloadKey::Spec(_) => {
+                    let spec = self.spec_for(key.workload).expect("registered spec");
+                    sim.run_spec(&spec)
+                }
+            }
         };
         RunBundle {
             run,
@@ -615,7 +761,7 @@ impl ExperimentSuite {
     /// byte-identical with and without surrogate traffic.
     pub fn surrogate_estimate(&self, key: RunKey) -> Option<SurrogateEstimate> {
         let model = self.surrogate_model()?;
-        let est = model.estimate(key.benchmark.name(), key.cpu.name(), key.disk.name())?;
+        let est = model.estimate(&key.workload.label(), key.cpu.name(), key.disk.name())?;
         self.surrogate_served.fetch_add(1, Ordering::AcqRel);
         softwatt_obs::count("suite.surrogate_served", 1);
         Some(est)
@@ -629,7 +775,7 @@ impl ExperimentSuite {
             .iter()
             .filter_map(|(key, slot)| matches!(slot, Slot::Ready(_)).then_some(*key))
             .collect();
-        keys.sort_by_key(|k| (k.benchmark.name(), k.cpu.name(), k.disk.name()));
+        keys.sort_by_key(|k| (k.workload.label(), k.cpu.name(), k.disk.name()));
         keys
     }
 
@@ -647,7 +793,7 @@ impl ExperimentSuite {
             };
             let exact = bundle.model.mode_table(&bundle.run.log).total_energy_j();
             trainer.add_run(
-                key.benchmark.name(),
+                &key.workload.label(),
                 key.cpu.name(),
                 key.disk.name(),
                 &bundle.run.log,
@@ -700,28 +846,24 @@ impl ExperimentSuite {
         let mut keys = Vec::new();
         for &benchmark in Benchmark::ALL.iter() {
             for disk in DiskSetup::ALL {
-                keys.push(RunKey {
-                    benchmark,
-                    cpu: CpuModel::Mxs,
-                    disk,
-                });
+                keys.push(RunKey::canned(benchmark, CpuModel::Mxs, disk));
             }
-            keys.push(RunKey {
+            keys.push(RunKey::canned(
                 benchmark,
-                cpu: CpuModel::Mxs,
-                disk: DiskSetup::SleepExt,
-            });
-            keys.push(RunKey {
+                CpuModel::Mxs,
+                DiskSetup::SleepExt,
+            ));
+            keys.push(RunKey::canned(
                 benchmark,
-                cpu: CpuModel::MxsSingleIssue,
-                disk: DiskSetup::Conventional,
-            });
+                CpuModel::MxsSingleIssue,
+                DiskSetup::Conventional,
+            ));
         }
-        keys.push(RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mipsy,
-            disk: DiskSetup::Conventional,
-        });
+        keys.push(RunKey::canned(
+            Benchmark::Jess,
+            CpuModel::Mipsy,
+            DiskSetup::Conventional,
+        ));
         keys
     }
 

@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 
 use softwatt_power::{SurrogateEstimate, UnitGroup};
 use softwatt_stats::Mode;
+use softwatt_workloads::BenchmarkSpec;
 
 use crate::budget::{system_budget, SystemBudget};
 use crate::experiments::{ExperimentSuite, RunBundle, RunKey};
@@ -77,17 +78,119 @@ fn push_budget(out: &mut String, budget: &SystemBudget) {
     out.push('}');
 }
 
-/// Renders a [`RunKey`] as the `{"benchmark", "cpu", "disk"}` object the
-/// serving API accepts back as a query.
+/// Renders a [`RunKey`] as the object the serving API accepts back as a
+/// query: `{"benchmark", "cpu", "disk"}` for canned workloads (bytes
+/// unchanged from before specs existed), `{"workload": "spec:<hash>",
+/// "cpu", "disk"}` for registered user specs.
 pub fn run_key(key: RunKey) -> String {
     let mut out = String::new();
-    out.push_str("{\"benchmark\": ");
-    push_str_lit(&mut out, key.benchmark.name());
+    match key.workload.canned() {
+        Some(benchmark) => {
+            out.push_str("{\"benchmark\": ");
+            push_str_lit(&mut out, benchmark.name());
+        }
+        None => {
+            out.push_str("{\"workload\": ");
+            push_str_lit(&mut out, &key.workload.label());
+        }
+    }
     out.push_str(", \"cpu\": ");
     push_str_lit(&mut out, key.cpu.name());
     out.push_str(", \"disk\": ");
     push_str_lit(&mut out, key.disk.name());
     out.push('}');
+    out
+}
+
+/// Renders a [`BenchmarkSpec`] in the canonical `softwatt-spec-v1` shape —
+/// the same shape `softwatt-serve` parses back from `POST /v1/run` bodies,
+/// so emit → parse → emit is byte-stable (the serve tests pin the round
+/// trip).
+pub fn benchmark_spec(spec: &BenchmarkSpec) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\": \"softwatt-spec-v1\", \"name\": ");
+    push_str_lit(&mut out, &spec.name);
+    out.push_str(", \"duration_s\": ");
+    push_f64(&mut out, spec.duration_s);
+    out.push_str(", \"assumed_ipc\": ");
+    push_f64(&mut out, spec.assumed_ipc);
+    write!(
+        out,
+        ", \"class_files\": {}, \"class_file_bytes\": {}",
+        spec.class_files, spec.class_file_bytes
+    )
+    .expect("write to string");
+    out.push_str(", \"startup_compute_frac\": ");
+    push_f64(&mut out, spec.startup_compute_frac);
+    out.push_str(", \"cacheflush_per_kinstr\": ");
+    push_f64(&mut out, spec.cacheflush_per_kinstr);
+    out.push_str(", \"phases\": [");
+    for (i, p) in spec.phases.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        push_str_lit(&mut out, &p.name);
+        for (field, v) in [
+            ("frac", p.frac),
+            ("load", p.load),
+            ("store", p.store),
+            ("branch", p.branch),
+            ("fp", p.fp),
+            ("mul", p.mul),
+            ("dep_prob", p.dep_prob),
+            ("branch_stability", p.branch_stability),
+            ("hot_frac", p.hot_frac),
+        ] {
+            out.push_str(", ");
+            push_key(&mut out, field);
+            push_f64(&mut out, v);
+        }
+        write!(
+            out,
+            ", \"hot_bytes\": {}, \"span_bytes\": {}, \"loop_len\": {}, \"n_loops\": {}, \"stay_per_loop\": {}",
+            p.hot_bytes, p.span_bytes, p.loop_len, p.n_loops, p.stay_per_loop
+        )
+        .expect("write to string");
+        out.push_str(", \"syscalls\": {");
+        for (j, (field, v)) in [
+            ("read", p.syscalls.read),
+            ("write", p.syscalls.write),
+            ("open", p.syscalls.open),
+            ("xstat", p.syscalls.xstat),
+            ("du_poll", p.syscalls.du_poll),
+            ("bsd", p.syscalls.bsd),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_key(&mut out, field);
+            push_f64(&mut out, v);
+        }
+        write!(out, "}}, \"io_bytes_mean\": {}", p.syscalls.io_bytes_mean)
+            .expect("write to string");
+        out.push_str(", \"fresh_per_kinstr\": ");
+        push_f64(&mut out, p.fresh_per_kinstr);
+        out.push('}');
+    }
+    out.push_str("], \"io_bursts\": [");
+    for (i, b) in spec.io_bursts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"at_s\": ");
+        push_f64(&mut out, b.at_s);
+        write!(
+            out,
+            ", \"files\": {}, \"bytes_per_file\": {}}}",
+            b.files, b.bytes_per_file
+        )
+        .expect("write to string");
+    }
+    out.push_str("]}");
     out
 }
 

@@ -45,7 +45,7 @@ pub mod store;
 
 pub use budget::{system_budget, SystemBudget};
 pub use config::{CpuModel, IdleHandling, SystemConfig};
-pub use experiments::{ExperimentSuite, Fidelity, RunOutcome};
+pub use experiments::{ExperimentSuite, Fidelity, RunKey, RunOutcome, WorkloadKey};
 pub use model_store::{ModelKey, ModelStore};
 pub use sim::{RunResult, Simulator};
 pub use store::{TraceKey, TraceStore};
@@ -54,4 +54,4 @@ pub use store::{TraceKey, TraceStore};
 pub use softwatt_disk::{DiskConfig, DiskPolicy};
 pub use softwatt_power::{GroupPower, PowerModel, PowerParams, UnitGroup};
 pub use softwatt_stats::{Clocking, Mode, SimLog};
-pub use softwatt_workloads::Benchmark;
+pub use softwatt_workloads::{Benchmark, BenchmarkSpec, IoBurst, PhaseSpec, SyscallRates};

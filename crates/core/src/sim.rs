@@ -7,7 +7,7 @@ use softwatt_mem::MemHierarchy;
 use softwatt_os::{IdleLoop, KernelService, OsConfig, SystemOs};
 use softwatt_power::PowerModel;
 use softwatt_stats::{Mode, PerfTrace, ServiceProfiler, SimLog, StatsCollector, UnitEvent};
-use softwatt_workloads::Benchmark;
+use softwatt_workloads::{Benchmark, BenchmarkSpec, Workload};
 
 use crate::config::{CpuModel, IdleHandling, SystemConfig};
 
@@ -134,27 +134,38 @@ impl Simulator {
         run
     }
 
+    /// Runs an arbitrary [`BenchmarkSpec`] through the persistent trace
+    /// store, exactly as [`Simulator::run_benchmark_stored`] does for the
+    /// canned six: the spec's content hash keys the entry, so identical
+    /// specs share one capture across processes while distinct specs can
+    /// never collide with each other or with a canned benchmark.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run_spec`], for specs that fail
+    /// [`BenchmarkSpec::validate`] or whose instruction budget is not
+    /// representable at this configuration's clocking.
+    pub fn run_spec_stored(
+        &self,
+        spec: &BenchmarkSpec,
+        store: &crate::store::TraceStore,
+    ) -> RunResult {
+        let key =
+            crate::store::TraceKey::derive_spec(&self.config, spec.content_hash(), self.config.cpu);
+        if let Some(trace) = store.load(&key) {
+            return self.replay_trace(&trace);
+        }
+        let (run, trace) = self.run_spec_traced(spec);
+        store.store(&key, &trace);
+        run
+    }
+
     fn run_benchmark_inner(
         &self,
         benchmark: Benchmark,
         capture: bool,
     ) -> (RunResult, Option<PerfTrace>) {
-        let clocking = self.config.clocking();
-        let workload = benchmark.workload(clocking, self.config.seed);
-        let warm = workload.warm_files();
-        let premap = workload.premap_regions();
-        let cacheflush_rate = workload.spec().cacheflush_per_kinstr;
-        let (mut result, trace) = self.run_source_inner(
-            Box::new(workload),
-            &warm,
-            &premap,
-            OsConfig {
-                cacheflush_per_kinstr: cacheflush_rate,
-                seed: self.config.seed ^ 0x5EED,
-                ..self.config.os
-            },
-            capture,
-        );
+        let (mut result, trace) = self.run_spec_inner(&benchmark.spec(), capture);
         result.benchmark = Some(benchmark);
         softwatt_obs::obs_event!(
             softwatt_obs::Level::Debug,
@@ -166,6 +177,55 @@ impl Simulator {
             if capture { " (trace captured)" } else { "" }
         );
         (result, trace)
+    }
+
+    /// Runs an arbitrary [`BenchmarkSpec`] — the same codepath the canned
+    /// benchmarks take, so a spec equal to `benchmark.spec()` produces a
+    /// bit-identical run (modulo the `benchmark` name tag, which stays
+    /// `None` here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`BenchmarkSpec::validate`] or cannot size
+    /// an instruction budget at this configuration's clocking. Callers
+    /// holding untrusted specs must gate on those first (the experiment
+    /// suite's `register_spec` does).
+    pub fn run_spec(&self, spec: &BenchmarkSpec) -> RunResult {
+        self.run_spec_inner(spec, false).0
+    }
+
+    /// [`Simulator::run_spec`] while capturing a [`PerfTrace`], the spec
+    /// analogue of [`Simulator::run_benchmark_traced`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run_spec`].
+    pub fn run_spec_traced(&self, spec: &BenchmarkSpec) -> (RunResult, PerfTrace) {
+        let (result, trace) = self.run_spec_inner(spec, true);
+        (result, trace.expect("capture mode always yields a trace"))
+    }
+
+    fn run_spec_inner(
+        &self,
+        spec: &BenchmarkSpec,
+        capture: bool,
+    ) -> (RunResult, Option<PerfTrace>) {
+        let clocking = self.config.clocking();
+        let workload = Workload::new(spec.clone(), clocking, self.config.seed);
+        let warm = workload.warm_files();
+        let premap = workload.premap_regions();
+        let cacheflush_rate = workload.spec().cacheflush_per_kinstr;
+        self.run_source_inner(
+            Box::new(workload),
+            &warm,
+            &premap,
+            OsConfig {
+                cacheflush_per_kinstr: cacheflush_rate,
+                seed: self.config.seed ^ 0x5EED,
+                ..self.config.os
+            },
+            capture,
+        )
     }
 
     /// Runs an arbitrary instruction source under the OS model.

@@ -69,6 +69,24 @@ impl TraceKey {
         TraceKey { descriptor, hash }
     }
 
+    /// Derives the key for a user-supplied spec, addressed by its
+    /// [`BenchmarkSpec::content_hash`]. The benchmark slot of the
+    /// descriptor carries a `spec:<16-hex-digit hash>` token instead of a
+    /// benchmark name — `spec:` is not a valid benchmark name, so spec
+    /// entries can never collide with canned ones, and the canned
+    /// descriptors (and so every existing on-disk entry) are unchanged.
+    ///
+    /// [`BenchmarkSpec::content_hash`]: softwatt_workloads::BenchmarkSpec::content_hash
+    pub fn derive_spec(config: &SystemConfig, spec_hash: u64, cpu: CpuModel) -> TraceKey {
+        let mut canonical = config.clone();
+        canonical.cpu = cpu;
+        canonical.idle = IdleHandling::Analytic;
+        canonical.disk.policy = softwatt_disk::DiskPolicy::Conventional;
+        let descriptor = format!("swtrace-v{SWTRACE_VERSION}|spec:{spec_hash:016x}|{canonical:?}");
+        let hash = fnv1a(descriptor.as_bytes());
+        TraceKey { descriptor, hash }
+    }
+
     /// The full identity string (stored inside the entry as its
     /// annotation).
     pub fn descriptor(&self) -> &str {
@@ -303,6 +321,27 @@ mod tests {
             assert_ne!(other, base, "{what} must change the key");
             assert_ne!(other.hash(), base.hash(), "{what} must change the hash");
         }
+    }
+
+    #[test]
+    fn spec_keys_are_disjoint_from_canned_keys() {
+        let config = quick_config();
+        let canned = TraceKey::derive(&config, Benchmark::Jess, CpuModel::Mxs);
+        let spec = TraceKey::derive_spec(&config, 0xabcd, CpuModel::Mxs);
+        assert_ne!(spec, canned, "spec token must change the descriptor");
+        assert!(spec.descriptor().contains("spec:000000000000abcd"));
+        assert_ne!(
+            TraceKey::derive_spec(&config, 0xabce, CpuModel::Mxs),
+            spec,
+            "content hash must change the key"
+        );
+        let mut other_cpu = config.clone();
+        other_cpu.cpu = CpuModel::Mipsy;
+        assert_eq!(
+            TraceKey::derive_spec(&other_cpu, 0xabcd, CpuModel::Mxs),
+            spec,
+            "spec keys normalize policy-dependent fields like canned keys"
+        );
     }
 
     #[test]

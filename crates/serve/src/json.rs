@@ -3,9 +3,12 @@
 //! The emission side lives in `softwatt::json` (the simulator never needs
 //! to *read* JSON); this is the inverse for the service's small request
 //! schemas. Recursive descent with a depth limit; numbers land in `f64`,
-//! which covers every field the API accepts.
+//! which covers every field the API accepts. [`spec_from_value`] decodes
+//! the `softwatt-spec-v1` shape `softwatt::json::benchmark_spec` emits.
 
 use std::collections::BTreeMap;
+
+use softwatt::{BenchmarkSpec, IoBurst, PhaseSpec, SyscallRates};
 
 /// Maximum nesting depth accepted before the parser bails.
 const MAX_DEPTH: usize = 32;
@@ -247,6 +250,189 @@ impl Parser<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// softwatt-spec-v1 decoding.
+// ---------------------------------------------------------------------------
+
+/// Checks an object's keys against the schema's allowed set — a typo'd or
+/// unknown field is a hard error, not silently ignored, so a client that
+/// misspells `dep_prob` finds out from the 400 instead of from a workload
+/// that quietly used the default.
+fn check_keys(what: &str, value: &Value, allowed: &[&str]) -> Result<(), String> {
+    let Value::Obj(map) = value else {
+        return Err(format!("{what} must be a JSON object"));
+    };
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("{what}: unknown field '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+fn req_field<'a>(what: &str, value: &'a Value, field: &str) -> Result<&'a Value, String> {
+    value
+        .get(field)
+        .ok_or_else(|| format!("{what}: missing field '{field}'"))
+}
+
+fn str_field(what: &str, value: &Value, field: &str) -> Result<String, String> {
+    req_field(what, value, field)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: '{field}' must be a string"))
+}
+
+fn f64_field(what: &str, value: &Value, field: &str) -> Result<f64, String> {
+    req_field(what, value, field)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: '{field}' must be a number"))
+}
+
+/// A non-negative integer field, bounded by `max` (covers every `u32`/`u64`
+/// field of the spec: all are far below 2^53, so `f64` is exact).
+fn uint_field(what: &str, value: &Value, field: &str, max: u64) -> Result<u64, String> {
+    let n = f64_field(what, value, field)?;
+    if !n.is_finite() || n.fract() != 0.0 || n < 0.0 || n > max as f64 {
+        return Err(format!(
+            "{what}: '{field}' must be an integer in 0..={max}, got {n}"
+        ));
+    }
+    Ok(n as u64)
+}
+
+const SPEC_KEYS: [&str; 10] = [
+    "schema",
+    "name",
+    "duration_s",
+    "assumed_ipc",
+    "class_files",
+    "class_file_bytes",
+    "startup_compute_frac",
+    "cacheflush_per_kinstr",
+    "phases",
+    "io_bursts",
+];
+
+const PHASE_KEYS: [&str; 18] = [
+    "name",
+    "frac",
+    "load",
+    "store",
+    "branch",
+    "fp",
+    "mul",
+    "dep_prob",
+    "branch_stability",
+    "hot_bytes",
+    "span_bytes",
+    "hot_frac",
+    "loop_len",
+    "n_loops",
+    "stay_per_loop",
+    "syscalls",
+    "io_bytes_mean",
+    "fresh_per_kinstr",
+];
+
+const SYSCALL_KEYS: [&str; 6] = ["read", "write", "open", "xstat", "du_poll", "bsd"];
+
+const BURST_KEYS: [&str; 3] = ["at_s", "files", "bytes_per_file"];
+
+fn phase_from_value(index: usize, value: &Value) -> Result<PhaseSpec, String> {
+    let what = format!("phases[{index}]");
+    check_keys(&what, value, &PHASE_KEYS)?;
+    let syscalls = {
+        let what = format!("{what}.syscalls");
+        let v = req_field(&what, value, "syscalls")?;
+        check_keys(&what, v, &SYSCALL_KEYS)?;
+        SyscallRates {
+            read: f64_field(&what, v, "read")?,
+            write: f64_field(&what, v, "write")?,
+            open: f64_field(&what, v, "open")?,
+            xstat: f64_field(&what, v, "xstat")?,
+            du_poll: f64_field(&what, v, "du_poll")?,
+            bsd: f64_field(&what, v, "bsd")?,
+            io_bytes_mean: uint_field(&what, value, "io_bytes_mean", u32::MAX as u64)? as u32,
+        }
+    };
+    Ok(PhaseSpec {
+        name: str_field(&what, value, "name")?,
+        frac: f64_field(&what, value, "frac")?,
+        load: f64_field(&what, value, "load")?,
+        store: f64_field(&what, value, "store")?,
+        branch: f64_field(&what, value, "branch")?,
+        fp: f64_field(&what, value, "fp")?,
+        mul: f64_field(&what, value, "mul")?,
+        dep_prob: f64_field(&what, value, "dep_prob")?,
+        branch_stability: f64_field(&what, value, "branch_stability")?,
+        hot_bytes: uint_field(&what, value, "hot_bytes", 1 << 53)?,
+        span_bytes: uint_field(&what, value, "span_bytes", 1 << 53)?,
+        hot_frac: f64_field(&what, value, "hot_frac")?,
+        loop_len: uint_field(&what, value, "loop_len", u32::MAX as u64)? as u32,
+        n_loops: uint_field(&what, value, "n_loops", u32::MAX as u64)? as u32,
+        stay_per_loop: uint_field(&what, value, "stay_per_loop", u32::MAX as u64)? as u32,
+        syscalls,
+        fresh_per_kinstr: f64_field(&what, value, "fresh_per_kinstr")?,
+    })
+}
+
+/// Decodes a `softwatt-spec-v1` object into a [`BenchmarkSpec`].
+///
+/// Strictly structural: types, required fields, integer-ness, and unknown
+/// keys are checked here; *semantic* bounds (fractions in range, loop
+/// structure non-degenerate, ...) are [`BenchmarkSpec::validate`]'s job,
+/// which the suite's `register_spec` gate runs on every decoded spec. The
+/// optional `"schema"` field, when present, must be `softwatt-spec-v1`.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn spec_from_value(value: &Value) -> Result<BenchmarkSpec, String> {
+    check_keys("spec", value, &SPEC_KEYS)?;
+    if let Some(schema) = value.get("schema") {
+        if schema.as_str() != Some("softwatt-spec-v1") {
+            return Err("spec: 'schema' must be \"softwatt-spec-v1\"".into());
+        }
+    }
+    let phases = req_field("spec", value, "phases")?
+        .as_arr()
+        .ok_or("spec: 'phases' must be an array")?
+        .iter()
+        .enumerate()
+        .map(|(i, p)| phase_from_value(i, p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let io_bursts = match value.get("io_bursts") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or("spec: 'io_bursts' must be an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let what = format!("io_bursts[{i}]");
+                check_keys(&what, b, &BURST_KEYS)?;
+                Ok(IoBurst {
+                    at_s: f64_field(&what, b, "at_s")?,
+                    files: uint_field(&what, b, "files", u32::MAX as u64)? as u32,
+                    bytes_per_file: uint_field(&what, b, "bytes_per_file", u32::MAX as u64)? as u32,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    Ok(BenchmarkSpec {
+        name: str_field("spec", value, "name")?,
+        duration_s: f64_field("spec", value, "duration_s")?,
+        assumed_ipc: f64_field("spec", value, "assumed_ipc")?,
+        class_files: uint_field("spec", value, "class_files", u32::MAX as u64)? as u32,
+        class_file_bytes: uint_field("spec", value, "class_file_bytes", u32::MAX as u64)? as u32,
+        startup_compute_frac: f64_field("spec", value, "startup_compute_frac")?,
+        cacheflush_per_kinstr: f64_field("spec", value, "cacheflush_per_kinstr")?,
+        phases,
+        io_bursts,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +498,90 @@ mod tests {
     fn duplicate_keys_keep_last() {
         let doc = parse(br#"{"a": 1, "a": 2}"#).unwrap();
         assert_eq!(doc.get("a").and_then(Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn canned_specs_round_trip_through_the_codec() {
+        for b in softwatt::Benchmark::ALL {
+            let spec = b.spec();
+            let emitted = softwatt::json::benchmark_spec(&spec);
+            let doc = parse(emitted.as_bytes()).unwrap_or_else(|e| panic!("{b}: {e}"));
+            let parsed = spec_from_value(&doc).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(parsed, spec, "{b}: emit -> parse must be lossless");
+            assert_eq!(
+                softwatt::json::benchmark_spec(&parsed),
+                emitted,
+                "{b}: emit -> parse -> emit must be byte-stable"
+            );
+        }
+    }
+
+    /// The spec file the README points users at stays honest: it parses
+    /// through the production codec, survives validation, and re-emits
+    /// byte-identical (so it IS canonical emitter output, not an
+    /// approximation that drifts from the schema).
+    #[test]
+    fn example_spec_doc_is_canonical() {
+        let doc_text = include_str!("../../../docs/example_spec.json");
+        let doc = parse(doc_text.as_bytes()).expect("example doc parses");
+        let spec = spec_from_value(&doc).expect("example doc decodes");
+        spec.validate()
+            .expect("example doc passes the admission gate");
+        assert_eq!(
+            format!("{}\n", softwatt::json::benchmark_spec(&spec)),
+            doc_text,
+            "docs/example_spec.json must be canonical emitter output"
+        );
+    }
+
+    #[test]
+    fn spec_decoding_rejects_structural_problems() {
+        let valid = softwatt::json::benchmark_spec(&softwatt::Benchmark::Jess.spec());
+        let doc = parse(valid.as_bytes()).unwrap();
+        assert!(spec_from_value(&doc).is_ok());
+
+        let cases: [(&str, &str); 6] = [
+            (
+                r#"{"schema": "softwatt-spec-v2", "name": "x", "duration_s": 1, "assumed_ipc": 1,
+                    "class_files": 0, "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0, "phases": []}"#,
+                "'schema'",
+            ),
+            (
+                r#"{"name": "x", "duration_s": 1, "assumed_ipc": 1, "class_files": 0,
+                    "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0, "phases": [], "bogus": 1}"#,
+                "unknown field 'bogus'",
+            ),
+            (
+                r#"{"name": "x", "duration_s": 1, "assumed_ipc": 1, "class_files": 0,
+                    "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0}"#,
+                "missing field 'phases'",
+            ),
+            (
+                r#"{"name": "x", "duration_s": 1, "assumed_ipc": 1, "class_files": 2.5,
+                    "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0, "phases": []}"#,
+                "'class_files' must be an integer",
+            ),
+            (
+                r#"{"name": "x", "duration_s": 1, "assumed_ipc": 1, "class_files": -3,
+                    "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0, "phases": []}"#,
+                "'class_files' must be an integer",
+            ),
+            (
+                r#"{"name": 7, "duration_s": 1, "assumed_ipc": 1, "class_files": 0,
+                    "class_file_bytes": 0, "startup_compute_frac": 0,
+                    "cacheflush_per_kinstr": 0, "phases": []}"#,
+                "'name' must be a string",
+            ),
+        ];
+        for (body, want) in cases {
+            let doc = parse(body.as_bytes()).unwrap();
+            let err = spec_from_value(&doc).unwrap_err();
+            assert!(err.contains(want), "expected '{want}' in '{err}'");
+        }
     }
 }

@@ -26,7 +26,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 
-use softwatt::experiments::{DiskSetup, RunKey};
+use softwatt::experiments::{DiskSetup, RunKey, WorkloadKey};
 use softwatt::{Benchmark, CpuModel, ExperimentSuite, Fidelity, RunOutcome};
 
 use crate::http::{Request, Response};
@@ -246,11 +246,12 @@ pub(crate) fn maybe_refit_surrogate(ctx: &Ctx) {
         .store(false, std::sync::atomic::Ordering::Release);
 }
 
-/// Whether every (benchmark, CPU) pair in `keys` already has a trace —
+/// Whether every (workload, CPU) pair in `keys` already has a trace —
 /// i.e. the whole set derives by replay without one full simulation.
 fn all_traces_ready(suite: &ExperimentSuite, keys: &[RunKey]) -> bool {
-    let pairs: HashSet<(Benchmark, CpuModel)> = keys.iter().map(|k| (k.benchmark, k.cpu)).collect();
-    pairs.iter().all(|&(b, c)| suite.trace_ready(b, c))
+    let pairs: HashSet<(WorkloadKey, CpuModel)> =
+        keys.iter().map(|k| (k.workload, k.cpu)).collect();
+    pairs.iter().all(|&(w, c)| suite.trace_ready(w, c))
 }
 
 /// Dispatches one parsed request: answers it inline or classifies it
@@ -273,7 +274,7 @@ pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
                 .store(true, std::sync::atomic::Ordering::SeqCst);
             Outcome::Ready(Response::json(200, "{\"status\": \"shutting down\"}"))
         }
-        Route::Run => match parse_run_query(&req.body) {
+        Route::Run => match parse_run_query(&ctx.suite, &req.body) {
             Ok((key, fidelity)) => {
                 // Surrogate tier: a covered cell is a handful of dot
                 // products, rendered right here on the reactor thread.
@@ -325,7 +326,7 @@ pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
                         }),
                     };
                 }
-                let lane = if ctx.suite.trace_ready(key.benchmark, key.cpu) {
+                let lane = if ctx.suite.trace_ready(key.workload, key.cpu) {
                     Lane::Replay
                 } else {
                     Lane::Cold
@@ -334,7 +335,7 @@ pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
             }
             Err(resp) => Outcome::Ready(*resp),
         },
-        Route::Batch => match parse_batch(&req.body) {
+        Route::Batch => match parse_batch(&ctx.suite, &req.body) {
             Ok((keys, jobs)) => {
                 let lane = if all_traces_ready(&ctx.suite, &keys) {
                     Lane::Replay
@@ -386,21 +387,70 @@ fn bad_request(code: &str, message: &str) -> Box<Response> {
     Box::new(Response::error(400, code, message))
 }
 
-/// Parses one `{"benchmark", "cpu"?, "disk"?}` query object into a
-/// [`RunKey`].
-fn key_from_value(value: &Value) -> Result<RunKey, Box<Response>> {
+/// Resolves the workload half of a query object. Exactly one of:
+///
+/// - `"benchmark": "<name>"` — one of the six canned paper benchmarks
+///   (the pre-spec API, bytes unchanged);
+/// - `"spec": {softwatt-spec-v1 object}` — an inline user spec, decoded
+///   strictly, validated, and registered with the suite (so the returned
+///   key is always simulatable without panicking);
+/// - `"workload": "spec:<hash>"` — a spec registered by an earlier
+///   request in this process, or a canned benchmark name.
+fn workload_from_value(
+    suite: &ExperimentSuite,
+    value: &Value,
+) -> Result<WorkloadKey, Box<Response>> {
+    let present = ["benchmark", "spec", "workload"]
+        .iter()
+        .filter(|f| value.get(f).is_some())
+        .count();
+    if present > 1 {
+        return Err(bad_request(
+            "bad_query",
+            "give exactly one of 'benchmark', 'spec', or 'workload'",
+        ));
+    }
+    if let Some(v) = value.get("benchmark") {
+        let name = v
+            .as_str()
+            .ok_or_else(|| bad_request("bad_query", "'benchmark' must be a string"))?;
+        let benchmark = Benchmark::from_name(name)
+            .ok_or_else(|| bad_request("unknown_benchmark", &format!("no benchmark '{name}'")))?;
+        return Ok(WorkloadKey::Canned(benchmark));
+    }
+    if let Some(v) = value.get("spec") {
+        let spec = json::spec_from_value(v).map_err(|e| bad_request("invalid_spec", &e))?;
+        return suite
+            .register_spec(spec)
+            .map_err(|e| bad_request("invalid_spec", &e));
+    }
+    if let Some(v) = value.get("workload") {
+        let label = v
+            .as_str()
+            .ok_or_else(|| bad_request("bad_query", "'workload' must be a string"))?;
+        let workload = WorkloadKey::from_label(label)
+            .ok_or_else(|| bad_request("unknown_workload", &format!("no workload '{label}'")))?;
+        if matches!(workload, WorkloadKey::Spec(_)) && suite.spec_for(workload).is_none() {
+            return Err(bad_request(
+                "unknown_workload",
+                &format!("spec '{label}' is not registered; post it inline via 'spec' first"),
+            ));
+        }
+        return Ok(workload);
+    }
+    Err(bad_request(
+        "missing_field",
+        "one of 'benchmark', 'spec', or 'workload' is required",
+    ))
+}
+
+/// Parses one `{"benchmark" | "spec" | "workload", "cpu"?, "disk"?}` query
+/// object into a [`RunKey`].
+fn key_from_value(suite: &ExperimentSuite, value: &Value) -> Result<RunKey, Box<Response>> {
     if !matches!(value, Value::Obj(_)) {
         return Err(bad_request("bad_query", "each query must be a JSON object"));
     }
-    let benchmark = match value.get("benchmark") {
-        Some(v) => match v.as_str() {
-            Some(name) => Benchmark::from_name(name).ok_or_else(|| {
-                bad_request("unknown_benchmark", &format!("no benchmark '{name}'"))
-            })?,
-            None => return Err(bad_request("bad_query", "'benchmark' must be a string")),
-        },
-        None => return Err(bad_request("missing_field", "'benchmark' is required")),
-    };
+    let workload = workload_from_value(suite, value)?;
     let cpu = match value.get("cpu") {
         None => CpuModel::Mxs,
         Some(v) => match v.as_str() {
@@ -418,7 +468,7 @@ fn key_from_value(value: &Value) -> Result<RunKey, Box<Response>> {
         },
     };
     Ok(RunKey {
-        benchmark,
+        workload,
         cpu,
         disk,
     })
@@ -433,9 +483,12 @@ fn parse_body(body: &[u8]) -> Result<Value, Box<Response>> {
 /// exact three-tier lookup every pre-fidelity client gets). Batch
 /// queries go through [`key_from_value`] directly and deliberately
 /// ignore any `fidelity` field: a batch is a prewarm of the exact tiers.
-fn parse_run_query(body: &[u8]) -> Result<(RunKey, Fidelity), Box<Response>> {
+fn parse_run_query(
+    suite: &ExperimentSuite,
+    body: &[u8],
+) -> Result<(RunKey, Fidelity), Box<Response>> {
     let doc = parse_body(body)?;
-    let key = key_from_value(&doc)?;
+    let key = key_from_value(suite, &doc)?;
     let fidelity = match doc.get("fidelity") {
         None => Fidelity::default(),
         Some(v) => match v.as_str() {
@@ -454,7 +507,10 @@ fn parse_run_query(body: &[u8]) -> Result<(RunKey, Fidelity), Box<Response>> {
 /// Parses a batch body: `{"queries": [query...], "jobs"?: N}`. Returns the
 /// queries in order (duplicates included — the suite memoizes) plus the
 /// parallelism to prewarm with.
-fn parse_batch(body: &[u8]) -> Result<(Vec<RunKey>, usize), Box<Response>> {
+fn parse_batch(
+    suite: &ExperimentSuite,
+    body: &[u8],
+) -> Result<(Vec<RunKey>, usize), Box<Response>> {
     let doc = parse_body(body)?;
     let queries = match doc.get("queries") {
         Some(v) => v
@@ -467,7 +523,7 @@ fn parse_batch(body: &[u8]) -> Result<(Vec<RunKey>, usize), Box<Response>> {
     }
     let keys = queries
         .iter()
-        .map(key_from_value)
+        .map(|q| key_from_value(suite, q))
         .collect::<Result<Vec<_>, _>>()?;
     let jobs = match doc.get("jobs") {
         None => 1,
@@ -527,17 +583,31 @@ mod tests {
         assert_eq!(Route::of("/v1/run?scale=2"), Route::Run);
     }
 
+    fn parse_suite() -> ExperimentSuite {
+        // Parsing never simulates, so the scale does not matter; a large
+        // one keeps any accidental simulation cheap enough to notice.
+        ExperimentSuite::new(SystemConfig {
+            time_scale: 500_000.0,
+            ..SystemConfig::default()
+        })
+        .unwrap()
+    }
+
     #[test]
     fn run_key_parsing_defaults_and_errors() {
-        let (key, fidelity) = parse_run_query(br#"{"benchmark": "jess"}"#).unwrap();
-        assert_eq!(key.benchmark, Benchmark::Jess);
+        let suite = parse_suite();
+        let (key, fidelity) = parse_run_query(&suite, br#"{"benchmark": "jess"}"#).unwrap();
+        assert_eq!(key.workload, WorkloadKey::Canned(Benchmark::Jess));
         assert_eq!(key.cpu, CpuModel::Mxs);
         assert_eq!(key.disk, DiskSetup::Conventional);
         assert_eq!(fidelity, Fidelity::Replay, "replay is the default tier");
 
-        let (key, _) =
-            parse_run_query(br#"{"benchmark": "db", "cpu": "mipsy", "disk": "sleep"}"#).unwrap();
-        assert_eq!(key.benchmark, Benchmark::Db);
+        let (key, _) = parse_run_query(
+            &suite,
+            br#"{"benchmark": "db", "cpu": "mipsy", "disk": "sleep"}"#,
+        )
+        .unwrap();
+        assert_eq!(key.workload, WorkloadKey::Canned(Benchmark::Db));
         assert_eq!(key.cpu, CpuModel::Mipsy);
         assert_eq!(key.disk, DiskSetup::SleepExt);
 
@@ -555,7 +625,7 @@ mod tests {
                 Fidelity::Full,
             ),
         ] {
-            let (_, fidelity) = parse_run_query(body).unwrap();
+            let (_, fidelity) = parse_run_query(&suite, body).unwrap();
             assert_eq!(fidelity, want);
         }
 
@@ -571,16 +641,59 @@ mod tests {
                 "unknown_fidelity",
             ),
             (br#"{"benchmark": "jess", "fidelity": 3}"#, "bad_query"),
+            (br#"{"benchmark": "jess", "workload": "jess"}"#, "bad_query"),
+            (br#"{"workload": "spec:zz"}"#, "unknown_workload"),
+            (
+                br#"{"workload": "spec:00000000000000ff"}"#,
+                "unknown_workload",
+            ),
+            (br#"{"spec": {"name": "x"}}"#, "invalid_spec"),
+            (br#"{"spec": "jess"}"#, "invalid_spec"),
         ] {
-            let resp = parse_run_query(body).unwrap_err();
+            let resp = parse_run_query(&suite, body).unwrap_err();
             assert_eq!(resp.status, 400);
             assert!(resp.body.contains(code), "{} for {:?}", resp.body, body);
         }
     }
 
     #[test]
+    fn inline_specs_register_and_resolve_by_hash() {
+        let suite = parse_suite();
+        let spec = Benchmark::Jess.spec();
+        let mut body = String::from(r#"{"disk": "idle", "spec": "#);
+        body.push_str(&softwatt::json::benchmark_spec(&spec));
+        body.push('}');
+        let (key, _) = parse_run_query(&suite, body.as_bytes()).unwrap();
+        let expect = WorkloadKey::Spec(spec.content_hash());
+        assert_eq!(key.workload, expect, "inline spec keys by content hash");
+        assert_eq!(key.disk, DiskSetup::IdleOnly);
+        assert_eq!(
+            suite.spec_for(key.workload).as_deref(),
+            Some(&spec),
+            "the decoded spec round-tripped into the registry"
+        );
+
+        // Once registered, the hash label addresses it...
+        let by_label = format!(r#"{{"workload": "{}"}}"#, key.workload.label());
+        let (key2, _) = parse_run_query(&suite, by_label.as_bytes()).unwrap();
+        assert_eq!(key2.workload, expect);
+
+        // ...and an invalid spec is rejected with the validator's message.
+        let mut invalid = spec.clone();
+        invalid.phases[0].frac = -0.5;
+        let mut body = String::from(r#"{"spec": "#);
+        body.push_str(&softwatt::json::benchmark_spec(&invalid));
+        body.push('}');
+        let resp = parse_run_query(&suite, body.as_bytes()).unwrap_err();
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("invalid_spec"), "{}", resp.body);
+    }
+
+    #[test]
     fn batch_parsing() {
+        let suite = parse_suite();
         let (keys, jobs) = parse_batch(
+            &suite,
             br#"{"queries": [{"benchmark": "jess"}, {"benchmark": "jess"}], "jobs": 2}"#,
         )
         .unwrap();
@@ -595,7 +708,7 @@ mod tests {
             br#"{"queries": [{"benchmark": "jess"}], "jobs": 1.5}"#,
             br#"{"queries": "jess"}"#,
         ] {
-            assert!(parse_batch(body).is_err(), "{:?} should fail", body);
+            assert!(parse_batch(&suite, body).is_err(), "{:?} should fail", body);
         }
     }
 
@@ -628,11 +741,7 @@ mod tests {
         ));
 
         // Simulate it: the exact key is now a warm inline hit...
-        let key = RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Conventional,
-        };
+        let key = RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional);
         suite.run_key(key);
         match dispatch(&ctx, Route::Run, &req(r#"{"benchmark": "jess"}"#)) {
             Outcome::Ready(resp) => {
@@ -689,11 +798,7 @@ mod tests {
 
         // Train on the one memoized run and ask again: covered cell,
         // served on the surrogate lane with the fidelity headers set.
-        let key = RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Conventional,
-        };
+        let key = RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional);
         suite.run_key(key);
         suite.refit_surrogate().expect("one run is enough to fit");
         match dispatch(&ctx, Route::Run, &req(surrogate_q)) {

@@ -15,7 +15,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use softwatt::experiments::{DiskSetup, RunKey};
-use softwatt::{Benchmark, CpuModel, ExperimentSuite, SystemConfig};
+use softwatt::{Benchmark, CpuModel, ExperimentSuite, SystemConfig, WorkloadKey};
 use softwatt_serve::client::Client;
 use softwatt_serve::pool::Pool;
 use softwatt_serve::{ServeConfig, Server, ShutdownHandle};
@@ -116,11 +116,7 @@ fn run_response_is_byte_identical_to_in_process() {
 
     // The same query answered in-process, through the same shared suite,
     // must render to exactly the same bytes.
-    let key = RunKey {
-        benchmark: Benchmark::Jess,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::IdleOnly,
-    };
+    let key = RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::IdleOnly);
     let bundle = server.suite.run_key(key);
     assert_eq!(resp.body, softwatt::json::run_bundle(key, &bundle));
 
@@ -161,6 +157,93 @@ fn run_response_is_byte_identical_to_in_process() {
 }
 
 #[test]
+fn inline_spec_runs_get_the_full_tier_treatment() {
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+
+    // A user workload: canned jess content under a custom name, posted
+    // inline in the canonical spec codec.
+    let mut spec = Benchmark::Jess.spec();
+    spec.name = "jess-tuned".to_string();
+    let body = format!(
+        r#"{{"spec": {}, "disk": "idle"}}"#,
+        softwatt::json::benchmark_spec(&spec)
+    );
+
+    let resp = client.request("POST", "/v1/run", &body).expect("spec run");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // A fresh suite has never seen this spec: full simulation.
+    assert_eq!(resp.header("x-softwatt-lane"), Some("cold"));
+
+    // The handler registered the spec in the shared suite, so the same
+    // key answered in-process must render to exactly the same bytes.
+    let key = RunKey {
+        workload: WorkloadKey::Spec(spec.content_hash()),
+        cpu: CpuModel::Mxs,
+        disk: DiskSetup::IdleOnly,
+    };
+    let bundle = server.suite.run_key(key);
+    assert_eq!(resp.body, softwatt::json::run_bundle(key, &bundle));
+
+    // Re-posting the identical spec is a memo hit on the inline lane with
+    // identical bytes — the lane classification is stable.
+    let again = client.request("POST", "/v1/run", &body).expect("re-post");
+    assert_eq!(again.status, 200, "{}", again.body);
+    assert_eq!(again.header("x-softwatt-lane"), Some("inline"));
+    assert_eq!(again.body, resp.body);
+
+    // A sibling disk policy of the registered spec replays its trace.
+    let sibling_body = format!(
+        r#"{{"spec": {}, "disk": "sleep"}}"#,
+        softwatt::json::benchmark_spec(&spec)
+    );
+    let sibling = client
+        .request("POST", "/v1/run", &sibling_body)
+        .expect("sibling disk request");
+    assert_eq!(sibling.status, 200, "{}", sibling.body);
+    assert_eq!(sibling.header("x-softwatt-lane"), Some("replay"));
+
+    // Once registered, the spec is addressable by its content-hash label
+    // without re-sending the body.
+    let by_label = client
+        .request(
+            "POST",
+            "/v1/run",
+            &format!(
+                r#"{{"workload": "{}", "disk": "idle"}}"#,
+                key.workload.label()
+            ),
+        )
+        .expect("run by spec label");
+    assert_eq!(by_label.status, 200, "{}", by_label.body);
+    assert_eq!(by_label.header("x-softwatt-lane"), Some("inline"));
+    assert_eq!(by_label.body, resp.body);
+
+    // An invalid spec is a structured 400, not a panic or a 500.
+    spec.phases[0].frac = -0.25;
+    let invalid = client
+        .request(
+            "POST",
+            "/v1/run",
+            &format!(r#"{{"spec": {}}}"#, softwatt::json::benchmark_spec(&spec)),
+        )
+        .expect("invalid spec request");
+    assert_eq!(invalid.status, 400, "{}", invalid.body);
+    assert!(
+        invalid.body.contains("\"code\": \"invalid_spec\""),
+        "{}",
+        invalid.body
+    );
+
+    assert_eq!(
+        server.suite.runs_executed(),
+        1,
+        "one simulation served every inline-spec request"
+    );
+    server.stop();
+}
+
+#[test]
 fn batch_of_paper_grid_simulates_each_cpu_pair_once() {
     let server = TestServer::start(ServeConfig::default());
     let grid = server.suite.paper_grid();
@@ -171,7 +254,7 @@ fn batch_of_paper_grid_simulates_each_cpu_pair_once() {
         .map(|k| {
             format!(
                 r#"{{"benchmark": "{}", "cpu": "{}", "disk": "{}"}}"#,
-                k.benchmark.name(),
+                k.workload.label(),
                 k.cpu.name(),
                 k.disk.name()
             )
@@ -282,11 +365,7 @@ fn saturated_cold_lane_bounces_503_while_warm_stays_inline() {
         ..ServeConfig::default()
     });
     // Warm one key up front through the shared suite handle.
-    let warm_key = RunKey {
-        benchmark: Benchmark::Compress,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let warm_key = RunKey::canned(Benchmark::Compress, CpuModel::Mxs, DiskSetup::Conventional);
     server.suite.run_key(warm_key);
 
     let release = park_worker(&server.cold_pool);
@@ -338,11 +417,7 @@ fn saturated_cold_lane_bounces_503_while_warm_stays_inline() {
 fn pipelined_requests_are_answered_in_order() {
     let server = TestServer::start(ServeConfig::default());
     // Warm a key so the pipelined run resolves inline.
-    let key = RunKey {
-        benchmark: Benchmark::Mtrt,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let key = RunKey::canned(Benchmark::Mtrt, CpuModel::Mxs, DiskSetup::Conventional);
     server.suite.run_key(key);
 
     // All three requests hit the wire before any response is read.
@@ -380,11 +455,11 @@ fn pipelined_requests_are_answered_in_order() {
 #[test]
 fn requests_split_across_arbitrary_byte_boundaries_parse() {
     let server = TestServer::start(ServeConfig::default());
-    server.suite.run_key(RunKey {
-        benchmark: Benchmark::Jack,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    });
+    server.suite.run_key(RunKey::canned(
+        Benchmark::Jack,
+        CpuModel::Mxs,
+        DiskSetup::Conventional,
+    ));
 
     let raw = b"POST /v1/run HTTP/1.1\r\nContent-Length: 21\r\n\r\n{\"benchmark\": \"jack\"}";
     let mut stream = TcpStream::connect(server.addr).expect("connect");

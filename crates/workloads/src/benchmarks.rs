@@ -97,7 +97,7 @@ impl std::fmt::Display for Benchmark {
 #[allow(clippy::too_many_arguments)]
 fn phases(steady: PhaseSpec, startup_frac: f64, gc_frac: f64, gc_span: u64) -> Vec<PhaseSpec> {
     let startup = PhaseSpec {
-        name: "startup",
+        name: "startup".into(),
         frac: startup_frac,
         load: 0.24,
         store: 0.08,
@@ -116,7 +116,7 @@ fn phases(steady: PhaseSpec, startup_frac: f64, gc_frac: f64, gc_span: u64) -> V
         fresh_per_kinstr: 0.0,
     };
     let gc = PhaseSpec {
-        name: "gc",
+        name: "gc".into(),
         frac: gc_frac,
         load: 0.32,
         store: 0.12,
@@ -143,7 +143,7 @@ fn phases(steady: PhaseSpec, startup_frac: f64, gc_frac: f64, gc_span: u64) -> V
 
 fn compress() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0, // filled by `phases`
         load: 0.27,
         store: 0.10,
@@ -167,7 +167,7 @@ fn compress() -> BenchmarkSpec {
         fresh_per_kinstr: 0.012,
     };
     BenchmarkSpec {
-        name: "compress",
+        name: "compress".into(),
         duration_s: 20.0,
         assumed_ipc: 1.7,
         class_files: 22,
@@ -217,7 +217,7 @@ fn compress() -> BenchmarkSpec {
 
 fn jess() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0,
         load: 0.28,
         store: 0.07,
@@ -242,7 +242,7 @@ fn jess() -> BenchmarkSpec {
         fresh_per_kinstr: 0.02,
     };
     BenchmarkSpec {
-        name: "jess",
+        name: "jess".into(),
         duration_s: 4.0,
         assumed_ipc: 0.95,
         class_files: 30,
@@ -256,7 +256,7 @@ fn jess() -> BenchmarkSpec {
 
 fn db() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0,
         load: 0.33,
         store: 0.06,
@@ -281,7 +281,7 @@ fn db() -> BenchmarkSpec {
         fresh_per_kinstr: 0.02,
     };
     BenchmarkSpec {
-        name: "db",
+        name: "db".into(),
         duration_s: 4.5,
         assumed_ipc: 0.95,
         class_files: 18,
@@ -295,7 +295,7 @@ fn db() -> BenchmarkSpec {
 
 fn javac() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0,
         load: 0.29,
         store: 0.10,
@@ -321,7 +321,7 @@ fn javac() -> BenchmarkSpec {
         fresh_per_kinstr: 0.02,
     };
     BenchmarkSpec {
-        name: "javac",
+        name: "javac".into(),
         duration_s: 9.0,
         assumed_ipc: 1.5,
         class_files: 28,
@@ -351,7 +351,7 @@ fn javac() -> BenchmarkSpec {
 
 fn mtrt() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0,
         load: 0.27,
         store: 0.07,
@@ -375,7 +375,7 @@ fn mtrt() -> BenchmarkSpec {
         fresh_per_kinstr: 0.02,
     };
     BenchmarkSpec {
-        name: "mtrt",
+        name: "mtrt".into(),
         duration_s: 13.0,
         assumed_ipc: 1.6,
         class_files: 20,
@@ -400,7 +400,7 @@ fn mtrt() -> BenchmarkSpec {
 
 fn jack() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "steady",
+        name: "steady".into(),
         frac: 0.0,
         load: 0.26,
         store: 0.08,
@@ -424,7 +424,7 @@ fn jack() -> BenchmarkSpec {
         fresh_per_kinstr: 0.02,
     };
     BenchmarkSpec {
-        name: "jack",
+        name: "jack".into(),
         duration_s: 16.0,
         assumed_ipc: 1.5,
         class_files: 24,

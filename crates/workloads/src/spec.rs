@@ -1,4 +1,37 @@
 //! Benchmark specification types.
+//!
+//! A [`BenchmarkSpec`] is a plain-data description of a workload: phases,
+//! instruction mixes, working sets, system-call rates, and timed I/O
+//! bursts. Specs are *data*, not code — they can be built in-process (the
+//! six canned paper benchmarks), loaded from JSON, or posted over HTTP —
+//! so [`BenchmarkSpec::validate`] is the single authoritative admission
+//! gate: every spec it accepts must drive a simulation to completion
+//! without panicking, and every bound below exists to keep a hostile spec
+//! from blowing up memory, address-space, or simulation time downstream.
+
+use softwatt_stats::hash::fnv1a;
+use softwatt_stats::Clocking;
+
+/// Longest accepted spec or phase name, in bytes.
+pub const MAX_NAME_BYTES: usize = 64;
+/// Longest accepted run duration, in paper seconds.
+pub const MAX_DURATION_S: f64 = 3600.0;
+/// Most phases a spec may declare. Each phase owns a disjoint
+/// `0x1000_0000`-byte data-region stride starting at `0x1000_0000`, and
+/// four strides is as many as fit below the fresh-allocation region.
+pub const MAX_PHASES: usize = 4;
+/// Largest accepted per-phase working set. Keeps every phase inside its
+/// data-region stride (including the pre-map margin) and bounds the
+/// per-page eager pre-mapping work the OS does at checkpoint time.
+pub const MAX_SPAN_BYTES: u64 = 128 * 1024 * 1024;
+/// Largest accepted phase code footprint, `loop_len * n_loops`
+/// instructions. Keeps phase code inside its `0x4_0000`-byte stride.
+pub const MAX_CODE_INSTRS: u64 = 0x4_0000 / 4;
+/// Largest accepted steady I/O transfer mean. Twice the mean never
+/// exceeds one warm working file, so steady reads stay in-file.
+pub const MAX_IO_BYTES_MEAN: u32 = 64 * 1024;
+/// Largest accepted user-instruction budget at any clocking.
+pub const MAX_INSTR_BUDGET: f64 = 1e12;
 
 /// Rates of steady-state system calls, per thousand user instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -19,11 +52,18 @@ pub struct SyscallRates {
     pub io_bytes_mean: u32,
 }
 
+impl SyscallRates {
+    /// Sum of all per-kinstr rates.
+    pub fn total(&self) -> f64 {
+        self.read + self.write + self.open + self.xstat + self.du_poll + self.bsd
+    }
+}
+
 /// One phase of a benchmark's user execution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSpec {
     /// Phase label (for reports).
-    pub name: &'static str,
+    pub name: String,
     /// Fraction of total user instructions spent in this phase.
     pub frac: f64,
     /// Load fraction of the instruction mix.
@@ -76,8 +116,8 @@ pub struct IoBurst {
 /// A complete benchmark description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
-    /// Benchmark name (paper spelling).
-    pub name: &'static str,
+    /// Benchmark name (paper spelling for the canned six).
+    pub name: String,
     /// Target run duration on the superscalar (MXS) machine, paper-time
     /// seconds. The instruction budget is derived from this via
     /// `assumed_ipc`.
@@ -100,58 +140,226 @@ pub struct BenchmarkSpec {
     pub io_bursts: Vec<IoBurst>,
 }
 
+fn check_name(owner: &str, what: &str, name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > MAX_NAME_BYTES {
+        return Err(format!(
+            "{owner}: {what} name must be 1..={MAX_NAME_BYTES} bytes"
+        ));
+    }
+    Ok(())
+}
+
+fn check_unit(owner: &str, what: &str, v: f64) -> Result<(), String> {
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(format!("{owner}: {what} must lie in [0, 1], got {v}"));
+    }
+    Ok(())
+}
+
 impl BenchmarkSpec {
     /// Validates structural invariants.
+    ///
+    /// This is the single authoritative gate: any spec this accepts must
+    /// construct a [`crate::Workload`](crate::workload::Workload) and run
+    /// to completion without panicking. In particular it subsumes
+    /// `MixSpec::validate` (per-field mix ranges, non-degenerate loop
+    /// structure) so no spec can pass here and still be rejected deep in
+    /// generator construction.
+    ///
+    /// Timed bursts may land up to `2 * duration_s`: `duration_s` sizes
+    /// the instruction budget through `assumed_ipc`, so when the achieved
+    /// IPC is below the assumed one the run's wall clock overshoots and
+    /// late bursts still fire (the canned `jack` relies on this).
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        if self.duration_s <= 0.0 || self.assumed_ipc <= 0.0 {
-            return Err(format!("{}: duration and IPC must be positive", self.name));
+        check_name("spec", "benchmark", &self.name)?;
+        let name = self.name.as_str();
+        if !self.duration_s.is_finite()
+            || !(1e-3..=MAX_DURATION_S).contains(&self.duration_s)
+            || !self.assumed_ipc.is_finite()
+            || !(0.05..=8.0).contains(&self.assumed_ipc)
+        {
+            return Err(format!(
+                "{name}: duration must lie in [0.001, {MAX_DURATION_S}] s \
+                 and IPC in [0.05, 8]"
+            ));
+        }
+        if self.class_files > 10_000 {
+            return Err(format!("{name}: at most 10000 class files"));
+        }
+        if self.class_file_bytes > 1024 * 1024 {
+            return Err(format!("{name}: class files capped at 1 MiB"));
+        }
+        if !self.startup_compute_frac.is_finite()
+            || !(0.0..=0.5).contains(&self.startup_compute_frac)
+        {
+            return Err(format!(
+                "{name}: startup compute fraction out of range [0, 0.5]"
+            ));
+        }
+        if !self.cacheflush_per_kinstr.is_finite()
+            || !(0.0..=100.0).contains(&self.cacheflush_per_kinstr)
+        {
+            return Err(format!(
+                "{name}: cacheflush rate must lie in [0, 100] per kinstr"
+            ));
         }
         if self.phases.is_empty() {
-            return Err(format!("{}: needs at least one phase", self.name));
+            return Err(format!("{name}: needs at least one phase"));
+        }
+        if self.phases.len() > MAX_PHASES {
+            return Err(format!("{name}: at most {MAX_PHASES} phases"));
+        }
+        for p in &self.phases {
+            self.validate_phase(p)?;
         }
         let frac_sum: f64 = self.phases.iter().map(|p| p.frac).sum();
         if !(0.99..=1.01).contains(&frac_sum) {
             return Err(format!(
-                "{}: phase fractions sum to {frac_sum}, expected 1.0",
-                self.name
+                "{name}: phase fractions sum to {frac_sum}, expected 1.0"
             ));
         }
-        for p in &self.phases {
-            let mix = p.load + p.store + p.branch + p.fp + p.mul;
-            if mix > 1.0 {
-                return Err(format!("{}/{}: mix fractions exceed 1", self.name, p.name));
-            }
-            if p.hot_bytes > p.span_bytes {
-                return Err(format!(
-                    "{}/{}: hot set larger than working set",
-                    self.name, p.name
-                ));
-            }
-        }
-        if !(0.0..=0.5).contains(&self.startup_compute_frac) {
-            return Err(format!(
-                "{}: startup compute fraction out of range",
-                self.name
-            ));
+        if self.io_bursts.len() > 64 {
+            return Err(format!("{name}: at most 64 I/O bursts"));
         }
         let mut last = 0.0;
         for b in &self.io_bursts {
+            if !b.at_s.is_finite() || b.at_s < 0.0 || b.at_s > 2.0 * self.duration_s {
+                return Err(format!(
+                    "{name}: burst at {} s outside [0, 2 * duration] \
+                     (budget-relative time; see validate docs)",
+                    b.at_s
+                ));
+            }
             if b.at_s < last {
-                return Err(format!("{}: I/O bursts must be time-ordered", self.name));
+                return Err(format!("{name}: I/O bursts must be time-ordered"));
             }
             last = b.at_s;
+            if b.files == 0 || b.files > 256 {
+                return Err(format!("{name}: burst files must lie in 1..=256"));
+            }
+            if b.bytes_per_file == 0 || b.bytes_per_file > 16 * 1024 * 1024 {
+                return Err(format!(
+                    "{name}: burst bytes per file must lie in 1..=16 MiB"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_phase(&self, p: &PhaseSpec) -> Result<(), String> {
+        check_name(&self.name, "phase", &p.name)?;
+        let at = format!("{}/{}", self.name, p.name);
+        check_unit(&at, "phase fraction", p.frac)?;
+        for (what, v) in [
+            ("load fraction", p.load),
+            ("store fraction", p.store),
+            ("branch fraction", p.branch),
+            ("fp fraction", p.fp),
+            ("mul fraction", p.mul),
+            ("dependence probability", p.dep_prob),
+            ("branch stability", p.branch_stability),
+            ("hot fraction", p.hot_frac),
+        ] {
+            check_unit(&at, what, v)?;
+        }
+        let mix = p.load + p.store + p.branch + p.fp + p.mul;
+        if mix > 1.0 {
+            return Err(format!("{at}: mix fractions sum to {mix}, exceed 1"));
+        }
+        if p.span_bytes > MAX_SPAN_BYTES {
+            return Err(format!(
+                "{at}: working set capped at {MAX_SPAN_BYTES} bytes"
+            ));
+        }
+        if p.hot_bytes > p.span_bytes {
+            return Err(format!("{at}: hot set larger than working set"));
+        }
+        if p.loop_len == 0 || p.n_loops == 0 || p.stay_per_loop == 0 {
+            return Err(format!(
+                "{at}: loop structure must be non-degenerate \
+                 (loop_len, n_loops, stay_per_loop all >= 1)"
+            ));
+        }
+        if u64::from(p.loop_len) * u64::from(p.n_loops) > MAX_CODE_INSTRS {
+            return Err(format!(
+                "{at}: code footprint loop_len * n_loops capped at \
+                 {MAX_CODE_INSTRS} instructions"
+            ));
+        }
+        let rates = &p.syscalls;
+        for (what, v) in [
+            ("read rate", rates.read),
+            ("write rate", rates.write),
+            ("open rate", rates.open),
+            ("xstat rate", rates.xstat),
+            ("du_poll rate", rates.du_poll),
+            ("bsd rate", rates.bsd),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{at}: {what} must be finite and >= 0"));
+            }
+        }
+        if rates.total() > 100.0 {
+            return Err(format!(
+                "{at}: syscall rates capped at 100 per kinstr total"
+            ));
+        }
+        if rates.io_bytes_mean > MAX_IO_BYTES_MEAN {
+            return Err(format!(
+                "{at}: steady I/O mean capped at {MAX_IO_BYTES_MEAN} bytes"
+            ));
+        }
+        if !p.fresh_per_kinstr.is_finite() || !(0.0..=50.0).contains(&p.fresh_per_kinstr) {
+            return Err(format!(
+                "{at}: fresh-allocation rate must lie in [0, 50] per kinstr"
+            ));
         }
         Ok(())
     }
 
     /// Total user-instruction budget for a given clocking.
-    pub fn user_instr_budget(&self, clocking: softwatt_stats::Clocking) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the `duration_s * assumed_ipc` product is not
+    /// representable as a useful budget at this clocking: non-finite,
+    /// truncating to zero instructions, or past [`MAX_INSTR_BUDGET`].
+    /// The old silent `as u64` cast saturated huge products and rounded
+    /// sub-instruction budgets to 0 (an instant no-op "run").
+    pub fn user_instr_budget(&self, clocking: Clocking) -> Result<u64, String> {
         let cycles = clocking.paper_secs_to_cycles(self.duration_s);
-        ((cycles as f64) * self.assumed_ipc) as u64
+        let raw = (cycles as f64) * self.assumed_ipc;
+        if !raw.is_finite() {
+            return Err(format!("{}: instruction budget is not finite", self.name));
+        }
+        if raw > MAX_INSTR_BUDGET {
+            return Err(format!(
+                "{}: instruction budget {raw:.3e} exceeds {MAX_INSTR_BUDGET:.0e}",
+                self.name
+            ));
+        }
+        let budget = raw as u64;
+        if budget == 0 {
+            return Err(format!(
+                "{}: instruction budget truncates to zero at this clocking",
+                self.name
+            ));
+        }
+        Ok(budget)
+    }
+
+    /// Stable content hash of the spec: FNV-1a 64 over the canonical
+    /// `swspec-v1` encoding (the `Debug` rendering, whose
+    /// shortest-round-trip floats are exact). Two specs hash equal iff
+    /// they compare equal, across processes and platforms — this is the
+    /// identity that keys memoization, the persistent trace store, and
+    /// the serve-layer caches for user-supplied specs.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(format!("swspec-v1|{self:?}").as_bytes())
     }
 }
 
@@ -162,7 +370,7 @@ mod tests {
 
     fn phase(frac: f64) -> PhaseSpec {
         PhaseSpec {
-            name: "steady",
+            name: "steady".into(),
             frac,
             load: 0.25,
             store: 0.08,
@@ -184,7 +392,7 @@ mod tests {
 
     fn spec() -> BenchmarkSpec {
         BenchmarkSpec {
-            name: "test",
+            name: "test".into(),
             duration_s: 4.0,
             assumed_ipc: 1.6,
             class_files: 10,
@@ -229,10 +437,10 @@ mod tests {
     #[test]
     fn instruction_budget_scales_with_duration() {
         let clk = Clocking::scaled(200.0e6, 1000.0);
-        let short = spec().user_instr_budget(clk);
+        let short = spec().user_instr_budget(clk).unwrap();
         let mut long = spec();
         long.duration_s = 8.0;
-        assert_eq!(long.user_instr_budget(clk), 2 * short);
+        assert_eq!(long.user_instr_budget(clk).unwrap(), 2 * short);
     }
 
     #[test]
@@ -241,5 +449,133 @@ mod tests {
         s.phases[0].load = 0.9;
         s.phases[0].store = 0.9;
         assert!(s.validate().is_err());
+    }
+
+    // Regression: zero loop_len/n_loops/stay_per_loop used to pass
+    // validate() and then panic inside MixGenerator::new.
+    #[test]
+    fn degenerate_loop_structure_rejected() {
+        for field in 0..3 {
+            let mut s = spec();
+            match field {
+                0 => s.phases[0].loop_len = 0,
+                1 => s.phases[0].n_loops = 0,
+                _ => s.phases[0].stay_per_loop = 0,
+            }
+            let err = s.validate().unwrap_err();
+            assert!(err.contains("non-degenerate"), "{err}");
+        }
+    }
+
+    // Regression: negative per-field fractions used to slip through the
+    // sum-only mix check and the sum-only phase-fraction check.
+    #[test]
+    fn negative_fractions_rejected() {
+        let mut s = spec();
+        s.phases[0].load = -0.2;
+        s.phases[0].store = 0.9; // sum still < 1
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("load fraction"), "{err}");
+
+        let mut s = spec();
+        s.phases = vec![phase(1.5), phase(-0.5)];
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("phase fraction"), "{err}");
+    }
+
+    #[test]
+    fn probabilities_range_checked() {
+        type Case = (fn(&mut PhaseSpec), &'static str);
+        let cases: [Case; 3] = [
+            (|p| p.dep_prob = 1.5, "dependence"),
+            (|p| p.branch_stability = -0.1, "stability"),
+            (|p| p.hot_frac = 2.0, "hot fraction"),
+        ];
+        for (set, what) in cases {
+            let mut s = spec();
+            set(&mut s.phases[0]);
+            let err = s.validate().unwrap_err();
+            assert!(err.contains(what), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_fields_rejected() {
+        let mut s = spec();
+        s.duration_s = f64::INFINITY;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.phases[0].frac = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    // Regression: user_instr_budget silently truncated.
+    #[test]
+    fn zero_budget_is_an_error_not_a_noop_run() {
+        let clk = Clocking::scaled(200.0e6, 1.0e9); // huge shrink factor
+        let mut s = spec();
+        s.duration_s = 1e-3; // rounds up to a single cycle...
+        s.assumed_ipc = 0.05; // ...whose budget truncates to zero
+        s.validate().unwrap();
+        let err = s.user_instr_budget(clk).unwrap_err();
+        assert!(err.contains("zero"), "{err}");
+    }
+
+    #[test]
+    fn oversized_budget_is_an_error() {
+        let clk = Clocking::scaled(200.0e6, 1.0); // full scale
+        let mut s = spec();
+        s.duration_s = 3600.0;
+        s.assumed_ipc = 8.0;
+        s.validate().unwrap();
+        let err = s.user_instr_budget(clk).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_bursts_rejected() {
+        let burst = |at_s, files, bytes_per_file| IoBurst {
+            at_s,
+            files,
+            bytes_per_file,
+        };
+        let mut s = spec();
+        s.io_bursts = vec![burst(1.0, 0, 4096)];
+        assert!(s.validate().unwrap_err().contains("files"));
+        let mut s = spec();
+        s.io_bursts = vec![burst(1.0, 1, 0)];
+        assert!(s.validate().unwrap_err().contains("bytes per file"));
+        let mut s = spec();
+        s.io_bursts = vec![burst(9.0, 1, 4096)]; // duration_s = 4.0
+        assert!(s.validate().unwrap_err().contains("outside"));
+        let mut s = spec();
+        s.io_bursts = vec![burst(7.9, 1, 4096)]; // within 2x duration
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_and_long_names_rejected() {
+        let mut s = spec();
+        s.name = String::new();
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.name = "x".repeat(65);
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.phases[0].name = String::new();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn content_hash_tracks_equality() {
+        let a = spec();
+        let b = spec();
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = spec();
+        c.phases[0].load += 1e-12;
+        assert_ne!(a.content_hash(), c.content_hash());
+        let mut d = spec();
+        d.name = "tes".into();
+        assert_ne!(a.content_hash(), d.content_hash());
     }
 }

@@ -18,6 +18,10 @@ const DATA_BASE: u64 = 0x1000_0000;
 const SYSCALL_PC: u64 = 0x0000_f000;
 /// Base of the fresh-allocation (GC frontier) region.
 const FRESH_BASE: u64 = 0x6000_0000;
+/// Pages in the fresh region: `[FRESH_BASE, KSEG_BASE)`. The frontier
+/// wraps here so a long high-rate spec recycles pages (GC semantics)
+/// instead of walking first-touch stores into kernel address space.
+const FRESH_REGION_PAGES: u64 = (0x8000_0000 - FRESH_BASE) / softwatt_isa::PAGE_SIZE;
 /// First file id of the warm steady-state working set.
 const WARM_FILE_BASE: u32 = 1000;
 /// Warm working files per benchmark.
@@ -85,7 +89,9 @@ impl Workload {
     pub fn new(spec: BenchmarkSpec, clocking: Clocking, seed: u64) -> Workload {
         spec.validate()
             .unwrap_or_else(|e| panic!("invalid benchmark spec: {e}"));
-        let budget = spec.user_instr_budget(clocking);
+        let budget = spec
+            .user_instr_budget(clocking)
+            .unwrap_or_else(|e| panic!("invalid benchmark spec: {e}"));
         let chunk = ((budget as f64 * spec.startup_compute_frac) as u64
             / u64::from(spec.class_files.max(1))) as u32;
         let mut script = VecDeque::new();
@@ -109,10 +115,10 @@ impl Workload {
                 )
             })
             .collect();
-        let phase0 = spec.phases[0];
+        let phase0 = &spec.phases[0];
         let phase_end = (phase0.frac * budget as f64) as u64;
-        let gen = MixGenerator::new(mix_for(&phase0, 0));
-        let chunk_gen = MixGenerator::new(mix_for(&phase0, 0));
+        let gen = MixGenerator::new(mix_for(phase0, 0));
+        let chunk_gen = MixGenerator::new(mix_for(phase0, 0));
         Workload {
             next_cold_file: spec.class_files,
             spec,
@@ -197,14 +203,14 @@ impl Workload {
                 .map(|p| p.frac)
                 .sum();
             self.phase_end = (consumed * self.budget as f64) as u64;
-            let phase = self.spec.phases[self.phase_idx];
-            self.gen = MixGenerator::new(mix_for(&phase, self.phase_idx));
+            let mix = mix_for(&self.spec.phases[self.phase_idx], self.phase_idx);
+            self.gen = MixGenerator::new(mix);
         }
     }
 
     fn sample_steady_syscall(&mut self) -> Option<SyscallKind> {
         let rates = self.spec.phases[self.phase_idx].syscalls;
-        let total = rates.read + rates.write + rates.open + rates.xstat + rates.du_poll + rates.bsd;
+        let total = rates.total();
         if total <= 0.0 || self.rng.gen::<f64>() >= total / 1000.0 {
             return None;
         }
@@ -281,7 +287,8 @@ impl InstrSource for Workload {
             let fresh_rate = self.spec.phases[self.phase_idx].fresh_per_kinstr;
             if fresh_rate > 0.0 && self.rng.gen::<f64>() < fresh_rate / 1000.0 {
                 // First touch of a freshly allocated page (GC frontier).
-                let addr = FRESH_BASE + self.fresh_pages * softwatt_isa::PAGE_SIZE;
+                let addr =
+                    FRESH_BASE + (self.fresh_pages % FRESH_REGION_PAGES) * softwatt_isa::PAGE_SIZE;
                 self.fresh_pages += 1;
                 self.emitted += 1;
                 return Some(Instr::store(SYSCALL_PC + 0x100, None, None, addr));
@@ -304,7 +311,7 @@ mod tests {
 
     fn basic_spec() -> BenchmarkSpec {
         BenchmarkSpec {
-            name: "test",
+            name: "test".into(),
             duration_s: 2.0,
             assumed_ipc: 1.5,
             class_files: 3,
@@ -313,7 +320,7 @@ mod tests {
             cacheflush_per_kinstr: 0.0,
             phases: vec![
                 PhaseSpec {
-                    name: "startup",
+                    name: "startup".into(),
                     frac: 0.1,
                     load: 0.2,
                     store: 0.06,
@@ -332,7 +339,7 @@ mod tests {
                     fresh_per_kinstr: 0.0,
                 },
                 PhaseSpec {
-                    name: "steady",
+                    name: "steady".into(),
                     frac: 0.9,
                     load: 0.28,
                     store: 0.09,

@@ -21,7 +21,7 @@ use softwatt_workloads::{BenchmarkSpec, IoBurst, PhaseSpec, SyscallRates, Worklo
 /// burst.
 fn my_spec() -> BenchmarkSpec {
     let steady = PhaseSpec {
-        name: "transactions",
+        name: "transactions".to_string(),
         frac: 0.9,
         load: 0.31,
         store: 0.09,
@@ -45,13 +45,13 @@ fn my_spec() -> BenchmarkSpec {
         fresh_per_kinstr: 0.03,
     };
     let startup = PhaseSpec {
-        name: "warmup",
+        name: "warmup".to_string(),
         frac: 0.1,
         syscalls: SyscallRates::default(),
-        ..steady
+        ..steady.clone()
     };
     BenchmarkSpec {
-        name: "txnbench",
+        name: "txnbench".to_string(),
         duration_s: 5.0,
         assumed_ipc: 1.2,
         class_files: 12,

@@ -50,31 +50,15 @@ fn different_seeds_give_different_runs() {
 #[test]
 fn parallel_prewarm_is_bit_identical_to_serial() {
     let keys = [
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Conventional,
-        },
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Standby2s,
-        },
-        RunKey {
-            benchmark: Benchmark::Compress,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::IdleOnly,
-        },
-        RunKey {
-            benchmark: Benchmark::Db,
-            cpu: CpuModel::Mipsy,
-            disk: DiskSetup::Standby2s,
-        },
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::MxsSingleIssue,
-            disk: DiskSetup::Conventional,
-        },
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional),
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Standby2s),
+        RunKey::canned(Benchmark::Compress, CpuModel::Mxs, DiskSetup::IdleOnly),
+        RunKey::canned(Benchmark::Db, CpuModel::Mipsy, DiskSetup::Standby2s),
+        RunKey::canned(
+            Benchmark::Jess,
+            CpuModel::MxsSingleIssue,
+            DiskSetup::Conventional,
+        ),
     ];
     // 5 keys, but only 4 distinct (benchmark, cpu) pairs: full simulations
     // are shared across disk policies; the fifth bundle comes from replay.
@@ -111,26 +95,10 @@ fn parallel_prewarm_is_bit_identical_to_serial() {
 #[test]
 fn serial_prewarm_shares_one_full_sim_across_policies() {
     let keys = [
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Conventional,
-        },
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::IdleOnly,
-        },
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Standby2s,
-        },
-        RunKey {
-            benchmark: Benchmark::Jess,
-            cpu: CpuModel::Mxs,
-            disk: DiskSetup::Standby4s,
-        },
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional),
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::IdleOnly),
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Standby2s),
+        RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Standby4s),
     ];
     let suite = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
     suite.prewarm(&keys, 1);
@@ -161,11 +129,7 @@ fn serial_prewarm_shares_one_full_sim_across_policies() {
 #[test]
 fn concurrent_requests_for_one_key_share_a_single_run() {
     let suite = ExperimentSuite::new(config(40_000.0, 7)).unwrap();
-    let key = RunKey {
-        benchmark: Benchmark::Jess,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let key = RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional);
     let bundles: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| suite.run_key(key))).collect();
         handles

@@ -82,7 +82,7 @@ fn every_grid_cell_is_within_the_declared_bound() {
         assert!(
             err <= model.error_bound_pct,
             "{}/{}/{}: {err:.4}% exceeds the declared {:.4}% bound",
-            key.benchmark.name(),
+            key.workload.label(),
             key.cpu.name(),
             key.disk.name(),
             model.error_bound_pct
@@ -101,23 +101,19 @@ fn every_grid_cell_is_within_the_declared_bound() {
 /// though no jack/mxs window contributed to the fit.
 #[test]
 fn held_out_benchmark_is_predicted_within_the_bound() {
-    let held_out = RunKey {
-        benchmark: Benchmark::Jack,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let held_out = RunKey::canned(Benchmark::Jack, CpuModel::Mxs, DiskSetup::Conventional);
     let suite = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
     suite.prewarm(&suite.paper_grid(), 4);
 
     let mut trainer = SurrogateTrainer::new();
     for key in suite.paper_grid() {
-        if key.benchmark == held_out.benchmark && key.cpu == held_out.cpu {
+        if key.workload == held_out.workload && key.cpu == held_out.cpu {
             continue;
         }
         let bundle = suite.run_key(key);
         let exact = bundle.model.mode_table(&bundle.run.log).total_energy_j();
         trainer.add_run(
-            key.benchmark.name(),
+            &key.workload.label(),
             key.cpu.name(),
             key.disk.name(),
             &bundle.run.log,
@@ -159,11 +155,7 @@ fn held_out_benchmark_is_predicted_within_the_bound() {
 /// suite that never had a model installed.
 #[test]
 fn surrogate_traffic_leaves_exact_tiers_untouched() {
-    let key = RunKey {
-        benchmark: Benchmark::Jess,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let key = RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional);
     let with_model = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
     with_model.run_key(key);
     with_model.refit_surrogate().expect("one memoized run fits");
@@ -200,11 +192,7 @@ fn surrogate_traffic_leaves_exact_tiers_untouched() {
 /// through to an exact bundle rather than failing.
 #[test]
 fn run_at_dispatches_by_fidelity() {
-    let key = RunKey {
-        benchmark: Benchmark::Db,
-        cpu: CpuModel::MxsSingleIssue,
-        disk: DiskSetup::IdleOnly,
-    };
+    let key = RunKey::canned(Benchmark::Db, CpuModel::MxsSingleIssue, DiskSetup::IdleOnly);
     let suite = ExperimentSuite::new(analytic_config(500_000.0)).unwrap();
 
     // No model installed: surrogate degrades to exact.
@@ -223,11 +211,7 @@ fn run_at_dispatches_by_fidelity() {
     }
 
     // An uncovered cell at surrogate fidelity falls through to exact.
-    let uncovered = RunKey {
-        benchmark: Benchmark::Mtrt,
-        cpu: CpuModel::Mxs,
-        disk: DiskSetup::Conventional,
-    };
+    let uncovered = RunKey::canned(Benchmark::Mtrt, CpuModel::Mxs, DiskSetup::Conventional);
     match suite.run_at(uncovered, Fidelity::Surrogate) {
         RunOutcome::Exact(_) => {}
         RunOutcome::Estimate(_) => panic!("uncovered cell must fall through to exact"),

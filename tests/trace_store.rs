@@ -7,8 +7,10 @@
 
 use std::path::PathBuf;
 
-use softwatt::experiments::ExperimentSuite;
-use softwatt::{Benchmark, IdleHandling, RunResult, Simulator, SystemConfig, TraceKey, TraceStore};
+use softwatt::experiments::{DiskSetup, ExperimentSuite};
+use softwatt::{
+    Benchmark, CpuModel, IdleHandling, RunResult, Simulator, SystemConfig, TraceKey, TraceStore,
+};
 
 /// A scratch store directory unique to this process and test.
 fn scratch_dir(name: &str) -> PathBuf {
@@ -197,6 +199,59 @@ fn corrupt_entries_fall_back_to_fresh_simulation() {
             "{label}: the fallback capture repairs the entry"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// User-posted specs get the exact persistence treatment canned
+/// benchmarks get: a spec captured under one suite is served by a fresh
+/// suite over the same directory with ZERO full simulations, the replayed
+/// bundle is bit-identical, and a sibling disk policy derives from the
+/// same stored trace without going back to the simulator.
+#[test]
+fn spec_workloads_survive_a_restart_through_the_store() {
+    let dir = scratch_dir("spec-restart");
+    let config = analytic_config(50_000.0);
+
+    // A user-flavoured spec: canned content under a custom name, so the
+    // content hash (and therefore the store entry) is spec-specific.
+    let mut spec = Benchmark::Jess.spec();
+    spec.name = "jess-tuned".to_string();
+
+    let first = ExperimentSuite::new(config.clone())
+        .unwrap()
+        .with_trace_store(TraceStore::open(&dir).expect("open scratch store"));
+    let direct = first
+        .run_spec(spec.clone(), CpuModel::Mxs, DiskSetup::Conventional)
+        .expect("valid spec");
+    assert_eq!(first.runs_executed(), 1, "cold spec costs one capture");
+
+    // "Restart": a brand-new suite (empty memo, fresh spec registry) over
+    // the same directory.
+    let second = ExperimentSuite::new(config)
+        .unwrap()
+        .with_trace_store(TraceStore::open(&dir).expect("reopen scratch store"));
+    let replayed = second
+        .run_spec(spec.clone(), CpuModel::Mxs, DiskSetup::Conventional)
+        .expect("valid spec");
+    assert_eq!(
+        second.runs_executed(),
+        0,
+        "the restart is served from the store, not the simulator"
+    );
+    assert!(
+        second.store_loads() >= 1,
+        "the stored spec trace was loaded"
+    );
+    assert_exact(&direct.run, &replayed.run, "spec restart");
+
+    // A sibling disk policy of the same spec derives from the one stored
+    // trace — still no simulation.
+    let sibling = second
+        .run_spec(spec, CpuModel::Mxs, DiskSetup::IdleOnly)
+        .expect("valid spec");
+    assert_eq!(second.runs_executed(), 0, "sibling policy replays");
+    assert_eq!(sibling.run.committed, replayed.run.committed);
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
