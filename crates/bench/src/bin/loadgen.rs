@@ -13,13 +13,29 @@
 //! thread-per-connection the scheduler noise of the clients themselves
 //! dominates the tail latencies being measured.
 //!
-//! Usage: `loadgen [--addr HOST:PORT] [--scale S] [--connections N]
-//! [--requests N] [--warmup N] [--workers N|auto] [--cold-grid]
-//! [--surrogate] [--inline-spec] [--trace-cache DIR] [--out FILE]`
+//! Usage: `loadgen [--addr HOST:PORT | --cluster HOST:PORT,...]
+//! [--scale S] [--connections N] [--requests N] [--warmup N]
+//! [--workers N|auto] [--cold-grid] [--surrogate] [--inline-spec]
+//! [--trace-cache DIR] [--out FILE]`
 //! (defaults: no addr — spawn an in-process server over real TCP —
 //! scale 50000 for fast simulations, 8 connections x 40 requests,
 //! 0 warm-up requests, workers = available parallelism, out
-//! `BENCH_server.json`).
+//! `BENCH_server.json`, or `BENCH_cluster.json` with `--cluster`).
+//!
+//! `--cluster` aims the same closed loop at several external servers at
+//! once: connections round-robin over the listed nodes, and the report
+//! gains a `cluster` section with each node's full-sim / capture /
+//! peer-fetch counters scraped from its `/metrics` — the numbers that
+//! prove a peered fabric ran the cold paper grid with exactly 13 full
+//! simulations cluster-wide (see `DESIGN.md` §14).
+//!
+//! `503` backpressure is retried in place: the connection holds its
+//! request index and re-sends after a capped exponential backoff that
+//! honors the server's `Retry-After` hint, with deterministic jitter so
+//! reruns stay reproducible. Retries are attributed to the lane of the
+//! response that finally landed (`lanes.*.retries` in the report);
+//! `status.503` counts only requests still bounced after the retry
+//! budget.
 //!
 //! One slot in ten of the request mix asks for `"fidelity": "surrogate"`.
 //! With `--surrogate` the in-process server calibrates the surrogate
@@ -75,6 +91,38 @@ use softwatt_serve::{ServeConfig, Server};
 /// real, and a cold-grid batch is many of those back to back.
 const TIMEOUT: Duration = Duration::from_secs(300);
 
+/// Retry budget per request: enough to ride out a multi-second cold
+/// grid at the capped backoff without ever spinning unbounded.
+const MAX_RETRIES: u32 = 300;
+
+/// Ceiling on how long one backoff sleep can get, however large a
+/// `Retry-After` the server hints.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// splitmix64 finalizer: the jitter mixer (same construction the fabric
+/// ring uses to spread FNV-1a values).
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Backoff before retry number `attempt` (0-based): exponential from
+/// 2 ms, capped at the server's `Retry-After` hint (itself capped at
+/// [`BACKOFF_CAP_MS`]), landing deterministically in the upper half of
+/// the window — jitter comes from mixing `seed` with the attempt, so a
+/// rerun sleeps the identical schedule but concurrent clients spread
+/// out instead of thundering back together.
+fn backoff_delay(attempt: u32, retry_after_s: Option<u64>, seed: u64) -> Duration {
+    let hint_ms = retry_after_s.map_or(1_000, |s| s.saturating_mul(1_000));
+    let cap = hint_ms.clamp(1, BACKOFF_CAP_MS);
+    let base = (2u64 << attempt.min(16)).min(cap);
+    let jitter = mix64(seed ^ u64::from(attempt)) % (base / 2 + 1);
+    Duration::from_millis(base / 2 + jitter)
+}
+
 /// The cold key three `--cold-grid` connections request simultaneously.
 /// Last in the paper grid, so the concurrent batch computes it last and
 /// the dedup window stays wide open.
@@ -115,6 +163,18 @@ struct Tally {
     backpressure_503: u64,
     server_5xx: u64,
     transport_errors: u64,
+    /// `503` bounces absorbed by in-place retries, attributed to the
+    /// lane of the response that finally landed: surrogate, inline,
+    /// replay, cold (same order as the latency vectors above).
+    lane_retries: [u64; 4],
+    /// Retried `503`s whose final response carried no lane (still
+    /// bounced after the budget, or answered by a lane-less route).
+    retries_unattributed: u64,
+    /// Responses by `X-Softwatt-Source`: where the trace behind the
+    /// answer came from (local store, a fabric peer, or a fresh sim).
+    source_local: u64,
+    source_peer: u64,
+    source_sim: u64,
     /// Responses that carried an `X-Softwatt-Fidelity` header.
     fidelity_tagged: u64,
     /// Largest `X-Softwatt-Error-Bound-Pct` seen (`None` if never sent).
@@ -127,12 +187,14 @@ struct ColdGridStats {
     batch_wall_s: f64,
     /// `503` bounces absorbed before the batch was admitted.
     batch_retries: u32,
-    /// (status, lane) per duplicate-key run, in completion order.
-    dedup: Vec<(u16, String)>,
+    /// (status, lane, retries) per duplicate-key run, in completion
+    /// order.
+    dedup: Vec<(u16, String, u32)>,
 }
 
 fn main() {
     let mut addr: Option<String> = None;
+    let mut cluster: Vec<String> = Vec::new();
     let mut scale = 50_000.0f64;
     let mut connections = 8usize;
     let mut requests = 40usize;
@@ -142,12 +204,12 @@ fn main() {
     let mut surrogate = false;
     let mut inline_spec = false;
     let mut trace_cache: Option<String> = None;
-    let mut out = String::from("BENCH_server.json");
+    let mut out: Option<String> = None;
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: loadgen [--addr HOST:PORT] [--scale S] [--connections N] \
-             [--requests N] [--warmup N] [--workers N|auto] [--cold-grid] \
+            "usage: loadgen [--addr HOST:PORT | --cluster HOST:PORT,...] [--scale S] \
+             [--connections N] [--requests N] [--warmup N] [--workers N|auto] [--cold-grid] \
              [--surrogate] [--inline-spec] [--trace-cache DIR] [--out FILE]"
         );
         std::process::exit(2);
@@ -163,6 +225,14 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => addr = Some(value("--addr")),
+            "--cluster" => {
+                cluster = value("--cluster")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
             "--scale" => match value("--scale").parse() {
                 Ok(v) if v > 0.0 => scale = v,
                 _ => usage_exit("--scale needs a positive number"),
@@ -179,15 +249,26 @@ fn main() {
             "--surrogate" => surrogate = true,
             "--inline-spec" => inline_spec = true,
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
-            "--out" => out = value("--out"),
+            "--out" => out = Some(value("--out")),
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
+    if addr.is_some() && !cluster.is_empty() {
+        usage_exit("--addr and --cluster are mutually exclusive");
+    }
+    let cluster_mode = !cluster.is_empty();
+    let out = out.unwrap_or_else(|| {
+        String::from(if cluster_mode {
+            "BENCH_cluster.json"
+        } else {
+            "BENCH_server.json"
+        })
+    });
 
-    // Target: an external server, or an in-process one over real TCP.
+    // Target(s): external server(s), or an in-process one over real TCP.
     let mut caching = false;
-    let (target, local_server) = match addr {
-        Some(addr) => {
+    let (targets, local_server) = match (addr, cluster_mode) {
+        (addr, true) | (addr @ Some(_), false) => {
             if trace_cache.is_some() {
                 eprintln!("loadgen: --trace-cache ignored with --addr (the server owns its cache)");
             }
@@ -196,12 +277,21 @@ fn main() {
                     "loadgen: --surrogate ignored with --addr (start the server with --surrogate)"
                 );
             }
-            let target: SocketAddr = addr
-                .parse()
-                .unwrap_or_else(|_| usage_exit("--addr needs HOST:PORT"));
-            (target, None)
+            let listed = if let Some(addr) = addr {
+                vec![addr]
+            } else {
+                cluster
+            };
+            let targets: Vec<SocketAddr> = listed
+                .iter()
+                .map(|a| {
+                    a.parse()
+                        .unwrap_or_else(|_| usage_exit("--addr/--cluster need HOST:PORT"))
+                })
+                .collect();
+            (targets, None)
         }
-        None => {
+        (None, false) => {
             // The in-process server's lane/queue metrics feed the report.
             softwatt_obs::set_enabled(true);
             let system = SystemConfig {
@@ -238,34 +328,45 @@ fn main() {
             let target = server.local_addr().unwrap_or_else(|e| usage_exit(&e));
             let handle = server.shutdown_handle();
             let thread = std::thread::spawn(move || server.run());
-            (target, Some((suite, handle, thread)))
+            (vec![target], Some((suite, handle, thread)))
         }
     };
+    let shown: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
     eprintln!(
         "loadgen: {connections} connection(s) x {requests} request(s) \
-         (+{warmup} warm-up{}) against {target} (scale {scale}x)",
+         (+{warmup} warm-up{}) against {} (scale {scale}x)",
         if cold_grid {
             ", cold grid in flight"
         } else {
             ""
-        }
+        },
+        shown.join(", "),
     );
 
     INLINE_SPEC.store(inline_spec, Ordering::Relaxed);
-    let (mut total, wall_s, cold_stats) = run_mux(target, connections, requests, warmup, cold_grid);
+    let (mut total, wall_s, cold_stats) =
+        run_mux(&targets, connections, requests, warmup, cold_grid);
 
     // Unloaded surrogate probe: with the measured closed loop finished,
     // one idle keep-alive connection sends sequential surrogate queries.
     // Their RTT is the surrogate lane's service latency without the
     // saturation queueing the per-lane numbers above include — this is
     // the "answered inline on the reactor" figure.
-    let unloaded_surrogate_us = probe_unloaded_surrogate(target);
+    let unloaded_surrogate_us = probe_unloaded_surrogate(targets[0]);
 
-    // One metrics probe before shutdown: queue high-water marks, dedup.
-    let metrics_body = Client::connect(target, TIMEOUT)
-        .ok()
-        .and_then(|mut c| c.request("GET", "/metrics", "").ok())
-        .map(|resp| resp.body);
+    // One metrics probe per node before shutdown: queue high-water
+    // marks and dedup for the report's `server` section (first node),
+    // fabric counters for the `cluster` section (every node).
+    let metrics_bodies: Vec<Option<String>> = targets
+        .iter()
+        .map(|t| {
+            Client::connect(*t, TIMEOUT)
+                .ok()
+                .and_then(|mut c| c.request("GET", "/metrics", "").ok())
+                .map(|resp| resp.body)
+        })
+        .collect();
+    let metrics_body = metrics_bodies[0].clone();
 
     // (runs_executed, replays_derived, surrogate_served, store_loads)
     let mut server_stats: Option<(u64, u64, u64, u64)> = None;
@@ -290,18 +391,21 @@ fn main() {
     let answered = total.latencies_us.len() as u64;
     let warmed = total.warmup_latencies_us.len() as u64;
 
+    let retries_total: u64 = total.lane_retries.iter().sum::<u64>() + total.retries_unattributed;
     let mut json = String::with_capacity(4096);
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"softwatt-bench-server-v4\",\n  \"time_scale\": {scale},\n  \
+        "{{\n  \"schema\": \"softwatt-bench-server-v5\",\n  \"time_scale\": {scale},\n  \
          \"connections\": {connections},\n  \"requests_per_connection\": {requests},\n  \
          \"warmup_per_connection\": {warmup},\n  \"trace_cache\": {caching},\n  \
          \"cold_grid\": {cold_grid},\n  \"surrogate\": {surrogate},\n  \
-         \"inline_spec\": {inline_spec},\n  \
+         \"inline_spec\": {inline_spec},\n  \"cluster\": {cluster_mode},\n  \
          \"requests_sent\": {sent},\n  \"responses\": {answered},\n  \
          \"wall_s\": {wall_s:.6},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us\": {},\n  \
          \"lanes\": {{\"surrogate\": {}, \"inline\": {}, \"replay\": {}, \"cold\": {}}},\n  \
+         \"retries_503\": {{\"total\": {retries_total}, \"unattributed\": {}}},\n  \
+         \"source\": {{\"local\": {}, \"peer\": {}, \"sim\": {}}},\n  \
          \"fidelity\": {{\"surrogate_enabled\": {surrogate}, \"tagged_responses\": {}, \
          \"error_bound_pct\": {}, \"unloaded_rtt_us\": {}}},\n  \
          \"warmup\": {{\"responses\": {warmed}, \"latency_us\": {}}},\n  \
@@ -309,10 +413,14 @@ fn main() {
          \"transport_errors\": {}}}",
         answered as f64 / wall_s.max(1e-9),
         latency_json(&total.latencies_us),
-        lane_json(&total.surrogate_us),
-        lane_json(&total.inline_us),
-        lane_json(&total.replay_us),
-        lane_json(&total.cold_us),
+        lane_json(&total.surrogate_us, total.lane_retries[0]),
+        lane_json(&total.inline_us, total.lane_retries[1]),
+        lane_json(&total.replay_us, total.lane_retries[2]),
+        lane_json(&total.cold_us, total.lane_retries[3]),
+        total.retries_unattributed,
+        total.source_local,
+        total.source_peer,
+        total.source_sim,
         total.fidelity_tagged,
         total
             .error_bound_pct
@@ -333,7 +441,9 @@ fn main() {
         let dedup: Vec<String> = stats
             .dedup
             .iter()
-            .map(|(status, lane)| format!("{{\"status\": {status}, \"lane\": \"{lane}\"}}"))
+            .map(|(status, lane, retries)| {
+                format!("{{\"status\": {status}, \"lane\": \"{lane}\", \"retries\": {retries}}}")
+            })
             .collect();
         let _ = write!(
             json,
@@ -343,6 +453,46 @@ fn main() {
             stats.batch_wall_s,
             stats.batch_retries,
             dedup.join(", "),
+        );
+    }
+    if cluster_mode {
+        // Counters a node never touched are simply absent from its
+        // `/metrics`, so absent reads as zero when summing.
+        let scrape = |body: &Option<String>, name: &str| -> u64 {
+            body.as_deref()
+                .and_then(|b| metric_value(b, name))
+                .unwrap_or(0)
+        };
+        let mut nodes = Vec::new();
+        let mut runs_total = 0u64;
+        let mut peer_hits_total = 0u64;
+        for (target, body) in targets.iter().zip(&metrics_bodies) {
+            let full_sims = scrape(body, "suite.full_sims");
+            let captures = scrape(body, "suite.captures");
+            // `runs_executed` mirrors the suite atomic: every full
+            // simulation, whether it answered a run or captured a trace.
+            let runs = full_sims + captures;
+            let peer_hits = scrape(body, "trace_store.peer_hits");
+            runs_total += runs;
+            peer_hits_total += peer_hits;
+            nodes.push(format!(
+                "{{\"addr\": \"{target}\", \"reachable\": {}, \"runs_executed\": {runs}, \
+                 \"full_sims\": {full_sims}, \"captures\": {captures}, \"replays\": {}, \
+                 \"peer_hits\": {peer_hits}, \"peer_misses\": {}, \"peer_errors\": {}, \
+                 \"store_hits\": {}}}",
+                body.is_some(),
+                scrape(body, "suite.replays"),
+                scrape(body, "trace_store.peer_misses"),
+                scrape(body, "trace_store.peer_errors"),
+                scrape(body, "trace_store.hits"),
+            ));
+        }
+        let _ = write!(
+            json,
+            ",\n  \"cluster_nodes\": [{}],\n  \
+             \"cluster_totals\": {{\"runs_executed\": {runs_total}, \
+             \"peer_hits\": {peer_hits_total}}}",
+            nodes.join(", "),
         );
     }
     let metric = |name: &str| -> String {
@@ -430,10 +580,11 @@ fn latency_json(sorted: &[u64]) -> String {
     )
 }
 
-/// One lane's report entry: response count plus its percentiles.
-fn lane_json(sorted: &[u64]) -> String {
+/// One lane's report entry: response count, the `503` bounces absorbed
+/// before those responses landed, and the latency percentiles.
+fn lane_json(sorted: &[u64], retries: u64) -> String {
     format!(
-        "{{\"responses\": {}, \"latency_us\": {}}}",
+        "{{\"responses\": {}, \"retries\": {retries}, \"latency_us\": {}}}",
         sorted.len(),
         latency_json(sorted)
     )
@@ -508,10 +659,14 @@ struct RespHead {
     body_len: usize,
     /// `X-Softwatt-Lane` value, when present.
     lane: Option<String>,
+    /// `X-Softwatt-Source` value, when present (`local|peer|sim`).
+    source: Option<String>,
     /// `X-Softwatt-Fidelity` value, when present.
     fidelity: Option<String>,
     /// `X-Softwatt-Error-Bound-Pct` value, when present.
     error_bound_pct: Option<f64>,
+    /// `Retry-After` seconds, when present (on `503`s).
+    retry_after: Option<u64>,
     /// `Connection: close` was sent.
     close: bool,
 }
@@ -524,8 +679,10 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
     let status = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
     let mut body_len = 0;
     let mut lane = None;
+    let mut source = None;
     let mut fidelity = None;
     let mut error_bound_pct = None;
+    let mut retry_after = None;
     let mut close = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -536,10 +693,14 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
             body_len = value.parse().ok()?;
         } else if name.eq_ignore_ascii_case("x-softwatt-lane") {
             lane = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-softwatt-source") {
+            source = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("x-softwatt-fidelity") {
             fidelity = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("x-softwatt-error-bound-pct") {
             error_bound_pct = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.parse().ok();
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
         }
@@ -549,8 +710,10 @@ fn parse_head(buf: &[u8]) -> Option<RespHead> {
         head_len,
         body_len,
         lane,
+        source,
         fidelity,
         error_bound_pct,
+        retry_after,
         close,
     })
 }
@@ -571,8 +734,11 @@ enum Phase {
 
 /// One closed-loop connection owned by the mux driver: at most one
 /// request outstanding, reconnecting whenever the server closes on it.
+/// With `--cluster` each connection is pinned to one node for its whole
+/// life (`target`), so keep-alive and lane attribution stay per-node.
 struct MuxConn {
     stream: Option<TcpStream>,
+    target: SocketAddr,
     id: usize,
     phase: Phase,
     /// Next request index within the current phase.
@@ -583,6 +749,10 @@ struct MuxConn {
     sent_at: Instant,
     /// A request is in flight (written or being written).
     awaiting: bool,
+    /// `503` bounces absorbed so far for the *current* request index.
+    retries: u32,
+    /// When set, the current index re-sends at this instant (backoff).
+    retry_at: Option<Instant>,
     interest: u32,
 }
 
@@ -608,6 +778,7 @@ impl MuxConn {
         });
         MuxConn {
             stream,
+            target,
             id,
             phase,
             index: 0,
@@ -616,13 +787,15 @@ impl MuxConn {
             read_buf: Vec::new(),
             sent_at: Instant::now(),
             awaiting: false,
+            retries: 0,
+            retry_at: None,
             interest: EPOLLIN | EPOLLRDHUP,
         }
     }
 
     /// Drops the current stream and dials a fresh one (the server closed
     /// on us, or the old socket broke).
-    fn reconnect(&mut self, target: SocketAddr, epoll: &Epoll) -> bool {
+    fn reconnect(&mut self, epoll: &Epoll) -> bool {
         if let Some(old) = self.stream.take() {
             epoll.delete(old.as_raw_fd());
         }
@@ -634,7 +807,9 @@ impl MuxConn {
             id: self.id,
             phase: self.phase,
             index: self.index,
-            ..MuxConn::connect(target, self.id, self.phase, epoll)
+            retries: self.retries,
+            retry_at: self.retry_at,
+            ..MuxConn::connect(self.target, self.id, self.phase, epoll)
         };
         self.stream.is_some()
     }
@@ -695,9 +870,11 @@ impl MuxConn {
 
 /// Drives every connection through warm-up and the measured phase off one
 /// epoll loop. Returns the tally, the measured wall-clock seconds, and —
-/// with `--cold-grid` — what the cold side traffic saw.
+/// with `--cold-grid` — what the cold side traffic saw. Connections
+/// round-robin over `targets` (one entry except with `--cluster`); the
+/// cold side traffic aims at the first node.
 fn run_mux(
-    target: SocketAddr,
+    targets: &[SocketAddr],
     connections: usize,
     requests: usize,
     warmup: usize,
@@ -710,7 +887,7 @@ fn run_mux(
         Phase::Ready
     };
     let mut conns: Vec<MuxConn> = (0..connections)
-        .map(|id| MuxConn::connect(target, id, start_phase, &epoll))
+        .map(|id| MuxConn::connect(targets[id % targets.len()], id, start_phase, &epoll))
         .collect();
     let mut tally = Tally::default();
     for conn in &mut conns {
@@ -734,10 +911,11 @@ fn run_mux(
         if measured_started.is_none() && conns.iter().all(|c| c.phase != Phase::Warmup) {
             measured_started = Some(Instant::now());
             if cold_grid {
+                let cold_target = targets[0];
                 cold_handle = Some(
                     std::thread::Builder::new()
                         .name("loadgen-cold-grid".into())
-                        .spawn(move || run_cold_grid(target))
+                        .spawn(move || run_cold_grid(cold_target))
                         .expect("spawn cold grid"),
                 );
             }
@@ -745,7 +923,7 @@ fn run_mux(
                 if conn.phase == Phase::Ready {
                     conn.phase = Phase::Measured;
                     conn.index = 0;
-                    if conn.stream.is_some() || conn.reconnect(target, &epoll) {
+                    if conn.stream.is_some() || conn.reconnect(&epoll) {
                         conn.issue(&epoll);
                     } else {
                         tally.transport_errors += requests as u64;
@@ -778,7 +956,7 @@ fn run_mux(
                     Err(_) => broken = true,
                 }
             }
-            step(conn, &mut tally, broken, target, warmup, requests, &epoll);
+            step(conn, &mut tally, broken, warmup, requests, &epoll);
         }
 
         // Stuck-request guard: a response overdue past the client timeout
@@ -789,7 +967,22 @@ fn run_mux(
                 && conn.awaiting
                 && now.duration_since(conn.sent_at) > TIMEOUT
             {
-                fail_request(conn, &mut tally, target, warmup, requests, &epoll);
+                fail_request(conn, &mut tally, warmup, requests, &epoll);
+            }
+        }
+
+        // Backoff expiry: re-send the held request index of any
+        // connection whose retry window elapsed (redialing if the server
+        // closed the bounced socket).
+        for conn in &mut conns {
+            if conn.phase == Phase::Done || conn.retry_at.is_none_or(|at| now < at) {
+                continue;
+            }
+            conn.retry_at = None;
+            if conn.stream.is_some() || conn.reconnect(&epoll) {
+                conn.issue(&epoll);
+            } else {
+                fail_request(conn, &mut tally, warmup, requests, &epoll);
             }
         }
     };
@@ -804,7 +997,6 @@ fn step(
     conn: &mut MuxConn,
     tally: &mut Tally,
     broken: bool,
-    target: SocketAddr,
     warmup: usize,
     requests: usize,
     epoll: &Epoll,
@@ -813,7 +1005,7 @@ fn step(
         parse_head(&conn.read_buf).filter(|h| conn.read_buf.len() >= h.head_len + h.body_len);
     let Some(head) = complete else {
         if broken {
-            fail_request(conn, tally, target, warmup, requests, epoll);
+            fail_request(conn, tally, warmup, requests, epoll);
         }
         return;
     };
@@ -823,13 +1015,54 @@ fn step(
     match conn.phase {
         Phase::Warmup => tally.warmup_latencies_us.push(us),
         Phase::Measured => {
+            // In-place retry: a retryable `503` holds the request index
+            // and re-sends after backoff instead of counting as an
+            // answer, pacing off the server's `Retry-After` hint.
+            if head.status == 503 && conn.retries < MAX_RETRIES {
+                let seed = mix64(((conn.id as u64) << 32) ^ conn.index as u64);
+                let delay = backoff_delay(conn.retries, head.retry_after, seed);
+                conn.retries += 1;
+                conn.retry_at = Some(Instant::now() + delay);
+                if head.close {
+                    if let Some(old) = conn.stream.take() {
+                        epoll.delete(old.as_raw_fd());
+                    }
+                    conn.read_buf.clear();
+                }
+                return;
+            }
             tally.latencies_us.push(us);
-            match head.lane.as_deref() {
-                Some("surrogate") => tally.surrogate_us.push(us),
-                Some("inline") => tally.inline_us.push(us),
-                Some("replay") => tally.replay_us.push(us),
-                Some("cold") => tally.cold_us.push(us),
-                _ => {} // health/metrics probes and errors carry no lane
+            let lane_idx = match head.lane.as_deref() {
+                Some("surrogate") => {
+                    tally.surrogate_us.push(us);
+                    Some(0)
+                }
+                Some("inline") => {
+                    tally.inline_us.push(us);
+                    Some(1)
+                }
+                Some("replay") => {
+                    tally.replay_us.push(us);
+                    Some(2)
+                }
+                Some("cold") => {
+                    tally.cold_us.push(us);
+                    Some(3)
+                }
+                _ => None, // health/metrics probes and errors carry no lane
+            };
+            if conn.retries > 0 {
+                match lane_idx {
+                    Some(i) => tally.lane_retries[i] += u64::from(conn.retries),
+                    None => tally.retries_unattributed += u64::from(conn.retries),
+                }
+                conn.retries = 0;
+            }
+            match head.source.as_deref() {
+                Some("local") => tally.source_local += 1,
+                Some("peer") => tally.source_peer += 1,
+                Some("sim") => tally.source_sim += 1,
+                _ => {}
             }
             if head.fidelity.is_some() {
                 tally.fidelity_tagged += 1;
@@ -847,7 +1080,7 @@ fn step(
         }
         Phase::Ready | Phase::Done => {}
     }
-    advance(conn, tally, head.close, target, warmup, requests, epoll);
+    advance(conn, tally, head.close, warmup, requests, epoll);
 }
 
 /// Moves `conn` to its next request (or next phase) after a response.
@@ -857,12 +1090,13 @@ fn advance(
     conn: &mut MuxConn,
     tally: &mut Tally,
     closed: bool,
-    target: SocketAddr,
     warmup: usize,
     requests: usize,
     epoll: &Epoll,
 ) {
     conn.index += 1;
+    conn.retries = 0;
+    conn.retry_at = None;
     let phase_len = if conn.phase == Phase::Warmup {
         warmup
     } else {
@@ -883,7 +1117,7 @@ fn advance(
         };
         return;
     }
-    if conn.stream.is_some() || conn.reconnect(target, epoll) {
+    if conn.stream.is_some() || conn.reconnect(epoll) {
         conn.issue(epoll);
     } else if conn.phase == Phase::Measured {
         tally.transport_errors += (requests - conn.index) as u64;
@@ -901,20 +1135,22 @@ fn advance(
 fn fail_request(
     conn: &mut MuxConn,
     tally: &mut Tally,
-    target: SocketAddr,
     warmup: usize,
     requests: usize,
     epoll: &Epoll,
 ) {
     if conn.phase == Phase::Measured {
         tally.transport_errors += 1;
+        // Bounces absorbed before the transport gave out still happened;
+        // no lane ever answered, so they land unattributed.
+        tally.retries_unattributed += u64::from(conn.retries);
     }
     if let Some(old) = conn.stream.take() {
         epoll.delete(old.as_raw_fd());
     }
     conn.read_buf.clear();
     conn.awaiting = false;
-    advance(conn, tally, false, target, warmup, requests, epoll);
+    advance(conn, tally, false, warmup, requests, epoll);
 }
 
 /// The paper grid as a `/v1/batch` body, mirroring
@@ -942,20 +1178,27 @@ fn paper_grid_body() -> String {
 }
 
 /// Retries a request through `503` backpressure bounces (the honest
-/// client response to `Retry-After`), up to a bounded attempt count.
+/// client response to `Retry-After`): capped exponential backoff paced
+/// by the server's hint, deterministic jitter, bounded attempt count.
 /// Returns the final response plus how many bounces were absorbed.
 fn request_with_retries(
     client: &mut Client,
     method: &str,
     path: &str,
     body: &str,
+    salt: u64,
 ) -> (u16, String, u32) {
+    // Seed the jitter off what is being requested plus the caller's
+    // salt, so the three dedup runs (identical path and body) still
+    // spread out instead of thundering back in lockstep.
+    let seed = mix64(path.len() as u64 ^ ((body.len() as u64) << 20) ^ (salt << 40));
     let mut retries = 0u32;
     loop {
         let resp = client.request(method, path, body).expect("request");
-        if resp.status == 503 && retries < 2000 {
+        if resp.status == 503 && retries < MAX_RETRIES {
+            let hint = resp.header("retry-after").and_then(|v| v.parse().ok());
+            std::thread::sleep(backoff_delay(retries, hint, seed));
             retries += 1;
-            std::thread::sleep(Duration::from_millis(5));
             continue;
         }
         let lane = resp.header("x-softwatt-lane").unwrap_or("").to_string();
@@ -975,7 +1218,7 @@ fn run_cold_grid(target: SocketAddr) -> ColdGridStats {
             let mut client = Client::connect(target, TIMEOUT).expect("batch connect");
             let started = Instant::now();
             let (status, _lane, retries) =
-                request_with_retries(&mut client, "POST", "/v1/batch", &paper_grid_body());
+                request_with_retries(&mut client, "POST", "/v1/batch", &paper_grid_body(), 0);
             (status, started.elapsed().as_secs_f64(), retries)
         })
         .expect("spawn batch");
@@ -988,9 +1231,7 @@ fn run_cold_grid(target: SocketAddr) -> ColdGridStats {
                 .name(format!("loadgen-dedup-{i}"))
                 .spawn(move || {
                     let mut client = Client::connect(target, TIMEOUT).expect("dedup connect");
-                    let (status, lane, _) =
-                        request_with_retries(&mut client, "POST", "/v1/run", DEDUP_BODY);
-                    (status, lane)
+                    request_with_retries(&mut client, "POST", "/v1/run", DEDUP_BODY, i as u64 + 1)
                 })
                 .expect("spawn dedup run")
         })

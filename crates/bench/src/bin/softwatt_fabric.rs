@@ -1,0 +1,234 @@
+//! Grid distribution over the `swfabric-v1` protocol.
+//!
+//! Two modes (see `DESIGN.md` §14):
+//!
+//! - `softwatt-fabric coordinate [--addr HOST:PORT] [--outstanding N]
+//!   [--lease-timeout-s S] [--idle-timeout-s S] [--out FILE]` — listen
+//!   for workers, farm out the paper grid's 37 cells, and write the
+//!   collected `softwatt-run-v1` bodies (in deterministic cell order,
+//!   byte-stable across cluster shapes) as one JSON array to `--out`
+//!   (default stdout). Prints `coordinating on HOST:PORT` once bound so
+//!   scripts can discover an ephemeral port.
+//! - `softwatt-fabric work --coordinator HOST:PORT [--scale S]
+//!   [--trace-cache DIR] [--capacity N] [--name LABEL]` — connect to a
+//!   coordinator and compute granted cells until `Done`. Workers share
+//!   nothing; pointing several at one coordinator from different
+//!   machines is the cluster. A worker given `--trace-cache` replays
+//!   cached traces instead of simulating, same as the server.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use softwatt::{ExperimentSuite, SystemConfig};
+use softwatt_bench::{parse_positive_count, ObsFlags};
+use softwatt_fabric::grid::{coordinate, work, Cell, CoordinateOpts};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: softwatt-fabric coordinate [--addr HOST:PORT] [--outstanding N] \
+         [--lease-timeout-s S] [--idle-timeout-s S] [--out FILE] {obs}\n   or: \
+         softwatt-fabric work --coordinator HOST:PORT [--scale S] [--trace-cache DIR] \
+         [--capacity N] [--name LABEL] {obs}",
+        obs = ObsFlags::USAGE
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("coordinate") => coordinate_main(args),
+        Some("work") => work_main(args),
+        Some(other) => usage_exit(&format!("unknown mode '{other}'")),
+        None => usage_exit("a mode is required"),
+    }
+}
+
+fn coordinate_main(mut args: impl Iterator<Item = String>) {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut opts = CoordinateOpts::default();
+    let mut out = None;
+    let mut obs = ObsFlags::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--out" => out = Some(value("--out")),
+            "--outstanding" => {
+                opts.outstanding_per_worker =
+                    parse_positive_count("--outstanding", Some(value("--outstanding")), "grants")
+                        .unwrap_or_else(|e| usage_exit(&e)) as u64;
+            }
+            "--lease-timeout-s" => match value("--lease-timeout-s").parse::<u64>() {
+                Ok(s) if s > 0 => opts.lease_timeout = Duration::from_secs(s),
+                _ => usage_exit("--lease-timeout-s needs a positive integer"),
+            },
+            "--idle-timeout-s" => match value("--idle-timeout-s").parse::<u64>() {
+                Ok(s) if s > 0 => opts.idle_timeout = Some(Duration::from_secs(s)),
+                _ => usage_exit("--idle-timeout-s needs a positive integer"),
+            },
+            other => match obs.try_parse(other, || Some(value(other))) {
+                Ok(true) => {}
+                Ok(false) => usage_exit(&format!("unknown flag {other}")),
+                Err(e) => usage_exit(&e),
+            },
+        }
+    }
+    obs.activate();
+
+    // The grid is fixed and suite-independent: every worker owns its own
+    // suite, so the coordinator never needs one — only the cell labels.
+    let suite = match ExperimentSuite::new(SystemConfig::default()) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cells: Vec<Cell> = suite
+        .paper_grid()
+        .into_iter()
+        .map(Cell::from_run_key)
+        .collect();
+
+    let listener = match TcpListener::bind(addr.as_str()) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = listener.local_addr().expect("bound address");
+    println!("coordinating on {bound}");
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "softwatt-fabric: {} cell(s), outstanding {} per worker, lease timeout {:?}",
+        cells.len(),
+        opts.outstanding_per_worker,
+        opts.lease_timeout
+    );
+
+    let bodies = match coordinate(listener, &cells, &opts) {
+        Ok(bodies) => bodies,
+        Err(e) => {
+            eprintln!("coordination failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut doc = String::from("{\"schema\": \"softwatt-grid-v1\", \"results\": [");
+    for (i, body) in bodies.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(", ");
+        }
+        match std::str::from_utf8(body) {
+            Ok(text) => doc.push_str(text),
+            Err(_) => {
+                eprintln!("worker returned a non-UTF-8 body for cell {i}");
+                std::process::exit(1);
+            }
+        }
+    }
+    doc.push_str(&format!("], \"cells\": {}}}\n", bodies.len()));
+    let wrote = match out {
+        Some(path) => std::fs::write(&path, &doc)
+            .map(|()| eprintln!("softwatt-fabric: wrote {} cells to {path}", bodies.len())),
+        None => std::io::stdout().write_all(doc.as_bytes()),
+    };
+    if let Err(e) = wrote {
+        eprintln!("writing results failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+fn work_main(mut args: impl Iterator<Item = String>) {
+    let mut coordinator = None;
+    let mut scale = 2000.0f64;
+    let mut trace_cache = None;
+    let mut capacity = 2u64;
+    let mut name = format!("worker-{}", std::process::id());
+    let mut obs = ObsFlags::default();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--coordinator" => coordinator = Some(value("--coordinator")),
+            "--scale" => match value("--scale").parse() {
+                Ok(v) if v > 0.0 => scale = v,
+                _ => usage_exit("--scale needs a positive number"),
+            },
+            "--trace-cache" => trace_cache = Some(value("--trace-cache")),
+            "--capacity" => {
+                capacity = parse_positive_count("--capacity", Some(value("--capacity")), "grants")
+                    .unwrap_or_else(|e| usage_exit(&e)) as u64;
+            }
+            "--name" => name = value("--name"),
+            other => match obs.try_parse(other, || Some(value(other))) {
+                Ok(true) => {}
+                Ok(false) => usage_exit(&format!("unknown flag {other}")),
+                Err(e) => usage_exit(&e),
+            },
+        }
+    }
+    obs.activate();
+    let Some(coordinator) = coordinator else {
+        usage_exit("--coordinator is required");
+    };
+    let addr = match std::net::ToSocketAddrs::to_socket_addrs(&coordinator.as_str())
+        .ok()
+        .and_then(|mut a| a.next())
+    {
+        Some(addr) => addr,
+        None => usage_exit(&format!("cannot resolve coordinator '{coordinator}'")),
+    };
+
+    let system = SystemConfig {
+        time_scale: scale,
+        ..SystemConfig::default()
+    };
+    let mut suite = match ExperimentSuite::new(system) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    match softwatt_bench::open_trace_store(trace_cache) {
+        Ok(Some(store)) => {
+            let dir = store.dir().display().to_string();
+            suite = suite.with_trace_store(store);
+            let loaded = suite.prewarm_from_store(&suite.paper_grid());
+            eprintln!("warm start: {loaded} trace(s) loaded from {dir}");
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("softwatt-fabric: {name} joining {addr} (capacity {capacity})");
+    match work(addr, &name, &suite, capacity) {
+        Ok(computed) => {
+            eprintln!("softwatt-fabric: {name} computed {computed} cell(s), done");
+        }
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

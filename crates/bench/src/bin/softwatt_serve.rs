@@ -7,11 +7,20 @@
 //!
 //! Usage: `softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto]
 //! [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N]
-//! [--max-connections N] [--trace-cache DIR] [--surrogate] [--metrics]
-//! [--metrics-out FILE] [--log-level LEVEL]`
+//! [--max-connections N] [--trace-cache DIR] [--trace-cache-max-bytes N]
+//! [--peers HOST:PORT,...] [--advertise HOST:PORT] [--surrogate]
+//! [--metrics] [--metrics-out FILE] [--log-level LEVEL]`
 //! (defaults: addr `127.0.0.1:0` — an ephemeral port — scale 2000, the
 //! committed-fidelity setting; pass e.g. `--scale 50000` for a fast
 //! smoke instance).
+//!
+//! `--peers` joins the distributed trace fabric: the listed servers plus
+//! this one form a consistent-hash ring over trace keys, and a local
+//! trace miss fetches the owning peer's `swtrace-v1` bytes before
+//! falling back to simulation (see `DESIGN.md` §14). Requires a fixed
+//! port (`--addr HOST:PORT` or `--advertise HOST:PORT`) so every member
+//! hashes the same membership. `--trace-cache-max-bytes` soft-caps the
+//! trace cache directory, evicting oldest-mtime entries on write.
 //!
 //! `--trace-cache DIR` (or `SOFTWATT_TRACE_CACHE`) attaches the
 //! persistent trace store and warm-starts the service: every paper-grid
@@ -38,6 +47,7 @@ use std::time::Duration;
 
 use softwatt::{ExperimentSuite, SystemConfig};
 use softwatt_bench::{parse_count_or_auto, ObsFlags};
+use softwatt_fabric::PeerClient;
 use softwatt_serve::{ServeConfig, Server, ShutdownHandle};
 
 /// Set by the signal handler; a watcher thread forwards it to the server.
@@ -72,13 +82,17 @@ fn main() {
     let mut config = ServeConfig::default();
     let mut obs = ObsFlags::default();
     let mut trace_cache = None;
+    let mut trace_cache_max_bytes = None;
     let mut surrogate = false;
+    let mut peers: Vec<String> = Vec::new();
+    let mut advertise = None;
     fn usage_exit(msg: &str) -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: softwatt-serve [--addr HOST:PORT] [--scale S] [--workers N|auto] \
              [--queue-depth N] [--cold-workers N|auto] [--cold-queue-depth N] \
-             [--max-connections N] [--trace-cache DIR] [--surrogate] {}",
+             [--max-connections N] [--trace-cache DIR] [--trace-cache-max-bytes N] \
+             [--peers HOST:PORT,...] [--advertise HOST:PORT] [--surrogate] {}",
             ObsFlags::USAGE
         );
         std::process::exit(2);
@@ -99,6 +113,19 @@ fn main() {
                 _ => usage_exit("--scale needs a positive number"),
             },
             "--trace-cache" => trace_cache = Some(value("--trace-cache")),
+            "--trace-cache-max-bytes" => match value("--trace-cache-max-bytes").parse::<u64>() {
+                Ok(v) if v > 0 => trace_cache_max_bytes = Some(v),
+                _ => usage_exit("--trace-cache-max-bytes needs a positive byte count"),
+            },
+            "--peers" => {
+                peers = value("--peers")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--advertise" => advertise = Some(value("--advertise")),
             "--surrogate" => surrogate = true,
             "--workers" => config.workers = count("--workers", "thread count"),
             "--queue-depth" => config.queue_depth = count("--queue-depth", "queue capacity"),
@@ -131,6 +158,7 @@ fn main() {
     };
     match softwatt_bench::open_trace_store(trace_cache) {
         Ok(Some(store)) => {
+            let store = store.with_max_bytes(trace_cache_max_bytes);
             let dir = store.dir().display().to_string();
             suite = suite.with_trace_store(store);
             // Warm start: pull whatever the store already has for the paper
@@ -145,6 +173,29 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    }
+    if !peers.is_empty() {
+        // The ring identity must be known before bind: every cluster
+        // member hashes the same advertised addresses, so an ephemeral
+        // port (unknowable to peers) cannot join a fabric.
+        let self_node = advertise.clone().unwrap_or_else(|| addr.clone());
+        if self_node.ends_with(":0") {
+            eprintln!(
+                "--peers needs a fixed port: pass --addr HOST:PORT or --advertise HOST:PORT \
+                 matching what the peers were given"
+            );
+            std::process::exit(2);
+        }
+        let fabric = PeerClient::new(
+            self_node.clone(),
+            &peers,
+            softwatt_fabric::DEFAULT_FETCH_TIMEOUT,
+        );
+        eprintln!(
+            "fabric: {} node(s) in the ring, advertising as {self_node}",
+            fabric.ring().len()
+        );
+        suite = suite.with_peer_source(Arc::new(fabric));
     }
     if surrogate {
         // Calibrate before binding: a persisted model loads in

@@ -28,7 +28,7 @@ use crate::config::{CpuModel, IdleHandling, SystemConfig};
 use crate::model_store::{ModelKey, ModelStore};
 use crate::report::{joules, pct};
 use crate::sim::{RunResult, Simulator};
-use crate::store::{TraceKey, TraceStore};
+use crate::store::{PeerSource, TraceKey, TraceStore};
 
 /// Discrete disk configurations of the Section 4 study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -366,11 +366,16 @@ pub struct ExperimentSuite {
     specs: RwLock<HashMap<u64, Arc<BenchmarkSpec>>>,
     replay_enabled: bool,
     store: Option<TraceStore>,
+    peers: Option<Arc<dyn PeerSource>>,
+    /// Where each memoized trace came from (`"local"` store hit, `"peer"`
+    /// fetch, `"sim"` capture), for the `X-Softwatt-Source` header.
+    trace_sources: Mutex<HashMap<(WorkloadKey, CpuModel), &'static str>>,
     model_store: Option<ModelStore>,
     surrogate: RwLock<Option<Arc<SurrogateModel>>>,
     executed: AtomicUsize,
     replays: AtomicUsize,
     store_loads: AtomicUsize,
+    peer_loads: AtomicUsize,
     surrogate_served: AtomicUsize,
 }
 
@@ -411,11 +416,14 @@ impl ExperimentSuite {
             specs: RwLock::new(HashMap::new()),
             replay_enabled,
             store: None,
+            peers: None,
+            trace_sources: Mutex::new(HashMap::new()),
             model_store: None,
             surrogate: RwLock::new(None),
             executed: AtomicUsize::new(0),
             replays: AtomicUsize::new(0),
             store_loads: AtomicUsize::new(0),
+            peer_loads: AtomicUsize::new(0),
             surrogate_served: AtomicUsize::new(0),
         })
     }
@@ -442,10 +450,48 @@ impl ExperimentSuite {
         self.store.as_ref()
     }
 
+    /// Attaches a [`PeerSource`], adding the peer-fetch tier to trace
+    /// lookup: memo → store → **peer fetch** → capture. On a local store
+    /// miss the key's owning peer is asked for its `swtrace-v1` bytes;
+    /// verified bytes are persisted locally and replayed, anything else
+    /// (owner down, truncated stream, checksum or descriptor mismatch)
+    /// degrades to the capture tier with a warning. Requires replay — a
+    /// full-simulation suite never touches traces, peer or local.
+    #[must_use]
+    pub fn with_peer_source(mut self, peers: Arc<dyn PeerSource>) -> ExperimentSuite {
+        self.peers = Some(peers);
+        self
+    }
+
     /// How many traces were loaded from the persistent store instead of
     /// being captured by a full simulation.
     pub fn store_loads(&self) -> usize {
         self.store_loads.load(Ordering::Acquire)
+    }
+
+    /// How many traces were fetched from cluster peers instead of being
+    /// captured by a full simulation.
+    pub fn peer_loads(&self) -> usize {
+        self.peer_loads.load(Ordering::Acquire)
+    }
+
+    /// Where the memoized trace behind (`workload`, `cpu`) came from:
+    /// `"local"` (persistent store), `"peer"` (fetched over the fabric),
+    /// or `"sim"` (captured by a full simulation here). `None` until some
+    /// tier has actually produced the trace.
+    pub fn trace_source(&self, workload: WorkloadKey, cpu: CpuModel) -> Option<&'static str> {
+        self.trace_sources
+            .lock()
+            .expect("trace source lock")
+            .get(&(workload, cpu))
+            .copied()
+    }
+
+    fn note_trace_source(&self, workload: WorkloadKey, cpu: CpuModel, source: &'static str) {
+        self.trace_sources
+            .lock()
+            .expect("trace source lock")
+            .insert((workload, cpu), source);
     }
 
     /// The base configuration.
@@ -559,8 +605,10 @@ impl ExperimentSuite {
     /// The persistent-store key for one (workload, CPU) pair: the canned
     /// derivation for benchmarks (whose descriptors — and so on-disk
     /// entries — are unchanged by the spec feature), the content-hash
-    /// derivation for registered specs.
-    fn trace_key(&self, workload: WorkloadKey, cpu: CpuModel) -> TraceKey {
+    /// derivation for registered specs. Public so the serving layer can
+    /// authenticate `/v1/traces/{hash}` requests against the key a peer
+    /// *should* be asking for.
+    pub fn trace_key(&self, workload: WorkloadKey, cpu: CpuModel) -> TraceKey {
         match workload {
             WorkloadKey::Canned(b) => TraceKey::derive(&self.config, b, cpu),
             WorkloadKey::Spec(hash) => TraceKey::derive_spec(&self.config, hash, cpu),
@@ -596,22 +644,112 @@ impl ExperimentSuite {
     }
 
     /// The captured trace for one (workload, CPU) pair: from the memory
-    /// memo, else the persistent store (when attached), else a full
+    /// memo, else the persistent store (when attached), else the owning
+    /// cluster peer (when a [`PeerSource`] is attached), else a full
     /// simulation (persisted to the store afterwards).
     fn trace_for(&self, workload: WorkloadKey, cpu: CpuModel) -> Arc<PerfTrace> {
         memoize(&self.traces, (workload, cpu), &TRACE_MEMO, || {
-            if let Some(store) = &self.store {
-                let key = self.trace_key(workload, cpu);
-                if let Some(trace) = store.load(&key) {
-                    self.store_loads.fetch_add(1, Ordering::AcqRel);
-                    return trace;
-                }
-                let trace = self.capture_trace(workload, cpu);
-                store.store(&key, &trace);
+            self.trace_miss(workload, cpu, true)
+        })
+    }
+
+    /// The memo-miss path behind [`ExperimentSuite::trace_for`].
+    /// `use_peers = false` is the re-entrancy guard for requests arriving
+    /// *from* a peer: the owner must answer from its own tiers, never by
+    /// bouncing the key back onto the fabric.
+    fn trace_miss(&self, workload: WorkloadKey, cpu: CpuModel, use_peers: bool) -> PerfTrace {
+        let Some(store) = &self.store else {
+            self.note_trace_source(workload, cpu, "sim");
+            return self.capture_trace(workload, cpu);
+        };
+        let key = self.trace_key(workload, cpu);
+        if let Some(trace) = store.load(&key) {
+            self.store_loads.fetch_add(1, Ordering::AcqRel);
+            self.note_trace_source(workload, cpu, "local");
+            return trace;
+        }
+        if use_peers {
+            if let Some(trace) = self.peer_fetch(&key, workload, cpu) {
+                self.note_trace_source(workload, cpu, "peer");
                 return trace;
             }
-            self.capture_trace(workload, cpu)
-        })
+        }
+        self.note_trace_source(workload, cpu, "sim");
+        let trace = self.capture_trace(workload, cpu);
+        store.store(&key, &trace);
+        trace
+    }
+
+    /// The peer-fetch tier: asks the key's owner (through the attached
+    /// [`PeerSource`]) for its `swtrace-v1` bytes, then parses,
+    /// checksum-verifies, and descriptor-matches them before persisting
+    /// locally. Every failure mode — no peer source, owner down, a
+    /// truncated or corrupt stream, a descriptor mismatch — returns
+    /// `None`, which the caller treats as "capture it locally"; a peer
+    /// problem is never an error, only a lost optimization.
+    fn peer_fetch(
+        &self,
+        key: &TraceKey,
+        workload: WorkloadKey,
+        cpu: CpuModel,
+    ) -> Option<PerfTrace> {
+        let peers = self.peers.as_ref()?;
+        let _span = softwatt_obs::span("trace_store.peer_fetch_ns");
+        let Some(bytes) = peers.fetch(key, &workload.label(), cpu.name()) else {
+            softwatt_obs::count("trace_store.peer_misses", 1);
+            return None;
+        };
+        match PerfTrace::from_binary(&bytes[..]) {
+            Ok((trace, note)) if note == key.descriptor().as_bytes() => {
+                softwatt_obs::count("trace_store.peer_hits", 1);
+                softwatt_obs::count("trace_store.peer_bytes", bytes.len() as u64);
+                self.peer_loads.fetch_add(1, Ordering::AcqRel);
+                if let Some(store) = &self.store {
+                    store.store_raw(key, &bytes);
+                }
+                Some(trace)
+            }
+            Ok(_) => {
+                softwatt_obs::count("trace_store.peer_errors", 1);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "suite",
+                    "peer trace for {workload} on {cpu:?} has a mismatched descriptor \
+                     (config drift between peers?); simulating locally"
+                );
+                None
+            }
+            Err(e) => {
+                softwatt_obs::count("trace_store.peer_errors", 1);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "suite",
+                    "peer trace for {workload} on {cpu:?} failed verification ({e}); \
+                     simulating locally"
+                );
+                None
+            }
+        }
+    }
+
+    /// The `swtrace-v1` bytes for one (workload, CPU) pair, for serving
+    /// to a fetching peer. Resolves through the *local* tiers only —
+    /// memo, store, capture — never a peer fetch of its own, so two nodes
+    /// with disagreeing ring views can bounce a key at most one hop. A
+    /// store miss simulates right here (and persists), which is what
+    /// makes N simultaneous cluster-wide misses for an owned key cost
+    /// exactly one simulation: non-owners fetch, the owner's memo
+    /// single-flights the capture.
+    pub fn trace_share_bytes(&self, workload: WorkloadKey, cpu: CpuModel) -> Vec<u8> {
+        let key = self.trace_key(workload, cpu);
+        let trace = memoize(&self.traces, (workload, cpu), &TRACE_MEMO, || {
+            self.trace_miss(workload, cpu, false)
+        });
+        let mut out = Vec::new();
+        trace
+            .to_binary(&mut out, key.descriptor().as_bytes())
+            .expect("encoding to a Vec cannot fail");
+        out
     }
 
     /// Captures a trace by full simulation (the bottom tier).
@@ -623,6 +761,10 @@ impl ExperimentSuite {
         // it produces is disk-policy-independent.
         let sim = Simulator::new(config).expect("validated config");
         self.executed.fetch_add(1, Ordering::AcqRel);
+        // Counted in the registry too (not just the suite-local atomic) so
+        // cluster tooling can sum full simulations across processes from
+        // `/metrics` alone.
+        softwatt_obs::count("suite.captures", 1);
         let span = softwatt_obs::span("suite.trace_capture_ns");
         let trace = match workload {
             WorkloadKey::Canned(benchmark) => sim.run_benchmark_traced(benchmark).1,
@@ -679,6 +821,8 @@ impl ExperimentSuite {
             if let std::collections::hash_map::Entry::Vacant(slot) = slots.entry((workload, cpu)) {
                 slot.insert(Slot::Ready(Arc::new(trace)));
                 self.store_loads.fetch_add(1, Ordering::AcqRel);
+                drop(slots);
+                self.note_trace_source(workload, cpu, "local");
                 loaded += 1;
             }
         }
@@ -1971,5 +2115,134 @@ impl fmt::Display for TechRow {
             "{:<32} avg {:6.2} W  max {:6.2} W",
             self.label, self.cpu_mem_w, self.max_w
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceStore;
+
+    /// A canned [`PeerSource`] that always answers with the same bytes
+    /// (or a miss), standing in for every fabric failure mode: owner
+    /// down (`None`), a mid-stream disconnect (truncated bytes), a
+    /// corrupt cache (garbage bytes), config drift (another key's
+    /// bytes).
+    #[derive(Debug)]
+    struct StaticPeer {
+        bytes: Option<Vec<u8>>,
+    }
+
+    impl PeerSource for StaticPeer {
+        fn fetch(&self, _key: &TraceKey, _workload: &str, _cpu: &str) -> Option<Vec<u8>> {
+            self.bytes.clone()
+        }
+    }
+
+    fn quick_config() -> SystemConfig {
+        SystemConfig {
+            time_scale: 50_000.0,
+            idle: IdleHandling::Analytic,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn peered_suite(name: &str, bytes: Option<Vec<u8>>) -> ExperimentSuite {
+        let dir = std::env::temp_dir().join(format!("swpeer-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ExperimentSuite::new(quick_config())
+            .unwrap()
+            .with_trace_store(TraceStore::open(dir).unwrap())
+            .with_peer_source(Arc::new(StaticPeer { bytes }))
+    }
+
+    /// Valid `swtrace-v1` bytes for jess/Mxs under [`quick_config`],
+    /// captured by an isolated donor suite (no store, no peers).
+    fn donor_bytes(workload: WorkloadKey, cpu: CpuModel) -> Vec<u8> {
+        let donor = ExperimentSuite::new(quick_config()).unwrap();
+        donor.trace_share_bytes(workload, cpu)
+    }
+
+    /// Every degraded fetch must end in a local simulation that is
+    /// persisted to the store — a broken peer is a lost optimization,
+    /// never an error.
+    fn assert_degrades_to_sim(name: &str, bytes: Option<Vec<u8>>) {
+        let suite = peered_suite(name, bytes);
+        let workload = WorkloadKey::Canned(Benchmark::Jess);
+        let trace = suite.trace_for(workload, CpuModel::Mxs);
+        assert!(trace.work_cycles > 0, "{name}: usable trace");
+        assert_eq!(suite.trace_source(workload, CpuModel::Mxs), Some("sim"));
+        assert_eq!(suite.peer_loads(), 0, "{name}: nothing trusted");
+        assert_eq!(suite.runs_executed(), 1, "{name}: exactly one capture");
+        let key = suite.trace_key(workload, CpuModel::Mxs);
+        assert!(
+            suite.trace_store().unwrap().contains(&key),
+            "{name}: fallback capture persists locally"
+        );
+    }
+
+    #[test]
+    fn dead_owner_degrades_to_local_sim() {
+        assert_degrades_to_sim("down", None);
+    }
+
+    #[test]
+    fn corrupt_peer_bytes_degrade_to_local_sim() {
+        assert_degrades_to_sim("corrupt", Some(b"not a swtrace-v1 stream".to_vec()));
+    }
+
+    #[test]
+    fn truncated_peer_stream_degrades_to_local_sim() {
+        let good = donor_bytes(WorkloadKey::Canned(Benchmark::Jess), CpuModel::Mxs);
+        assert!(good.len() > 64);
+        assert_degrades_to_sim("truncated", Some(good[..good.len() / 2].to_vec()));
+    }
+
+    #[test]
+    fn mismatched_descriptor_degrades_to_local_sim() {
+        // A healthy stream for the *wrong* key (config drift between
+        // peers): checksum passes, descriptor comparison must not.
+        let other = donor_bytes(WorkloadKey::Canned(Benchmark::Db), CpuModel::Mxs);
+        assert_degrades_to_sim("drift", Some(other));
+    }
+
+    #[test]
+    fn verified_peer_bytes_replace_the_simulation() {
+        let good = donor_bytes(WorkloadKey::Canned(Benchmark::Jess), CpuModel::Mxs);
+        let suite = peered_suite("good", Some(good));
+        let workload = WorkloadKey::Canned(Benchmark::Jess);
+        let trace = suite.trace_for(workload, CpuModel::Mxs);
+        assert!(trace.work_cycles > 0);
+        assert_eq!(suite.trace_source(workload, CpuModel::Mxs), Some("peer"));
+        assert_eq!(suite.peer_loads(), 1);
+        assert_eq!(suite.runs_executed(), 0, "no local simulation");
+        let key = suite.trace_key(workload, CpuModel::Mxs);
+        assert!(
+            suite.trace_store().unwrap().contains(&key),
+            "fetched trace persists locally"
+        );
+    }
+
+    #[test]
+    fn share_path_never_consults_peers() {
+        // The serving path must resolve locally even with a peer source
+        // attached — this is the re-entrancy guard that bounds any
+        // disagreeing ring views to one hop.
+        #[derive(Debug)]
+        struct Exploding;
+        impl PeerSource for Exploding {
+            fn fetch(&self, _: &TraceKey, _: &str, _: &str) -> Option<Vec<u8>> {
+                panic!("trace_share_bytes must not reach the fabric");
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("swpeer-{}-share", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let suite = ExperimentSuite::new(quick_config())
+            .unwrap()
+            .with_trace_store(TraceStore::open(dir).unwrap())
+            .with_peer_source(Arc::new(Exploding));
+        let bytes = suite.trace_share_bytes(WorkloadKey::Canned(Benchmark::Jess), CpuModel::Mxs);
+        assert!(!bytes.is_empty());
+        assert_eq!(suite.runs_executed(), 1, "captured locally");
     }
 }

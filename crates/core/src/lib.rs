@@ -48,7 +48,7 @@ pub use config::{CpuModel, IdleHandling, SystemConfig};
 pub use experiments::{ExperimentSuite, Fidelity, RunKey, RunOutcome, WorkloadKey};
 pub use model_store::{ModelKey, ModelStore};
 pub use sim::{RunResult, Simulator};
-pub use store::{TraceKey, TraceStore};
+pub use store::{PeerSource, TraceKey, TraceStore};
 
 // The public API surface re-exports the pieces users need.
 pub use softwatt_disk::{DiskConfig, DiskPolicy};

@@ -99,11 +99,32 @@ impl TraceKey {
     }
 }
 
+/// A source of `swtrace-v1` bytes from cluster peers.
+///
+/// The suite's trace lookup grows a fourth tier through this hook
+/// (memo → store → **peer fetch** → capture) without `softwatt` itself
+/// learning any networking: the `softwatt-fabric` crate implements it
+/// over the peer protocol, and the suite stays testable with an in-memory
+/// fake. Implementations decide ownership (consistent-hash ring) and
+/// return `None` for keys this node owns, keys no peer can serve, or any
+/// transport failure — every `None` degrades to a local simulation.
+pub trait PeerSource: Send + Sync + std::fmt::Debug {
+    /// Raw `swtrace-v1` bytes for `key` from its owning peer, or `None`.
+    ///
+    /// `workload` and `cpu` are the wire labels (`jess`, `spec:ab12…` /
+    /// `mxs`, `mipsy`) the owner needs to capture the trace on demand;
+    /// the returned bytes are *untrusted* until the caller parses,
+    /// checksum-verifies, and descriptor-matches them against `key`.
+    fn fetch(&self, key: &TraceKey, workload: &str, cpu: &str) -> Option<Vec<u8>>;
+}
+
 /// A content-addressed on-disk cache of captured [`PerfTrace`]s. See the
 /// module docs for the failure-mode contract.
 #[derive(Debug, Clone)]
 pub struct TraceStore {
     dir: PathBuf,
+    /// Soft byte cap on the directory's `.swtrace` total; `None` = no cap.
+    max_bytes: Option<u64>,
 }
 
 impl TraceStore {
@@ -115,7 +136,24 @@ impl TraceStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<TraceStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(TraceStore { dir })
+        Ok(TraceStore {
+            dir,
+            max_bytes: None,
+        })
+    }
+
+    /// Sets a soft cap on the directory's total `.swtrace` bytes.
+    ///
+    /// Enforced after every write by evicting oldest-mtime entries first
+    /// (never the entry just written, so a single oversized trace still
+    /// caches and replays). Soft: concurrent writers can overshoot by a
+    /// few entries between enforcement passes — eviction is disk hygiene,
+    /// not an accounting invariant, and every evicted entry is just a
+    /// future cache miss.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> TraceStore {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The store's root directory.
@@ -208,7 +246,10 @@ impl TraceStore {
             .dir
             .join(format!(".tmp-{:016x}-{}", key.hash, std::process::id()));
         match self.write_entry(key, trace, &tmp) {
-            Ok(()) => softwatt_obs::count("trace_store.writes", 1),
+            Ok(()) => {
+                softwatt_obs::count("trace_store.writes", 1);
+                self.enforce_cap(&self.entry_path(key));
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 softwatt_obs::obs_event!(
@@ -228,6 +269,98 @@ impl TraceStore {
         file.sync_all()?;
         drop(file);
         fs::rename(tmp, self.entry_path(key))
+    }
+
+    /// The raw `swtrace-v1` bytes of `key`'s entry, unvalidated — this is
+    /// what a peer streams over the fabric. The *receiver* parses and
+    /// checksum-verifies before trusting them, so a corrupt entry here
+    /// costs the peer a fallback simulation, never a bad answer.
+    pub fn load_raw(&self, key: &TraceKey) -> Option<Vec<u8>> {
+        fs::read(self.entry_path(key)).ok()
+    }
+
+    /// Persists already-encoded `swtrace-v1` bytes under `key`, with the
+    /// same crash-safe temp-file/fsync/rename dance as
+    /// [`TraceStore::store`]. Callers must have validated the bytes (the
+    /// peer-fetch tier parses and descriptor-checks before persisting);
+    /// the store itself stays agnostic. Best-effort like every write.
+    pub fn store_raw(&self, key: &TraceKey, bytes: &[u8]) {
+        let _span = softwatt_obs::span("store.write_ns");
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{:016x}-{}", key.hash, std::process::id()));
+        let write = || -> io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.flush()?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, self.entry_path(key))
+        };
+        match write() {
+            Ok(()) => {
+                softwatt_obs::count("trace_store.writes", 1);
+                self.enforce_cap(&self.entry_path(key));
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                softwatt_obs::obs_event!(
+                    softwatt_obs::Level::Warn,
+                    "store",
+                    "cannot persist trace cache entry {} ({e}); continuing without it",
+                    self.entry_path(key).display()
+                );
+            }
+        }
+    }
+
+    /// Brings the directory back under the soft byte cap (when one is
+    /// set) by deleting oldest-mtime entries first. `just_written` is
+    /// exempt — the entry that triggered enforcement always survives it.
+    ///
+    /// Races with concurrent writers are benign: sizes and mtimes are a
+    /// snapshot, a doomed entry that another process re-renames is simply
+    /// re-deleted (identical bytes), and a `NotFound` on delete means
+    /// someone else already evicted it.
+    fn enforce_cap(&self, just_written: &Path) {
+        let Some(cap) = self.max_bytes else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut seen: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let mut total = 0u64;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "swtrace") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            total += meta.len();
+            if path != just_written {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                seen.push((mtime, meta.len(), path));
+            }
+        }
+        if total <= cap {
+            return;
+        }
+        // Oldest first; the path tie-break keeps eviction order
+        // deterministic when a burst of writes lands within one mtime
+        // granule.
+        seen.sort();
+        for (_, len, path) in seen {
+            if total <= cap {
+                break;
+            }
+            softwatt_obs::obs_event!(
+                softwatt_obs::Level::Info,
+                "store",
+                "evicting {} ({len} bytes) to respect the {cap}-byte cache cap",
+                path.display()
+            );
+            self.evict(&path);
+            total = total.saturating_sub(len);
+        }
     }
 
     /// Deletes every `.swtrace` entry in the store, returning how many
@@ -363,6 +496,130 @@ mod tests {
 
         assert_eq!(store.clear().unwrap(), 1);
         assert!(store.load(&key).is_none(), "clear removed the entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_cap_evicts_oldest_first_but_never_the_new_entry() {
+        let dir = test_dir("cap");
+        let store = TraceStore::open(&dir).unwrap();
+        let config = quick_config();
+        let sim = Simulator::new(config.clone()).unwrap();
+        let trace = sim.run_benchmark_traced(Benchmark::Jess).1;
+        // Spec-derived keys give unlimited distinct entries from one
+        // captured trace; their descriptors (and so entry sizes) match to
+        // the byte.
+        let key = |i: u64| TraceKey::derive_spec(&config, i, config.cpu);
+
+        store.store(&key(0), &trace);
+        let entry_len = fs::metadata(store.entry_path(&key(0))).unwrap().len();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        store.store(&key(1), &trace);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        // Room for two entries: writing a third must evict exactly the
+        // oldest, and the entry just written must survive its own pass.
+        let capped = store.clone().with_max_bytes(Some(entry_len * 2 + 1));
+        capped.store(&key(2), &trace);
+        assert!(!capped.contains(&key(0)), "oldest entry evicted by the cap");
+        assert!(capped.contains(&key(1)), "newer entry kept");
+        assert!(capped.contains(&key(2)), "just-written entry never evicted");
+
+        // A cap smaller than one entry still keeps the fresh write (the
+        // cap is soft) while sweeping everything else.
+        let tiny = store.clone().with_max_bytes(Some(1));
+        tiny.store(&key(3), &trace);
+        assert!(tiny.contains(&key(3)), "fresh write survives a tiny cap");
+        assert!(!tiny.contains(&key(1)), "everything else swept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_cap_is_safe_under_concurrent_writers() {
+        let dir = test_dir("cap-concurrent");
+        let config = quick_config();
+        let sim = Simulator::new(config.clone()).unwrap();
+        let trace = std::sync::Arc::new(sim.run_benchmark_traced(Benchmark::Jess).1);
+        let probe = TraceStore::open(&dir).unwrap();
+        probe.store(&TraceKey::derive_spec(&config, 999, config.cpu), &trace);
+        let entry_len =
+            fs::metadata(probe.entry_path(&TraceKey::derive_spec(&config, 999, config.cpu)))
+                .unwrap()
+                .len();
+        let cap = entry_len * 3;
+
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let dir = dir.clone();
+                let config = config.clone();
+                let trace = std::sync::Arc::clone(&trace);
+                std::thread::spawn(move || {
+                    let store = TraceStore::open(&dir).unwrap().with_max_bytes(Some(cap));
+                    for i in 0..8u64 {
+                        store.store(
+                            &TraceKey::derive_spec(&config, t * 100 + i, config.cpu),
+                            &trace,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer panicked");
+        }
+
+        // Soft cap: each enforcement pass exempts its own fresh entry, so
+        // racing writers can overshoot by at most one entry each — but the
+        // steady state lands at (cap + one entry) or below, and every
+        // surviving entry still parses.
+        let total: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "swtrace"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(
+            total <= cap + entry_len,
+            "total {total} exceeds cap {cap} by more than one entry ({entry_len})"
+        );
+        let survivors: Vec<_> = (0..4u64)
+            .flat_map(|t| (0..8u64).map(move |i| t * 100 + i))
+            .map(|h| TraceKey::derive_spec(&config, h, config.cpu))
+            .filter(|k| probe.contains(k))
+            .collect();
+        assert!(!survivors.is_empty(), "the cap left some entries behind");
+        for key in survivors {
+            assert!(probe.load(&key).is_some(), "survivor must parse cleanly");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_bytes_round_trip_and_serve_peers() {
+        let dir = test_dir("raw");
+        let store = TraceStore::open(&dir).unwrap();
+        let config = quick_config();
+        let sim = Simulator::new(config.clone()).unwrap();
+        let trace = sim.run_benchmark_traced(Benchmark::Jess).1;
+        let key = TraceKey::derive(&config, Benchmark::Jess, config.cpu);
+
+        assert!(store.load_raw(&key).is_none(), "no entry, no bytes");
+        store.store(&key, &trace);
+        let bytes = store.load_raw(&key).expect("raw bytes of the entry");
+        let (parsed, note) =
+            PerfTrace::from_binary(io::Cursor::new(&bytes)).expect("raw bytes parse");
+        assert_eq!(parsed, trace);
+        assert_eq!(note, key.descriptor().as_bytes());
+
+        // store_raw persists pre-encoded bytes identically (the
+        // peer-receive path).
+        let other = TraceKey::derive_spec(&config, 7, config.cpu);
+        let mut peer_bytes = Vec::new();
+        trace
+            .to_binary(&mut peer_bytes, other.descriptor().as_bytes())
+            .unwrap();
+        store.store_raw(&other, &peer_bytes);
+        assert_eq!(store.load(&other).as_ref(), Some(&trace));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,818 @@
+//! Grid distribution: one coordinator farming cells to many workers.
+//!
+//! `softwatt-fabric coordinate` listens for workers, hands each a
+//! bounded number of grid cells under numbered leases, and collects the
+//! rendered `softwatt-run-v1` bodies. Results come back in the
+//! coordinator's deterministic cell order no matter how many workers
+//! join, die, or stall — simulations are deterministic, so any worker
+//! computing a cell produces the same bytes, and the coordinator's
+//! output is byte-stable across cluster shapes.
+//!
+//! Fault model:
+//!
+//! - a worker disconnecting (crash, SIGKILL) returns its leased cells
+//!   to the pending queue immediately;
+//! - a worker that stays connected but silent past the lease timeout is
+//!   dropped outright — the protocol has no cancel frame, so a worker
+//!   past its lease is in an unknown state, and merely requeueing the
+//!   cell would hand it straight back to the same stalled worker; a
+//!   recovered worker just reconnects (a late result racing the drop is
+//!   still accepted if the cell is unfilled — first result wins);
+//! - a worker reporting a cell failure ([`Frame::Err`]) gets it
+//!   reassigned, with a per-cell attempt cap so a poisoned cell fails
+//!   the run instead of looping forever.
+//!
+//! The coordinator is a single-threaded epoll loop over the same
+//! `serve::sys` bindings as the HTTP reactor; workers are plain
+//! blocking loops around [`Frame::read_from`]/[`Frame::write_to`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::time::{Duration, Instant};
+
+use softwatt::experiments::DiskSetup;
+use softwatt::{CpuModel, ExperimentSuite, RunKey, WorkloadKey};
+use softwatt_obs::{count, gauge_set, obs_event, Level};
+use softwatt_serve::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+use crate::wire::{Frame, SWFABRIC_MAGIC};
+
+const TARGET: &str = "fabric";
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// A cell failing this many leases aborts the run: it is poisoned, not
+/// unlucky.
+const MAX_CELL_ATTEMPTS: u32 = 5;
+
+/// One grid cell in wire form (label strings, not enum values, so the
+/// protocol never depends on enum layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// `WorkloadKey::label` form.
+    pub workload: String,
+    /// `CpuModel::name` form.
+    pub cpu: String,
+    /// `DiskSetup::name` form.
+    pub disk: String,
+}
+
+impl Cell {
+    /// Wire form of a run key.
+    pub fn from_run_key(key: RunKey) -> Cell {
+        Cell {
+            workload: key.workload.label(),
+            cpu: key.cpu.name().to_string(),
+            disk: key.disk.name().to_string(),
+        }
+    }
+
+    /// Parses back to a run key; `None` for unknown labels.
+    pub fn to_run_key(&self) -> Option<RunKey> {
+        Some(RunKey {
+            workload: WorkloadKey::from_label(&self.workload)?,
+            cpu: CpuModel::from_name(&self.cpu)?,
+            disk: DiskSetup::from_name(&self.disk)?,
+        })
+    }
+}
+
+/// Coordinator tuning.
+#[derive(Debug, Clone)]
+pub struct CoordinateOpts {
+    /// Grants a single worker may hold at once (further bounded by the
+    /// worker's own `Hello` capacity).
+    pub outstanding_per_worker: u64,
+    /// Silence budget per lease before the cell is reassigned.
+    pub lease_timeout: Duration,
+    /// Abort if this long passes with no worker connected and no result
+    /// arriving; `None` waits forever (workers may join late).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for CoordinateOpts {
+    fn default() -> CoordinateOpts {
+        CoordinateOpts {
+            outstanding_per_worker: 2,
+            lease_timeout: Duration::from_secs(120),
+            idle_timeout: None,
+        }
+    }
+}
+
+struct Lease {
+    cell: usize,
+    token: u64,
+    granted: Instant,
+}
+
+struct Worker {
+    stream: TcpStream,
+    node: String,
+    hello: bool,
+    capacity: u64,
+    outstanding: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    wpos: usize,
+    interest: u32,
+}
+
+impl Worker {
+    fn budget(&self, opts: &CoordinateOpts) -> u64 {
+        self.capacity.min(opts.outstanding_per_worker)
+    }
+}
+
+struct Coordinator<'a> {
+    epoll: Epoll,
+    listener: TcpListener,
+    cells: &'a [Cell],
+    opts: &'a CoordinateOpts,
+    workers: HashMap<u64, Worker>,
+    pending: BinaryHeap<Reverse<usize>>,
+    leases: HashMap<u64, Lease>,
+    attempts: Vec<u32>,
+    results: Vec<Option<Vec<u8>>>,
+    filled: usize,
+    next_token: u64,
+    next_lease: u64,
+    last_progress: Instant,
+}
+
+/// Farms `cells` out to whatever workers connect to `listener` and
+/// returns their result bodies in cell order.
+///
+/// # Errors
+///
+/// Propagates epoll/listener failures, a cell exceeding the attempt
+/// cap, or the idle timeout expiring with work left.
+pub fn coordinate(
+    listener: TcpListener,
+    cells: &[Cell],
+    opts: &CoordinateOpts,
+) -> io::Result<Vec<Vec<u8>>> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+    let mut c = Coordinator {
+        epoll,
+        listener,
+        cells,
+        opts,
+        workers: HashMap::new(),
+        pending: (0..cells.len()).map(Reverse).collect(),
+        leases: HashMap::new(),
+        attempts: vec![0; cells.len()],
+        results: vec![None; cells.len()],
+        filled: 0,
+        next_token: 0,
+        next_lease: 0,
+        last_progress: Instant::now(),
+    };
+    c.run()?;
+    Ok(c.results.into_iter().map(Option::unwrap).collect())
+}
+
+impl Coordinator<'_> {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        while self.filled < self.cells.len() {
+            let n = self.epoll.wait(&mut events, 100);
+            for ev in &events[..n] {
+                let token = ev.data;
+                let mask = ev.events;
+                if token == LISTENER_TOKEN {
+                    self.accept_all();
+                    continue;
+                }
+                if mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+                    self.drop_worker(token, "hangup");
+                    continue;
+                }
+                if mask & EPOLLIN != 0 {
+                    self.readable(token);
+                }
+                if mask & EPOLLOUT != 0 {
+                    self.flush(token);
+                }
+            }
+            self.expire_leases();
+            self.grant_all()?;
+            if let Some(limit) = self.opts.idle_timeout {
+                if self.workers.is_empty() && self.last_progress.elapsed() > limit {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "no workers for {limit:?} with {} cells unfilled",
+                            self.cells.len() - self.filled
+                        ),
+                    ));
+                }
+            }
+        }
+        self.finish();
+        Ok(())
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            let (stream, addr) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            let interest = EPOLLIN | EPOLLRDHUP;
+            if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                continue;
+            }
+            obs_event!(Level::Info, TARGET, "worker connected from {addr}");
+            self.workers.insert(
+                token,
+                Worker {
+                    stream,
+                    node: addr.to_string(),
+                    hello: false,
+                    capacity: 0,
+                    outstanding: 0,
+                    read_buf: Vec::new(),
+                    write_buf: Vec::new(),
+                    wpos: 0,
+                    interest,
+                },
+            );
+            self.last_progress = Instant::now();
+        }
+    }
+
+    fn drop_worker(&mut self, token: u64, why: &str) {
+        let Some(worker) = self.workers.remove(&token) else {
+            return;
+        };
+        self.epoll.delete(worker.stream.as_raw_fd());
+        let stranded: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.token == token)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stranded {
+            let lease = self.leases.remove(&id).expect("lease present");
+            if self.results[lease.cell].is_none() {
+                self.pending.push(Reverse(lease.cell));
+                count("fabric.grid.reassigned", 1);
+            }
+        }
+        gauge_set("fabric.grid.workers", self.workers.len() as f64);
+        obs_event!(
+            Level::Info,
+            TARGET,
+            "worker {} dropped ({why}); leases returned",
+            worker.node
+        );
+    }
+
+    fn readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(worker) = self.workers.get_mut(&token) else {
+                return;
+            };
+            match worker.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.drop_worker(token, "closed");
+                    return;
+                }
+                Ok(n) => worker.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_worker(token, "read error");
+                    return;
+                }
+            }
+        }
+        // Drain every complete frame buffered so far.
+        loop {
+            let Some(worker) = self.workers.get_mut(&token) else {
+                return;
+            };
+            match Frame::decode(&worker.read_buf) {
+                Ok(Some((frame, used))) => {
+                    worker.read_buf.drain(..used);
+                    if !self.handle_frame(token, frame) {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    obs_event!(Level::Warn, TARGET, "protocol error from worker: {e}");
+                    self.drop_worker(token, "protocol error");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Returns `false` when the worker was dropped.
+    fn handle_frame(&mut self, token: u64, frame: Frame) -> bool {
+        match frame {
+            Frame::Hello {
+                magic,
+                node,
+                capacity,
+            } => {
+                if magic != SWFABRIC_MAGIC {
+                    obs_event!(
+                        Level::Warn,
+                        TARGET,
+                        "worker {node} speaks {magic:?}, want {SWFABRIC_MAGIC:?}"
+                    );
+                    self.drop_worker(token, "version mismatch");
+                    return false;
+                }
+                let worker = self.workers.get_mut(&token).expect("worker present");
+                worker.hello = true;
+                worker.node = node;
+                worker.capacity = capacity.max(1);
+                gauge_set("fabric.grid.workers", self.workers.len() as f64);
+            }
+            Frame::Result { lease, cell, body } => {
+                let cell = cell as usize;
+                if let Some(held) = self.leases.get(&lease) {
+                    if held.cell != cell {
+                        self.drop_worker(token, "lease/cell mismatch");
+                        return false;
+                    }
+                    self.leases.remove(&lease);
+                    if let Some(worker) = self.workers.get_mut(&token) {
+                        worker.outstanding = worker.outstanding.saturating_sub(1);
+                    }
+                } else {
+                    // Lease already expired and reassigned; the bytes
+                    // are still good if the cell is unfilled.
+                    count("fabric.grid.late_results", 1);
+                }
+                if cell < self.results.len() && self.results[cell].is_none() {
+                    self.results[cell] = Some(body);
+                    self.filled += 1;
+                    self.last_progress = Instant::now();
+                    count("fabric.grid.results", 1);
+                }
+            }
+            Frame::Err { lease, message } => {
+                obs_event!(
+                    Level::Warn,
+                    TARGET,
+                    "worker failed lease {lease}: {message}"
+                );
+                count("fabric.grid.cell_errors", 1);
+                if let Some(held) = self.leases.remove(&lease) {
+                    if let Some(worker) = self.workers.get_mut(&token) {
+                        worker.outstanding = worker.outstanding.saturating_sub(1);
+                    }
+                    if self.results[held.cell].is_none() {
+                        self.pending.push(Reverse(held.cell));
+                        count("fabric.grid.reassigned", 1);
+                    }
+                }
+            }
+            Frame::Grant { .. } | Frame::Done => {
+                self.drop_worker(token, "unexpected coordinator frame");
+                return false;
+            }
+        }
+        true
+    }
+
+    fn expire_leases(&mut self) {
+        let expired: Vec<(u64, u64)> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.granted.elapsed() > self.opts.lease_timeout)
+            .map(|(id, l)| (*id, l.token))
+            .collect();
+        for (id, token) in expired {
+            // Dropping the first expired lease's worker returns all of
+            // that worker's leases, possibly including later entries of
+            // this batch.
+            if !self.leases.contains_key(&id) {
+                continue;
+            }
+            count("fabric.grid.lease_expired", 1);
+            obs_event!(
+                Level::Warn,
+                TARGET,
+                "lease {id} expired; dropping its worker and reassigning"
+            );
+            self.drop_worker(token, "lease expired");
+        }
+    }
+
+    fn grant_all(&mut self) -> io::Result<()> {
+        // Deterministic grant order: lowest cell index first, workers in
+        // token (connection) order.
+        loop {
+            let Some(&Reverse(cell)) = self.pending.peek() else {
+                return Ok(());
+            };
+            if self.results[cell].is_some() {
+                // Filled by a late result while queued; drop it.
+                self.pending.pop();
+                continue;
+            }
+            let mut tokens: Vec<u64> = self.workers.keys().copied().collect();
+            tokens.sort_unstable();
+            let Some(token) = tokens.into_iter().find(|t| {
+                let w = &self.workers[t];
+                w.hello && w.outstanding < w.budget(self.opts)
+            }) else {
+                return Ok(());
+            };
+            self.pending.pop();
+            if self.attempts[cell] >= MAX_CELL_ATTEMPTS {
+                return Err(io::Error::other(format!(
+                    "cell {cell} ({:?}) failed {MAX_CELL_ATTEMPTS} leases; aborting",
+                    self.cells[cell]
+                )));
+            }
+            self.attempts[cell] += 1;
+            let lease = self.next_lease;
+            self.next_lease += 1;
+            self.leases.insert(
+                lease,
+                Lease {
+                    cell,
+                    token,
+                    granted: Instant::now(),
+                },
+            );
+            let spec = &self.cells[cell];
+            let frame = Frame::Grant {
+                lease,
+                cell: cell as u64,
+                workload: spec.workload.clone(),
+                cpu: spec.cpu.clone(),
+                disk: spec.disk.clone(),
+            };
+            let worker = self.workers.get_mut(&token).expect("worker present");
+            frame.encode(&mut worker.write_buf);
+            worker.outstanding += 1;
+            count("fabric.grid.granted", 1);
+            self.flush(token);
+        }
+    }
+
+    fn flush(&mut self, token: u64) {
+        let Some(worker) = self.workers.get_mut(&token) else {
+            return;
+        };
+        while worker.wpos < worker.write_buf.len() {
+            match worker.stream.write(&worker.write_buf[worker.wpos..]) {
+                Ok(0) => {
+                    self.drop_worker(token, "write closed");
+                    return;
+                }
+                Ok(n) => worker.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_worker(token, "write error");
+                    return;
+                }
+            }
+        }
+        if worker.wpos == worker.write_buf.len() {
+            worker.write_buf.clear();
+            worker.wpos = 0;
+        }
+        let want = if worker.write_buf.is_empty() {
+            EPOLLIN | EPOLLRDHUP
+        } else {
+            EPOLLIN | EPOLLRDHUP | EPOLLOUT
+        };
+        if want != worker.interest {
+            worker.interest = want;
+            let _ = self.epoll.modify(worker.stream.as_raw_fd(), want, token);
+        }
+    }
+
+    /// All cells filled: tell every worker to drain and go home.
+    fn finish(&mut self) {
+        let tokens: Vec<u64> = self.workers.keys().copied().collect();
+        for token in tokens {
+            if let Some(worker) = self.workers.get_mut(&token) {
+                Frame::Done.encode(&mut worker.write_buf);
+                // Best-effort blocking flush; the run is already done.
+                let _ = worker.stream.set_nonblocking(false);
+                let _ = worker
+                    .stream
+                    .set_write_timeout(Some(Duration::from_secs(2)));
+                let buf = std::mem::take(&mut worker.write_buf);
+                let _ = worker.stream.write_all(&buf[worker.wpos..]);
+            }
+        }
+    }
+}
+
+/// Runs one blocking worker loop against a coordinator: `Hello`, then
+/// compute every `Grant` through `suite` until `Done`. Returns how many
+/// cells this worker computed.
+///
+/// # Errors
+///
+/// Propagates connect/protocol failures; cell-level failures are
+/// reported to the coordinator as [`Frame::Err`] and do not abort the
+/// worker.
+pub fn work(
+    coordinator: SocketAddr,
+    node: &str,
+    suite: &ExperimentSuite,
+    capacity: u64,
+) -> io::Result<usize> {
+    let mut stream = TcpStream::connect(coordinator)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    Frame::Hello {
+        magic: SWFABRIC_MAGIC.to_string(),
+        node: node.to_string(),
+        capacity,
+    }
+    .write_to(&mut stream)?;
+    let mut computed = 0usize;
+    loop {
+        match Frame::read_from(&mut reader)? {
+            Frame::Grant {
+                lease,
+                cell,
+                workload,
+                cpu,
+                disk,
+            } => {
+                let spec = Cell {
+                    workload,
+                    cpu,
+                    disk,
+                };
+                let reply = match spec.to_run_key() {
+                    Some(key)
+                        if key.workload.canned().is_some()
+                            || suite.spec_for(key.workload).is_some() =>
+                    {
+                        let bundle = suite.run_key(key);
+                        let body = softwatt::json::run_bundle(key, &bundle);
+                        computed += 1;
+                        count("fabric.grid.cells_computed", 1);
+                        Frame::Result {
+                            lease,
+                            cell,
+                            body: body.into_bytes(),
+                        }
+                    }
+                    _ => Frame::Err {
+                        lease,
+                        message: format!(
+                            "unknown cell {}/{}/{}",
+                            spec.workload, spec.cpu, spec.disk
+                        ),
+                    },
+                };
+                reply.write_to(&mut stream)?;
+            }
+            Frame::Done => return Ok(computed),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected frame from coordinator: {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softwatt::{Benchmark, SystemConfig};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn quick_suite() -> ExperimentSuite {
+        ExperimentSuite::new(SystemConfig {
+            time_scale: 50_000.0,
+            ..SystemConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn small_grid() -> Vec<Cell> {
+        [
+            RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Conventional),
+            RunKey::canned(Benchmark::Jess, CpuModel::Mxs, DiskSetup::Standby2s),
+            RunKey::canned(Benchmark::Db, CpuModel::Mxs, DiskSetup::Conventional),
+            RunKey::canned(Benchmark::Jess, CpuModel::Mipsy, DiskSetup::Conventional),
+        ]
+        .into_iter()
+        .map(Cell::from_run_key)
+        .collect()
+    }
+
+    fn bind_local() -> (TcpListener, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        (listener, addr)
+    }
+
+    fn run_cluster(cells: &[Cell], opts: &CoordinateOpts, workers: usize) -> Vec<Vec<u8>> {
+        let (listener, addr) = bind_local();
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                thread::spawn(move || {
+                    let suite = quick_suite();
+                    work(addr, &format!("w{i}"), &suite, 2).unwrap()
+                })
+            })
+            .collect();
+        let bodies = coordinate(listener, cells, opts).unwrap();
+        let computed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(computed, cells.len(), "every cell computed exactly once");
+        bodies
+    }
+
+    #[test]
+    fn results_are_complete_and_byte_stable_across_cluster_shapes() {
+        let cells = small_grid();
+        let opts = CoordinateOpts::default();
+        let solo = run_cluster(&cells, &opts, 1);
+        let duo = run_cluster(&cells, &opts, 3);
+        assert_eq!(solo.len(), cells.len());
+        assert_eq!(solo, duo, "output is byte-stable across cluster shapes");
+        for (cell, body) in cells.iter().zip(&solo) {
+            let text = std::str::from_utf8(body).unwrap();
+            assert!(text.contains("softwatt-run-v1"), "{cell:?}: run bundle");
+            assert!(text.contains(&cell.workload), "{cell:?}: right workload");
+        }
+    }
+
+    #[test]
+    fn worker_death_reassigns_its_leases() {
+        let cells = small_grid();
+        let (listener, addr) = bind_local();
+        // A deserter: says hello, takes a grant, and dies holding it.
+        let deserter = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                magic: SWFABRIC_MAGIC.to_string(),
+                node: "deserter".into(),
+                capacity: 2,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            match Frame::read_from(&mut reader).unwrap() {
+                Frame::Grant { .. } => drop(stream), // die holding the lease
+                other => panic!("expected a grant, got {other:?}"),
+            }
+        });
+        let survivor = thread::spawn(move || {
+            // Give the deserter a head start at the grant queue.
+            thread::sleep(Duration::from_millis(150));
+            let suite = quick_suite();
+            work(addr, "survivor", &suite, 2).unwrap()
+        });
+        let bodies = coordinate(listener, &cells, &CoordinateOpts::default()).unwrap();
+        deserter.join().unwrap();
+        assert_eq!(survivor.join().unwrap(), cells.len());
+        assert_eq!(bodies.len(), cells.len(), "deserted cells reassigned");
+    }
+
+    #[test]
+    fn silent_worker_loses_the_lease_on_timeout() {
+        let cells = small_grid();
+        let (listener, addr) = bind_local();
+        // Long enough that the honest worker never blows a lease on a
+        // loaded test machine, short enough to keep the test quick.
+        let opts = CoordinateOpts {
+            lease_timeout: Duration::from_millis(800),
+            ..CoordinateOpts::default()
+        };
+        // Connected and polite, but never answers a grant.
+        let (stall_tx, stall_rx) = std::sync::mpsc::channel::<()>();
+        let staller = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                magic: SWFABRIC_MAGIC.to_string(),
+                node: "staller".into(),
+                capacity: 1,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            let _ = stall_rx.recv(); // hold the socket open until the end
+        });
+        let worker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(150));
+            let suite = quick_suite();
+            work(addr, "worker", &suite, 2).unwrap()
+        });
+        let bodies = coordinate(listener, &cells, &opts).unwrap();
+        assert_eq!(bodies.len(), cells.len(), "stalled lease reassigned");
+        assert_eq!(worker.join().unwrap(), cells.len());
+        let _ = stall_tx.send(());
+        staller.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_cell_aborts_instead_of_looping() {
+        let cells = vec![Cell {
+            workload: "jess".into(),
+            cpu: "mxs".into(),
+            disk: "conv".into(),
+        }];
+        let (listener, addr) = bind_local();
+        // Always fails its grants: the coordinator must give up after
+        // MAX_CELL_ATTEMPTS rather than retry forever.
+        let saboteur = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                magic: SWFABRIC_MAGIC.to_string(),
+                node: "saboteur".into(),
+                capacity: 1,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            while let Ok(Frame::Grant { lease, .. }) = Frame::read_from(&mut reader) {
+                Frame::Err {
+                    lease,
+                    message: "sabotage".into(),
+                }
+                .write_to(&mut stream)
+                .unwrap();
+            }
+        });
+        let err = coordinate(listener, &cells, &CoordinateOpts::default()).unwrap_err();
+        assert!(err.to_string().contains("failed"), "got: {err}");
+        saboteur.join().unwrap();
+    }
+
+    #[test]
+    fn idle_timeout_aborts_a_workerless_run() {
+        let cells = small_grid();
+        let (listener, _) = bind_local();
+        let opts = CoordinateOpts {
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..CoordinateOpts::default()
+        };
+        let err = coordinate(listener, &cells, &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let cells = small_grid();
+        let (listener, addr) = bind_local();
+        let opts = CoordinateOpts {
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..CoordinateOpts::default()
+        };
+        let stranger = thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                magic: "swfabric-v0".into(),
+                node: "stranger".into(),
+                capacity: 1,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            // The coordinator must hang up on us, not grant.
+            let mut reader = BufReader::new(stream);
+            assert!(Frame::read_from(&mut reader).is_err(), "connection closed");
+        });
+        // With its only "worker" rejected the run times out idle.
+        let err = coordinate(listener, &cells, &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        stranger.join().unwrap();
+    }
+
+    #[test]
+    fn cell_round_trips_through_run_key() {
+        let suite = Arc::new(quick_suite());
+        for key in suite.paper_grid() {
+            let cell = Cell::from_run_key(key);
+            assert_eq!(cell.to_run_key(), Some(key), "{cell:?}");
+        }
+        let bogus = Cell {
+            workload: "quake".into(),
+            cpu: "mxs".into(),
+            disk: "conv".into(),
+        };
+        assert_eq!(bogus.to_run_key(), None);
+    }
+}

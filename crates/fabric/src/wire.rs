@@ -1,0 +1,442 @@
+//! `swfabric-v1`: the compact length-prefixed binary framing the grid
+//! coordinator and its workers speak.
+//!
+//! Layout of one frame on the wire:
+//!
+//! | field    | encoding                                  |
+//! |----------|-------------------------------------------|
+//! | type     | 1 byte ([`Frame`] discriminant)           |
+//! | len      | LEB128 varint, payload byte count         |
+//! | payload  | `len` bytes, type-specific fields         |
+//! | checksum | 8 bytes LE, FNV-1a-64 over type + payload |
+//!
+//! Payload fields reuse the `swtrace` building blocks from
+//! `softwatt-stats`: varints for integers and varint-length-prefixed
+//! byte strings. The checksum covers the type byte so a frame cannot be
+//! reinterpreted as a different type by a one-byte corruption. A
+//! connection opens with a [`Frame::Hello`], which carries the protocol
+//! magic — version skew fails fast at the handshake instead of
+//! mid-stream.
+//!
+//! Decoding is incremental: [`Frame::decode`] returns `Ok(None)` while
+//! the buffer holds only a prefix of a frame, which is exactly what the
+//! coordinator's epoll loop needs; blocking peers use
+//! [`Frame::read_from`] / [`Frame::write_to`].
+
+use std::io::{self, Read, Write};
+
+use softwatt_stats::hash::fnv1a;
+use softwatt_stats::varint::{decode as varint_decode, put_varint, read_varint};
+
+/// Protocol identifier carried in every `Hello`.
+pub const SWFABRIC_MAGIC: &str = "swfabric-v1";
+
+/// Ceiling on a single frame's payload. Grid result bodies are a few KB
+/// of JSON; anything near this is corruption, and bounding it keeps a
+/// bad length prefix from ballooning a read buffer.
+pub const MAX_FRAME_BYTES: u64 = 16 * 1024 * 1024;
+
+const TYPE_HELLO: u8 = 0x01;
+const TYPE_GRANT: u8 = 0x02;
+const TYPE_RESULT: u8 = 0x03;
+const TYPE_DONE: u8 = 0x04;
+const TYPE_ERR: u8 = 0x05;
+
+/// One `swfabric-v1` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator greeting: protocol magic, the worker's
+    /// self-reported name (diagnostics only), and how many grants it is
+    /// willing to hold at once.
+    Hello {
+        /// Must equal [`SWFABRIC_MAGIC`]; checked by the coordinator.
+        magic: String,
+        /// Worker name for logs and lease bookkeeping.
+        node: String,
+        /// Upper bound on outstanding grants the worker accepts.
+        capacity: u64,
+    },
+    /// Coordinator → worker: compute one grid cell under a lease.
+    Grant {
+        /// Lease identifier; echoed back in the `Result`.
+        lease: u64,
+        /// Index of the cell in the coordinator's deterministic order.
+        cell: u64,
+        /// Workload label (`WorkloadKey::label` form).
+        workload: String,
+        /// CPU model name (`CpuModel::name` form).
+        cpu: String,
+        /// Disk setup name (`DiskSetup::name` form).
+        disk: String,
+    },
+    /// Worker → coordinator: the cell's rendered result body.
+    Result {
+        /// The lease being fulfilled.
+        lease: u64,
+        /// The cell index, for cross-checking against the lease table.
+        cell: u64,
+        /// The `softwatt-run-v1` JSON bundle bytes.
+        body: Vec<u8>,
+    },
+    /// Coordinator → worker: no more work; drain and disconnect.
+    Done,
+    /// Worker → coordinator: a grant could not be computed (unknown
+    /// cell labels, poisoned simulation). The coordinator reassigns.
+    Err {
+        /// The failed lease.
+        lease: u64,
+        /// Human-readable cause for the coordinator's log.
+        message: String,
+    },
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("swfabric: {msg}"))
+}
+
+/// Cursor over a frame payload.
+struct Fields<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn varint(&mut self) -> io::Result<u64> {
+        match varint_decode(&self.data[self.pos..]) {
+            Ok(Some((v, used))) => {
+                self.pos += used;
+                Ok(v)
+            }
+            Ok(None) => Err(bad("truncated payload varint")),
+            Err(_) => Err(bad("payload varint overflows u64")),
+        }
+    }
+
+    fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let len = self.varint()? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| bad("byte field overruns payload"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| bad("non-UTF-8 string field"))
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in payload"))
+        }
+    }
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TYPE_HELLO,
+            Frame::Grant { .. } => TYPE_GRANT,
+            Frame::Result { .. } => TYPE_RESULT,
+            Frame::Done => TYPE_DONE,
+            Frame::Err { .. } => TYPE_ERR,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello {
+                magic,
+                node,
+                capacity,
+            } => {
+                put_bytes(&mut out, magic.as_bytes());
+                put_bytes(&mut out, node.as_bytes());
+                put_varint(&mut out, *capacity);
+            }
+            Frame::Grant {
+                lease,
+                cell,
+                workload,
+                cpu,
+                disk,
+            } => {
+                put_varint(&mut out, *lease);
+                put_varint(&mut out, *cell);
+                put_bytes(&mut out, workload.as_bytes());
+                put_bytes(&mut out, cpu.as_bytes());
+                put_bytes(&mut out, disk.as_bytes());
+            }
+            Frame::Result { lease, cell, body } => {
+                put_varint(&mut out, *lease);
+                put_varint(&mut out, *cell);
+                put_bytes(&mut out, body);
+            }
+            Frame::Done => {}
+            Frame::Err { lease, message } => {
+                put_varint(&mut out, *lease);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let ty = self.type_byte();
+        let payload = self.payload();
+        out.push(ty);
+        put_varint(out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        let mut sum = Vec::with_capacity(payload.len() + 1);
+        sum.push(ty);
+        sum.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a(&sum).to_le_bytes());
+    }
+
+    fn parse(ty: u8, payload: &[u8]) -> io::Result<Frame> {
+        let mut f = Fields {
+            data: payload,
+            pos: 0,
+        };
+        let frame = match ty {
+            TYPE_HELLO => Frame::Hello {
+                magic: f.string()?,
+                node: f.string()?,
+                capacity: f.varint()?,
+            },
+            TYPE_GRANT => Frame::Grant {
+                lease: f.varint()?,
+                cell: f.varint()?,
+                workload: f.string()?,
+                cpu: f.string()?,
+                disk: f.string()?,
+            },
+            TYPE_RESULT => Frame::Result {
+                lease: f.varint()?,
+                cell: f.varint()?,
+                body: f.bytes()?.to_vec(),
+            },
+            TYPE_DONE => Frame::Done,
+            TYPE_ERR => Frame::Err {
+                lease: f.varint()?,
+                message: f.string()?,
+            },
+            other => return Err(bad(&format!("unknown frame type 0x{other:02x}"))),
+        };
+        f.finish()?;
+        Ok(frame)
+    }
+
+    /// Decodes one frame from the front of `buf`. `Ok(None)` means the
+    /// buffer holds only a prefix — read more and retry. On success the
+    /// second element is how many bytes the frame consumed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for an unknown type, an oversized or malformed
+    /// length, a checksum mismatch, or payload fields that do not parse.
+    pub fn decode(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let ty = buf[0];
+        let (len, len_used) = match varint_decode(&buf[1..]) {
+            Ok(Some(pair)) => pair,
+            Ok(None) => return Ok(None),
+            Err(_) => return Err(bad("frame length varint overflows u64")),
+        };
+        if len > MAX_FRAME_BYTES {
+            return Err(bad(&format!("frame payload {len} exceeds cap")));
+        }
+        let header = 1 + len_used;
+        let total = header + len as usize + 8;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &buf[header..header + len as usize];
+        let mut sum = Vec::with_capacity(payload.len() + 1);
+        sum.push(ty);
+        sum.extend_from_slice(payload);
+        let want = fnv1a(&sum);
+        let mut got = [0u8; 8];
+        got.copy_from_slice(&buf[header + len as usize..total]);
+        if u64::from_le_bytes(got) != want {
+            return Err(bad("frame checksum mismatch"));
+        }
+        Ok(Some((Frame::parse(ty, payload)?, total)))
+    }
+
+    /// Blocking write of one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        w.write_all(&out)
+    }
+
+    /// Blocking read of one frame. Reads exactly the frame's bytes —
+    /// never past its end — so it is safe on a stream carrying further
+    /// frames (the worker's Grant/Result loop).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` on a closed stream, `InvalidData` for anything
+    /// [`Frame::decode`] rejects.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Frame> {
+        let mut ty = [0u8; 1];
+        r.read_exact(&mut ty)?;
+        let len = read_varint(r)?;
+        if len > MAX_FRAME_BYTES {
+            return Err(bad(&format!("frame payload {len} exceeds cap")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let mut sum8 = [0u8; 8];
+        r.read_exact(&mut sum8)?;
+        let mut sum = Vec::with_capacity(payload.len() + 1);
+        sum.push(ty[0]);
+        sum.extend_from_slice(&payload);
+        if u64::from_le_bytes(sum8) != fnv1a(&sum) {
+            return Err(bad("frame checksum mismatch"));
+        }
+        Frame::parse(ty[0], &payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                magic: SWFABRIC_MAGIC.to_string(),
+                node: "worker-a".to_string(),
+                capacity: 2,
+            },
+            Frame::Grant {
+                lease: 7,
+                cell: 12,
+                workload: "jess".to_string(),
+                cpu: "simple".to_string(),
+                disk: "standby2".to_string(),
+            },
+            Frame::Result {
+                lease: 7,
+                cell: 12,
+                body: b"{\"schema\":\"softwatt-run-v1\"}".to_vec(),
+            },
+            Frame::Done,
+            Frame::Err {
+                lease: 9,
+                message: "unknown cpu".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in samples() {
+            let mut buf = Vec::new();
+            frame.encode(&mut buf);
+            let (back, used) = Frame::decode(&buf).unwrap().unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        for frame in samples() {
+            frame.encode(&mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((frame, used)) = Frame::decode(&buf[offset..]).unwrap() {
+            decoded.push(frame);
+            offset += used;
+        }
+        assert_eq!(offset, buf.len());
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_an_error() {
+        for frame in samples() {
+            let mut buf = Vec::new();
+            frame.encode(&mut buf);
+            for cut in 0..buf.len() {
+                assert!(
+                    Frame::decode(&buf[..cut]).unwrap().is_none(),
+                    "prefix of {cut} bytes must read as incomplete"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut buf = Vec::new();
+        Frame::Result {
+            lease: 1,
+            cell: 2,
+            body: vec![0xAB; 64],
+        }
+        .encode(&mut buf);
+        // Flip one payload byte: checksum catches it.
+        let mut bad_payload = buf.clone();
+        bad_payload[10] ^= 0x40;
+        assert!(Frame::decode(&bad_payload).is_err());
+        // Flip the type byte: checksum covers it too.
+        let mut bad_type = buf.clone();
+        bad_type[0] = TYPE_GRANT;
+        assert!(Frame::decode(&bad_type).is_err());
+        // Unknown type with a valid checksum is still rejected.
+        let mut unknown = Vec::new();
+        unknown.push(0x7F);
+        put_varint(&mut unknown, 0);
+        unknown.extend_from_slice(&fnv1a(&[0x7F]).to_le_bytes());
+        assert!(Frame::decode(&unknown).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut buf = vec![TYPE_RESULT];
+        put_varint(&mut buf, MAX_FRAME_BYTES + 1);
+        assert!(Frame::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn blocking_read_write_round_trip() {
+        let mut wire = Vec::new();
+        for frame in samples() {
+            frame.write_to(&mut wire).unwrap();
+        }
+        // read_from must consume exactly one frame per call and leave
+        // the stream positioned on the next — the worker's read loop
+        // depends on never over-reading.
+        let mut reader: &[u8] = &wire;
+        for expect in samples() {
+            assert_eq!(Frame::read_from(&mut reader).unwrap(), expect);
+        }
+        assert!(reader.is_empty());
+        let err = Frame::read_from(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

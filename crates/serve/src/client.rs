@@ -28,6 +28,28 @@ impl ClientResponse {
     }
 }
 
+/// A response whose body stays raw bytes — the trace-transfer endpoint
+/// returns `swtrace-v1` binary, which is not UTF-8.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// First header with the given lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// A persistent connection to the service.
 pub struct Client {
     stream: TcpStream,
@@ -67,12 +89,13 @@ impl Client {
         self.stream.flush()
     }
 
-    /// Reads one response (headers + `Content-Length` body).
+    /// Reads one response (headers + `Content-Length` body), keeping the
+    /// body as raw bytes.
     ///
     /// # Errors
     ///
     /// Fails on timeouts, early EOF, or an unparsable status line.
-    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+    pub fn read_response_bytes(&mut self) -> io::Result<RawResponse> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -111,10 +134,26 @@ impl Client {
             .ok_or_else(|| bad("missing content-length"))?;
         let mut body = vec![0u8; len];
         self.reader.read_exact(&mut body)?;
-        let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
-        Ok(ClientResponse {
+        Ok(RawResponse {
             status,
             headers,
+            body,
+        })
+    }
+
+    /// Reads one response, decoding the body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on timeouts, early EOF, an unparsable status line, or a
+    /// non-UTF-8 body.
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let raw = self.read_response_bytes()?;
+        let body = String::from_utf8(raw.body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok(ClientResponse {
+            status: raw.status,
+            headers: raw.headers,
             body,
         })
     }
@@ -127,5 +166,20 @@ impl Client {
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
         self.send_request(method, path, body)?;
         self.read_response()
+    }
+
+    /// Request + raw-bytes response in one call (binary endpoints).
+    ///
+    /// # Errors
+    ///
+    /// Propagates either half's failure.
+    pub fn request_bytes(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<RawResponse> {
+        self.send_request(method, path, body)?;
+        self.read_response_bytes()
     }
 }

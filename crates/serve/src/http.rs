@@ -205,6 +205,10 @@ pub struct Response {
     pub status: u16,
     /// JSON body.
     pub body: String,
+    /// Raw-bytes body for binary endpoints (the trace-transfer route).
+    /// When set it replaces `body` on the wire and the `Content-Type`
+    /// becomes `application/octet-stream`.
+    pub binary: Option<Vec<u8>>,
     /// Seconds for a `Retry-After` header, if any.
     pub retry_after: Option<u32>,
     /// Lane label for the `X-Softwatt-Lane` header, if any.
@@ -213,6 +217,10 @@ pub struct Response {
     pub fidelity: Option<&'static str>,
     /// Error bound (percent) for `X-Softwatt-Error-Bound-Pct`, if any.
     pub error_bound_pct: Option<f64>,
+    /// Where the answer's trace came from (`local` | `peer` | `sim`),
+    /// surfaced as `X-Softwatt-Source` so cluster tests can audit the
+    /// fabric without scraping metrics.
+    pub source: Option<&'static str>,
 }
 
 impl Response {
@@ -221,11 +229,20 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            binary: None,
             retry_after: None,
             lane: None,
             fidelity: None,
             error_bound_pct: None,
+            source: None,
         }
+    }
+
+    /// A binary (`application/octet-stream`) response.
+    pub fn binary(status: u16, bytes: Vec<u8>) -> Response {
+        let mut r = Response::json(status, String::new());
+        r.binary = Some(bytes);
+        r
     }
 
     /// A structured JSON error: `{"error": {"code", "message"}}`.
@@ -262,6 +279,13 @@ impl Response {
     ) -> Response {
         self.fidelity = Some(fidelity);
         self.error_bound_pct = error_bound_pct;
+        self
+    }
+
+    /// Tags the response with its trace source (`local`/`peer`/`sim`).
+    #[must_use]
+    pub fn with_source(mut self, source: &'static str) -> Response {
+        self.source = Some(source);
         self
     }
 }
@@ -301,12 +325,16 @@ pub fn reason(status: u16) -> &'static str {
 /// reactor writes into a `Vec<u8>` connection buffer (infallible); tests
 /// write into sockets directly.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::Result<()> {
+    let (content_type, payload): (&str, &[u8]) = match &resp.binary {
+        Some(bytes) => ("application/octet-stream", bytes),
+        None => ("application/json", resp.body.as_bytes()),
+    };
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         resp.status,
         reason(resp.status),
-        resp.body.len()
+        payload.len()
     )?;
     if let Some(secs) = resp.retry_after {
         write!(w, "Retry-After: {secs}\r\n")?;
@@ -320,12 +348,15 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response, close: bool) -> io::
     if let Some(bound) = resp.error_bound_pct {
         write!(w, "X-Softwatt-Error-Bound-Pct: {bound:?}\r\n")?;
     }
+    if let Some(source) = resp.source {
+        write!(w, "X-Softwatt-Source: {source}\r\n")?;
+    }
     write!(
         w,
         "Connection: {}\r\n\r\n",
         if close { "close" } else { "keep-alive" }
     )?;
-    w.write_all(resp.body.as_bytes())?;
+    w.write_all(payload)?;
     w.flush()
 }
 
@@ -461,6 +492,26 @@ mod tests {
         assert!(text.contains("X-Softwatt-Lane: cold\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("\"code\": \"overloaded\""));
+    }
+
+    #[test]
+    fn binary_responses_and_source_header() {
+        let mut out = Vec::new();
+        let resp = Response::binary(200, vec![0x00, 0xFF, 0x7F]).with_source("local");
+        write_response(&mut out, &resp, false).unwrap();
+        let split = out.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let head = String::from_utf8(out[..split].to_vec()).unwrap();
+        assert!(head.contains("Content-Type: application/octet-stream\r\n"));
+        assert!(head.contains("Content-Length: 3\r\n"));
+        assert!(head.contains("X-Softwatt-Source: local\r\n"));
+        assert_eq!(&out[split + 4..], &[0x00, 0xFF, 0x7F]);
+
+        // JSON responses never grow the source header unless tagged.
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("X-Softwatt-Source"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::time::Duration;
 
 use softwatt::ExperimentSuite;
 
-use pool::{Pool, COLD_LANE, REPLAY_LANE};
+use pool::{Pool, COLD_LANE, FABRIC_LANE, REPLAY_LANE};
 use reactor::{Completions, Reactor};
 use routes::Ctx;
 use sys::WakeFd;
@@ -119,6 +119,7 @@ pub struct Server {
     ctx: Arc<Ctx>,
     replay: Arc<Pool>,
     cold: Arc<Pool>,
+    fabric: Arc<Pool>,
     wake: Arc<WakeFd>,
 }
 
@@ -144,6 +145,12 @@ impl Server {
             config.cold_workers,
             config.cold_queue_depth,
         ));
+        // One dedicated worker for peer trace transfers: enough to keep
+        // the fabric live (transfers are local-only and single-flighted
+        // through the suite memo), and isolated so a cold lane full of
+        // jobs blocked on *remote* peers can never starve the transfers
+        // those peers are waiting for.
+        let fabric = Arc::new(Pool::new(&FABRIC_LANE, 1, 32));
         let wake = Arc::new(WakeFd::new().map_err(|e| format!("eventfd failed: {e}"))?);
         let ctx = Arc::new(Ctx::new(suite, Arc::new(AtomicBool::new(false))));
         Ok(Server {
@@ -152,6 +159,7 @@ impl Server {
             ctx,
             replay,
             cold,
+            fabric,
             wake,
         })
     }
@@ -200,6 +208,7 @@ impl Server {
             &self.config,
             self.replay,
             self.cold,
+            self.fabric,
             completions,
         )
         .expect("epoll setup");

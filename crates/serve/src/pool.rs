@@ -51,6 +51,20 @@ pub static COLD_LANE: LaneMetrics = LaneMetrics {
     nice: 10,
 };
 
+/// The fabric lane: `/v1/traces` transfers to peer servers. Deliberately
+/// separate from the cold pool — a transfer job only ever computes
+/// locally (the serving path never peer-fetches), so this pool always
+/// makes progress even when every cold worker is blocked waiting on a
+/// remote peer. Sharing the cold pool would deadlock two peered servers
+/// fetching from each other (see `DESIGN.md` §14).
+pub static FABRIC_LANE: LaneMetrics = LaneMetrics {
+    thread_prefix: "serve-fabric",
+    depth: "serve.lane.fabric.queue_depth",
+    depth_max: "serve.lane.fabric.queue_depth_max",
+    rejected: "serve.lane.fabric.rejected",
+    nice: 10,
+};
+
 /// Returned by [`Pool::try_submit`] when the bounded queue is full or the
 /// pool is draining.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

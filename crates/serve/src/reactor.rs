@@ -105,6 +105,7 @@ pub(crate) struct Reactor {
     max_connections: usize,
     replay: Arc<Pool>,
     cold: Arc<Pool>,
+    fabric: Arc<Pool>,
     completions: Arc<Completions>,
     inflight: HashMap<RunKey, InflightJob>,
     pending_jobs: usize,
@@ -119,6 +120,7 @@ impl Reactor {
         config: &ServeConfig,
         replay: Arc<Pool>,
         cold: Arc<Pool>,
+        fabric: Arc<Pool>,
         completions: Arc<Completions>,
     ) -> std::io::Result<Reactor> {
         Ok(Reactor {
@@ -140,6 +142,7 @@ impl Reactor {
             max_connections: config.max_connections,
             replay,
             cold,
+            fabric,
             completions,
             inflight: HashMap::new(),
             pending_jobs: 0,
@@ -185,6 +188,7 @@ impl Reactor {
         // Drained: every response delivered, every connection closed.
         self.replay.shutdown();
         self.cold.shutdown();
+        self.fabric.shutdown();
     }
 
     /// Milliseconds until the nearest connection deadline (rounded up),
@@ -454,9 +458,18 @@ impl Reactor {
         started: Instant,
     ) {
         self.mark_pending(token, lane, route, close, started);
-        let pool = match lane {
-            Lane::Cold => &self.cold,
-            _ => &self.replay,
+        // Peer trace transfers get their own pool: a transfer only ever
+        // computes locally, so it must never queue behind cold jobs that
+        // may themselves be blocked fetching from a *remote* peer —
+        // sharing the cold pool would deadlock two peered servers
+        // fetching from each other (see `DESIGN.md` §14).
+        let pool = if route == Route::Traces {
+            &self.fabric
+        } else {
+            match lane {
+                Lane::Cold => &self.cold,
+                _ => &self.replay,
+            }
         };
         let ctx = Arc::clone(&self.ctx);
         let completions = Arc::clone(&self.completions);

@@ -93,6 +93,9 @@ pub enum Route {
     Batch,
     /// `GET /v1/figures/{name}`
     Figure,
+    /// `GET /v1/traces/{hash}` — raw `swtrace-v1` bytes for the fabric's
+    /// peer-to-peer trace transfer.
+    Traces,
     /// `POST /admin/shutdown`
     Shutdown,
     /// Anything else.
@@ -111,6 +114,7 @@ impl Route {
             "/v1/batch" => Route::Batch,
             "/admin/shutdown" => Route::Shutdown,
             _ if path.starts_with("/v1/figures/") => Route::Figure,
+            _ if path.starts_with("/v1/traces/") => Route::Traces,
             _ => Route::Unknown,
         }
     }
@@ -123,6 +127,7 @@ impl Route {
             Route::Run => "serve.requests.run",
             Route::Batch => "serve.requests.batch",
             Route::Figure => "serve.requests.figure",
+            Route::Traces => "serve.requests.traces",
             Route::Shutdown => "serve.requests.shutdown",
             Route::Unknown => "serve.requests.unknown",
         }
@@ -136,6 +141,7 @@ impl Route {
             Route::Run => "serve.latency_us.run",
             Route::Batch => "serve.latency_us.batch",
             Route::Figure => "serve.latency_us.figure",
+            Route::Traces => "serve.latency_us.traces",
             Route::Shutdown => "serve.latency_us.shutdown",
             Route::Unknown => "serve.latency_us.unknown",
         }
@@ -144,7 +150,7 @@ impl Route {
     /// The only method this route answers (`None` for unknown paths).
     fn method(self) -> Option<&'static str> {
         match self {
-            Route::Healthz | Route::Metrics | Route::Figure => Some("GET"),
+            Route::Healthz | Route::Metrics | Route::Figure | Route::Traces => Some("GET"),
             Route::Run | Route::Batch | Route::Shutdown => Some("POST"),
             Route::Unknown => None,
         }
@@ -167,6 +173,12 @@ pub struct Ctx {
     /// on the reactor thread becomes a lock + memcpy instead of
     /// re-formatting dozens of floats per request.
     rendered: Mutex<HashMap<RunKey, Arc<String>>>,
+    /// Rendered figure/table bodies by name. Figures read only memoized
+    /// bundles, so a render never invalidates; after the first (possibly
+    /// cold) render every later request is answered inline on the
+    /// reactor. Arc-wrapped so admission can hand the cache to the
+    /// worker closure that fills it.
+    figures: Arc<Mutex<HashMap<String, Arc<String>>>>,
 }
 
 impl Ctx {
@@ -177,7 +189,14 @@ impl Ctx {
             shutdown,
             refit_pending: AtomicBool::new(false),
             rendered: Mutex::new(HashMap::new()),
+            figures: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// The cached rendered body for figure `name`, if any.
+    fn figure_body(&self, name: &str) -> Option<Arc<String>> {
+        let cache = self.figures.lock().expect("figure cache lock");
+        cache.get(name).map(Arc::clone)
     }
 
     /// The cached rendered body for `key`, rendering (and caching) it
@@ -219,7 +238,11 @@ pub enum Outcome {
 /// cache, so a worker's first render pre-pays every later inline hit.
 pub fn run_response(ctx: &Ctx, key: RunKey, lane: Lane) -> Response {
     let bundle = ctx.suite.run_key(key);
-    Response::json(200, ctx.run_body(key, &bundle).as_str()).with_lane(lane.label())
+    let resp = Response::json(200, ctx.run_body(key, &bundle).as_str()).with_lane(lane.label());
+    match ctx.suite.trace_source(key.workload, key.cpu) {
+        Some(source) => resp.with_source(source),
+        None => resp,
+    }
 }
 
 /// Background calibration: a cold-pool worker calls this after its full
@@ -299,10 +322,13 @@ pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
                 // Correct at every fidelity: replay is bit-identical to
                 // full simulation, so the memo satisfies `full` too.
                 if let Some(bundle) = ctx.suite.bundle_if_ready(key) {
-                    return Outcome::Ready(
-                        Response::json(200, ctx.run_body(key, &bundle).as_str())
-                            .with_lane(Lane::Inline.label()),
-                    );
+                    let resp = Response::json(200, ctx.run_body(key, &bundle).as_str())
+                        .with_lane(Lane::Inline.label());
+                    let resp = match ctx.suite.trace_source(key.workload, key.cpu) {
+                        Some(source) => resp.with_source(source),
+                        None => resp,
+                    };
+                    return Outcome::Ready(resp);
                 }
                 // An explicit `full` bypasses trace replay: the miss
                 // always runs a fresh simulation on the cold pool. No
@@ -363,23 +389,133 @@ pub fn dispatch(ctx: &Ctx, route: Route, req: &Request) -> Outcome {
                     &format!("no figure '{name}'; see /v1/figures index in README"),
                 ));
             }
-            // Figures read across the paper grid; they are replay-cheap
-            // exactly when the whole grid's traces are.
+            if let Some(body) = ctx.figure_body(&name) {
+                return Outcome::Ready(
+                    Response::json(200, body.as_str()).with_lane(Lane::Inline.label()),
+                );
+            }
+            // First render of this figure: replay-cheap exactly when the
+            // whole grid's traces are, cold otherwise. The render is
+            // cached by name, so one worker render pre-pays every later
+            // inline hit — a node that never touches the full grid (a
+            // cluster member owning only part of the ring) must not
+            // cold-admit the same figure forever.
             let lane = if all_traces_ready(&ctx.suite, &ctx.suite.paper_grid()) {
                 Lane::Replay
             } else {
                 Lane::Cold
             };
             let suite = Arc::clone(&ctx.suite);
+            let cache = Arc::clone(&ctx.figures);
             Outcome::Work {
                 lane,
                 work: Box::new(move || match softwatt::json::figure(&suite, &name) {
-                    Some(body) => Response::json(200, body).with_lane(lane.label()),
+                    Some(body) => {
+                        let body = Arc::new(body);
+                        cache
+                            .lock()
+                            .expect("figure cache lock")
+                            .insert(name, Arc::clone(&body));
+                        Response::json(200, body.as_str()).with_lane(lane.label())
+                    }
                     None => Response::error(500, "internal", "figure rendering failed"),
                 }),
             }
         }
+        Route::Traces => trace_transfer(ctx, req),
         Route::Unknown => Outcome::Ready(Response::error(404, "not_found", "unknown path")),
+    }
+}
+
+/// `GET /v1/traces/{hash:016x}?workload={label}&cpu={name}` — the fabric's
+/// peer-to-peer trace transfer. Returns the raw `swtrace-v1` bytes
+/// (trailing checksum included; the fetching peer re-verifies before
+/// trusting them). The URL hash must match the key this server derives
+/// for the named (workload, CPU) pair — a mismatch means config drift
+/// between peers, answered `404` so the fetcher simulates locally rather
+/// than caching a wrong trace. Serving resolves through local tiers only
+/// (memo → store → capture), never a peer fetch of its own, bounding
+/// misdirected keys to one hop.
+fn trace_transfer(ctx: &Ctx, req: &Request) -> Outcome {
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
+    let hex = &path["/v1/traces/".len()..];
+    let hash = match (hex.len(), u64::from_str_radix(hex, 16)) {
+        (16, Ok(hash)) => hash,
+        _ => {
+            return Outcome::Ready(Response::error(
+                400,
+                "bad_trace_key",
+                "trace key must be 16 hex digits",
+            ));
+        }
+    };
+    let mut workload_label = None;
+    let mut cpu_name = None;
+    for pair in query.split('&') {
+        match pair.split_once('=') {
+            Some(("workload", v)) => workload_label = Some(v),
+            Some(("cpu", v)) => cpu_name = Some(v),
+            _ => {}
+        }
+    }
+    let (Some(label), Some(cpu_name)) = (workload_label, cpu_name) else {
+        return Outcome::Ready(Response::error(
+            400,
+            "bad_query",
+            "'workload' and 'cpu' query parameters are required",
+        ));
+    };
+    let Some(workload) = WorkloadKey::from_label(label) else {
+        return Outcome::Ready(Response::error(
+            404,
+            "unknown_workload",
+            &format!("no workload '{label}'"),
+        ));
+    };
+    if matches!(workload, WorkloadKey::Spec(_)) && ctx.suite.spec_for(workload).is_none() {
+        return Outcome::Ready(Response::error(
+            404,
+            "unknown_workload",
+            &format!("spec '{label}' is not registered on this node"),
+        ));
+    }
+    let Some(cpu) = CpuModel::from_name(cpu_name) else {
+        return Outcome::Ready(Response::error(
+            404,
+            "unknown_cpu",
+            &format!("no CPU model '{cpu_name}'"),
+        ));
+    };
+    let key = ctx.suite.trace_key(workload, cpu);
+    if key.hash() != hash {
+        return Outcome::Ready(Response::error(
+            404,
+            "trace_key_mismatch",
+            "this node derives a different trace key for that pair (config drift?)",
+        ));
+    }
+    // A present trace is a cheap encode (replay lane); a miss captures
+    // by full simulation and belongs on the cold lane with the other
+    // multi-second work.
+    let lane = if ctx.suite.trace_ready(workload, cpu) {
+        Lane::Replay
+    } else {
+        Lane::Cold
+    };
+    let suite = Arc::clone(&ctx.suite);
+    Outcome::Work {
+        lane,
+        work: Box::new(move || {
+            let bytes = suite.trace_share_bytes(workload, cpu);
+            let resp = Response::binary(200, bytes).with_lane(lane.label());
+            match suite.trace_source(workload, cpu) {
+                Some(source) => resp.with_source(source),
+                None => resp,
+            }
+        }),
     }
 }
 
@@ -581,6 +717,64 @@ mod tests {
         assert_eq!(Route::of("/admin/shutdown"), Route::Shutdown);
         assert_eq!(Route::of("/nope"), Route::Unknown);
         assert_eq!(Route::of("/v1/run?scale=2"), Route::Run);
+        assert_eq!(
+            Route::of("/v1/traces/0011223344556677?workload=jess&cpu=mxs"),
+            Route::Traces
+        );
+    }
+
+    #[test]
+    fn trace_transfer_validates_before_any_work() {
+        let suite = parse_suite();
+        let suite = Arc::new(suite);
+        let ctx = Ctx::new(Arc::clone(&suite), Arc::new(AtomicBool::new(false)));
+        let get = |target: &str| Request {
+            method: "GET".into(),
+            target: target.into(),
+            http11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let ready = |target: &str| match dispatch(&ctx, Route::Traces, &get(target)) {
+            Outcome::Ready(resp) => resp,
+            _ => panic!("{target} must be answered inline"),
+        };
+
+        // Bad hash, missing params, unknown names, unregistered specs.
+        assert_eq!(ready("/v1/traces/xyz?workload=jess&cpu=mxs").status, 400);
+        assert_eq!(ready("/v1/traces/0011223344556677").status, 400);
+        let r = ready("/v1/traces/0011223344556677?workload=doom&cpu=mxs");
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("unknown_workload"));
+        let r = ready("/v1/traces/0011223344556677?workload=jess&cpu=arm");
+        assert_eq!(r.status, 404);
+        let r = ready("/v1/traces/0011223344556677?workload=spec:00000000000000ff&cpu=mxs");
+        assert_eq!(r.status, 404);
+
+        // A hash that does not match this node's derivation: refused, so
+        // config drift can never serve a wrong trace.
+        let r = ready("/v1/traces/0011223344556677?workload=jess&cpu=mxs");
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("trace_key_mismatch"), "{}", r.body);
+
+        // The genuine key classifies as work (cold here: no trace yet).
+        let key = suite.trace_key(WorkloadKey::Canned(Benchmark::Jess), CpuModel::Mxs);
+        let target = format!("/v1/traces/{:016x}?workload=jess&cpu=mxs", key.hash());
+        assert!(matches!(
+            dispatch(&ctx, Route::Traces, &get(&target)),
+            Outcome::Work {
+                lane: Lane::Cold,
+                ..
+            }
+        ));
+
+        // Wrong method on a known path is 405, not 404.
+        let mut post = get(&target);
+        post.method = "POST".into();
+        match dispatch(&ctx, Route::Traces, &post) {
+            Outcome::Ready(resp) => assert_eq!(resp.status, 405),
+            _ => panic!("wrong method must be refused inline"),
+        }
     }
 
     fn parse_suite() -> ExperimentSuite {

@@ -654,3 +654,63 @@ fn structured_errors_cover_the_4xx_surface() {
 
     server.stop();
 }
+
+#[test]
+fn trace_transfers_bypass_a_saturated_cold_lane() {
+    // The fabric-deadlock guard (DESIGN.md §14): `/v1/traces` runs on
+    // its own pool, so a cold lane whose only worker is stuck — in a
+    // real cluster, blocked fetching from a peer — can never starve the
+    // transfers that peer is waiting for.
+    let server = TestServer::start(ServeConfig {
+        cold_workers: 1,
+        cold_queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let release = park_worker(&server.cold_pool);
+
+    let workload = WorkloadKey::Canned(Benchmark::Jess);
+    let hash = server.suite.trace_key(workload, CpuModel::Mxs).hash();
+    let path = format!("/v1/traces/{hash:016x}?workload=jess&cpu=mxs");
+    let start = Instant::now();
+    let resp = server
+        .client()
+        .request_bytes("GET", &path, "")
+        .expect("trace transfer");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.is_empty(), "swtrace-v1 bytes");
+    assert_eq!(resp.header("x-softwatt-source"), Some("sim"));
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "transfer never queued behind the parked cold worker"
+    );
+    assert_eq!(server.suite.runs_executed(), 1, "captured on demand");
+
+    release.send(()).expect("release cold worker");
+    server.stop();
+}
+
+#[test]
+fn figure_renders_once_then_serves_inline() {
+    // Figures are deterministic over memoized bundles, so the rendered
+    // body is cached by name: the first request pays the render on a
+    // worker lane, every later one is answered inline on the reactor.
+    // This is what keeps a cluster member that never sees the full paper
+    // grid from cold-admitting the same figure forever.
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+
+    let first = client
+        .request("GET", "/v1/figures/fig6", "")
+        .expect("first figure request");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-softwatt-lane"), Some("cold"));
+
+    let again = client
+        .request("GET", "/v1/figures/fig6", "")
+        .expect("second figure request");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.header("x-softwatt-lane"), Some("inline"));
+    assert_eq!(again.body, first.body, "cache serves the same render");
+
+    server.stop();
+}

@@ -45,6 +45,7 @@ pub mod mode;
 pub mod service;
 pub mod swtrace;
 pub mod trace;
+pub mod varint;
 
 mod collector;
 

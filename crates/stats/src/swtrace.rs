@@ -63,21 +63,7 @@ const SEC_SERVICES: u8 = 0x05;
 const SEC_SEGMENTS: u8 = 0x06;
 const SEC_END: u8 = 0x00;
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn put_zigzag(out: &mut Vec<u8>, v: i64) {
-    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
-}
+use crate::varint::{put_varint, put_zigzag, unzigzag};
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -114,24 +100,18 @@ impl<'a> Cursor<'a> {
     }
 
     fn varint(&mut self) -> io::Result<u64> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let byte = self.byte()?;
-            if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err(bad("swtrace varint overflows u64"));
+        match crate::varint::decode(&self.data[self.pos..]) {
+            Ok(Some((v, used))) => {
+                self.pos += used;
+                Ok(v)
             }
-            v |= u64::from(byte & 0x7f) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
+            Ok(None) => Err(short("swtrace truncated")),
+            Err(_) => Err(bad("swtrace varint overflows u64")),
         }
     }
 
     fn zigzag(&mut self) -> io::Result<i64> {
-        let raw = self.varint()?;
-        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+        Ok(unzigzag(self.varint()?))
     }
 
     fn f64(&mut self) -> io::Result<f64> {
