@@ -124,16 +124,40 @@ fn backoff_delay(attempt: u32, retry_after_s: Option<u64>, seed: u64) -> Duratio
 }
 
 /// The cold key three `--cold-grid` connections request simultaneously.
-/// Last in the paper grid, so the concurrent batch computes it last and
-/// the dedup window stays wide open.
-const DEDUP_BODY: &str = r#"{"benchmark": "jess", "cpu": "mipsy"}"#;
-/// How many connections send [`DEDUP_BODY`] at once.
+///
+/// In the plain profile this is the grid's own mipsy cell: the probes
+/// race the concurrent batch for it, and the total full-simulation count
+/// stays exactly 13 (the invariant CI's cluster gate reads from
+/// `cluster_totals.runs_executed`). In the all-tiers profile
+/// (`--surrogate`, see [`OFF_GRID`]) the warm-up's figure requests have
+/// already memoized the whole grid, so the probe instead uses a key
+/// outside both the grid (whose only mipsy cell is jess/conv) and the
+/// measured mix — still cold when the probes fire, so the first one
+/// holds the dedup window open with a full simulation the other two
+/// must attach to.
+fn dedup_body() -> &'static str {
+    if OFF_GRID.load(Ordering::Relaxed) {
+        r#"{"benchmark": "compress", "cpu": "mipsy", "disk": "idle"}"#
+    } else {
+        r#"{"benchmark": "jess", "cpu": "mipsy"}"#
+    }
+}
+/// How many connections send [`dedup_body`] at once.
 const DEDUP_CONNS: usize = 3;
 
 /// Whether the request mix swaps one run slot in ten for an inline-spec
 /// post (`--inline-spec`). Global because the mix function is pure
 /// per-index; set once before the mux starts.
 static INLINE_SPEC: AtomicBool = AtomicBool::new(false);
+
+/// Whether the measured mix steps off the memoized paper grid to keep
+/// the replay and cold admission lanes exercised (`--surrogate`, the
+/// committed `BENCH_server.json` profile — its warm-up renders every
+/// figure, which memoizes all 37 grid keys, leaving nothing for the
+/// exact tiers to do). Off by default so plainer configurations keep
+/// the exactly-13-full-simulations invariant CI's cluster smoke gates
+/// on. Global for the same reason as [`INLINE_SPEC`].
+static OFF_GRID: AtomicBool = AtomicBool::new(false);
 
 /// The spec body those slots post: canned jess content under a custom
 /// name, so the server sees a user-defined workload it has never heard
@@ -344,6 +368,7 @@ fn main() {
     );
 
     INLINE_SPEC.store(inline_spec, Ordering::Relaxed);
+    OFF_GRID.store(surrogate, Ordering::Relaxed);
     let (mut total, wall_s, cold_stats) =
         run_mux(&targets, connections, requests, warmup, cold_grid);
 
@@ -495,11 +520,14 @@ fn main() {
             nodes.join(", "),
         );
     }
+    // `/metrics` omits counters that never incremented, so a missing key
+    // in a successful scrape means zero; `null` is reserved for the probe
+    // itself failing (server already gone, connect refused, ...).
     let metric = |name: &str| -> String {
-        metrics_body
-            .as_deref()
-            .and_then(|body| metric_value(body, name))
-            .map_or_else(|| "null".into(), |v| format!("{v}"))
+        metrics_body.as_deref().map_or_else(
+            || "null".into(),
+            |body| metric_value(body, name).unwrap_or(0).to_string(),
+        )
     };
     let _ = write!(
         json,
@@ -607,7 +635,16 @@ fn metric_value(body: &str, name: &str) -> Option<u64> {
 /// surrogate-tier slot in ten, and figure, health, and metrics probes
 /// folded in. No randomness — reruns are reproducible and the memo hit
 /// pattern is stable.
-fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
+///
+/// Warm-up figure requests compute the entire paper grid, so by the
+/// measured phase every grid key resolves inline from the memo. To keep
+/// the exact tiers exercised under load, two measured-only slots step
+/// off the grid: slot 1 asks for mxs1 on non-conventional disks (the
+/// grid captured an mxs1 trace per benchmark but only memoized the
+/// conventional cell, so the first request per key is a replay), and
+/// slot 8 asks for mipsy on benchmarks the grid never ran (no trace at
+/// all, so the first request per key is a cold full simulation).
+fn request_for(conn: usize, i: usize, measured: bool) -> (&'static str, String, String) {
     let n = conn * 7919 + i; // offset per connection so mixes interleave
     match n % 10 {
         0 => ("GET", "/healthz".into(), String::new()),
@@ -617,6 +654,37 @@ fn request_for(conn: usize, i: usize) -> (&'static str, String, String) {
             ("GET", format!("/v1/figures/{name}"), String::new())
         }
         9 => ("GET", "/metrics".into(), String::new()),
+        1 if measured && OFF_GRID.load(Ordering::Relaxed) => {
+            let benchmark = Benchmark::ALL[n % Benchmark::ALL.len()];
+            let disks = [
+                DiskSetup::IdleOnly,
+                DiskSetup::Standby2s,
+                DiskSetup::Standby4s,
+            ];
+            let disk = disks[(n / 10) % disks.len()];
+            let body = format!(
+                "{{\"benchmark\": \"{}\", \"cpu\": \"mxs1\", \"disk\": \"{}\"}}",
+                benchmark.name(),
+                disk.name()
+            );
+            ("POST", "/v1/run".into(), body)
+        }
+        8 if measured && OFF_GRID.load(Ordering::Relaxed) => {
+            // compress stays reserved for the dedup probe (DEDUP_BODY)
+            // and jess/mipsy is already warm from the grid.
+            let cold = [
+                Benchmark::Db,
+                Benchmark::Javac,
+                Benchmark::Mtrt,
+                Benchmark::Jack,
+            ];
+            let benchmark = cold[n % cold.len()];
+            let body = format!(
+                "{{\"benchmark\": \"{}\", \"cpu\": \"mipsy\", \"disk\": \"idle\"}}",
+                benchmark.name()
+            );
+            ("POST", "/v1/run".into(), body)
+        }
         slot => {
             let benchmark = Benchmark::ALL[n % Benchmark::ALL.len()];
             let disk = [DiskSetup::Conventional, DiskSetup::IdleOnly][(n / 6) % 2];
@@ -817,7 +885,7 @@ impl MuxConn {
     /// Loads the next request of the current phase into the write buffer
     /// and pushes as much of it as the socket takes right now.
     fn issue(&mut self, epoll: &Epoll) {
-        let (method, path, body) = request_for(self.id, self.index);
+        let (method, path, body) = request_for(self.id, self.index, self.phase == Phase::Measured);
         self.write_buf = format_request(method, &path, &body);
         self.write_pos = 0;
         self.sent_at = Instant::now();
@@ -1231,7 +1299,7 @@ fn run_cold_grid(target: SocketAddr) -> ColdGridStats {
                 .name(format!("loadgen-dedup-{i}"))
                 .spawn(move || {
                     let mut client = Client::connect(target, TIMEOUT).expect("dedup connect");
-                    request_with_retries(&mut client, "POST", "/v1/run", DEDUP_BODY, i as u64 + 1)
+                    request_with_retries(&mut client, "POST", "/v1/run", dedup_body(), i as u64 + 1)
                 })
                 .expect("spawn dedup run")
         })

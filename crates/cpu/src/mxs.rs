@@ -29,17 +29,31 @@ enum SlotState {
     Done,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Slot {
-    seq: u64,
     instr: Instr,
     state: SlotState,
-    // Sequence numbers of in-window producers this instruction waits on.
-    deps: [Option<u64>; 2],
     mispredicted: bool,
     in_lsq: bool,
+    // In-window producers this instruction still waits on; decremented by
+    // the producer's completion wakeup. Ready to issue at zero.
+    outstanding: u8,
     // TLB fault detected at fetch; raised as an event at commit.
     fault: Option<u64>,
+}
+
+impl Slot {
+    /// Placeholder filling unoccupied ring entries.
+    fn vacant() -> Slot {
+        Slot {
+            instr: Instr::nop(0),
+            state: SlotState::Done,
+            mispredicted: false,
+            in_lsq: false,
+            outstanding: 0,
+            fault: None,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -48,7 +62,44 @@ struct Fetched {
     fault: Option<u64>,
 }
 
+/// Dispatch-time sentinel for "no producer, or producer already observed
+/// satisfied" (dependence satisfaction is monotone, so the observation can
+/// be memoized).
+const DEP_NONE: u64 = u64::MAX;
+
+/// One issuable instruction in the issue stage's scan list: all register
+/// dependences satisfied, held back only by issue bandwidth or a
+/// functional-unit hazard. Carries the FU class inline so the structural
+/// check never touches the slot ring.
+#[derive(Debug, Clone, Copy)]
+struct ReadyEntry {
+    seq: u64,
+    fu: softwatt_isa::FuKind,
+}
+
 /// The out-of-order CPU model. See the crate docs for an example.
+///
+/// # Hot-path data layout
+///
+/// The instruction window is a flat ring of [`Slot`]s keyed by sequence
+/// number: the window is always the contiguous seq range
+/// `[front, next_seq)`, and the slot for seq `s` lives at `s & seq_mask`
+/// (ring capacity is the window size rounded up to a power of two, so live
+/// slots never collide). On top of the ring, two compact index lists keep
+/// the per-cycle stage work proportional to the instructions that can
+/// actually change state — not to window occupancy:
+///
+/// * `ready`: seqs of issuable slots in age order (the issue stage's scan
+///   and selection priority). Dispatched instructions with outstanding
+///   producers are not listed anywhere — each registers in the producer's
+///   `consumers` wakeup list and enters `ready` when its outstanding count
+///   hits zero (event-driven wakeup, like real tag broadcast),
+/// * `inflight`: `(seq, complete_at)` of issued-but-incomplete slots (the
+///   complete stage's scan).
+///
+/// Commit walks `front` forward over `Done` slots. The lists partition the
+/// window by state, so no stage rescans slots it cannot act on, and a
+/// dependence-stalled window costs nothing per cycle.
 #[derive(Debug)]
 pub struct MxsCpu {
     config: MxsConfig,
@@ -57,8 +108,22 @@ pub struct MxsCpu {
     btb: BranchTargetBuffer,
     ras: ReturnAddressStack,
     fetch_buffer: VecDeque<Fetched>,
-    window: VecDeque<Slot>,
+    slots: Box<[Slot]>,
+    seq_mask: u64,
+    front: u64,
     next_seq: u64,
+    ready: Vec<ReadyEntry>,
+    inflight: Vec<(u64, u64)>,
+    // Completion wakeup lists, indexed like `slots`: consumers[i] holds the
+    // seqs of dispatched instructions still waiting on the producer in slot
+    // i (a consumer waiting on both operands from one producer appears
+    // twice). Drained when the producer is marked `Done`.
+    consumers: Box<[Vec<u64>]>,
+    // Occupancy counters for the `--profile` harness (plain adds; cheap
+    // enough to maintain unconditionally).
+    issue_scans: u64,
+    issue_scan_entries: u64,
+    issue_skips: u64,
     last_writer: [Option<u64>; Reg::COUNT],
     lsq_used: usize,
     fetch_stall_until: u64,
@@ -70,6 +135,28 @@ pub struct MxsCpu {
     committed: u64,
     mispredicts: u64,
     branches: u64,
+    // Per-stage wall-clock accumulators (commit, complete, issue,
+    // dispatch, fetch), filled only while `softwatt_obs::stage_timing()`
+    // is on and flushed by [`Cpu::flush_stage_timing`].
+    stage_ns: [u64; STAGE_NAMES.len()],
+}
+
+/// Obs counter names for the per-stage accumulators, in pipeline order.
+const STAGE_NAMES: [&str; 5] = [
+    "mxs.stage.commit_ns",
+    "mxs.stage.complete_ns",
+    "mxs.stage.issue_ns",
+    "mxs.stage.dispatch_ns",
+    "mxs.stage.fetch_ns",
+];
+
+/// Elapsed nanoseconds since `*t`, resetting `*t` to now.
+#[inline]
+fn lap(t: &mut std::time::Instant) -> u64 {
+    let now = std::time::Instant::now();
+    let ns = now.duration_since(*t).as_nanos() as u64;
+    *t = now;
+    ns
 }
 
 impl MxsCpu {
@@ -80,6 +167,7 @@ impl MxsCpu {
     /// Panics if the configuration fails [`MxsConfig::validate`].
     pub fn new(config: MxsConfig) -> MxsCpu {
         config.validate().expect("invalid MXS configuration");
+        let ring = config.window_size.next_power_of_two();
         MxsCpu {
             config,
             now: 0,
@@ -87,8 +175,16 @@ impl MxsCpu {
             btb: BranchTargetBuffer::new(config.btb_entries),
             ras: ReturnAddressStack::new(config.ras_entries),
             fetch_buffer: VecDeque::with_capacity(config.fetch_buffer),
-            window: VecDeque::with_capacity(config.window_size),
+            slots: vec![Slot::vacant(); ring].into_boxed_slice(),
+            seq_mask: ring as u64 - 1,
+            front: 0,
             next_seq: 0,
+            ready: Vec::with_capacity(config.window_size),
+            inflight: Vec::with_capacity(config.window_size),
+            consumers: vec![Vec::new(); ring].into_boxed_slice(),
+            issue_scans: 0,
+            issue_scan_entries: 0,
+            issue_skips: 0,
             last_writer: [None; Reg::COUNT],
             lsq_used: 0,
             fetch_stall_until: 0,
@@ -98,6 +194,7 @@ impl MxsCpu {
             committed: 0,
             mispredicts: 0,
             branches: 0,
+            stage_ns: [0; STAGE_NAMES.len()],
         }
     }
 
@@ -107,22 +204,24 @@ impl MxsCpu {
         (self.branches, self.mispredicts)
     }
 
-    fn front_seq(&self) -> u64 {
-        self.window.front().map_or(self.next_seq, |s| s.seq)
+    #[inline]
+    fn slot_index(&self, seq: u64) -> usize {
+        (seq & self.seq_mask) as usize
+    }
+
+    fn window_len(&self) -> usize {
+        (self.next_seq - self.front) as usize
     }
 
     fn dep_satisfied(&self, dep: u64) -> bool {
-        let front = self.front_seq();
-        if dep < front {
+        if dep < self.front {
             return true; // producer already committed
         }
-        match self.window.get((dep - front) as usize) {
-            Some(slot) => match slot.state {
-                SlotState::Done => true,
-                SlotState::Issued { complete_at } => complete_at <= self.now,
-                SlotState::Waiting => false,
-            },
-            None => true,
+        debug_assert!(dep < self.next_seq, "dep points at an undispatched seq");
+        match self.slots[self.slot_index(dep)].state {
+            SlotState::Done => true,
+            SlotState::Issued { complete_at } => complete_at <= self.now,
+            SlotState::Waiting => false,
         }
     }
 
@@ -130,14 +229,15 @@ impl MxsCpu {
         let mut committed = 0;
         let mut event = None;
         while committed < self.config.commit_width {
-            let Some(front) = self.window.front() else {
-                break;
-            };
-            if front.state != SlotState::Done {
+            if self.front == self.next_seq {
                 break;
             }
-            let slot = self.window.pop_front().expect("front exists");
-            stats.record(UnitEvent::CommitInstr);
+            let idx = self.slot_index(self.front);
+            if self.slots[idx].state != SlotState::Done {
+                break;
+            }
+            let slot = self.slots[idx];
+            self.front += 1;
             if slot.in_lsq {
                 self.lsq_used -= 1;
             }
@@ -173,6 +273,9 @@ impl MxsCpu {
                 _ => {}
             }
         }
+        // One batched record per cycle instead of one per instruction;
+        // counts land in the same window and mode, so sums are identical.
+        stats.record_n(UnitEvent::CommitInstr, u64::from(committed));
         (committed, event)
     }
 
@@ -180,27 +283,57 @@ impl MxsCpu {
         let now = self.now;
         let mut resolved_awaited = false;
         let awaiting = self.awaiting_branch;
-        for slot in &mut self.window {
-            if let SlotState::Issued { complete_at } = slot.state {
-                if complete_at <= now {
-                    slot.state = SlotState::Done;
-                    if slot.instr.dest.is_some() {
-                        // Tag broadcast wakes up window consumers.
-                        stats.record(UnitEvent::WindowWakeup);
+        // Scan only issued-but-incomplete slots; completed entries leave the
+        // list. Events recorded here are order-independent within the cycle
+        // (windows close only in `tick`), so swap_remove's reordering of the
+        // scan is observationally identical to the old full-window walk.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let (seq, complete_at) = self.inflight[i];
+            if complete_at > now {
+                i += 1;
+                continue;
+            }
+            self.inflight.swap_remove(i);
+            let idx = (seq & self.seq_mask) as usize;
+            let slot = &mut self.slots[idx];
+            slot.state = SlotState::Done;
+            let mispredicted = slot.mispredicted;
+            if slot.instr.dest.is_some() {
+                // Tag broadcast wakes up window consumers.
+                stats.record(UnitEvent::WindowWakeup);
+            }
+            // Wake registered consumers; those whose last outstanding
+            // producer this was become issuable. `ready` is kept sorted by
+            // seq so issue priority stays oldest-first.
+            if !self.consumers[idx].is_empty() {
+                let mut woken = std::mem::take(&mut self.consumers[idx]);
+                for &c in &woken {
+                    let cslot = &mut self.slots[(c & self.seq_mask) as usize];
+                    cslot.outstanding -= 1;
+                    if cslot.outstanding == 0 {
+                        let entry = ReadyEntry {
+                            seq: c,
+                            fu: cslot.instr.op.fu(),
+                        };
+                        let pos = self.ready.partition_point(|e| e.seq < c);
+                        self.ready.insert(pos, entry);
                     }
-                    if slot.mispredicted {
-                        stats.record(UnitEvent::BranchMispredict);
-                        stats.record_n(
-                            UnitEvent::WrongPathFetch,
-                            u64::from(self.config.fetch_width * self.config.mispredict_penalty) / 2,
-                        );
-                        self.fetch_stall_until = self
-                            .fetch_stall_until
-                            .max(now + u64::from(self.config.mispredict_penalty));
-                        if awaiting == Some(slot.seq) {
-                            resolved_awaited = true;
-                        }
-                    }
+                }
+                woken.clear();
+                self.consumers[idx] = woken; // keep the allocation
+            }
+            if mispredicted {
+                stats.record(UnitEvent::BranchMispredict);
+                stats.record_n(
+                    UnitEvent::WrongPathFetch,
+                    u64::from(self.config.fetch_width * self.config.mispredict_penalty) / 2,
+                );
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(now + u64::from(self.config.mispredict_penalty));
+                if awaiting == Some(seq) {
+                    resolved_awaited = true;
                 }
             }
         }
@@ -210,50 +343,57 @@ impl MxsCpu {
     }
 
     fn issue_stage(&mut self, mem: &mut MemHierarchy, stats: &mut StatsCollector) {
+        // `ready` holds only issuable entries (dependences satisfied at
+        // wakeup time), so an empty list means nothing can issue — the
+        // common dependence-stall case costs one branch. Skipped cycles
+        // issue nothing and record nothing, exactly like the scan they
+        // elide.
+        if self.ready.is_empty() {
+            self.issue_skips += 1;
+            return;
+        }
+        self.issue_scans += 1;
+        self.issue_scan_entries += self.ready.len() as u64;
         let mut issued = 0;
         let mut int_used = 0;
         let mut fp_used = 0;
         let mut mem_used = 0;
         let now = self.now;
 
-        let len = self.window.len();
-        for idx in 0..len {
+        // `ready` is sorted by seq, so scanning it front-to-back reproduces
+        // the old oldest-first window walk over the same candidate set:
+        // entries the old walk rejected for unsatisfied dependences never
+        // touched the bandwidth or functional-unit counters, so dropping
+        // them from the scan changes nothing observable. Issued entries are
+        // compacted out in place (`kept` is the write cursor).
+        let mut kept = 0;
+        let ready_len = self.ready.len();
+        for scan in 0..ready_len {
             if issued >= self.config.issue_width {
+                // Issue bandwidth exhausted: the tail is untouched, shift
+                // it down en bloc.
+                self.ready.copy_within(scan..ready_len, kept);
+                kept += ready_len - scan;
                 break;
             }
-            let (state, deps, op) = {
-                let s = &self.window[idx];
-                (s.state, s.deps, s.instr.op)
+            let entry = self.ready[scan];
+            // Structural hazards are the only remaining blockers.
+            let blocked = match entry.fu {
+                softwatt_isa::FuKind::Int => int_used >= self.config.int_units,
+                softwatt_isa::FuKind::Fp => fp_used >= self.config.fp_units,
+                softwatt_isa::FuKind::Mem => mem_used >= self.config.mem_ports,
+                softwatt_isa::FuKind::None => false,
             };
-            if state != SlotState::Waiting {
+            if blocked {
+                self.ready[kept] = entry;
+                kept += 1;
                 continue;
-            }
-            let ready = deps.iter().flatten().all(|&d| self.dep_satisfied(d));
-            if !ready {
-                continue;
-            }
-            // Structural hazards.
-            match op.fu() {
-                softwatt_isa::FuKind::Int => {
-                    if int_used >= self.config.int_units {
-                        continue;
-                    }
-                }
-                softwatt_isa::FuKind::Fp => {
-                    if fp_used >= self.config.fp_units {
-                        continue;
-                    }
-                }
-                softwatt_isa::FuKind::Mem => {
-                    if mem_used >= self.config.mem_ports {
-                        continue;
-                    }
-                }
-                softwatt_isa::FuKind::None => {}
             }
 
             // Execute.
-            let instr = self.window[idx].instr;
+            let idx = (entry.seq & self.seq_mask) as usize;
+            debug_assert_eq!(self.slots[idx].state, SlotState::Waiting);
+            let instr = self.slots[idx].instr;
             let mut latency = u64::from(instr.op.latency());
             if let Some(addr) = instr.mem_addr {
                 let is_store = instr.op == OpClass::Store;
@@ -268,10 +408,10 @@ impl MxsCpu {
             }
             record_execute_events(&instr, stats);
             stats.record(UnitEvent::WindowIssue);
-            self.window[idx].state = SlotState::Issued {
-                complete_at: now + latency,
-            };
-            match op.fu() {
+            let complete_at = now + latency;
+            self.slots[idx].state = SlotState::Issued { complete_at };
+            self.inflight.push((entry.seq, complete_at));
+            match entry.fu {
                 softwatt_isa::FuKind::Int => int_used += 1,
                 softwatt_isa::FuKind::Fp => fp_used += 1,
                 softwatt_isa::FuKind::Mem => mem_used += 1,
@@ -279,6 +419,7 @@ impl MxsCpu {
             }
             issued += 1;
         }
+        self.ready.truncate(kept);
     }
 
     fn dispatch_stage(&mut self, stats: &mut StatsCollector) {
@@ -289,25 +430,35 @@ impl MxsCpu {
             };
             let instr = fetched.instr;
             let serializes = instr.op.is_serializing() || fetched.fault.is_some();
-            if self.window.len() >= self.config.window_size {
+            if self.window_len() >= self.config.window_size {
                 break;
             }
             if instr.op.is_mem() && self.lsq_used >= self.config.lsq_size {
                 break;
             }
-            if serializes && !self.window.is_empty() {
+            if serializes && self.front != self.next_seq {
                 break; // serializers enter an empty window only
             }
             self.fetch_buffer.pop_front();
-            stats.record(UnitEvent::DecodeOp);
-            stats.record(UnitEvent::RenameAccess);
-            stats.record(UnitEvent::WindowInsert);
-            let mut deps = [None, None];
+            let mut deps = [DEP_NONE, DEP_NONE];
             if let Some(r) = instr.src1 {
-                deps[0] = self.last_writer[r.index()];
+                if let Some(w) = self.last_writer[r.index()] {
+                    deps[0] = w;
+                }
             }
             if let Some(r) = instr.src2 {
-                deps[1] = self.last_writer[r.index()];
+                if let Some(w) = self.last_writer[r.index()] {
+                    deps[1] = w;
+                }
+            }
+            // Drop deps already satisfied at dispatch (sound to check once:
+            // satisfaction is monotone — committed producers stay
+            // committed, `Done` slots only recycle after their seq drops
+            // below `front`). What remains needs a completion wakeup.
+            for d in &mut deps {
+                if *d != DEP_NONE && self.dep_satisfied(*d) {
+                    *d = DEP_NONE;
+                }
             }
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -319,19 +470,39 @@ impl MxsCpu {
                 self.lsq_used += 1;
                 stats.record(UnitEvent::LsqInsert);
             }
-            self.window.push_back(Slot {
-                seq,
+            let mut outstanding = 0u8;
+            for d in deps {
+                if d != DEP_NONE {
+                    outstanding += 1;
+                    self.consumers[(d & self.seq_mask) as usize].push(seq);
+                }
+            }
+            self.slots[(seq & self.seq_mask) as usize] = Slot {
                 instr,
                 state: SlotState::Waiting,
-                deps,
                 mispredicted: false,
                 in_lsq,
+                outstanding,
                 fault: fetched.fault,
-            });
+            };
+            if outstanding == 0 {
+                // Issuable immediately; newest seq, so a plain push keeps
+                // `ready` sorted.
+                self.ready.push(ReadyEntry {
+                    seq,
+                    fu: instr.op.fu(),
+                });
+            }
             dispatched += 1;
             if serializes {
                 break;
             }
+        }
+        if dispatched > 0 {
+            // Batched like commit: one record per event class per cycle.
+            stats.record_n(UnitEvent::DecodeOp, u64::from(dispatched));
+            stats.record_n(UnitEvent::RenameAccess, u64::from(dispatched));
+            stats.record_n(UnitEvent::WindowInsert, u64::from(dispatched));
         }
     }
 
@@ -405,6 +576,17 @@ impl MxsCpu {
         }
     }
 
+    /// Propagates the awaited-branch flag onto its window slot once the
+    /// seq has been dispatched.
+    #[inline]
+    fn mark_awaited_branch(&mut self) {
+        if let Some(seq) = self.awaiting_branch {
+            if seq >= self.front && seq < self.next_seq {
+                self.slots[(seq & self.seq_mask) as usize].mispredicted = true;
+            }
+        }
+    }
+
     /// Consults the predictor structures for `instr`; returns whether the
     /// front end would have gone down the wrong path.
     fn predict(&mut self, instr: &Instr, stats: &mut StatsCollector) -> bool {
@@ -457,29 +639,41 @@ impl Cpu for MxsCpu {
         mem: &mut MemHierarchy,
         stats: &mut StatsCollector,
     ) -> CycleOutcome {
-        let (committed, event) = self.commit_stage(stats);
-        self.complete_stage(stats);
-        self.issue_stage(mem, stats);
-        // Propagate the awaited-branch flag onto its slot at dispatch time.
-        self.dispatch_stage(stats);
-        if let Some(seq) = self.awaiting_branch {
-            let front = self.front_seq();
-            if seq >= front {
-                if let Some(slot) = self.window.get_mut((seq - front) as usize) {
-                    slot.mispredicted = true;
-                }
-            }
-        }
         // On an event cycle the OS has not yet switched streams (it handles
         // the event after this call returns), so fetching would wrongly
         // observe end-of-stream. Real machines pay a trap-redirect bubble
-        // here anyway.
-        if event.is_none() {
-            self.fetch_stage(frontend, mem, stats);
-        }
+        // here anyway. The awaited-branch flag is propagated onto its slot
+        // after dispatch, once the seq exists in the window.
+        let (committed, event) = if softwatt_obs::stage_timing() {
+            let mut t = std::time::Instant::now();
+            let (committed, event) = self.commit_stage(stats);
+            self.stage_ns[0] += lap(&mut t);
+            self.complete_stage(stats);
+            self.stage_ns[1] += lap(&mut t);
+            self.issue_stage(mem, stats);
+            self.stage_ns[2] += lap(&mut t);
+            self.dispatch_stage(stats);
+            self.mark_awaited_branch();
+            self.stage_ns[3] += lap(&mut t);
+            if event.is_none() {
+                self.fetch_stage(frontend, mem, stats);
+                self.stage_ns[4] += lap(&mut t);
+            }
+            (committed, event)
+        } else {
+            let (committed, event) = self.commit_stage(stats);
+            self.complete_stage(stats);
+            self.issue_stage(mem, stats);
+            self.dispatch_stage(stats);
+            self.mark_awaited_branch();
+            if event.is_none() {
+                self.fetch_stage(frontend, mem, stats);
+            }
+            (committed, event)
+        };
 
         let program_exited =
-            self.source_exhausted && self.fetch_buffer.is_empty() && self.window.is_empty();
+            self.source_exhausted && self.fetch_buffer.is_empty() && self.front == self.next_seq;
         self.now += 1;
         CycleOutcome {
             committed,
@@ -490,6 +684,17 @@ impl Cpu for MxsCpu {
 
     fn committed_instructions(&self) -> u64 {
         self.committed
+    }
+
+    fn flush_stage_timing(&self) {
+        for (name, &ns) in STAGE_NAMES.iter().zip(self.stage_ns.iter()) {
+            if ns > 0 {
+                softwatt_obs::count(name, ns);
+            }
+        }
+        softwatt_obs::count("mxs.issue.scans", self.issue_scans);
+        softwatt_obs::count("mxs.issue.scan_entries", self.issue_scan_entries);
+        softwatt_obs::count("mxs.issue.skipped_cycles", self.issue_skips);
     }
 }
 

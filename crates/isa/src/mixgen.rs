@@ -155,6 +155,14 @@ pub struct MixGenerator {
     emitted: u64,
     last_dest: Option<Reg>,
     reg_cursor: u8,
+    // Incremental decomposition of `emitted` (the stream position), kept so
+    // the per-instruction PC needs no divisions:
+    // `within_loop = emitted % loop_len`,
+    // `loop_idx = (emitted / stay_per_loop) % n_loops`,
+    // `stay_count = emitted % stay_per_loop`.
+    within_loop: u32,
+    stay_count: u32,
+    loop_idx: u32,
 }
 
 impl MixGenerator {
@@ -170,6 +178,9 @@ impl MixGenerator {
             emitted: 0,
             last_dest: None,
             reg_cursor: 1,
+            within_loop: 0,
+            stay_count: 0,
+            loop_idx: 0,
         }
     }
 
@@ -180,9 +191,27 @@ impl MixGenerator {
 
     fn pc(&self) -> u64 {
         let s = &self.spec;
-        let within_loop = (self.emitted % u64::from(s.loop_len)) * 4;
-        let loop_idx = (self.emitted / u64::from(s.stay_per_loop)) % u64::from(s.n_loops);
-        s.code_base + loop_idx * u64::from(s.loop_len) * 4 + within_loop
+        s.code_base
+            + u64::from(self.loop_idx) * u64::from(s.loop_len) * 4
+            + u64::from(self.within_loop) * 4
+    }
+
+    /// Advances the incremental position counters past one emission.
+    #[inline]
+    fn advance_position(&mut self) {
+        self.emitted += 1;
+        self.within_loop += 1;
+        if self.within_loop == self.spec.loop_len {
+            self.within_loop = 0;
+        }
+        self.stay_count += 1;
+        if self.stay_count == self.spec.stay_per_loop {
+            self.stay_count = 0;
+            self.loop_idx += 1;
+            if self.loop_idx == self.spec.n_loops {
+                self.loop_idx = 0;
+            }
+        }
     }
 
     fn next_reg(&mut self) -> Reg {
@@ -207,8 +236,8 @@ impl MixGenerator {
     pub fn next_instr_with<R: Rng>(&mut self, rng: &mut R) -> Instr {
         let s = self.spec;
         let pc = self.pc();
-        let at_loop_end = (self.emitted + 1).is_multiple_of(u64::from(s.loop_len));
-        self.emitted += 1;
+        let at_loop_end = self.within_loop + 1 == s.loop_len;
+        self.advance_position();
 
         let roll = rng.gen::<f64>();
         let instr = if at_loop_end || roll < s.branch {

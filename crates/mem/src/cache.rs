@@ -5,9 +5,21 @@ use crate::CacheGeometry;
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Line {
     tag: u64,
+    valid: bool,
     dirty: bool,
     // Higher = more recently used.
     lru: u64,
+}
+
+impl Line {
+    fn invalid() -> Line {
+        Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+        }
+    }
 }
 
 /// Outcome of a cache access.
@@ -37,7 +49,12 @@ pub struct AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Line>>,
+    // All lines in one flat allocation: set `s` is the slice
+    // `lines[s * assoc .. (s + 1) * assoc]`. One contiguous read per
+    // lookup instead of a per-set Vec pointer chase; this is on the
+    // per-fetch/per-load hot path of every simulated cycle.
+    lines: Box<[Line]>,
+    assoc: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -46,9 +63,11 @@ pub struct Cache {
 impl Cache {
     /// Creates a cold cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Cache {
+        let assoc = geometry.assoc() as usize;
         Cache {
             geometry,
-            sets: vec![Vec::with_capacity(geometry.assoc() as usize); geometry.sets() as usize],
+            lines: vec![Line::invalid(); assoc * geometry.sets() as usize].into_boxed_slice(),
+            assoc,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -65,41 +84,51 @@ impl Cache {
         self.tick += 1;
         let set_index = self.geometry.set_index(addr) as usize;
         let tag = self.geometry.tag(addr);
-        let assoc = self.geometry.assoc() as usize;
         let tick = self.tick;
-        let set = &mut self.sets[set_index];
+        let base = set_index * self.assoc;
+        let set = &mut self.lines[base..base + self.assoc];
 
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.lru = tick;
-            line.dirty |= write;
-            self.hits += 1;
-            return AccessOutcome {
-                hit: true,
-                writeback: None,
-            };
+        // Tags are unique within a set and LRU ticks are unique per access,
+        // so neither the hit scan order nor the victim choice depends on
+        // slot order: outcomes are identical to the old per-set Vec model.
+        let mut victim = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, line) in set.iter_mut().enumerate() {
+            if !line.valid {
+                // Prefer filling an invalid way: never an eviction.
+                victim = i;
+                victim_lru = 0;
+                continue;
+            }
+            if line.tag == tag {
+                line.lru = tick;
+                line.dirty |= write;
+                self.hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+            if line.lru < victim_lru {
+                victim = i;
+                victim_lru = line.lru;
+            }
         }
 
         self.misses += 1;
         let mut writeback = None;
-        if set.len() == assoc {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("set is full, victim exists");
-            if set[victim].dirty {
-                let victim_addr = (set[victim].tag * self.geometry.sets() + set_index as u64)
-                    * u64::from(self.geometry.line_bytes());
-                writeback = Some(victim_addr);
-            }
-            set.swap_remove(victim);
+        let line = &mut set[victim];
+        if line.valid && line.dirty {
+            let victim_addr = (line.tag * self.geometry.sets() + set_index as u64)
+                * u64::from(self.geometry.line_bytes());
+            writeback = Some(victim_addr);
         }
-        set.push(Line {
+        *line = Line {
             tag,
+            valid: true,
             dirty: write,
             lru: tick,
-        });
+        };
         AccessOutcome {
             hit: false,
             writeback,
@@ -108,18 +137,21 @@ impl Cache {
 
     /// Whether the line containing `addr` is resident (no LRU update).
     pub fn probe(&self, addr: u64) -> bool {
-        let set = &self.sets[self.geometry.set_index(addr) as usize];
+        let base = self.geometry.set_index(addr) as usize * self.assoc;
         let tag = self.geometry.tag(addr);
-        set.iter().any(|l| l.tag == tag)
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the whole cache, discarding dirty state (the paper's
     /// `cacheflush` service). Returns how many lines were dropped.
     pub fn flush(&mut self) -> u64 {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            dropped += set.len() as u64;
-            set.clear();
+        for line in &mut self.lines {
+            dropped += u64::from(line.valid);
+            line.valid = false;
+            line.dirty = false;
         }
         dropped
     }

@@ -51,10 +51,17 @@ impl Tlb {
     }
 
     /// Looks up a virtual page number, updating LRU state on hit.
+    ///
+    /// Hits are swapped to the front of the entry list so hot pages are
+    /// found in the first few probes. Entry order is not observable: page
+    /// numbers are unique (the hit scan finds the same entry anywhere) and
+    /// use ticks are unique (the eviction minimum is position-independent),
+    /// so hits, misses, and victims are identical to an unordered scan.
     pub fn lookup(&mut self, vpn: u64) -> bool {
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
-            e.1 = self.tick;
+        if let Some(pos) = self.entries.iter().position(|(v, _)| *v == vpn) {
+            self.entries[pos].1 = self.tick;
+            self.entries.swap(0, pos);
             self.hits += 1;
             true
         } else {

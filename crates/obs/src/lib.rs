@@ -45,6 +45,7 @@ pub use registry::{reset_metrics, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use span::Span;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static STAGE_TIMING: AtomicBool = AtomicBool::new(false);
 
 /// Whether metric recording is on. A single relaxed load: the whole cost
 /// of every instrumentation point while disabled.
@@ -56,6 +57,23 @@ pub fn enabled() -> bool {
 /// Turns metric recording on or off, process-wide.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether per-pipeline-stage timing is on (`bench_simulator --profile`).
+///
+/// Separate from [`enabled`] because stage timing reads the clock several
+/// times per *simulated cycle* — far too heavy for ordinary metric runs.
+/// The simulator checks this once per cycle and accumulates stage
+/// nanoseconds locally, flushing totals into ordinary counters at the end
+/// of the run.
+#[inline]
+pub fn stage_timing() -> bool {
+    STAGE_TIMING.load(Ordering::Relaxed)
+}
+
+/// Turns per-stage timing on or off, process-wide.
+pub fn set_stage_timing(on: bool) {
+    STAGE_TIMING.store(on, Ordering::Relaxed);
 }
 
 /// Adds `n` to the counter `name`. No-op (one load, one branch) while

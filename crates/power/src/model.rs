@@ -99,6 +99,10 @@ impl Default for PowerParams {
 pub struct PowerModel {
     params: PowerParams,
     energy_j: [f64; UnitEvent::COUNT],
+    // `UnitGroup::of_event` resolved once per event index, so the window
+    // walk (once per sample per mode in the post-processor) is a single
+    // pass over the raw counts with no per-event enum dispatch.
+    group_of: [Option<UnitGroup>; UnitEvent::COUNT],
     clock: ClockModel,
 }
 
@@ -158,9 +162,15 @@ impl PowerModel {
         set(UnitEvent::DecodeOp, decode_j);
         set(UnitEvent::WrongPathFetch, il1.access_j + decode_j);
 
+        let mut group_of = [None; UnitEvent::COUNT];
+        for &ev in UnitEvent::ALL.iter() {
+            group_of[ev.index()] = UnitGroup::of_event(ev);
+        }
+
         PowerModel {
             params: *params,
             energy_j: e,
+            group_of,
             clock: ClockModel::new(*tech),
         }
     }
@@ -203,12 +213,15 @@ impl PowerModel {
 
     fn gated_window_energy_j(&self, events: &CounterSet, cycles: u64) -> GroupPower {
         let mut out = GroupPower::new();
-        for (ev, count) in events.iter() {
+        // One pass over the raw counts in index order — the same
+        // accumulation order as the old per-event dispatch, so every
+        // group's floating-point sum is bit-identical.
+        for (i, &count) in events.counts().iter().enumerate() {
             if count == 0 {
                 continue;
             }
-            if let Some(group) = UnitGroup::of_event(ev) {
-                out.add(group, count as f64 * self.energy_j[ev.index()]);
+            if let Some(group) = self.group_of[i] {
+                out.add(group, count as f64 * self.energy_j[i]);
             }
         }
         out.add(UnitGroup::Clock, self.clock.energy_j(events, cycles));

@@ -32,13 +32,22 @@ use crate::{
 pub struct StatsCollector {
     cycle: u64,
     mode: Mode,
-    totals: ModeCounters,
-    // `totals` summed over modes, maintained incrementally so the
+    // Per-mode event deltas of the *open* sampling window, as one flat
+    // array indexed by `mode.index() * UnitEvent::COUNT + event.index()`.
+    // `record` is the hottest call in the simulator (several per cycle),
+    // so it does exactly two array increments: this delta and `combined`.
+    // Windows fold the array into a [`Sample`] (and into `closed_totals`)
+    // on flush — no snapshot clone, no delta subtraction.
+    window_events: [u64; Mode::COUNT * crate::UnitEvent::COUNT],
+    // `mode.index() * UnitEvent::COUNT`, cached on every mode switch.
+    mode_base: usize,
+    // Totals of all *emitted* samples; `totals()` adds the open window.
+    closed_totals: ModeCounters,
+    // All-time totals summed over modes, maintained incrementally so the
     // per-syscall service brackets never pay a full reduction.
     combined: CounterSet,
     mode_cycles: [u64; Mode::COUNT],
     // Snapshot at the start of the current sampling window.
-    window_start_totals: ModeCounters,
     window_start_mode_cycles: [u64; Mode::COUNT],
     window_start_cycle: u64,
     sample_interval: u64,
@@ -81,10 +90,11 @@ impl StatsCollector {
         StatsCollector {
             cycle: 0,
             mode: Mode::User,
-            totals: ModeCounters::new(),
+            window_events: [0; Mode::COUNT * crate::UnitEvent::COUNT],
+            mode_base: Mode::User.index() * crate::UnitEvent::COUNT,
+            closed_totals: ModeCounters::new(),
             combined: CounterSet::new(),
             mode_cycles: [0; Mode::COUNT],
-            window_start_totals: ModeCounters::new(),
             window_start_mode_cycles: [0; Mode::COUNT],
             window_start_cycle: 0,
             sample_interval,
@@ -127,19 +137,20 @@ impl StatsCollector {
     #[inline]
     pub fn set_mode(&mut self, mode: Mode) {
         self.mode = mode;
+        self.mode_base = mode.index() * crate::UnitEvent::COUNT;
     }
 
     /// Records one occurrence of `event` in the current mode.
     #[inline]
     pub fn record(&mut self, event: crate::UnitEvent) {
-        self.totals.mode_mut(self.mode).add(event, 1);
+        self.window_events[self.mode_base + event.index()] += 1;
         self.combined.add(event, 1);
     }
 
     /// Records `n` occurrences of `event` in the current mode.
     #[inline]
     pub fn record_n(&mut self, event: crate::UnitEvent, n: u64) {
-        self.totals.mode_mut(self.mode).add(event, n);
+        self.window_events[self.mode_base + event.index()] += n;
         self.combined.add(event, n);
     }
 
@@ -277,9 +288,11 @@ impl StatsCollector {
         self.profiler.current()
     }
 
-    /// Running totals (all samples plus the open window).
-    pub fn totals(&self) -> &ModeCounters {
-        &self.totals
+    /// Running totals (all emitted samples plus the open window).
+    pub fn totals(&self) -> ModeCounters {
+        let mut out = self.closed_totals.clone();
+        out.merge(&ModeCounters::from_flat(&self.window_events));
+        out
     }
 
     /// Running totals summed over modes, maintained incrementally
@@ -300,7 +313,12 @@ impl StatsCollector {
 
     fn emit_sample(&mut self) {
         softwatt_obs::count("stats.samples_emitted", 1);
-        let events = self.totals.delta_since(&self.window_start_totals);
+        // The open-window accumulator *is* the sample delta: fold it into
+        // the closed totals and reset it, instead of cloning full totals
+        // and subtracting snapshots.
+        let events = ModeCounters::from_flat(&self.window_events);
+        self.window_events = [0; Mode::COUNT * crate::UnitEvent::COUNT];
+        self.closed_totals.merge(&events);
         let mut mode_cycles = [0; Mode::COUNT];
         for (out, (now, start)) in mode_cycles
             .iter_mut()
@@ -313,7 +331,6 @@ impl StatsCollector {
             mode_cycles,
             events,
         });
-        self.window_start_totals = self.totals.clone();
         self.window_start_mode_cycles = self.mode_cycles;
         self.window_start_cycle = self.cycle;
     }

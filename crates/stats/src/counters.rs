@@ -44,6 +44,19 @@ impl CounterSet {
         self.counts.iter().sum()
     }
 
+    /// The raw counts array, indexed by [`UnitEvent::index`]. Lets hot
+    /// consumers (the power post, the window fold) walk the counters once
+    /// without per-event enum dispatch.
+    #[inline]
+    pub fn counts(&self) -> &[u64; UnitEvent::COUNT] {
+        &self.counts
+    }
+
+    /// Builds a set directly from a raw counts array.
+    pub(crate) fn from_counts(counts: [u64; UnitEvent::COUNT]) -> CounterSet {
+        CounterSet { counts }
+    }
+
     /// Element-wise `self - earlier`, used to form delta samples.
     ///
     /// # Panics
@@ -145,6 +158,29 @@ impl ModeCounters {
         let mut out = ModeCounters::new();
         for i in 0..Mode::COUNT {
             out.per_mode[i] = self.per_mode[i].delta_since(&earlier.per_mode[i]);
+        }
+        out
+    }
+
+    /// Element-wise accumulate of `other` into `self`, per mode.
+    pub fn merge(&mut self, other: &ModeCounters) {
+        for i in 0..Mode::COUNT {
+            self.per_mode[i].merge(&other.per_mode[i]);
+        }
+    }
+
+    /// Builds per-mode counters from one flat array laid out as
+    /// `mode.index() * UnitEvent::COUNT + event.index()` (the collector's
+    /// open-window accumulator).
+    pub(crate) fn from_flat(flat: &[u64; Mode::COUNT * UnitEvent::COUNT]) -> ModeCounters {
+        let mut out = ModeCounters::new();
+        for m in 0..Mode::COUNT {
+            let base = m * UnitEvent::COUNT;
+            out.per_mode[m] = CounterSet::from_counts(
+                flat[base..base + UnitEvent::COUNT]
+                    .try_into()
+                    .expect("slice is exactly UnitEvent::COUNT long"),
+            );
         }
         out
     }

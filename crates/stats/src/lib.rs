@@ -42,6 +42,7 @@ pub mod event;
 pub mod hash;
 pub mod log;
 pub mod mode;
+pub mod replay;
 pub mod service;
 pub mod swtrace;
 pub mod trace;

@@ -1,0 +1,264 @@
+//! O(segments + samples) trace replay.
+//!
+//! The collector-driven replay path ([`crate::StatsCollector::replay_sample`]
+//! plus [`crate::StatsCollector::skip_idle_gap`]) re-executes every recorded
+//! event delta and re-ticks every cycle through the full collector machinery.
+//! That is pleasingly literal but costs O(samples × modes × events) for the
+//! work segments and allocates a fresh `ModeCounters` per emitted window.
+//!
+//! This module exploits the capture invariants to emit the *identical* log
+//! directly:
+//!
+//! - The capture run flushes the sampling window at every disk-request
+//!   boundary (see [`crate::StatsCollector::flush_window`]), so the window
+//!   offset is zero at the start of every segment. Every sample inside a
+//!   segment except possibly the last therefore spans exactly one full
+//!   sampling interval, and replaying a sample through a collector sitting
+//!   at offset zero reproduces it verbatim (same events, same mode cycles,
+//!   shifted `end_cycle`). We skip the collector and copy the sample.
+//! - [`crate::StatsCollector::skip_idle_gap`] records all synthesized idle
+//!   events *before* ticking, so they land in the gap's first window; the
+//!   remaining windows are pure idle cycles with zero events. The residual
+//!   carry depends only on the `(gap, rates)` sequence, which we reproduce
+//!   exactly, in order.
+//! - The idle pseudo-service aggregate is a fold over the gaps in gap order
+//!   ([`crate::ServiceProfiler::exit`]); we perform the same fold on a local
+//!   aggregate and merge it in once. Floating-point addition order is
+//!   identical, so the sums are bit-identical.
+//!
+//! The result is bit-for-bit equal to the collector-driven path — the
+//! equivalence is pinned by a proptest in `crates/stats/tests/`.
+
+use crate::{
+    CounterSet, EnergyWeights, Mode, ModeCounters, PerfTrace, Sample, ServiceAggregate, ServiceId,
+    ServiceProfiler, SimLog, UnitEvent,
+};
+
+impl PerfTrace {
+    /// Reconstructs the replayed [`SimLog`] and idle-service profile for
+    /// this trace under the given per-segment idle `gaps`, in
+    /// O(segments + samples emitted) time — without ticking a collector
+    /// through every cycle.
+    ///
+    /// `gaps[i]` is the blocked-idle stretch inserted after segment `i`
+    /// (entries beyond `gaps.len()` are treated as absent, matching the
+    /// collector-driven path). The returned profiler contains only the
+    /// rebuilt idle pseudo-service; the caller merges the trace's
+    /// policy-independent work services on top, exactly as before.
+    ///
+    /// Bit-identical to replaying every sample through
+    /// [`crate::StatsCollector::replay_sample`] and every gap through
+    /// [`crate::StatsCollector::skip_idle_gap`], then calling
+    /// [`crate::StatsCollector::finish_with_services`].
+    pub fn fast_replay(
+        &self,
+        gaps: &[u64],
+        weights: EnergyWeights,
+        idle_service: ServiceId,
+    ) -> (SimLog, ServiceProfiler) {
+        let interval = self.sample_interval;
+        let mut log = SimLog::new(self.clocking, interval);
+        let mut cycle = 0u64;
+        let mut idle_residual = [0.0f64; UnitEvent::COUNT];
+        let mut idle_agg = ServiceAggregate::empty();
+
+        for (i, segment) in self.segments.iter().enumerate() {
+            for (j, sample) in segment.iter().enumerate() {
+                let len = sample.cycles();
+                // Capture invariant: windows flush at segment boundaries, so
+                // only a segment's final sample may be shorter than the
+                // sampling interval. (A replay of a violating trace through
+                // the collector would merge samples across the short one and
+                // diverge; the invariant is what makes the copy exact.)
+                debug_assert!(
+                    len == interval || j + 1 == segment.len(),
+                    "mid-segment sample shorter than the sampling interval"
+                );
+                debug_assert!(len > 0, "empty sample in trace segment");
+                cycle += len;
+                log.push(Sample {
+                    end_cycle: cycle,
+                    mode_cycles: sample.mode_cycles,
+                    events: sample.events.clone(),
+                });
+            }
+            let Some(&gap) = gaps.get(i) else { continue };
+            if gap == 0 {
+                continue;
+            }
+
+            // Synthesize the gap's idle-loop events with the same residual
+            // carry `skip_idle_gap` performs, in `idle_rates` order.
+            let mut events = CounterSet::new();
+            for &(event, rate) in &self.idle_rates {
+                let exact = rate * gap as f64 + idle_residual[event.index()];
+                let whole = exact as u64;
+                idle_residual[event.index()] = (exact - whole as f64).clamp(0.0, 1.0);
+                events.add(event, whole);
+            }
+
+            // Fold this gap into the idle aggregate exactly as
+            // `ServiceProfiler::exit` would (same addition order).
+            let energy_j = weights.energy_j(gap, &events);
+            idle_agg.invocations += 1;
+            idle_agg.cycles += gap;
+            idle_agg.events.merge(&events);
+            idle_agg.energy_sum_j += energy_j;
+            idle_agg.energy_sumsq_j2 += energy_j * energy_j;
+
+            // Emit the gap's windows: all events land in the first (they
+            // are recorded before any tick); the rest are pure idle time.
+            let mut remaining = gap;
+            let mut first = true;
+            while remaining > 0 {
+                let step = remaining.min(interval);
+                remaining -= step;
+                cycle += step;
+                let mut mode_cycles = [0u64; Mode::COUNT];
+                mode_cycles[Mode::Idle.index()] = step;
+                let mut mc = ModeCounters::new();
+                if first {
+                    *mc.mode_mut(Mode::Idle) = events.clone();
+                    first = false;
+                }
+                log.push(Sample {
+                    end_cycle: cycle,
+                    mode_cycles,
+                    events: mc,
+                });
+            }
+        }
+
+        let mut profiler = ServiceProfiler::new(weights);
+        if idle_agg.invocations > 0 {
+            profiler.merge_aggregate(idle_service, &idle_agg);
+        }
+        (log, profiler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{
+        Clocking, CounterSet, EnergyWeights, Mode, PerfTrace, ServiceId, StatsCollector, UnitEvent,
+    };
+
+    fn weights() -> EnergyWeights {
+        let mut per_event_j = [0.0; UnitEvent::COUNT];
+        per_event_j[UnitEvent::AluOp.index()] = 0.5e-9;
+        per_event_j[UnitEvent::IcacheAccess.index()] = 1.25e-9;
+        EnergyWeights {
+            per_event_j,
+            per_cycle_j: 0.0,
+        }
+    }
+
+    /// Builds a small capture-shaped trace: two segments split by one
+    /// request, samples flushed at the boundary.
+    fn sample_trace() -> PerfTrace {
+        let clocking = Clocking::default();
+        let interval = 10;
+        let mut stats = StatsCollector::with_weights(clocking, interval, weights());
+        stats.set_mode(Mode::User);
+        for _ in 0..23 {
+            stats.record(UnitEvent::AluOp);
+            stats.tick();
+        }
+        stats.flush_window();
+        let boundary = stats.cycle();
+        for _ in 0..7 {
+            stats.record(UnitEvent::IcacheAccess);
+            stats.tick();
+        }
+        let work_cycles = stats.cycle();
+        let log = stats.finish();
+        let samples = log.samples();
+        let split = samples
+            .iter()
+            .position(|s| s.end_cycle > boundary)
+            .unwrap_or(samples.len());
+        PerfTrace {
+            clocking,
+            sample_interval: interval,
+            segments: vec![samples[..split].to_vec(), samples[split..].to_vec()],
+            requests: vec![crate::TraceRequest {
+                work_submit: boundary,
+                disk_offset: 0,
+                bytes: 512,
+            }],
+            idle_rates: vec![(UnitEvent::AluOp, 0.31), (UnitEvent::IcacheAccess, 0.07)],
+            work_services: Vec::new(),
+            work_cycles,
+            committed: 23,
+            user_instrs: 23,
+        }
+    }
+
+    fn collector_replay(
+        trace: &PerfTrace,
+        gaps: &[u64],
+        idle: ServiceId,
+    ) -> (crate::SimLog, crate::ServiceProfiler) {
+        let mut stats =
+            StatsCollector::with_weights(trace.clocking, trace.sample_interval, weights());
+        for (i, segment) in trace.segments.iter().enumerate() {
+            for sample in segment {
+                stats.replay_sample(sample);
+            }
+            if i < gaps.len() {
+                stats.skip_idle_gap(gaps[i], &trace.idle_rates, idle);
+            }
+        }
+        stats.finish_with_services()
+    }
+
+    #[test]
+    fn matches_collector_path_bit_for_bit() {
+        let trace = sample_trace();
+        trace.validate().unwrap();
+        let idle = ServiceId(7);
+        for gaps in [vec![0u64], vec![4], vec![25], vec![137]] {
+            let (slow_log, slow_prof) = collector_replay(&trace, &gaps, idle);
+            let (fast_log, fast_prof) = trace.fast_replay(&gaps, weights(), idle);
+            assert_eq!(slow_log, fast_log, "gaps {gaps:?}");
+            assert_eq!(slow_prof.aggregates(), fast_prof.aggregates());
+            if let Some(agg) = fast_prof.aggregates().get(&idle) {
+                let slow = &slow_prof.aggregates()[&idle];
+                assert_eq!(agg.energy_sum_j.to_bits(), slow.energy_sum_j.to_bits());
+                assert_eq!(
+                    agg.energy_sumsq_j2.to_bits(),
+                    slow.energy_sumsq_j2.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_carries_across_gaps() {
+        let trace = sample_trace();
+        let idle = ServiceId(7);
+        // Fractional rates force the residual to matter: the second gap's
+        // event counts depend on the first gap's carry.
+        let gaps = vec![3u64, 5];
+        let mut trace2 = trace.clone();
+        trace2.segments = vec![
+            trace.segments[0].clone(),
+            Vec::new(),
+            trace.segments[1].clone(),
+        ];
+        trace2.requests = vec![
+            trace.requests[0],
+            crate::TraceRequest {
+                work_submit: trace.requests[0].work_submit,
+                disk_offset: 4096,
+                bytes: 512,
+            },
+        ];
+        let (slow_log, slow_prof) = collector_replay(&trace2, &gaps, idle);
+        let (fast_log, fast_prof) = trace2.fast_replay(&gaps, weights(), idle);
+        assert_eq!(slow_log, fast_log);
+        assert_eq!(slow_prof.aggregates(), fast_prof.aggregates());
+        let total: CounterSet = fast_log.total_events().combined();
+        assert!(total.get(UnitEvent::AluOp) >= 23, "idle events synthesized");
+    }
+}

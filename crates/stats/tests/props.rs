@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use softwatt_stats::{Clocking, Mode, ServiceId, StatsCollector, UnitEvent};
+use softwatt_stats::{
+    Clocking, EnergyWeights, Mode, PerfTrace, Sample, ServiceId, StatsCollector, TraceRequest,
+    UnitEvent,
+};
 
 fn modes() -> impl Strategy<Value = Mode> {
     prop_oneof![
@@ -166,6 +169,134 @@ proptest! {
             split_total.abs_diff(whole_total) <= 1,
             "split {} vs whole {}", split_total, whole_total
         );
+    }
+
+    /// The hot-path batched counter write (`record_n`) is indistinguishable
+    /// from the per-event path it replaced: same windows, same per-mode
+    /// deltas, same combined totals, across arbitrary interleavings with
+    /// mode switches and window boundaries.
+    #[test]
+    fn record_n_matches_per_event_records(
+        interval in 1u64..48,
+        steps in prop::collection::vec((modes(), events(), 0u64..9, 0u64..5), 1..80),
+    ) {
+        let mut batched = StatsCollector::new(Clocking::default(), interval);
+        let mut single = StatsCollector::new(Clocking::default(), interval);
+        for &(mode, event, n, ticks) in &steps {
+            batched.set_mode(mode);
+            single.set_mode(mode);
+            batched.record_n(event, n);
+            for _ in 0..n {
+                single.record(event);
+            }
+            batched.tick_n(ticks);
+            single.tick_n(ticks);
+        }
+        prop_assert_eq!(batched.combined(), single.combined());
+        prop_assert_eq!(batched.finish(), single.finish());
+    }
+
+    /// The O(segments + samples) replay reconstruction is bit-identical to
+    /// driving every sample and gap through the collector, on arbitrary
+    /// capture-shaped traces, gap schedules, and fractional idle rates.
+    /// (The targeted cases live in `softwatt_stats::replay`'s unit tests;
+    /// this pins the equivalence across the input space.)
+    #[test]
+    fn fast_replay_matches_collector_replay(
+        interval in 1u64..24,
+        seg_steps in prop::collection::vec(
+            prop::collection::vec((modes(), events(), 0u64..5), 0..40),
+            1..6,
+        ),
+        gap_pool in prop::collection::vec(0u64..3_000, 5),
+        rate_milli in prop::collection::vec((events(), 0u64..2_000), 0..3),
+        alu_nj in 0u64..100,
+        cycle_nj in 0u64..10,
+    ) {
+        let mut per_event_j = [0.0; UnitEvent::COUNT];
+        per_event_j[UnitEvent::AluOp.index()] = alu_nj as f64 * 1.0e-9;
+        let weights = EnergyWeights {
+            per_event_j,
+            per_cycle_j: cycle_nj as f64 * 1.0e-9,
+        };
+        let idle_rates: Vec<(UnitEvent, f64)> = rate_milli
+            .iter()
+            .map(|&(e, m)| (e, m as f64 / 1000.0))
+            .collect();
+
+        // Capture: flush the window at every segment boundary, exactly as
+        // the full simulation does at disk-request completions.
+        let mut capture = StatsCollector::with_weights(Clocking::default(), interval, weights.clone());
+        let mut boundaries = Vec::new();
+        for steps in &seg_steps {
+            for &(mode, event, n) in steps {
+                capture.set_mode(mode);
+                capture.record_n(event, n);
+                capture.tick();
+            }
+            capture.flush_window();
+            boundaries.push(capture.cycle());
+        }
+        let work_cycles = capture.cycle();
+        let log = capture.finish();
+
+        // Split the sampled log into per-segment runs at the boundaries.
+        let mut samples: std::collections::VecDeque<Sample> =
+            log.samples().iter().cloned().collect();
+        let segments: Vec<Vec<Sample>> = boundaries
+            .iter()
+            .map(|&b| {
+                let mut seg = Vec::new();
+                while samples.front().is_some_and(|s| s.end_cycle <= b) {
+                    seg.push(samples.pop_front().expect("peeked"));
+                }
+                seg
+            })
+            .collect();
+        prop_assert!(samples.is_empty());
+        let requests: Vec<TraceRequest> = boundaries[..boundaries.len() - 1]
+            .iter()
+            .map(|&b| TraceRequest { work_submit: b, disk_offset: 0, bytes: 512 })
+            .collect();
+        let trace = PerfTrace {
+            clocking: Clocking::default(),
+            sample_interval: interval,
+            segments,
+            requests,
+            idle_rates,
+            work_services: Vec::new(),
+            work_cycles,
+            committed: 0,
+            user_instrs: 0,
+        };
+        trace.validate().unwrap();
+
+        // One gap per request, as the disk-policy replay always supplies
+        // (a zero-length gap still flushes the sampling window at the
+        // request boundary — an absent entry would not, and only the real
+        // shape is pinned here).
+        let gaps = &gap_pool[..trace.requests.len()];
+
+        let idle = ServiceId(3);
+        let mut slow = StatsCollector::with_weights(Clocking::default(), interval, weights.clone());
+        for (i, segment) in trace.segments.iter().enumerate() {
+            for sample in segment {
+                slow.replay_sample(sample);
+            }
+            if i < gaps.len() {
+                slow.skip_idle_gap(gaps[i], &trace.idle_rates, idle);
+            }
+        }
+        let (slow_log, slow_prof) = slow.finish_with_services();
+        let (fast_log, fast_prof) = trace.fast_replay(gaps, weights, idle);
+
+        prop_assert_eq!(&slow_log, &fast_log);
+        prop_assert_eq!(slow_prof.aggregates(), fast_prof.aggregates());
+        if let Some(fast) = fast_prof.aggregates().get(&idle) {
+            let slow = &slow_prof.aggregates()[&idle];
+            prop_assert_eq!(fast.energy_sum_j.to_bits(), slow.energy_sum_j.to_bits());
+            prop_assert_eq!(fast.energy_sumsq_j2.to_bits(), slow.energy_sumsq_j2.to_bits());
+        }
     }
 
     /// Paper-time round trips through cycles are accurate to one cycle.
